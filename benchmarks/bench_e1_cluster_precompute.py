@@ -1,0 +1,85 @@
+"""E1 (§3.2): precomputed vs on-the-fly Cluster Schema display time.
+
+Paper claim: after moving community detection server-side and storing the
+Cluster Schema in MongoDB, "on half of the SPARQL endpoints stored in
+H-BOLD, the time needed to display the Cluster Schema to the user is
+decreased by the 35%".
+
+Reproduction: for every indexed endpoint of the census world, serve the
+Cluster Schema through both display paths of the presentation layer and
+compare simulated times.  The shape to reproduce: the precomputed path
+always wins, and at least half the endpoints save >= 35%.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+E1_SAVING_THRESHOLD = 0.35
+
+
+def _compare_all(app, urls):
+    return app.presentation.compare(urls)
+
+
+def test_e1_median_saving_at_least_35_percent(
+    benchmark, census_app, census_world, record_table
+):
+    urls = census_world.indexable_urls
+    rows = benchmark.pedantic(_compare_all, args=(census_app, urls), iterations=1, rounds=1)
+    savings = sorted(row["saving"] for row in rows)
+    median = statistics.median(savings)
+    at_least_35 = sum(1 for s in savings if s >= E1_SAVING_THRESHOLD)
+
+    lines = [
+        "E1 (§3.2): time to display the Cluster Schema, on-the-fly vs precomputed",
+        f"endpoints measured: {len(rows)}",
+        "",
+        f"{'endpoint':<38} {'on-the-fly':>11} {'precomputed':>12} {'saving':>8}",
+    ]
+    for row in sorted(rows, key=lambda r: -r["saving"])[:15]:
+        lines.append(
+            f"{row['url']:<38} {row['on_the_fly_ms']:>9.0f}ms "
+            f"{row['precomputed_ms']:>10.0f}ms {row['saving']:>7.0%}"
+        )
+    lines += [
+        f"... ({len(rows) - 15} more endpoints)",
+        "",
+        f"median saving:                  {median:.0%}",
+        f"endpoints saving >= 35%:        {at_least_35}/{len(rows)}",
+        "paper: 'on half of the SPARQL endpoints ... decreased by the 35%'",
+        f"reproduced: {'YES' if at_least_35 >= len(rows) / 2 else 'NO'}",
+    ]
+    record_table("e1_cluster_precompute", "\n".join(lines))
+
+    # The experiment's shape:
+    assert all(row["precomputed_ms"] < row["on_the_fly_ms"] for row in rows)
+    assert at_least_35 >= len(rows) / 2
+    assert median >= E1_SAVING_THRESHOLD
+
+
+def test_e1_display_paths_agree_on_content(benchmark, census_app, census_world):
+    """Re-engineering must be behaviour-preserving: both paths show the
+    same clusters."""
+
+    def check():
+        for url in census_world.indexable_urls[:10]:
+            fly = census_app.presentation.display_on_the_fly(url)
+            pre = census_app.presentation.display_precomputed(url)
+            fly_groups = sorted(sorted(c.class_iris) for c in fly.cluster_schema.clusters)
+            pre_groups = sorted(sorted(c.class_iris) for c in pre.cluster_schema.clusters)
+            assert fly_groups == pre_groups
+
+    benchmark.pedantic(check, iterations=1, rounds=1)
+
+
+def test_e1_bench_precomputed_display(benchmark, census_app, census_world):
+    """Wall-clock benchmark of the fast path (DB fetch + render)."""
+    url = census_world.indexable_urls[0]
+    benchmark(census_app.presentation.display_precomputed, url)
+
+
+def test_e1_bench_on_the_fly_display(benchmark, census_app, census_world):
+    """Wall-clock benchmark of the legacy path (fetch summary + detect)."""
+    url = census_world.indexable_urls[0]
+    benchmark(census_app.presentation.display_on_the_fly, url)

@@ -1,0 +1,95 @@
+"""E2 (§3.3): growing the registry by crawling open data portals.
+
+Paper numbers: the Listing 1 DCAT query discovers 65 endpoints on the
+European Data Portal, 9 on the EU Open Data Portal and 15 on IO Data
+Science of Paris; 19 were already listed, so the registry grows by 70
+(610 -> 680 listed); 20 of the new endpoints extract successfully
+(110 -> 130 indexed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HBold
+from repro.docstore import DocumentStore
+
+PAPER = {
+    "edp": 65,
+    "euodp": 9,
+    "iodata": 15,
+    "new": 70,
+    "listed_before": 610,
+    "listed_after": 680,
+    "indexed_before": 110,
+    "indexed_after": 130,
+}
+
+
+@pytest.fixture(scope="module")
+def crawled(census_world):
+    """A fresh HBold (own store) that bootstraps, indexes, crawls, re-indexes."""
+    app = HBold(census_world.network, store=DocumentStore())
+    app.bootstrap_registry(census_world.listed_urls)
+    app.update_all(census_world.indexable_urls)
+    before = app.counts()
+    found = app.crawl_portals(census_world.portal_urls)
+    results = app.update_all(census_world.portal_new_indexable)
+    after = app.counts()
+    return app, before, found, results, after
+
+
+def test_e2_census_matches_paper(benchmark, crawled, record_table, census_world):
+    app, before, found, results, after = crawled
+    # time a fresh three-portal crawl against an already-full registry
+    benchmark.pedantic(
+        app.crawl_portals, args=(census_world.portal_urls,), iterations=1, rounds=1
+    )
+
+    lines = [
+        "E2 (§3.3): SPARQL endpoint discovery by crawling open data portals",
+        "",
+        f"{'portal':<28} {'paper':>6} {'measured':>9}",
+        f"{'European Data Portal':<28} {PAPER['edp']:>6} {found['edp']:>9}",
+        f"{'EU Open Data Portal':<28} {PAPER['euodp']:>6} {found['euodp']:>9}",
+        f"{'IO Data Science of Paris':<28} {PAPER['iodata']:>6} {found['iodata']:>9}",
+        f"{'net new endpoints':<28} {PAPER['new']:>6} {found['new']:>9}",
+        "",
+        f"{'registry':<28} {'paper':>6} {'measured':>9}",
+        f"{'listed before crawl':<28} {PAPER['listed_before']:>6} {before['listed']:>9}",
+        f"{'listed after crawl':<28} {PAPER['listed_after']:>6} {after['listed']:>9}",
+        f"{'indexed before crawl':<28} {PAPER['indexed_before']:>6} {before['indexed']:>9}",
+        f"{'indexed after crawl':<28} {PAPER['indexed_after']:>6} {after['indexed']:>9}",
+    ]
+    record_table("e2_portal_crawl", "\n".join(lines))
+
+    assert found["edp"] == PAPER["edp"]
+    assert found["euodp"] == PAPER["euodp"]
+    assert found["iodata"] == PAPER["iodata"]
+    assert found["new"] == PAPER["new"]
+    assert before["listed"] == PAPER["listed_before"]
+    assert after["listed"] == PAPER["listed_after"]
+    assert before["indexed"] == PAPER["indexed_before"]
+    assert after["indexed"] == PAPER["indexed_after"]
+
+
+def test_e2_crawl_is_idempotent(benchmark, crawled, census_world):
+    app = crawled[0]
+    again = benchmark.pedantic(
+        app.crawl_portals, args=(census_world.portal_urls,), iterations=1, rounds=1
+    )
+    assert again["new"] == 0
+
+
+def test_e2_bench_listing1_crawl(benchmark, census_world):
+    """Wall-clock benchmark of one full three-portal crawl."""
+    from repro.core import PortalCrawler
+    from repro.endpoint import SparqlClient
+
+    crawler = PortalCrawler(SparqlClient(census_world.network))
+
+    def crawl():
+        return crawler.crawl_all(census_world.portal_urls)
+
+    discovered = benchmark(crawl)
+    assert sum(len(v) for v in discovered.values()) == 89  # 65 + 9 + 15

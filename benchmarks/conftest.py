@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Expensive worlds are session-scoped.  Every experiment writes its
+paper-vs-measured table both to stdout (visible with ``pytest -s``) and to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import HBold
+from repro.datagen import build_world, scholarly_graph
+from repro.endpoint import AlwaysAvailable, EndpointNetwork, SimulationClock, SparqlEndpoint
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Persist an experiment's output table under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _record(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"\n{text}")
+        return path
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def census_world():
+    """The paper's full endpoint census: 610 listed, 110 indexable, 3 portals,
+    +70 discoverable of which 20 indexable.  Reliable endpoints so that the
+    E1/E2 numbers are about the pipeline, not about luck."""
+    return build_world(flaky=False, seed=2020)
+
+
+@pytest.fixture(scope="session")
+def census_app(census_world):
+    """An HBold instance with the original 110 endpoints fully indexed."""
+    app = HBold(census_world.network)
+    app.bootstrap_registry(census_world.listed_urls)
+    results = app.update_all(census_world.indexable_urls)
+    indexed = sum(results.values())
+    assert indexed == len(census_world.indexable_urls), (
+        f"census indexing incomplete: {indexed}"
+    )
+    return app
+
+
+@pytest.fixture(scope="session")
+def scholarly_app():
+    """The Scholarly LD endpoint of Figures 2/7, indexed."""
+    clock = SimulationClock()
+    network = EndpointNetwork(clock=clock)
+    url = "http://scholarlydata.example.org/sparql"
+    network.register(
+        SparqlEndpoint(
+            url,
+            scholarly_graph(scale=0.15, seed=42),
+            clock,
+            availability=AlwaysAvailable(),
+            title="ScholarlyData",
+        )
+    )
+    app = HBold(network)
+    app.bootstrap_registry([url])
+    assert app.index_endpoint(url)
+    return app, url

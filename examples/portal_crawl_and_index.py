@@ -1,0 +1,65 @@
+"""§3.3 + §3.4: grow the endpoint registry by crawling portals and by
+manual user submission.
+
+Reproduces the paper's census: the registry starts at 610 listed / 110
+indexed endpoints; crawling the European Data Portal, the EU Open Data
+Portal and IO Data Science of Paris with the Listing 1 DCAT query finds
+65 + 9 + 15 endpoints (19 already known), raising the list to 680; twenty
+of the new ones extract successfully, raising indexed datasets to 130.
+A user then submits one more endpoint manually and gets an e-mail.
+
+Run:  python examples/portal_crawl_and_index.py       (~1 minute)
+Pass --small for a scaled-down world that runs in seconds.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import HBold
+from repro.datagen import build_world
+
+
+def main(small: bool = False) -> None:
+    if small:
+        world = build_world(indexable=20, broken=10, portal_new_indexable=4, flaky=False)
+    else:
+        world = build_world(flaky=False)  # the paper's 610-endpoint census
+    app = HBold(world.network)
+
+    print("== bootstrap: the old registry ==")
+    app.bootstrap_registry(world.listed_urls)
+    app.update_all(world.indexable_urls)
+    counts = app.counts()
+    print(f"listed: {counts['listed']}   indexed: {counts['indexed']}")
+
+    print("\n== crawling the three open data portals (Listing 1) ==")
+    found = app.crawl_portals(world.portal_urls)
+    for key, label in (
+        ("edp", "European Data Portal"),
+        ("euodp", "EU Open Data Portal"),
+        ("iodata", "IO Data Science of Paris"),
+    ):
+        print(f"{label}: {found[key]} SPARQL endpoints discovered")
+    print(f"net new endpoints after overlap removal: {found['new']}")
+    print(f"listed endpoints: {counts['listed']} -> {app.counts()['listed']}")
+
+    print("\n== manual insertion with e-mail notification (§3.4) ==")
+    # a user submits one of the freshly discovered endpoints by hand
+    target = world.portal_new_indexable[0]
+    result = app.submit_endpoint(target, "researcher@example.org")
+    print(f"submission of {target}: "
+          f"{'indexed' if result.indexed else 'failed'} -- {result.message}")
+    for message in app.outbox.sent:
+        print(f"mail sent: {message.subject!r}")
+    print(f"personal addresses still stored: {app.registry.pending_address_count()}")
+
+    print("\n== extracting the remaining discovered endpoints ==")
+    results = app.update_all(world.portal_new_indexable[1:])
+    print(f"{sum(results.values())} more endpoints indexed successfully")
+    final = app.counts()
+    print(f"indexed datasets: {counts['indexed']} -> {final['indexed']}")
+
+
+if __name__ == "__main__":
+    main(small="--small" in sys.argv)

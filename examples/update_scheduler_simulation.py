@@ -1,0 +1,50 @@
+"""§3.1: the daily update scheduler over a flaky endpoint population.
+
+Simulates 30 days of H-BOLD operations: endpoints flap up and down
+(SPARQLES-style availability), the scheduler re-extracts weekly, retries
+failed endpoints daily, and skips fresh ones.  Compares the paper's policy
+against the naive alternatives on query cost and staleness.
+
+Run:  python examples/update_scheduler_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.core import HBold, UpdateScheduler
+from repro.datagen import build_world
+
+DAYS = 30
+
+
+def run_policy(policy: str) -> dict:
+    world = build_world(indexable=25, broken=8, portal_new_indexable=0,
+                        seed=21, flaky=True)
+    app = HBold(world.network)
+    app.bootstrap_registry(world.listed_urls)
+    scheduler = UpdateScheduler(app.storage, app.extractor, policy=policy)
+    scheduler.run_days(DAYS)
+    profile = scheduler.staleness_profile(DAYS)
+    profile["final_indexed"] = app.counts()["indexed"]
+    return profile
+
+
+def main() -> None:
+    print(f"simulating {DAYS} days over 33 endpoints (25 with data, 8 dead)\n")
+    print(f"{'policy':<14} {'attempts':>9} {'successes':>10} {'failures':>9} "
+          f"{'indexed':>8} {'staleness(d)':>13}")
+    for policy in ("paper", "daily", "weekly-rigid"):
+        profile = run_policy(policy)
+        print(
+            f"{profile['policy']:<14} {profile['attempts']:>9} "
+            f"{profile['successes']:>10} {profile['failures']:>9} "
+            f"{profile['final_indexed']:>8} {profile['mean_staleness_days']:>13.2f}"
+        )
+    print(
+        "\nThe paper's policy (weekly refresh + daily retry after failure) costs a\n"
+        "fraction of the daily policy's queries while keeping staleness close to it;\n"
+        "the rigid weekly schedule is cheapest but leaves flaky endpoints stale."
+    )
+
+
+if __name__ == "__main__":
+    main()

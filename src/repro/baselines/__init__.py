@@ -1,0 +1,22 @@
+"""Baselines from the paper's related work (§4).
+
+Currently: rdf:SynopsViz's HETree hierarchical binning (Bikakis et al.),
+the value-centric exploration approach the paper contrasts H-BOLD's
+schema-centric approach against.
+"""
+
+from .synopsviz import (
+    HETreeNode,
+    build_hetree_c,
+    build_hetree_r,
+    fetch_property_values,
+    hetree_to_hierarchy,
+)
+
+__all__ = [
+    "HETreeNode",
+    "build_hetree_c",
+    "build_hetree_r",
+    "fetch_property_values",
+    "hetree_to_hierarchy",
+]

@@ -1,0 +1,213 @@
+"""rdf:SynopsViz-style hierarchical charting -- the §4 baseline.
+
+The paper's related work (Bikakis et al., "A hierarchical aggregation
+framework for efficient multilevel visual exploration and analysis" /
+"rdf:SynopsViz") explores LD through *value* hierarchies: the numeric or
+temporal values of one property are binned into a balanced tree (HETree),
+each level a coarser histogram, and the user drills down level by level.
+
+This module implements the two HETree construction modes of that paper:
+
+* **HETree-C** ("content"): leaves hold equal-*count* value groups,
+* **HETree-R** ("range"):   leaves hold equal-*width* value ranges,
+
+both aggregated bottom-up with a fixed branching degree, with per-node
+statistics (count, min, max, mean) exactly as the framework defines, and
+an adapter that runs it against our simulated endpoints.
+
+Contrast with H-BOLD (the reproduction's subject): SynopsViz explores the
+values of one property at a time and needs numeric/temporal data, while
+H-BOLD abstracts the *schema*.  The B1 benchmark quantifies that contrast.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..endpoint.network import SparqlClient
+from ..viz.hierarchy import HierarchyNode
+
+__all__ = ["HETreeNode", "build_hetree_c", "build_hetree_r", "fetch_property_values",
+           "hetree_to_hierarchy"]
+
+
+class HETreeNode:
+    """One node of a HETree: an interval with aggregate statistics."""
+
+    __slots__ = ("low", "high", "count", "minimum", "maximum", "mean", "children")
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        count: int,
+        minimum: Optional[float],
+        maximum: Optional[float],
+        mean: Optional[float],
+        children: Sequence["HETreeNode"] = (),
+    ):
+        if high < low:
+            raise ValueError(f"inverted interval [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.count = count
+        self.minimum = minimum
+        self.maximum = maximum
+        self.mean = mean
+        self.children = list(children)
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def depth(self) -> int:
+        if self.is_leaf():
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def leaves(self) -> List["HETreeNode"]:
+        if self.is_leaf():
+            return [self]
+        out: List[HETreeNode] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def label(self) -> str:
+        return f"[{self.low:g}, {self.high:g})"
+
+    def __repr__(self) -> str:
+        return f"<HETreeNode {self.label()} n={self.count}>"
+
+
+def _leaf_stats(values: List[float]) -> Tuple[Optional[float], Optional[float], Optional[float]]:
+    if not values:
+        return None, None, None
+    return min(values), max(values), sum(values) / len(values)
+
+
+def _aggregate(children: List[HETreeNode]) -> HETreeNode:
+    count = sum(child.count for child in children)
+    minima = [c.minimum for c in children if c.minimum is not None]
+    maxima = [c.maximum for c in children if c.maximum is not None]
+    weighted = [
+        c.mean * c.count for c in children if c.mean is not None and c.count > 0
+    ]
+    mean = (sum(weighted) / count) if count > 0 and weighted else None
+    return HETreeNode(
+        children[0].low,
+        children[-1].high,
+        count,
+        min(minima) if minima else None,
+        max(maxima) if maxima else None,
+        mean,
+        children,
+    )
+
+
+def _build_bottom_up(leaves: List[HETreeNode], degree: int) -> HETreeNode:
+    level = leaves
+    while len(level) > 1:
+        grouped: List[HETreeNode] = []
+        for start in range(0, len(level), degree):
+            chunk = level[start : start + degree]
+            grouped.append(_aggregate(chunk) if len(chunk) > 1 else chunk[0])
+        level = grouped
+    return level[0]
+
+
+def build_hetree_r(
+    values: Sequence[float], leaf_count: int = 8, degree: int = 3
+) -> HETreeNode:
+    """HETree-R: equal-*range* leaves over [min, max], fanned by *degree*."""
+    if leaf_count <= 0 or degree < 2:
+        raise ValueError("need leaf_count >= 1 and degree >= 2")
+    items = sorted(float(v) for v in values)
+    if not items:
+        return HETreeNode(0.0, 0.0, 0, None, None, None)
+    low, high = items[0], items[-1]
+    if high == low:
+        high = low + 1.0  # degenerate single-value domain
+    width = (high - low) / leaf_count
+
+    leaves: List[HETreeNode] = []
+    cursor = 0
+    for index in range(leaf_count):
+        bin_low = low + index * width
+        bin_high = high if index == leaf_count - 1 else bin_low + width
+        bucket: List[float] = []
+        while cursor < len(items) and (
+            items[cursor] < bin_high or index == leaf_count - 1
+        ):
+            bucket.append(items[cursor])
+            cursor += 1
+        minimum, maximum, mean = _leaf_stats(bucket)
+        leaves.append(HETreeNode(bin_low, bin_high, len(bucket), minimum, maximum, mean))
+    return _build_bottom_up(leaves, degree)
+
+
+def build_hetree_c(
+    values: Sequence[float], leaf_count: int = 8, degree: int = 3
+) -> HETreeNode:
+    """HETree-C: equal-*content* leaves (same number of values each)."""
+    if leaf_count <= 0 or degree < 2:
+        raise ValueError("need leaf_count >= 1 and degree >= 2")
+    items = sorted(float(v) for v in values)
+    if not items:
+        return HETreeNode(0.0, 0.0, 0, None, None, None)
+    per_leaf = max(1, math.ceil(len(items) / leaf_count))
+
+    leaves: List[HETreeNode] = []
+    for start in range(0, len(items), per_leaf):
+        bucket = items[start : start + per_leaf]
+        low = bucket[0]
+        following = items[start + per_leaf] if start + per_leaf < len(items) else bucket[-1]
+        high = following if following > low else low + 1e-9
+        minimum, maximum, mean = _leaf_stats(bucket)
+        leaves.append(HETreeNode(low, high, len(bucket), minimum, maximum, mean))
+    return _build_bottom_up(leaves, degree)
+
+
+def fetch_property_values(
+    client: SparqlClient, url: str, class_iri: str, property_iri: str
+) -> List[float]:
+    """Pull the numeric values of one property of one class off an endpoint.
+
+    Non-numeric bindings are skipped -- SynopsViz targets numeric and
+    temporal properties only, which is exactly the limitation §4 notes.
+    """
+    query = (
+        f"SELECT ?v WHERE {{ ?s a <{class_iri}> . ?s <{property_iri}> ?v }}"
+    )
+    result = client.select(url, query)
+    values: List[float] = []
+    for row in result:
+        term = row.get("v")
+        if term is None or not hasattr(term, "lexical"):
+            continue
+        try:
+            values.append(float(term.lexical))
+        except (TypeError, ValueError):
+            continue
+    return values
+
+
+def hetree_to_hierarchy(root: HETreeNode) -> HierarchyNode:
+    """Convert a HETree into a HierarchyNode tree for the §3.5 layouts."""
+
+    def convert(node: HETreeNode) -> HierarchyNode:
+        out = HierarchyNode(
+            node.label(),
+            value=float(node.count) if node.is_leaf() else None,
+            data={
+                "count": node.count,
+                "mean": node.mean,
+                "min": node.minimum,
+                "max": node.maximum,
+            },
+        )
+        for child in node.children:
+            out.add_child(convert(child))
+        return out
+
+    return convert(root)

@@ -1,0 +1,226 @@
+"""Command-line interface for the H-BOLD reproduction.
+
+Because the endpoint network is simulated, every invocation deterministically
+rebuilds the same world from ``--seed``/``--indexable``/``--broken`` and can
+persist the server-side store across invocations with ``--store DIR`` --
+so a session looks like real operations against a stable endpoint
+
+    python -m repro.cli --store /tmp/hb index --all
+    python -m repro.cli --store /tmp/hb list
+    python -m repro.cli --store /tmp/hb show --url http://lod3.example.org/sparql
+    python -m repro.cli --store /tmp/hb render --url http://lod3.example.org/sparql \
+        --figure treemap --out fig4.svg
+    python -m repro.cli --store /tmp/hb crawl
+    python -m repro.cli --store /tmp/hb schedule --days 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import HBold, clusters_to_csv, clusters_to_json, summary_to_turtle
+from .core.export import summary_to_void_turtle
+from .datagen import build_world
+from .docstore import DocumentStore
+
+__all__ = ["main", "build_cli_parser"]
+
+
+def build_cli_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="H-BOLD reproduction: index, explore and visualize simulated Linked Data.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="world seed (default 0)")
+    parser.add_argument("--indexable", type=int, default=20,
+                        help="endpoints with data in the world (default 20)")
+    parser.add_argument("--broken", type=int, default=5,
+                        help="dead endpoints in the world (default 5)")
+    parser.add_argument("--flaky", action="store_true",
+                        help="give endpoints Markov availability")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persist the server store under DIR")
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    index = sub.add_parser("index", help="run the server pipeline")
+    group = index.add_mutually_exclusive_group(required=True)
+    group.add_argument("--url", help="index one endpoint")
+    group.add_argument("--all", action="store_true", help="index every known endpoint")
+
+    sub.add_parser("list", help="show the dataset list")
+
+    show = sub.add_parser("show", help="summary + clusters + statistics of a dataset")
+    show.add_argument("--url", required=True)
+
+    render = sub.add_parser("render", help="write one §3.5 figure as SVG")
+    render.add_argument("--url", required=True)
+    render.add_argument(
+        "--figure",
+        required=True,
+        choices=("treemap", "sunburst", "circlepack", "bundling", "clusters"),
+    )
+    render.add_argument("--focus", default=None, help="focus class label (bundling)")
+    render.add_argument("--out", required=True, help="output SVG path")
+
+    explore = sub.add_parser("explore", help="textual Figure 2 walk")
+    explore.add_argument("--url", required=True)
+    explore.add_argument("--start", default=None, help="class label to select first")
+
+    sub.add_parser("crawl", help="crawl the three open-data portals (§3.3)")
+
+    submit = sub.add_parser("submit", help="manual endpoint insertion (§3.4)")
+    submit.add_argument("--url", required=True)
+    submit.add_argument("--email", required=True)
+
+    schedule = sub.add_parser("schedule", help="run the §3.1 daily update")
+    schedule.add_argument("--days", type=int, default=1)
+    schedule.add_argument("--policy", default="paper",
+                          choices=("paper", "daily", "weekly-rigid"))
+
+    export = sub.add_parser("export", help="export artifacts")
+    export.add_argument("--url", required=True)
+    export.add_argument("--format", required=True,
+                        choices=("turtle", "void", "clusters-csv", "clusters-json"))
+    export.add_argument("--out", default="-", help="output path ('-' = stdout)")
+
+    return parser
+
+
+def _make_app(args) -> tuple:
+    world = build_world(
+        indexable=args.indexable,
+        broken=args.broken,
+        portal_new_indexable=min(5, args.indexable),
+        seed=args.seed,
+        flaky=args.flaky,
+    )
+    store = DocumentStore(persist_dir=args.store) if args.store else DocumentStore()
+    app = HBold(world.network, store=store)
+    if app.registry.listed_count() == 0:
+        app.bootstrap_registry(world.listed_urls)
+    return world, app
+
+
+def _write(path: str, text: str) -> None:
+    if path == "-":
+        sys.stdout.write(text)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_cli_parser().parse_args(argv)
+    world, app = _make_app(args)
+
+    try:
+        if args.command == "index":
+            targets = [args.url] if args.url else world.indexable_urls
+            results = app.update_all(targets)
+            for url, ok in results.items():
+                print(f"{'OK ' if ok else 'FAIL'} {url}")
+            print(f"indexed {sum(results.values())}/{len(results)}")
+
+        elif args.command == "list":
+            for record in app.registry.dataset_list():
+                status = record.get("status", "listed")
+                print(f"{status:<8} {record['url']}")
+            counts = app.counts()
+            print(f"\n{counts['listed']} listed, {counts['indexed']} indexed")
+
+        elif args.command == "show":
+            summary = app.summary(args.url)
+            schema = app.cluster_schema(args.url)
+            stats = app.statistics(args.url)
+            print(f"{args.url}")
+            print(f"  classes: {stats.class_count}  instances: {stats.instance_count}")
+            print(f"  object links: {stats.link_count}  "
+                  f"datatype properties: {stats.datatype_property_count}")
+            print(f"  instance skew (gini): {stats.instance_gini:.2f}")
+            print(f"  clusters ({schema.algorithm}, Q={schema.modularity:.3f}):")
+            for cluster in schema.clusters:
+                print(f"    #{cluster.cluster_id} {cluster.label}: "
+                      f"{cluster.size} classes, {cluster.instance_count} instances")
+
+        elif args.command == "render":
+            if args.figure == "treemap":
+                doc = app.render_treemap(args.url)
+            elif args.figure == "sunburst":
+                doc = app.render_sunburst(args.url)
+            elif args.figure == "circlepack":
+                doc = app.render_circlepack(args.url)
+            elif args.figure == "bundling":
+                doc = app.render_edge_bundling(args.url, focus=args.focus)
+            else:
+                doc = app.render_cluster_schema(args.url)
+            doc.save(args.out)
+            print(f"wrote {args.out}")
+
+        elif args.command == "explore":
+            summary = app.summary(args.url)
+            session = app.explore(args.url)
+            session.start_from_cluster_schema()
+            if args.start:
+                start = next(
+                    (n.iri for n in summary.nodes if n.label == args.start), None
+                )
+                if start is None:
+                    print(f"no class labelled {args.start!r}", file=sys.stderr)
+                    return 2
+            else:
+                start = max(summary.nodes, key=lambda n: summary.degree(n.iri)).iri
+            step = session.select_class(start)
+            print(f"select {summary.node(start).label}: {step.node_count} nodes, "
+                  f"{step.instance_coverage:.0%} of instances")
+            for step in session.expand_all():
+                print(f"{step.action}: {step.node_count} nodes, "
+                      f"{step.instance_coverage:.0%} of instances")
+
+        elif args.command == "crawl":
+            found = app.crawl_portals(world.portal_urls)
+            for key in ("edp", "euodp", "iodata"):
+                print(f"{key}: {found[key]} endpoints discovered")
+            print(f"net new: {found['new']}")
+            print(f"registry now: {app.counts()}")
+
+        elif args.command == "submit":
+            result = app.submit_endpoint(args.url, args.email)
+            print(f"{'indexed' if result.indexed else 'failed'}: {result.message}")
+            for message in app.outbox.sent:
+                print(f"mail: {message.subject}")
+
+        elif args.command == "schedule":
+            scheduler = app.scheduler
+            if args.policy != "paper":
+                from .core import UpdateScheduler
+
+                scheduler = UpdateScheduler(app.storage, app.extractor, policy=args.policy)
+            for report in scheduler.run_days(args.days):
+                print(f"day {report.day}: attempted {len(report.attempted)}, "
+                      f"ok {len(report.succeeded)}, failed {len(report.failed)}, "
+                      f"fresh-skipped {report.skipped_fresh}")
+
+        elif args.command == "export":
+            if args.format == "turtle":
+                _write(args.out, summary_to_turtle(app.summary(args.url)))
+            elif args.format == "void":
+                _write(args.out, summary_to_void_turtle(app.summary(args.url)))
+            elif args.format == "clusters-csv":
+                _write(args.out, clusters_to_csv(app.cluster_schema(args.url)))
+            else:
+                _write(args.out, clusters_to_json(app.cluster_schema(args.url)))
+
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        app.storage.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Community detection substrate for Cluster Schema construction.
+
+H-BOLD groups the classes of a Schema Summary into clusters with community
+detection (§2.1; algorithm analysis in Po & Malvezzi 2018).  This package
+implements the algorithms from scratch on a small weighted-graph type:
+
+* :func:`louvain` -- the production algorithm (fast, high modularity)
+* :func:`label_propagation` -- near-linear baseline
+* :func:`greedy_modularity` -- CNM-style agglomeration
+* :func:`girvan_newman` -- divisive quality reference (small graphs only)
+
+plus :func:`modularity` and partition-comparison metrics for the E5
+ablation benchmark.
+"""
+
+from .girvan_newman import edge_betweenness, girvan_newman
+from .graphs import UndirectedGraph
+from .greedy_modularity import greedy_modularity
+from .label_propagation import label_propagation
+from .louvain import louvain
+from .partition import (
+    Partition,
+    modularity,
+    normalized_mutual_information,
+    partition_entropy,
+)
+
+__all__ = [
+    "Partition",
+    "UndirectedGraph",
+    "edge_betweenness",
+    "girvan_newman",
+    "greedy_modularity",
+    "label_propagation",
+    "louvain",
+    "modularity",
+    "normalized_mutual_information",
+    "partition_entropy",
+]

@@ -1,0 +1,98 @@
+"""Girvan-Newman divisive clustering via edge betweenness (Brandes BFS).
+
+The classical but expensive algorithm: repeatedly remove the highest
+edge-betweenness edge, tracking the partition (connected components) with
+the best modularity.  Included as the quality-reference point of the E5
+ablation; only run it on small schema graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Tuple
+
+from .graphs import UndirectedGraph
+from .partition import Partition, modularity
+
+__all__ = ["girvan_newman", "edge_betweenness"]
+
+Node = Hashable
+
+
+def edge_betweenness(graph: UndirectedGraph) -> Dict[Tuple[Node, Node], float]:
+    """Brandes' algorithm for edge betweenness (unweighted shortest paths).
+
+    Keys are node pairs in an arbitrary but consistent orientation; each
+    undirected edge appears once.
+    """
+    betweenness: Dict[Tuple[Node, Node], float] = {}
+    canonical: Dict[frozenset, Tuple[Node, Node]] = {}
+    for u, v, _ in graph.edges():
+        if u == v:
+            continue  # self-loops never lie on shortest paths
+        key = frozenset((u, v))
+        canonical[key] = (u, v)
+        betweenness[(u, v)] = 0.0
+
+    for source in graph.nodes():
+        # single-source shortest paths (BFS; edges treated as unit length)
+        stack: List[Node] = []
+        predecessors: Dict[Node, List[Node]] = {node: [] for node in graph.nodes()}
+        sigma: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
+        distance: Dict[Node, int] = {node: -1 for node in graph.nodes()}
+        sigma[source] = 1.0
+        distance[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            stack.append(node)
+            for neighbour in graph.neighbours(node):
+                if neighbour == node:
+                    continue
+                if distance[neighbour] < 0:
+                    distance[neighbour] = distance[node] + 1
+                    queue.append(neighbour)
+                if distance[neighbour] == distance[node] + 1:
+                    sigma[neighbour] += sigma[node]
+                    predecessors[neighbour].append(node)
+
+        # accumulation
+        dependency: Dict[Node, float] = {node: 0.0 for node in graph.nodes()}
+        while stack:
+            node = stack.pop()
+            for predecessor in predecessors[node]:
+                share = (sigma[predecessor] / sigma[node]) * (1.0 + dependency[node])
+                key = canonical[frozenset((predecessor, node))]
+                betweenness[key] += share
+                dependency[predecessor] += share
+
+    # Each pair counted from both endpoints -> halve.
+    for key in betweenness:
+        betweenness[key] /= 2.0
+    return betweenness
+
+
+def girvan_newman(graph: UndirectedGraph, max_removals: int = None) -> Partition:
+    """Remove high-betweenness edges; return the best-modularity partition."""
+    working = graph.copy()
+    best_partition = Partition.from_communities(working.connected_components())
+    best_q = modularity(graph, best_partition)
+
+    total_edges = sum(1 for u, v, _ in graph.edges() if u != v)
+    removals = max_removals if max_removals is not None else total_edges
+
+    for _step in range(removals):
+        scores = edge_betweenness(working)
+        if not scores:
+            break
+        # Deterministic arg-max: highest score, ties by repr.
+        (u, v), _score = max(
+            scores.items(), key=lambda item: (item[1], repr(item[0]))
+        )
+        working.remove_edge(u, v)
+        candidate = Partition.from_communities(working.connected_components())
+        q = modularity(graph, candidate)
+        if q > best_q + 1e-12:
+            best_q = q
+            best_partition = candidate
+    return best_partition

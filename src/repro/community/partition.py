@@ -1,0 +1,190 @@
+"""Partitions of a node set into communities, plus quality metrics.
+
+The Cluster Schema construction requires *non-overlapping* communities
+("the possibility that a node belongs to several Clusters is avoided",
+§2.1), which is exactly what a partition encodes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Mapping, Set
+
+from .graphs import UndirectedGraph
+
+__all__ = ["Partition", "modularity"]
+
+Node = Hashable
+
+
+class Partition:
+    """A node -> community-id mapping with set-level views.
+
+    Community ids are normalized to dense integers ``0..k-1`` ordered by
+    first appearance, so two logically equal partitions compare equal.
+    """
+
+    def __init__(self, assignment: Mapping[Node, int]):
+        remap: Dict[int, int] = {}
+        normalized: Dict[Node, int] = {}
+        for node, community in assignment.items():
+            if community not in remap:
+                remap[community] = len(remap)
+            normalized[node] = remap[community]
+        self._assignment = normalized
+
+    @classmethod
+    def from_communities(cls, communities: Iterable[Iterable[Node]]) -> "Partition":
+        assignment: Dict[Node, int] = {}
+        for index, community in enumerate(communities):
+            for node in community:
+                if node in assignment:
+                    raise ValueError(f"node {node!r} appears in two communities")
+                assignment[node] = index
+        return cls(assignment)
+
+    @classmethod
+    def singletons(cls, nodes: Iterable[Node]) -> "Partition":
+        return cls({node: index for index, node in enumerate(nodes)})
+
+    # -- views -------------------------------------------------------------------
+
+    def community_of(self, node: Node) -> int:
+        return self._assignment[node]
+
+    def __getitem__(self, node: Node) -> int:
+        return self._assignment[node]
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._assignment
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def nodes(self) -> List[Node]:
+        return list(self._assignment)
+
+    def as_dict(self) -> Dict[Node, int]:
+        return dict(self._assignment)
+
+    def communities(self) -> Dict[int, Set[Node]]:
+        out: Dict[int, Set[Node]] = {}
+        for node, community in self._assignment.items():
+            out.setdefault(community, set()).add(node)
+        return out
+
+    def community_count(self) -> int:
+        return len(set(self._assignment.values()))
+
+    def sizes(self) -> List[int]:
+        """Community sizes, largest first."""
+        return sorted((len(c) for c in self.communities().values()), reverse=True)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        # Equality up to community relabelling.
+        if set(self._assignment) != set(other._assignment):
+            return False
+        mapping: Dict[int, int] = {}
+        reverse: Dict[int, int] = {}
+        for node, mine in self._assignment.items():
+            theirs = other._assignment[node]
+            if mapping.setdefault(mine, theirs) != theirs:
+                return False
+            if reverse.setdefault(theirs, mine) != mine:
+                return False
+        return True
+
+    def __hash__(self):
+        return hash(frozenset(frozenset(c) for c in self.communities().values()))
+
+    def __repr__(self) -> str:
+        return f"<Partition {len(self)} nodes into {self.community_count()} communities>"
+
+    # -- validation -----------------------------------------------------------
+
+    def covers(self, nodes: Iterable[Node]) -> bool:
+        """True if every node of *nodes* is assigned (total partition)."""
+        return all(node in self._assignment for node in nodes)
+
+
+def modularity(graph: UndirectedGraph, partition: Partition) -> float:
+    """Newman weighted modularity Q of *partition* on *graph*.
+
+    Q = (1/2m) * sum_ij [A_ij - k_i k_j / 2m] delta(c_i, c_j), computed via
+    the per-community form: sum_c (w_in_c / m - (deg_c / 2m)^2), where
+    ``w_in_c`` counts intra-community edge weight (self-loops once) and
+    ``deg_c`` is the summed weighted degree (self-loops twice).
+
+    Returns 0.0 for an empty graph (no edges), matching networkx.
+    """
+    m = graph.total_weight()
+    if m <= 0:
+        return 0.0
+    internal: Dict[int, float] = {}
+    degree: Dict[int, float] = {}
+    for node in graph.nodes():
+        if node not in partition:
+            raise ValueError(f"partition does not cover node {node!r}")
+        community = partition[node]
+        degree[community] = degree.get(community, 0.0) + graph.degree(node)
+    for u, v, weight in graph.edges():
+        if partition[u] == partition[v]:
+            internal[partition[u]] = internal.get(partition[u], 0.0) + weight
+    q = 0.0
+    for community, deg in degree.items():
+        w_in = internal.get(community, 0.0)
+        q += w_in / m - (deg / (2.0 * m)) ** 2
+    return q
+
+
+def partition_entropy(partition: Partition) -> float:
+    """Shannon entropy of community sizes -- a balance measure for ablations."""
+    total = len(partition)
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for size in partition.sizes():
+        p = size / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def normalized_mutual_information(left: Partition, right: Partition) -> float:
+    """NMI between two partitions of the same node set (ablation metric)."""
+    nodes = set(left.nodes())
+    if nodes != set(right.nodes()):
+        raise ValueError("partitions cover different node sets")
+    n = len(nodes)
+    if n == 0:
+        return 1.0
+    left_comms = left.communities()
+    right_comms = right.communities()
+    if len(left_comms) == 1 and len(right_comms) == 1:
+        return 1.0
+
+    def entropy(communities: Dict[int, Set[Node]]) -> float:
+        h = 0.0
+        for members in communities.values():
+            p = len(members) / n
+            if p > 0:
+                h -= p * math.log(p)
+        return h
+
+    h_left = entropy(left_comms)
+    h_right = entropy(right_comms)
+    mutual = 0.0
+    for left_members in left_comms.values():
+        for right_members in right_comms.values():
+            overlap = len(left_members & right_members)
+            if overlap == 0:
+                continue
+            p_joint = overlap / n
+            p_left = len(left_members) / n
+            p_right = len(right_members) / n
+            mutual += p_joint * math.log(p_joint / (p_left * p_right))
+    denominator = math.sqrt(h_left * h_right)
+    if denominator == 0:
+        return 1.0 if left == right else 0.0
+    return mutual / denominator

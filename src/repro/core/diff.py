@@ -1,0 +1,139 @@
+"""Schema evolution: diffing two extractions of the same endpoint.
+
+§3.1's whole machinery exists because "the structure and also the content
+of a LD could change very often" and H-BOLD wants to "display the most
+updated version".  This module makes the change visible: given two Schema
+Summaries of the same endpoint (yesterday's stored one and today's fresh
+one), compute what was added, removed and resized -- the digest an
+operator reads before deciding whether a re-cluster is worth it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .models import SchemaSummary
+
+__all__ = ["SummaryDiff", "diff_summaries"]
+
+
+class SummaryDiff:
+    """The structural delta between two Schema Summaries."""
+
+    __slots__ = (
+        "endpoint_url",
+        "added_classes",
+        "removed_classes",
+        "count_changes",
+        "added_edges",
+        "removed_edges",
+        "instance_delta",
+    )
+
+    def __init__(
+        self,
+        endpoint_url: str,
+        added_classes: List[str],
+        removed_classes: List[str],
+        count_changes: List[Tuple[str, int, int]],
+        added_edges: List[Tuple[str, str, str]],
+        removed_edges: List[Tuple[str, str, str]],
+        instance_delta: int,
+    ):
+        self.endpoint_url = endpoint_url
+        #: class IRIs only in the new summary
+        self.added_classes = added_classes
+        #: class IRIs only in the old summary
+        self.removed_classes = removed_classes
+        #: (iri, old_count, new_count) for classes whose size changed
+        self.count_changes = count_changes
+        #: (source, property, target) arcs only in the new summary
+        self.added_edges = added_edges
+        self.removed_edges = removed_edges
+        #: new total instances minus old total
+        self.instance_delta = instance_delta
+
+    def is_unchanged(self) -> bool:
+        """True when nothing structural or quantitative moved.
+
+        This is the §3.2 fast path: an unchanged Schema Summary means the
+        stored Cluster Schema is still valid and need not be recomputed.
+        """
+        return not (
+            self.added_classes
+            or self.removed_classes
+            or self.count_changes
+            or self.added_edges
+            or self.removed_edges
+        )
+
+    def structure_changed(self) -> bool:
+        """True when the *graph* changed (classes/arcs), not just counts.
+
+        Count-only drift never changes the community structure's input
+        graph, so a re-cluster is only warranted when this returns True.
+        """
+        return bool(
+            self.added_classes
+            or self.removed_classes
+            or self.added_edges
+            or self.removed_edges
+        )
+
+    def summary_line(self) -> str:
+        """One-line operator digest."""
+        if self.is_unchanged():
+            return f"{self.endpoint_url}: unchanged"
+        return (
+            f"{self.endpoint_url}: "
+            f"+{len(self.added_classes)}/-{len(self.removed_classes)} classes, "
+            f"+{len(self.added_edges)}/-{len(self.removed_edges)} arcs, "
+            f"{len(self.count_changes)} resized, "
+            f"instances {self.instance_delta:+d}"
+        )
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "endpoint_url": self.endpoint_url,
+            "added_classes": list(self.added_classes),
+            "removed_classes": list(self.removed_classes),
+            "count_changes": [list(item) for item in self.count_changes],
+            "added_edges": [list(item) for item in self.added_edges],
+            "removed_edges": [list(item) for item in self.removed_edges],
+            "instance_delta": self.instance_delta,
+        }
+
+    def __repr__(self) -> str:
+        return f"<SummaryDiff {self.summary_line()}>"
+
+
+def diff_summaries(old: SchemaSummary, new: SchemaSummary) -> SummaryDiff:
+    """Compute the delta from *old* to *new* (same endpoint required)."""
+    if old.endpoint_url != new.endpoint_url:
+        raise ValueError(
+            f"cannot diff different endpoints: {old.endpoint_url!r} vs "
+            f"{new.endpoint_url!r}"
+        )
+    old_classes = {node.iri: node for node in old.nodes}
+    new_classes = {node.iri: node for node in new.nodes}
+
+    added_classes = sorted(set(new_classes) - set(old_classes))
+    removed_classes = sorted(set(old_classes) - set(new_classes))
+    count_changes = sorted(
+        (iri, old_classes[iri].instance_count, new_classes[iri].instance_count)
+        for iri in set(old_classes) & set(new_classes)
+        if old_classes[iri].instance_count != new_classes[iri].instance_count
+    )
+
+    old_edges = {(e.source, e.property, e.target) for e in old.edges}
+    new_edges = {(e.source, e.property, e.target) for e in new.edges}
+
+    return SummaryDiff(
+        old.endpoint_url,
+        added_classes,
+        removed_classes,
+        count_changes,
+        sorted(new_edges - old_edges),
+        sorted(old_edges - new_edges),
+        new.total_instances - old.total_instances,
+    )

@@ -1,0 +1,101 @@
+"""Exports: schema artifacts out of H-BOLD in standard formats.
+
+A tool users adopt needs its artifacts to leave the system: the Schema
+Summary as Turtle (so other tools can consume the inferred schema), the
+dataset description as VoID, cluster assignments as CSV/JSON, and query
+results in the SPARQL result formats (already on ``SelectResult``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import RDF, RDFS, OWL
+from ..rdf.terms import IRI, Literal
+from ..rdf.turtle import serialize_turtle
+from .models import ClusterSchema, SchemaSummary
+from .statistics import void_description
+
+__all__ = [
+    "summary_to_graph",
+    "summary_to_turtle",
+    "summary_to_void_turtle",
+    "clusters_to_csv",
+    "clusters_to_json",
+]
+
+#: ad-hoc vocabulary for schema-summary exports (mirrors LODeX's export)
+_HB = "http://hbold.example.org/schema#"
+
+
+def summary_to_graph(summary: SchemaSummary) -> Graph:
+    """Encode a Schema Summary as RDF.
+
+    Classes become ``owl:Class`` with ``rdfs:label`` and an instance-count
+    annotation; object links become property resources with ``rdfs:domain``
+    / ``rdfs:range`` and a usage count; datatype properties hang off their
+    class via ``hb:hasAttribute``.
+    """
+    graph = Graph(identifier=f"summary:{summary.endpoint_url}")
+    for node in summary.nodes:
+        class_iri = IRI(node.iri)
+        graph.add_triple(class_iri, RDF.type, OWL["Class"])
+        graph.add_triple(class_iri, RDFS.label, Literal(node.label))
+        graph.add_triple(class_iri, IRI(_HB + "instanceCount"), Literal(node.instance_count))
+        for prop in node.datatype_properties:
+            graph.add_triple(class_iri, IRI(_HB + "hasAttribute"), IRI(prop))
+    for index, edge in enumerate(summary.edges):
+        prop_iri = IRI(edge.property)
+        graph.add_triple(prop_iri, RDF.type, OWL.ObjectProperty)
+        graph.add_triple(prop_iri, RDFS.domain, IRI(edge.source))
+        graph.add_triple(prop_iri, RDFS.range, IRI(edge.target))
+        graph.add_triple(prop_iri, IRI(_HB + "linkCount"), Literal(edge.count))
+    return graph
+
+
+def summary_to_turtle(summary: SchemaSummary) -> str:
+    """The Schema Summary as Turtle text."""
+    return serialize_turtle(summary_to_graph(summary), prefixes={"hb": _HB})
+
+
+def summary_to_void_turtle(summary: SchemaSummary) -> str:
+    """The VoID dataset description as Turtle text."""
+    return serialize_turtle(void_description(summary))
+
+
+def clusters_to_csv(schema: ClusterSchema) -> str:
+    """Cluster assignments as CSV: class_iri, cluster_id, cluster_label."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["class_iri", "cluster_id", "cluster_label"])
+    for cluster in schema.clusters:
+        for iri in cluster.class_iris:
+            writer.writerow([iri, cluster.cluster_id, cluster.label])
+    return buffer.getvalue()
+
+
+def clusters_to_json(schema: ClusterSchema) -> str:
+    """The Cluster Schema as the nested-JSON shape D3 consumes."""
+    document: Dict[str, Any] = {
+        "name": schema.endpoint_url,
+        "algorithm": schema.algorithm,
+        "modularity": schema.modularity,
+        "children": [
+            {
+                "name": cluster.label,
+                "cluster_id": cluster.cluster_id,
+                "value": cluster.instance_count,
+                "children": [{"name": iri} for iri in cluster.class_iris],
+            }
+            for cluster in schema.clusters
+        ],
+        "links": [
+            {"source": edge.source, "target": edge.target, "weight": edge.weight}
+            for edge in schema.edges
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

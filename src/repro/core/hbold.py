@@ -1,0 +1,256 @@
+"""The H-BOLD application facade.
+
+Wires the whole system together -- endpoint network, index extraction,
+storage, registry, portal crawler, scheduler, presentation layer and the
+figure renderers -- behind the API a user of the reproduction calls:
+
+    world = build_world(...)
+    app = HBold(world.network)
+    app.bootstrap_registry(world.listed_urls)
+    app.update_all()                      # extract + summarize + cluster
+    session = app.explore(url)            # Figure 2 walk
+    svg = app.render_treemap(url)         # Figure 4
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..docstore.database import DocumentStore
+from ..endpoint.network import EndpointNetwork, SparqlClient
+from ..viz.edge_bundling import EdgeBundlingDiagram, edge_bundling_layout
+from ..viz.hierarchy import HierarchyNode
+from ..viz.renderers import (
+    render_circlepack,
+    render_cluster_graph,
+    render_edge_bundling,
+    render_graph,
+    render_sunburst,
+    render_treemap,
+)
+from ..viz.svg import SvgDocument
+from .cluster_schema import build_cluster_schema
+from .crawler import PortalCrawler
+from .exploration import ExplorationSession
+from .index_extraction import ExtractionFailed, IndexExtractor
+from .models import ClusterSchema, SchemaSummary
+from .notifications import EmailOutbox
+from .persistence import HboldStorage
+from .presentation import PresentationLayer
+from .registry import EndpointRegistry, SubmissionResult
+from .scheduler import UpdateScheduler
+from .visual_query import VisualQuery
+
+__all__ = ["HBold"]
+
+
+class HBold:
+    """High-level Visualization over Big Linked Open Data."""
+
+    def __init__(
+        self,
+        network: EndpointNetwork,
+        store: Optional[DocumentStore] = None,
+        cluster_algorithm: str = "louvain",
+    ):
+        self.network = network
+        self.client = SparqlClient(network)
+        self.storage = HboldStorage(store)
+        self.extractor = IndexExtractor(self.client)
+        self.outbox = EmailOutbox()
+        self.registry = EndpointRegistry(
+            self.storage, self.extractor, outbox=self.outbox,
+            cluster_algorithm=cluster_algorithm,
+        )
+        self.crawler = PortalCrawler(self.client)
+        self.scheduler = UpdateScheduler(
+            self.storage, self.extractor, cluster_algorithm=cluster_algorithm
+        )
+        self.presentation = PresentationLayer(
+            self.storage, network.clock, cluster_algorithm=cluster_algorithm
+        )
+        self.cluster_algorithm = cluster_algorithm
+
+    # -- registry bootstrap -----------------------------------------------------
+
+    def bootstrap_registry(self, urls: List[str]) -> int:
+        """Import a list of endpoint URLs as 'listed' (the old 610)."""
+        for url in urls:
+            self.registry.add_listed(url)
+        return self.registry.listed_count()
+
+    # -- pipeline ----------------------------------------------------------------
+
+    def index_endpoint(self, url: str) -> bool:
+        """Run the full server pipeline for one endpoint; True on success."""
+        clock = self.network.clock
+        try:
+            indexes = self.extractor.extract(url)
+        except ExtractionFailed as exc:
+            self.storage.record_extraction_failure(url, clock.today, exc.reason)
+            return False
+        summary = SchemaSummary.from_indexes(indexes, computed_at_ms=clock.now_ms)
+        cluster_schema = build_cluster_schema(
+            summary, algorithm=self.cluster_algorithm, computed_at_ms=clock.now_ms
+        )
+        self.storage.save_indexes(indexes)
+        self.storage.save_summary(summary)
+        self.storage.save_cluster_schema(cluster_schema)
+        self.storage.record_extraction_success(url, clock.today)
+        return True
+
+    def update_all(self, urls: Optional[List[str]] = None) -> Dict[str, bool]:
+        """Index every listed endpoint (or the given subset)."""
+        targets = urls if urls is not None else [
+            record["url"] for record in self.storage.list_endpoints()
+        ]
+        return {url: self.index_endpoint(url) for url in targets}
+
+    def run_daily_update(self, days: int = 1) -> None:
+        """§3.1: advance the scheduler by *days* simulated days."""
+        self.scheduler.run_days(days)
+
+    # -- crawling (§3.3) -----------------------------------------------------------
+
+    def crawl_portals(self, portals: Dict[str, str]) -> Dict[str, int]:
+        """Crawl portals, merge new endpoints into the registry.
+
+        Returns per-portal found counts plus ``{"new": n}`` -- the §3.3
+        numbers.
+        """
+        discovered = self.crawler.crawl_all(portals)
+        known = [record["url"] for record in self.storage.list_endpoints()]
+        new, found = self.crawler.merge_into_registry(discovered, known)
+        for entry in new:
+            self.registry.add_listed(entry.url, source=f"portal:{entry.portal}",
+                                     title=entry.title)
+        found["new"] = len(new)
+        return found
+
+    # -- manual insertion (§3.4) ------------------------------------------------------
+
+    def submit_endpoint(self, url: str, email: str) -> SubmissionResult:
+        return self.registry.submit(url, email)
+
+    # -- presentation-layer access ------------------------------------------------
+
+    def summary(self, url: str) -> SchemaSummary:
+        summary = self.storage.load_summary(url)
+        if summary is None:
+            raise LookupError(f"{url} has no stored schema summary; index it first")
+        return summary
+
+    def cluster_schema(self, url: str) -> ClusterSchema:
+        schema = self.storage.load_cluster_schema(url)
+        if schema is None:
+            raise LookupError(f"{url} has no stored cluster schema; index it first")
+        return schema
+
+    def explore(self, url: str) -> ExplorationSession:
+        return ExplorationSession(self.summary(url), self.cluster_schema(url))
+
+    def visual_query(self, url: str, focus_class: str) -> VisualQuery:
+        return VisualQuery(self.summary(url), focus_class)
+
+    def run_visual_query(self, url: str, query: VisualQuery):
+        return self.client.select(url, query.to_sparql())
+
+    # -- figure generation ---------------------------------------------------------
+
+    def cluster_hierarchy(self, url: str) -> HierarchyNode:
+        """The dataset > clusters > classes hierarchy behind Figures 4-6."""
+        summary = self.summary(url)
+        schema = self.cluster_schema(url)
+        root = HierarchyNode(summary.endpoint_url)
+        used_names = set()
+        for cluster in schema.clusters:
+            cluster_node = root.add_child(
+                HierarchyNode(
+                    f"cluster:{cluster.label}", data={"cluster_id": cluster.cluster_id}
+                )
+            )
+            for iri in cluster.class_iris:
+                node = summary.node(iri)
+                # Leaf names must be unique for the edge-bundling layout;
+                # local-name collisions across namespaces get a suffix.
+                name = node.label
+                suffix = 2
+                while name in used_names:
+                    name = f"{node.label}~{suffix}"
+                    suffix += 1
+                used_names.add(name)
+                cluster_node.add_child(
+                    HierarchyNode(name, value=float(node.instance_count), data={"iri": iri})
+                )
+        return root
+
+    def render_cluster_schema(self, url: str, **options) -> SvgDocument:
+        """Figure 2 step 1: the Cluster Schema as a node-link diagram."""
+        schema = self.cluster_schema(url)
+        clusters = [
+            (c.cluster_id, c.label, c.size, c.instance_count) for c in schema.clusters
+        ]
+        edges = [(e.source, e.target, e.weight) for e in schema.edges]
+        return render_cluster_graph(clusters, edges, **options)
+
+    def statistics(self, url: str):
+        """VoID-style dataset statistics for the dataset panel."""
+        from .statistics import compute_statistics
+
+        return compute_statistics(self.summary(url))
+
+    def multilevel_hierarchy(self, url: str, **options):
+        """The multilevel abstraction pyramid (beyond the two paper levels)."""
+        from .multilevel import build_multilevel_hierarchy
+
+        return build_multilevel_hierarchy(
+            self.summary(url), algorithm=self.cluster_algorithm, **options
+        )
+
+    def render_treemap(self, url: str, **options) -> SvgDocument:
+        return render_treemap(self.cluster_hierarchy(url), **options)
+
+    def render_sunburst(self, url: str, **options) -> SvgDocument:
+        return render_sunburst(self.cluster_hierarchy(url), **options)
+
+    def render_circlepack(self, url: str, **options) -> SvgDocument:
+        return render_circlepack(self.cluster_hierarchy(url), **options)
+
+    def edge_bundling_diagram(
+        self, url: str, focus: Optional[str] = None, beta: float = 0.85
+    ) -> EdgeBundlingDiagram:
+        """Figure 7 layout over the Schema Summary (focus = class label)."""
+        summary = self.summary(url)
+        root = self.cluster_hierarchy(url)
+        label_of = {leaf.data["iri"]: leaf.name for leaf in root.leaves()}
+        edges = []
+        edge_data = []
+        for edge in summary.edges:
+            edges.append((label_of[edge.source], label_of[edge.target]))
+            edge_data.append({"property": edge.property, "count": edge.count})
+        return edge_bundling_layout(
+            root, edges, focus=focus, beta=beta, edge_data=edge_data
+        )
+
+    def render_edge_bundling(self, url: str, focus: Optional[str] = None) -> SvgDocument:
+        return render_edge_bundling(self.edge_bundling_diagram(url, focus=focus))
+
+    def render_exploration(self, session: ExplorationSession, **options) -> SvgDocument:
+        """Figure 2-style view of the session's currently visible subgraph."""
+        summary = session.summary
+        nodes = session.visible_classes
+        edges = [
+            (edge.source, edge.target)
+            for edge in session.visible_edges()
+            if edge.source != edge.target
+        ]
+        labels = {iri: summary.node(iri).label for iri in nodes}
+        return render_graph(nodes, edges, labels=labels, **options)
+
+    # -- stats the paper reports ------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "listed": self.registry.listed_count(),
+            "indexed": self.registry.indexed_count(),
+        }

@@ -1,0 +1,351 @@
+"""Index Extraction with pattern strategies (§2.1, Benedetti et al. 2014).
+
+Pulls the structural/statistical indexes off one endpoint:
+
+* total number of (typed) instances,
+* the list of instantiated classes with per-class instance counts,
+* per-class datatype properties,
+* inter-class object-property links with counts.
+
+Two pattern strategies cope with implementation differences:
+
+* **aggregate** -- COUNT/GROUP BY queries; one round trip per index.  Fails
+  on endpoints that reject aggregates and degrades when result caps
+  truncate grouped results.
+* **scan** -- plain SELECT with LIMIT/OFFSET pagination, counting client
+  side.  Slower (many round trips) but works everywhere.
+
+The extractor tries *aggregate* first and transparently falls back to
+*scan* per index when the endpoint rejects or truncates; that mirrors the
+strategy selection of the original LODeX extractor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..endpoint.errors import EndpointError, EndpointTimeout, QueryRejected
+from ..endpoint.network import SparqlClient
+from ..sparql.results import SelectResult
+from .models import ClassIndex, EndpointIndexes, LinkIndex
+
+__all__ = ["IndexExtractor", "ExtractionFailed"]
+
+
+class ExtractionFailed(RuntimeError):
+    """Index extraction could not complete for this endpoint."""
+
+    def __init__(self, url: str, reason: str):
+        super().__init__(f"extraction failed for {url}: {reason}")
+        self.url = url
+        self.reason = reason
+
+
+class IndexExtractor:
+    """Extracts :class:`EndpointIndexes` from endpoints via a client."""
+
+    def __init__(
+        self,
+        client: SparqlClient,
+        page_size: int = 1000,
+        max_pages: int = 200,
+        max_classes: int = 1000,
+        infer_types: bool = False,
+    ):
+        self.client = client
+        #: LIMIT used by the scan strategy's pagination
+        self.page_size = page_size
+        #: safety valve against endless pagination on huge endpoints
+        self.max_pages = max_pages
+        #: endpoints with more instantiated classes than this are declared
+        #: incompatible (the paper's "not compatible with the index
+        #: extraction phase")
+        self.max_classes = max_classes
+        #: LODeX-style inferred schema: count instances through the
+        #: rdfs:subClassOf closure (a/rdfs:subClassOf*), falling back to a
+        #: client-side closure when the endpoint rejects property paths
+        self.infer_types = infer_types
+
+    # -- public API --------------------------------------------------------------
+
+    def extract(self, url: str) -> EndpointIndexes:
+        """Run the full extraction for *url*.
+
+        Raises :class:`ExtractionFailed` when the endpoint is unreachable,
+        times out on every strategy, or is structurally incompatible.
+        """
+        strategy_used = "aggregate"
+        complete = True
+        try:
+            if not self.client.is_alive(url):
+                raise ExtractionFailed(url, "endpoint unavailable")
+
+            if self.infer_types:
+                class_counts, counts_strategy = self._inferred_class_counts(url)
+            else:
+                class_counts, counts_strategy = self._class_counts(url)
+            if counts_strategy == "scan":
+                strategy_used = "scan"
+            if not class_counts:
+                raise ExtractionFailed(url, "no instantiated classes")
+            if len(class_counts) > self.max_classes:
+                raise ExtractionFailed(
+                    url, f"too many classes ({len(class_counts)} > {self.max_classes})"
+                )
+
+            datatype_props: Dict[str, List[str]] = {}
+            links: List[LinkIndex] = []
+            for class_iri in sorted(class_counts):
+                props, props_complete = self._datatype_properties(url, class_iri)
+                datatype_props[class_iri] = props
+                complete = complete and props_complete
+                class_links, links_strategy, links_complete = self._object_links(
+                    url, class_iri, set(class_counts)
+                )
+                links.extend(class_links)
+                complete = complete and links_complete
+                if links_strategy == "scan":
+                    strategy_used = "scan"
+
+            if self.infer_types:
+                # Superclasses repeat their subclasses' instances; the total
+                # is the count of directly typed subjects instead.
+                total_instances = self._direct_instance_total(url)
+            else:
+                total_instances = sum(class_counts.values())
+            classes = [
+                ClassIndex(
+                    iri,
+                    count,
+                    datatype_properties=datatype_props.get(iri, ()),
+                )
+                for iri, count in sorted(class_counts.items())
+            ]
+            return EndpointIndexes(
+                url,
+                total_instances,
+                classes,
+                links,
+                extracted_at_ms=self.client.network.clock.now_ms,
+                strategy=strategy_used,
+                complete=complete,
+                inferred=self.infer_types,
+            )
+        except ExtractionFailed:
+            raise
+        except EndpointError as exc:
+            raise ExtractionFailed(url, f"{type(exc).__name__}: {exc}") from exc
+
+    # -- index 1+2: classes and their instance counts ------------------------------
+
+    def _class_counts(self, url: str) -> Tuple[Dict[str, int], str]:
+        """Class IRI -> instance count, plus the strategy that worked."""
+        query = (
+            "SELECT ?class (COUNT(?s) AS ?n) WHERE { ?s a ?class } GROUP BY ?class"
+        )
+        try:
+            result = self.client.select(url, query)
+            if not result.truncated:
+                counts: Dict[str, int] = {}
+                for row in result:
+                    class_term = row.get("class")
+                    count_term = row.get("n")
+                    if class_term is None or count_term is None:
+                        continue
+                    counts[str(class_term)] = int(float(count_term.lexical))
+                return counts, "aggregate"
+        except (QueryRejected, EndpointTimeout):
+            pass
+        return self._class_counts_by_scan(url), "scan"
+
+    def _class_counts_by_scan(self, url: str) -> Dict[str, int]:
+        """Scan strategy: page DISTINCT classes, then count each via paging."""
+        classes: List[str] = []
+        for page in self._paged(url, "SELECT DISTINCT ?class WHERE { ?s a ?class }"):
+            for row in page:
+                term = row.get("class")
+                if term is not None:
+                    classes.append(str(term))
+        counts: Dict[str, int] = {}
+        for class_iri in classes:
+            counts[class_iri] = self._count_by_scan(
+                url, f"SELECT ?s WHERE {{ ?s a <{class_iri}> }}"
+            )
+        return counts
+
+    # -- inferred-schema variant (LODeX lineage) ---------------------------------
+
+    _RDFS_SUBCLASS = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+
+    def _inferred_class_counts(self, url: str) -> Tuple[Dict[str, int], str]:
+        """Class IRI -> instance count including rdfs:subClassOf inference."""
+        query = (
+            "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+            "SELECT ?class (COUNT(?s) AS ?n) "
+            "WHERE { ?s a/rdfs:subClassOf* ?class } GROUP BY ?class"
+        )
+        try:
+            result = self.client.select(url, query)
+            if not result.truncated:
+                counts: Dict[str, int] = {}
+                for row in result:
+                    class_term = row.get("class")
+                    count_term = row.get("n")
+                    if class_term is None or count_term is None:
+                        continue
+                    counts[str(class_term)] = int(float(count_term.lexical))
+                return counts, "aggregate"
+        except (QueryRejected, EndpointTimeout):
+            pass
+        return self._inferred_counts_by_closure(url), "scan"
+
+    def _inferred_counts_by_closure(self, url: str) -> Dict[str, int]:
+        """Client-side inference: closure over fetched subclass axioms, then
+        one DISTINCT-subjects UNION query per class (exact, path-free)."""
+        direct, _ = self._class_counts(url)
+        axioms: Dict[str, List[str]] = {}
+        for page in self._paged(
+            url,
+            f"SELECT ?sub ?super WHERE {{ ?sub <{self._RDFS_SUBCLASS}> ?super }}",
+        ):
+            for row in page:
+                sub, super_ = row.get("sub"), row.get("super")
+                if sub is not None and super_ is not None:
+                    axioms.setdefault(str(sub), []).append(str(super_))
+
+        # ancestors per class via DFS over the axiom graph
+        def ancestors(class_iri: str) -> Set[str]:
+            out: Set[str] = set()
+            stack = [class_iri]
+            while stack:
+                current = stack.pop()
+                for parent in axioms.get(current, ()):
+                    if parent not in out:
+                        out.add(parent)
+                        stack.append(parent)
+            return out
+
+        # every class that gains instances through the closure
+        descendants: Dict[str, Set[str]] = {}
+        for class_iri in direct:
+            for ancestor in ancestors(class_iri) | {class_iri}:
+                descendants.setdefault(ancestor, set()).add(class_iri)
+
+        counts: Dict[str, int] = {}
+        for class_iri, members in sorted(descendants.items()):
+            if members == {class_iri}:
+                counts[class_iri] = direct.get(class_iri, 0)
+                continue
+            union = " UNION ".join(f"{{ ?s a <{m}> }}" for m in sorted(members))
+            counts[class_iri] = self._count_by_scan(
+                url, f"SELECT DISTINCT ?s WHERE {{ {union} }}"
+            )
+        return counts
+
+    def _direct_instance_total(self, url: str) -> int:
+        """Distinct typed subjects (the non-inflated dataset size)."""
+        try:
+            result = self.client.select(
+                url, "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?c }"
+            )
+            if not result.truncated:
+                return result.scalar_int()
+        except (QueryRejected, EndpointTimeout):
+            pass
+        return self._count_by_scan(url, "SELECT DISTINCT ?s WHERE { ?s a ?c }")
+
+    # -- index 3: datatype properties per class --------------------------------------
+
+    def _datatype_properties(self, url: str, class_iri: str) -> Tuple[List[str], bool]:
+        query = (
+            f"SELECT DISTINCT ?p WHERE {{ ?s a <{class_iri}> . ?s ?p ?o . "
+            f"FILTER ( isLiteral(?o) ) }}"
+        )
+        properties: List[str] = []
+        complete = True
+        try:
+            for page in self._paged(url, query):
+                for row in page:
+                    term = row.get("p")
+                    if term is not None:
+                        properties.append(str(term))
+        except EndpointTimeout:
+            complete = False
+        return sorted(set(properties)), complete
+
+    # -- index 4: object links between classes ----------------------------------------
+
+    def _object_links(
+        self, url: str, class_iri: str, known_classes: Set[str]
+    ) -> Tuple[List[LinkIndex], str, bool]:
+        query = (
+            f"SELECT ?p ?target (COUNT(?o) AS ?n) WHERE {{ "
+            f"?s a <{class_iri}> . ?s ?p ?o . ?o a ?target }} GROUP BY ?p ?target"
+        )
+        try:
+            result = self.client.select(url, query)
+            if not result.truncated:
+                links = []
+                for row in result:
+                    prop, target, count = row.get("p"), row.get("target"), row.get("n")
+                    if prop is None or target is None or count is None:
+                        continue
+                    if str(target) not in known_classes:
+                        continue
+                    links.append(
+                        LinkIndex(
+                            class_iri, str(prop), str(target), int(float(count.lexical))
+                        )
+                    )
+                return links, "aggregate", True
+        except (QueryRejected, EndpointTimeout):
+            pass
+        return self._object_links_by_scan(url, class_iri, known_classes)
+
+    def _object_links_by_scan(
+        self, url: str, class_iri: str, known_classes: Set[str]
+    ) -> Tuple[List[LinkIndex], str, bool]:
+        query = (
+            f"SELECT ?p ?target WHERE {{ "
+            f"?s a <{class_iri}> . ?s ?p ?o . ?o a ?target }}"
+        )
+        accumulator: Dict[Tuple[str, str], int] = {}
+        complete = True
+        try:
+            for page in self._paged(url, query):
+                for row in page:
+                    prop, target = row.get("p"), row.get("target")
+                    if prop is None or target is None:
+                        continue
+                    if str(target) not in known_classes:
+                        continue
+                    key = (str(prop), str(target))
+                    accumulator[key] = accumulator.get(key, 0) + 1
+        except EndpointTimeout:
+            complete = False
+        links = [
+            LinkIndex(class_iri, prop, target, count)
+            for (prop, target), count in sorted(accumulator.items())
+        ]
+        return links, "scan", complete
+
+    # -- pagination plumbing -------------------------------------------------------
+
+    def _paged(self, url: str, base_query: str):
+        """Yield result pages of *base_query* with LIMIT/OFFSET pagination."""
+        offset = 0
+        for _page in range(self.max_pages):
+            query = f"{base_query} LIMIT {self.page_size} OFFSET {offset}"
+            result = self.client.select(url, query)
+            if not result.rows:
+                return
+            yield result
+            if len(result.rows) < self.page_size and not result.truncated:
+                return
+            offset += len(result.rows)
+
+    def _count_by_scan(self, url: str, base_query: str) -> int:
+        total = 0
+        for page in self._paged(url, base_query):
+            total += len(page.rows)
+        return total

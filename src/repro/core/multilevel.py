@@ -1,0 +1,220 @@
+"""Multilevel abstraction hierarchies over the Schema Summary.
+
+The paper's abstract promises "exploratory search and multilevel analysis
+of Big LD by offering different levels of abstraction"; the released tool
+has two levels (Cluster Schema over Schema Summary).  This module
+implements the natural generalization the paper's future work points at:
+recursively cluster the aggregated cluster graph until it stops
+contracting, yielding an abstraction pyramid
+
+    level 0: classes (the Schema Summary)
+    level 1: clusters (the Cluster Schema)
+    level 2: clusters of clusters
+    ...
+
+Each level is a valid non-overlapping partition of the one below, so any
+intermediate level can be displayed with the §3.5 layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..community.graphs import UndirectedGraph
+from ..community.louvain import louvain
+from ..community.partition import Partition
+from ..viz.hierarchy import HierarchyNode
+from .cluster_schema import ALGORITHMS, summary_to_undirected
+from .models import SchemaSummary
+
+__all__ = ["AbstractionLevel", "MultilevelHierarchy", "build_multilevel_hierarchy"]
+
+
+class AbstractionLevel:
+    """One level: groups of lower-level unit ids, with labels and weights."""
+
+    __slots__ = ("level", "groups", "labels", "instance_counts")
+
+    def __init__(
+        self,
+        level: int,
+        groups: Dict[int, List[str]],
+        labels: Dict[int, str],
+        instance_counts: Dict[int, int],
+    ):
+        self.level = level
+        #: group id -> class IRIs (always expressed in level-0 units)
+        self.groups = groups
+        self.labels = labels
+        self.instance_counts = instance_counts
+
+    @property
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, class_iri: str) -> int:
+        for group_id, members in self.groups.items():
+            if class_iri in members:
+                return group_id
+        raise KeyError(class_iri)
+
+    def __repr__(self) -> str:
+        return f"<AbstractionLevel {self.level}: {self.group_count} groups>"
+
+
+class MultilevelHierarchy:
+    """The full abstraction pyramid for one dataset."""
+
+    def __init__(self, summary: SchemaSummary, levels: List[AbstractionLevel]):
+        self.summary = summary
+        #: levels[0] is the class level itself; deeper abstraction follows
+        self.levels = levels
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def level(self, index: int) -> AbstractionLevel:
+        return self.levels[index]
+
+    def coarsest(self) -> AbstractionLevel:
+        return self.levels[-1]
+
+    def to_hierarchy_node(self) -> HierarchyNode:
+        """Render the pyramid as a tree for treemap/sunburst/circle-pack.
+
+        The tree has one internal ring per abstraction level above the
+        classes, so a three-level pyramid produces a three-ring sunburst.
+        """
+        root = HierarchyNode(self.summary.endpoint_url)
+        if not self.levels:
+            return root
+
+        # Build top-down from the coarsest level.  ``level_index`` points
+        # at the level whose groups the *children* of ``parent`` come from;
+        # level_index 0 means the children are the classes themselves.
+        def expand(parent: HierarchyNode, level_index: int, members: List[str]) -> None:
+            if level_index <= 0:
+                for iri in sorted(members):
+                    node = self.summary.node(iri)
+                    parent.add_child(
+                        HierarchyNode(
+                            node.label,
+                            value=float(node.instance_count),
+                            data={"iri": iri},
+                        )
+                    )
+                return
+            lower = self.levels[level_index]
+            member_set = set(members)
+            for group_id, group_members in sorted(lower.groups.items()):
+                contained = [iri for iri in group_members if iri in member_set]
+                if not contained:
+                    continue
+                child = parent.add_child(
+                    HierarchyNode(
+                        f"L{lower.level}:{lower.labels[group_id]}",
+                        data={"level": lower.level, "group": group_id},
+                    )
+                )
+                expand(child, level_index - 1, contained)
+
+        all_classes = [node.iri for node in self.summary.nodes]
+        expand(root, len(self.levels) - 1, all_classes)
+        return root
+
+    def __repr__(self) -> str:
+        shape = " -> ".join(str(level.group_count) for level in self.levels)
+        return f"<MultilevelHierarchy {self.summary.endpoint_url!r}: {shape}>"
+
+
+def _aggregate_graph(
+    graph: UndirectedGraph, partition: Partition
+) -> UndirectedGraph:
+    """Collapse communities into super-nodes, summing edge weights."""
+    aggregated = UndirectedGraph()
+    for node in graph.nodes():
+        aggregated.add_node(partition[node])
+    accumulator: Dict[tuple, float] = {}
+    for u, v, weight in graph.edges():
+        cu, cv = partition[u], partition[v]
+        key = (min(cu, cv), max(cu, cv))
+        accumulator[key] = accumulator.get(key, 0.0) + weight
+    for (cu, cv), weight in accumulator.items():
+        aggregated.add_edge(cu, cv, weight)
+    return aggregated
+
+
+def build_multilevel_hierarchy(
+    summary: SchemaSummary,
+    algorithm: str = "louvain",
+    max_levels: int = 5,
+    min_groups: int = 2,
+    detector: Optional[Callable[[UndirectedGraph], Partition]] = None,
+) -> MultilevelHierarchy:
+    """Build the abstraction pyramid by repeated cluster-and-aggregate.
+
+    Stops when a level no longer contracts (same group count as below) or
+    would drop under *min_groups* groups, or at *max_levels*.
+    """
+    if detector is None:
+        if algorithm not in ALGORITHMS:
+            raise KeyError(f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}")
+        detector = ALGORITHMS[algorithm]
+
+    class_graph = summary_to_undirected(summary)
+    levels: List[AbstractionLevel] = []
+
+    # level 0: every class is its own unit
+    level0_groups = {
+        index: [node.iri] for index, node in enumerate(summary.nodes)
+    }
+    levels.append(
+        AbstractionLevel(
+            0,
+            level0_groups,
+            {index: summary.node(members[0]).label for index, members in level0_groups.items()},
+            {
+                index: summary.node(members[0]).instance_count
+                for index, members in level0_groups.items()
+            },
+        )
+    )
+    if len(class_graph) == 0:
+        return MultilevelHierarchy(summary, levels)
+
+    current_graph = class_graph
+    # membership of each current-graph node, expressed in class IRIs
+    membership: Dict = {iri: [iri] for iri in class_graph.nodes()}
+
+    for level_number in range(1, max_levels + 1):
+        partition = detector(current_graph)
+        group_count = partition.community_count()
+        if group_count >= len(current_graph) or group_count < min_groups:
+            break
+
+        groups: Dict[int, List[str]] = {}
+        for node in current_graph.nodes():
+            groups.setdefault(partition[node], []).extend(membership[node])
+
+        labels: Dict[int, str] = {}
+        instance_counts: Dict[int, int] = {}
+        for group_id, members in groups.items():
+            best = max(
+                members,
+                key=lambda iri: (summary.degree(iri), summary.node(iri).instance_count),
+            )
+            labels[group_id] = summary.node(best).label
+            instance_counts[group_id] = sum(
+                summary.node(iri).instance_count for iri in members
+            )
+        levels.append(AbstractionLevel(level_number, groups, labels, instance_counts))
+
+        current_graph = _aggregate_graph(current_graph, partition)
+        membership = {
+            group_id: list(members) for group_id, members in groups.items()
+        }
+        if len(current_graph) <= min_groups:
+            break
+
+    return MultilevelHierarchy(summary, levels)

@@ -1,0 +1,65 @@
+"""E-mail notifications for manual endpoint insertion (§3.4).
+
+"the user is asked to provide an e-mail address so that the system can
+notify he/she about the status of the extraction.  At the end of the
+extraction, the e-mail address is deleted, since we do not want to keep
+person data."
+
+:class:`EmailOutbox` simulates the mail gateway; privacy enforcement (the
+address never persists past the notification) lives in the registry, and
+the outbox redacts recipient addresses from anything it retains so even
+the simulated infrastructure holds no personal data after send.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+__all__ = ["EmailMessage", "EmailOutbox"]
+
+
+class EmailMessage:
+    """A sent notification with the recipient address redacted."""
+
+    __slots__ = ("recipient_hash", "subject", "body", "sent_at_ms")
+
+    def __init__(self, recipient_hash: str, subject: str, body: str, sent_at_ms: float):
+        self.recipient_hash = recipient_hash
+        self.subject = subject
+        self.body = body
+        self.sent_at_ms = sent_at_ms
+
+    def __repr__(self) -> str:
+        return f"<EmailMessage to=#{self.recipient_hash[:8]} subject={self.subject!r}>"
+
+
+def _hash_address(address: str) -> str:
+    return hashlib.sha256(address.strip().lower().encode("utf-8")).hexdigest()
+
+
+class EmailOutbox:
+    """Collects sent mail for assertions; keeps only hashed recipients."""
+
+    def __init__(self):
+        self.sent: List[EmailMessage] = []
+        self.delivery_failures = 0
+
+    def send(
+        self, recipient: str, subject: str, body: str, sent_at_ms: float = 0.0
+    ) -> EmailMessage:
+        """Send a notification.  The plaintext address is not retained."""
+        if "@" not in recipient or recipient.startswith("@") or recipient.endswith("@"):
+            self.delivery_failures += 1
+            raise ValueError(f"invalid e-mail address")
+        message = EmailMessage(_hash_address(recipient), subject, body, sent_at_ms)
+        self.sent.append(message)
+        return message
+
+    def messages_for(self, address: str) -> List[EmailMessage]:
+        """Messages sent to *address* (test helper; hashes to compare)."""
+        digest = _hash_address(address)
+        return [message for message in self.sent if message.recipient_hash == digest]
+
+    def __len__(self) -> int:
+        return len(self.sent)

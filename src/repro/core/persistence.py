@@ -1,0 +1,129 @@
+"""Server-side storage for H-BOLD artifacts (the §3.2 re-engineering).
+
+The 2018 demo computed the Cluster Schema on-the-fly in the browser; the
+re-engineered server computes it once after extraction and stores it in
+MongoDB so "both the Schema Summary and Cluster Schema can be visualized
+by directly querying the DB".  :class:`HboldStorage` is that MongoDB
+surface over our embedded document store.
+
+Collections:
+
+* ``endpoints``   -- registry records (url, title, status, extraction dates)
+* ``indexes``     -- raw :class:`EndpointIndexes` documents
+* ``summaries``   -- :class:`SchemaSummary` documents
+* ``clusters``    -- :class:`ClusterSchema` documents
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..docstore.database import Database, DocumentStore
+from .models import ClusterSchema, EndpointIndexes, SchemaSummary
+
+__all__ = ["HboldStorage"]
+
+
+class HboldStorage:
+    """Typed persistence facade over the document store."""
+
+    def __init__(self, store: Optional[DocumentStore] = None, db_name: str = "hbold"):
+        self.store = store or DocumentStore()
+        self.db: Database = self.store.database(db_name)
+        self.endpoints = self.db.collection("endpoints")
+        self.indexes = self.db.collection("indexes")
+        self.summaries = self.db.collection("summaries")
+        self.clusters = self.db.collection("clusters")
+        for collection in (self.endpoints, self.indexes, self.summaries, self.clusters):
+            collection.create_index("endpoint_url", unique=collection is not self.endpoints)
+        self.endpoints.create_index("url", unique=True)
+
+    # -- registry records --------------------------------------------------------
+
+    def upsert_endpoint(self, url: str, **fields: Any) -> Dict[str, Any]:
+        """Create or update the registry record for *url*; returns it."""
+        existing = self.endpoints.find_one({"url": url})
+        if existing is None:
+            record: Dict[str, Any] = {
+                "url": url,
+                "title": fields.pop("title", url),
+                "status": fields.pop("status", "listed"),
+                "source": fields.pop("source", "manual"),
+                "last_success_day": None,
+                "last_attempt_day": None,
+                "last_error": None,
+            }
+            record.update(fields)
+            self.endpoints.insert_one(record)
+            return record
+        updates = {f"{key}": value for key, value in fields.items()}
+        if updates:
+            self.endpoints.update_one({"url": url}, {"$set": updates})
+        return self.endpoints.find_one({"url": url})
+
+    def endpoint_record(self, url: str) -> Optional[Dict[str, Any]]:
+        return self.endpoints.find_one({"url": url})
+
+    def list_endpoints(self, status: Optional[str] = None) -> List[Dict[str, Any]]:
+        query: Dict[str, Any] = {}
+        if status is not None:
+            query["status"] = status
+        return self.endpoints.find(query, sort=[("url", 1)])
+
+    def endpoint_count(self, status: Optional[str] = None) -> int:
+        if status is None:
+            return self.endpoints.count_documents()
+        return self.endpoints.count_documents({"status": status})
+
+    # -- artifacts ----------------------------------------------------------------
+
+    def save_indexes(self, indexes: EndpointIndexes) -> None:
+        self.indexes.replace_one(
+            {"endpoint_url": indexes.endpoint_url}, indexes.to_doc(), upsert=True
+        )
+
+    def load_indexes(self, url: str) -> Optional[EndpointIndexes]:
+        doc = self.indexes.find_one({"endpoint_url": url})
+        return EndpointIndexes.from_doc(doc) if doc else None
+
+    def save_summary(self, summary: SchemaSummary) -> None:
+        self.summaries.replace_one(
+            {"endpoint_url": summary.endpoint_url}, summary.to_doc(), upsert=True
+        )
+
+    def load_summary(self, url: str) -> Optional[SchemaSummary]:
+        doc = self.summaries.find_one({"endpoint_url": url})
+        return SchemaSummary.from_doc(doc) if doc else None
+
+    def save_cluster_schema(self, schema: ClusterSchema) -> None:
+        self.clusters.replace_one(
+            {"endpoint_url": schema.endpoint_url}, schema.to_doc(), upsert=True
+        )
+
+    def load_cluster_schema(self, url: str) -> Optional[ClusterSchema]:
+        doc = self.clusters.find_one({"endpoint_url": url})
+        return ClusterSchema.from_doc(doc) if doc else None
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def record_extraction_success(self, url: str, day: int) -> None:
+        self.upsert_endpoint(
+            url,
+            status="indexed",
+            last_success_day=day,
+            last_attempt_day=day,
+            last_error=None,
+        )
+
+    def record_extraction_failure(self, url: str, day: int, error: str) -> None:
+        record = self.endpoint_record(url) or self.upsert_endpoint(url)
+        status = "broken" if record.get("last_success_day") is None else "stale"
+        self.upsert_endpoint(
+            url, status=status, last_attempt_day=day, last_error=error
+        )
+
+    def indexed_urls(self) -> List[str]:
+        return [record["url"] for record in self.list_endpoints(status="indexed")]
+
+    def flush(self) -> None:
+        self.store.flush()

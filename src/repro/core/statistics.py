@@ -1,0 +1,147 @@
+"""Dataset statistics: the VoID-style description panel of a dataset.
+
+H-BOLD's dataset list shows structural/statistical information next to
+each source (triples, classes, properties, instance distribution).  This
+module computes those statistics from stored artifacts -- and can export
+them as a VoID RDF description, the W3C vocabulary for dataset metadata.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import RDF, RDFS, VOID
+from ..rdf.terms import IRI, Literal
+from .models import EndpointIndexes, SchemaSummary
+
+__all__ = ["DatasetStatistics", "compute_statistics", "void_description"]
+
+
+class DatasetStatistics:
+    """Summary numbers for one indexed dataset."""
+
+    __slots__ = (
+        "endpoint_url",
+        "instance_count",
+        "class_count",
+        "property_count",
+        "link_count",
+        "datatype_property_count",
+        "largest_classes",
+        "degree_histogram",
+        "instance_gini",
+    )
+
+    def __init__(
+        self,
+        endpoint_url: str,
+        instance_count: int,
+        class_count: int,
+        property_count: int,
+        link_count: int,
+        datatype_property_count: int,
+        largest_classes: List[Tuple[str, int]],
+        degree_histogram: Dict[int, int],
+        instance_gini: float,
+    ):
+        self.endpoint_url = endpoint_url
+        self.instance_count = instance_count
+        self.class_count = class_count
+        self.property_count = property_count
+        self.link_count = link_count
+        self.datatype_property_count = datatype_property_count
+        self.largest_classes = largest_classes
+        self.degree_histogram = degree_histogram
+        self.instance_gini = instance_gini
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "endpoint_url": self.endpoint_url,
+            "instance_count": self.instance_count,
+            "class_count": self.class_count,
+            "property_count": self.property_count,
+            "link_count": self.link_count,
+            "datatype_property_count": self.datatype_property_count,
+            "largest_classes": [list(item) for item in self.largest_classes],
+            "degree_histogram": {str(k): v for k, v in self.degree_histogram.items()},
+            "instance_gini": self.instance_gini,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<DatasetStatistics {self.endpoint_url!r}: {self.class_count} classes, "
+            f"{self.instance_count} instances, gini={self.instance_gini:.2f}>"
+        )
+
+
+def _gini(values: List[int]) -> float:
+    """Gini coefficient of the instance distribution (0 = uniform)."""
+    items = sorted(v for v in values if v >= 0)
+    n = len(items)
+    total = sum(items)
+    if n == 0 or total == 0:
+        return 0.0
+    cumulative = 0.0
+    for rank, value in enumerate(items, start=1):
+        cumulative += rank * value
+    return (2.0 * cumulative) / (n * total) - (n + 1.0) / n
+
+
+def compute_statistics(summary: SchemaSummary, top: int = 5) -> DatasetStatistics:
+    """Derive dataset statistics from a Schema Summary."""
+    object_properties = {edge.property for edge in summary.edges}
+    datatype_properties = {
+        prop for node in summary.nodes for prop in node.datatype_properties
+    }
+    degree_histogram: Dict[int, int] = {}
+    for node in summary.nodes:
+        degree = summary.degree(node.iri)
+        degree_histogram[degree] = degree_histogram.get(degree, 0) + 1
+
+    largest = sorted(
+        ((node.label, node.instance_count) for node in summary.nodes),
+        key=lambda item: -item[1],
+    )[:top]
+
+    return DatasetStatistics(
+        endpoint_url=summary.endpoint_url,
+        instance_count=summary.total_instances,
+        class_count=len(summary.nodes),
+        property_count=len(object_properties) + len(datatype_properties),
+        link_count=len(summary.edges),
+        datatype_property_count=len(datatype_properties),
+        largest_classes=largest,
+        degree_histogram=degree_histogram,
+        instance_gini=_gini([node.instance_count for node in summary.nodes]),
+    )
+
+
+def void_description(
+    summary: SchemaSummary, statistics: Optional[DatasetStatistics] = None
+) -> Graph:
+    """Encode the dataset description as a VoID graph.
+
+    Emits ``void:Dataset`` with ``void:sparqlEndpoint``, ``void:entities``,
+    ``void:classes``, ``void:properties`` and one ``void:classPartition``
+    per class carrying ``void:class`` + ``void:entities`` -- the subset of
+    VoID that dataset catalogs actually consume.
+    """
+    statistics = statistics or compute_statistics(summary)
+    graph = Graph(identifier=f"void:{summary.endpoint_url}")
+    dataset = IRI(summary.endpoint_url.rstrip("/") + "#dataset")
+
+    graph.add_triple(dataset, RDF.type, VOID.Dataset)
+    graph.add_triple(dataset, VOID.sparqlEndpoint, IRI(summary.endpoint_url))
+    graph.add_triple(dataset, VOID.entities, Literal(statistics.instance_count))
+    graph.add_triple(dataset, VOID.classes, Literal(statistics.class_count))
+    graph.add_triple(dataset, VOID.properties, Literal(statistics.property_count))
+
+    for index, node in enumerate(summary.nodes):
+        partition = IRI(f"{summary.endpoint_url.rstrip('/')}#classPartition{index}")
+        graph.add_triple(dataset, VOID.classPartition, partition)
+        graph.add_triple(partition, VOID["class"], IRI(node.iri))
+        graph.add_triple(partition, VOID.entities, Literal(node.instance_count))
+        graph.add_triple(partition, RDFS.label, Literal(node.label))
+    return graph

@@ -1,0 +1,176 @@
+"""The visual query builder: clicks on the graph -> SPARQL text.
+
+H-BOLD "provides a visual interface for querying the endpoint that
+automatically generates SPARQL queries" (abstract; inherited from LODeX).
+A :class:`VisualQuery` records the user's selections -- a focus class,
+attribute checkboxes, connection hops, filters -- and compiles them into a
+SELECT query that runs against the endpoint.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from .models import SchemaSummary
+
+__all__ = ["VisualQuery", "QueryBuildError"]
+
+_VAR_SAFE = re.compile(r"[^A-Za-z0-9_]")
+
+
+class QueryBuildError(ValueError):
+    """The visual selection cannot compile into a query."""
+
+
+def _variable_for(label: str, taken: set) -> str:
+    base = _VAR_SAFE.sub("_", label) or "v"
+    base = base[0].lower() + base[1:] if base else "v"
+    candidate = base
+    suffix = 2
+    while candidate in taken:
+        candidate = f"{base}{suffix}"
+        suffix += 1
+    taken.add(candidate)
+    return candidate
+
+
+class _Connection:
+    __slots__ = ("property_iri", "target_class", "forward", "variable", "attributes")
+
+    def __init__(self, property_iri: str, target_class: str, forward: bool, variable: str):
+        self.property_iri = property_iri
+        self.target_class = target_class
+        self.forward = forward
+        self.variable = variable
+        self.attributes: List[Tuple[str, str]] = []  # (property, variable)
+
+
+class VisualQuery:
+    """Builder state mirroring the clicks in H-BOLD's query interface."""
+
+    def __init__(self, summary: SchemaSummary, focus_class: str):
+        if focus_class not in summary:
+            raise QueryBuildError(f"unknown focus class {focus_class!r}")
+        self.summary = summary
+        self.focus_class = focus_class
+        self._taken: set = set()
+        self.focus_variable = _variable_for(summary.node(focus_class).label, self._taken)
+        self._attributes: List[Tuple[str, str]] = []
+        self._connections: List[_Connection] = []
+        self._filters: List[str] = []
+        self.distinct = True
+        self.limit: Optional[int] = None
+
+    # -- selection steps ---------------------------------------------------------
+
+    def select_attribute(self, property_iri: str) -> str:
+        """Tick an attribute checkbox on the focus class; returns its var."""
+        node = self.summary.node(self.focus_class)
+        if property_iri not in node.datatype_properties:
+            raise QueryBuildError(
+                f"{property_iri!r} is not an attribute of {node.label}"
+            )
+        variable = _variable_for(property_iri.rsplit("/", 1)[-1].rsplit("#", 1)[-1], self._taken)
+        self._attributes.append((property_iri, variable))
+        return variable
+
+    def follow_connection(
+        self, property_iri: str, target_class: str, forward: bool = True
+    ) -> str:
+        """Follow a property arc to a connected class; returns the new var.
+
+        ``forward=True`` follows domain->range (focus is the subject),
+        ``forward=False`` follows an incoming arc (focus is the object).
+        """
+        source, target = (
+            (self.focus_class, target_class) if forward else (target_class, self.focus_class)
+        )
+        known = {
+            (e.source, e.property, e.target) for e in self.summary.edges
+        }
+        if (source, property_iri, target) not in known:
+            raise QueryBuildError(
+                f"no arc {source} -[{property_iri}]-> {target} in the schema"
+            )
+        variable = _variable_for(self.summary.node(target_class).label, self._taken)
+        self._connections.append(_Connection(property_iri, target_class, forward, variable))
+        return variable
+
+    def select_connection_attribute(self, connection_variable: str, property_iri: str) -> str:
+        """Tick an attribute on a connected class already added."""
+        for connection in self._connections:
+            if connection.variable == connection_variable:
+                node = self.summary.node(connection.target_class)
+                if property_iri not in node.datatype_properties:
+                    raise QueryBuildError(
+                        f"{property_iri!r} is not an attribute of {node.label}"
+                    )
+                variable = _variable_for(
+                    property_iri.rsplit("/", 1)[-1].rsplit("#", 1)[-1], self._taken
+                )
+                connection.attributes.append((property_iri, variable))
+                return variable
+        raise QueryBuildError(f"no connection bound to ?{connection_variable}")
+
+    def add_filter(self, expression: str) -> None:
+        """Attach a raw FILTER expression (the UI's filter box)."""
+        if not expression.strip():
+            raise QueryBuildError("empty filter expression")
+        self._filters.append(expression.strip())
+
+    def set_limit(self, limit: int) -> None:
+        if limit <= 0:
+            raise QueryBuildError("limit must be positive")
+        self.limit = limit
+
+    # -- compilation --------------------------------------------------------------
+
+    def projected_variables(self) -> List[str]:
+        out = [self.focus_variable]
+        out.extend(variable for _, variable in self._attributes)
+        for connection in self._connections:
+            out.append(connection.variable)
+            out.extend(variable for _, variable in connection.attributes)
+        return out
+
+    def to_sparql(self) -> str:
+        """Compile the selection into executable SPARQL text."""
+        lines: List[str] = []
+        projection = " ".join(f"?{name}" for name in self.projected_variables())
+        select = "SELECT DISTINCT" if self.distinct else "SELECT"
+        lines.append(f"{select} {projection}")
+        lines.append("WHERE {")
+        lines.append(f"  ?{self.focus_variable} a <{self.focus_class}> .")
+        for property_iri, variable in self._attributes:
+            lines.append(f"  ?{self.focus_variable} <{property_iri}> ?{variable} .")
+        for connection in self._connections:
+            if connection.forward:
+                lines.append(
+                    f"  ?{self.focus_variable} <{connection.property_iri}> "
+                    f"?{connection.variable} ."
+                )
+            else:
+                lines.append(
+                    f"  ?{connection.variable} <{connection.property_iri}> "
+                    f"?{self.focus_variable} ."
+                )
+            lines.append(
+                f"  ?{connection.variable} a <{connection.target_class}> ."
+            )
+            for property_iri, variable in connection.attributes:
+                lines.append(
+                    f"  ?{connection.variable} <{property_iri}> ?{variable} ."
+                )
+        for expression in self._filters:
+            lines.append(f"  FILTER ( {expression} )")
+        lines.append("}")
+        if self.limit is not None:
+            lines.append(f"LIMIT {self.limit}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<VisualQuery focus={self.focus_class!r} attrs={len(self._attributes)} "
+            f"connections={len(self._connections)}>"
+        )

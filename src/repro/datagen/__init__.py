@@ -1,0 +1,43 @@
+"""Synthetic Linked Data generators.
+
+The paper evaluates on live sources we cannot reach offline; these seeded
+generators reproduce their *structure*: the Scholarly LD of Figures 2/7,
+parametric "Big LOD" sources with latent topical groups, government and
+TRAFAIR-style sensor datasets, the three DCAT portal catalogs of §3.3
+(with the exact 65/9/15 endpoint census), and the full endpoint-population
+world (610 listed / 110 indexable, growing to 680/130 after the crawl).
+"""
+
+from .big_lod import big_lod_graph, big_lod_spec
+from .government import government_graph, government_spec, trafair_graph, trafair_spec
+from .population import World, build_world
+from .portals import (
+    PORTAL_CENSUS,
+    PortalCensus,
+    build_all_portals,
+    build_portal_catalog,
+)
+from .scholarly import SCHOLARLY_NAMESPACE, scholarly_graph, scholarly_spec
+from .spec import ClassSpec, DatasetSpec, ObjectPropertySpec, instantiate
+
+__all__ = [
+    "ClassSpec",
+    "DatasetSpec",
+    "ObjectPropertySpec",
+    "PORTAL_CENSUS",
+    "PortalCensus",
+    "SCHOLARLY_NAMESPACE",
+    "World",
+    "big_lod_graph",
+    "big_lod_spec",
+    "build_all_portals",
+    "build_portal_catalog",
+    "build_world",
+    "government_graph",
+    "government_spec",
+    "instantiate",
+    "scholarly_graph",
+    "scholarly_spec",
+    "trafair_graph",
+    "trafair_spec",
+]

@@ -1,0 +1,89 @@
+"""Government / mobility open-data Linked Data sources.
+
+The paper's endpoint census is dominated by public-sector portals (EDP, EU
+ODP) and the authors' own TRAFAIR air-quality project; this generator
+produces that family of datasets: sensor networks, observations,
+administrative geography and transport.
+"""
+
+from __future__ import annotations
+
+from ..rdf.graph import Graph
+from .spec import ClassSpec, DatasetSpec, ObjectPropertySpec, instantiate
+
+__all__ = ["government_spec", "government_graph", "trafair_spec", "trafair_graph"]
+
+
+def government_spec(scale: float = 1.0, name: str = "govdata") -> DatasetSpec:
+    """A generic regional open-data portal dataset."""
+
+    def n(count: int) -> int:
+        return max(1, int(count * scale))
+
+    classes = [
+        ClassSpec("Municipality", n(160), ["name", "population"]),
+        ClassSpec("Province", n(12), ["name"]),
+        ClassSpec("Region", n(3), ["name"]),
+        ClassSpec("PublicOffice", n(240), ["name", "openingHours"]),
+        ClassSpec("School", n(420), ["name", "studentCount"]),
+        ClassSpec("Hospital", n(35), ["name", "bedCount"]),
+        ClassSpec("BusStop", n(900), ["name", "label"]),
+        ClassSpec("BusLine", n(48), ["name"]),
+        ClassSpec("Timetable", n(520), ["validFromDate"]),
+        ClassSpec("Budget", n(140), ["amountValue", "fiscalYearDate"]),
+        ClassSpec("Tender", n(310), ["title", "amountValue"]),
+        ClassSpec("Event", n(190), ["title", "startDate"]),
+    ]
+    properties = [
+        ObjectPropertySpec("inProvince", "Municipality", "Province", 1.0),
+        ObjectPropertySpec("inRegion", "Province", "Region", 1.0),
+        ObjectPropertySpec("officeInMunicipality", "PublicOffice", "Municipality", 1.0),
+        ObjectPropertySpec("schoolInMunicipality", "School", "Municipality", 1.0),
+        ObjectPropertySpec("hospitalInMunicipality", "Hospital", "Municipality", 1.0),
+        ObjectPropertySpec("stopInMunicipality", "BusStop", "Municipality", 1.0),
+        ObjectPropertySpec("stopOnLine", "BusStop", "BusLine", 1.3),
+        ObjectPropertySpec("timetableOfLine", "Timetable", "BusLine", 1.0),
+        ObjectPropertySpec("budgetOf", "Budget", "Municipality", 1.0),
+        ObjectPropertySpec("tenderBy", "Tender", "PublicOffice", 1.0),
+        ObjectPropertySpec("eventInMunicipality", "Event", "Municipality", 1.0),
+    ]
+    return DatasetSpec(name, f"http://gov.example.org/{name}/", classes, properties)
+
+
+def government_graph(scale: float = 1.0, seed: int = 0, name: str = "govdata") -> Graph:
+    return instantiate(government_spec(scale, name=name), seed=seed)
+
+
+def trafair_spec(scale: float = 1.0) -> DatasetSpec:
+    """A TRAFAIR-like air-quality sensor dataset (the paper's own project)."""
+
+    def n(count: int) -> int:
+        return max(1, int(count * scale))
+
+    classes = [
+        ClassSpec("Sensor", n(60), ["name", "serialNumber"]),
+        ClassSpec("LowCostSensor", n(48), ["name"]),
+        ClassSpec("Station", n(14), ["name", "label"]),
+        ClassSpec("Observation", n(4200), ["observedValue", "observationDate"]),
+        ClassSpec("AirQualityIndex", n(350), ["indexValue", "computedDate"]),
+        ClassSpec("Pollutant", n(6), ["name"]),
+        ClassSpec("TrafficFlow", n(1600), ["vehicleCount", "measureDate"]),
+        ClassSpec("RoadSegment", n(220), ["name", "lengthValue"]),
+        ClassSpec("City", n(6), ["name"]),
+    ]
+    properties = [
+        ObjectPropertySpec("sensorAtStation", "Sensor", "Station", 1.0),
+        ObjectPropertySpec("calibratedAgainst", "LowCostSensor", "Sensor", 1.0),
+        ObjectPropertySpec("observationBy", "Observation", "Sensor", 1.0),
+        ObjectPropertySpec("observes", "Observation", "Pollutant", 1.0),
+        ObjectPropertySpec("indexForCity", "AirQualityIndex", "City", 1.0),
+        ObjectPropertySpec("indexFrom", "AirQualityIndex", "Observation", 2.0),
+        ObjectPropertySpec("flowOnSegment", "TrafficFlow", "RoadSegment", 1.0),
+        ObjectPropertySpec("segmentInCity", "RoadSegment", "City", 1.0),
+        ObjectPropertySpec("stationInCity", "Station", "City", 1.0),
+    ]
+    return DatasetSpec("trafair", "http://trafair.example.org/", classes, properties)
+
+
+def trafair_graph(scale: float = 1.0, seed: int = 0) -> Graph:
+    return instantiate(trafair_spec(scale), seed=seed)

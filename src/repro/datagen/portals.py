@@ -1,0 +1,170 @@
+"""DCAT catalogs for the three open-data portals of §3.3.
+
+The paper crawls the European Data Portal, the EU Open Data Portal and the
+IO Data Science portal of Paris-Saclay with the Listing 1 DCAT query and
+finds 65, 9 and 15 SPARQL endpoints respectively; 19 of those 89 were
+already in H-BOLD's registry, so the crawl nets +70 listed endpoints
+(610 -> 680), of which 20 turn out to be indexable (110 -> 130).
+
+This module generates DCAT catalog graphs reproducing that census exactly:
+each portal holds ``dcat:Dataset`` records with ``dcat:distribution`` ->
+``dcat:accessURL`` links, a controlled number of which match the
+``regex(?url, 'sparql')`` filter, plus plain download distributions (CSV,
+JSON) that must NOT match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import DCAT, DCTERMS, RDF
+from ..rdf.terms import IRI, Literal
+
+__all__ = [
+    "PortalCensus",
+    "PORTAL_CENSUS",
+    "build_portal_catalog",
+    "build_all_portals",
+]
+
+
+class PortalCensus:
+    """How many endpoints one portal contributes (paper numbers)."""
+
+    __slots__ = ("key", "title", "sparql_endpoints", "overlapping", "plain_datasets")
+
+    def __init__(
+        self,
+        key: str,
+        title: str,
+        sparql_endpoints: int,
+        overlapping: int,
+        plain_datasets: int,
+    ):
+        if overlapping > sparql_endpoints:
+            raise ValueError("overlap cannot exceed endpoint count")
+        self.key = key
+        self.title = title
+        #: datasets whose distribution accessURL contains 'sparql'
+        self.sparql_endpoints = sparql_endpoints
+        #: how many of those URLs are already in the H-BOLD registry
+        self.overlapping = overlapping
+        #: decoy datasets with only file-download distributions
+        self.plain_datasets = plain_datasets
+
+
+#: The paper's census: 65 + 9 + 15 = 89 discovered, 19 overlapping -> +70 new.
+PORTAL_CENSUS: Tuple[PortalCensus, ...] = (
+    PortalCensus("edp", "European Data Portal", 65, 15, 140),
+    PortalCensus("euodp", "EU Open Data Portal", 9, 2, 40),
+    PortalCensus("iodata", "IO Data Science of Paris", 15, 2, 25),
+)
+
+_FORMATS = ("csv", "json", "xml", "xlsx", "zip")
+
+
+def build_portal_catalog(
+    census: PortalCensus,
+    known_urls: Sequence[str],
+    seed: int = 0,
+) -> Tuple[Graph, List[str]]:
+    """Build one portal's DCAT catalog.
+
+    ``known_urls`` supplies the registry URLs reused for the overlapping
+    entries (the first ``census.overlapping`` of them, deterministically).
+    Returns ``(catalog graph, list of sparql endpoint URLs in the catalog)``.
+    """
+    if len(known_urls) < census.overlapping:
+        raise ValueError(
+            f"portal {census.key}: need {census.overlapping} known urls, "
+            f"got {len(known_urls)}"
+        )
+    digest = hashlib.sha256(f"{seed}:{census.key}".encode("utf-8")).digest()
+    rng = random.Random(int.from_bytes(digest[:8], "big"))
+
+    base = f"http://{census.key}.example.org"
+    graph = Graph(identifier=f"portal-{census.key}")
+    endpoint_urls: List[str] = []
+
+    overlap_urls = list(known_urls[: census.overlapping])
+    new_count = census.sparql_endpoints - census.overlapping
+    new_urls = [
+        f"http://lod-{census.key}-{index}.example.org/sparql" for index in range(new_count)
+    ]
+    sparql_urls = overlap_urls + new_urls
+    rng.shuffle(sparql_urls)
+
+    for index, url in enumerate(sparql_urls):
+        dataset = IRI(f"{base}/dataset/sparql-{index}")
+        distribution = IRI(f"{base}/distribution/sparql-{index}")
+        graph.add_triple(dataset, RDF.type, DCAT.Dataset)
+        graph.add_triple(
+            dataset, DCTERMS.title, Literal(f"{census.title} linked dataset {index}")
+        )
+        graph.add_triple(dataset, DCAT.distribution, distribution)
+        graph.add_triple(distribution, RDF.type, DCAT.Distribution)
+        graph.add_triple(distribution, DCAT.accessURL, IRI(url))
+        endpoint_urls.append(url)
+
+    for index in range(census.plain_datasets):
+        dataset = IRI(f"{base}/dataset/file-{index}")
+        graph.add_triple(dataset, RDF.type, DCAT.Dataset)
+        graph.add_triple(
+            dataset, DCTERMS.title, Literal(f"{census.title} tabular dataset {index}")
+        )
+        # one or two plain file distributions
+        for copy in range(rng.randint(1, 2)):
+            fmt = rng.choice(_FORMATS)
+            distribution = IRI(f"{base}/distribution/file-{index}-{copy}")
+            graph.add_triple(dataset, DCAT.distribution, distribution)
+            graph.add_triple(distribution, RDF.type, DCAT.Distribution)
+            graph.add_triple(
+                distribution,
+                DCAT.accessURL,
+                IRI(f"{base}/download/file-{index}-{copy}.{fmt}"),
+            )
+
+    return graph, endpoint_urls
+
+
+def build_all_portals(
+    known_urls: Sequence[str], seed: int = 0, scale: float = 1.0
+) -> Dict[str, Tuple[Graph, List[str]]]:
+    """Build the three portals, spreading distinct overlap URLs across them.
+
+    Returns ``{portal key: (catalog graph, sparql urls)}``.  The overlap
+    sets of the three portals are disjoint so the total overlap is exactly
+    the sum of the per-portal census values (19 at scale=1).  ``scale`` < 1
+    shrinks every census count proportionally (minimum 1 endpoint per
+    portal) so tests can run tiny worlds.
+    """
+    censuses = PORTAL_CENSUS
+    if scale != 1.0:
+        censuses = tuple(
+            PortalCensus(
+                census.key,
+                census.title,
+                max(1, int(census.sparql_endpoints * scale)),
+                min(
+                    max(0, int(census.overlapping * scale)),
+                    max(0, int(census.sparql_endpoints * scale)) - 0,
+                ),
+                max(1, int(census.plain_datasets * scale)),
+            )
+            for census in PORTAL_CENSUS
+        )
+    total_overlap = sum(census.overlapping for census in censuses)
+    if len(known_urls) < total_overlap:
+        raise ValueError(
+            f"need at least {total_overlap} known urls for overlaps, got {len(known_urls)}"
+        )
+    out: Dict[str, Tuple[Graph, List[str]]] = {}
+    cursor = 0
+    for census in censuses:
+        chunk = known_urls[cursor : cursor + census.overlapping]
+        cursor += census.overlapping
+        out[census.key] = build_portal_catalog(census, chunk, seed=seed)
+    return out

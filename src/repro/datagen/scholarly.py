@@ -1,0 +1,128 @@
+"""A ScholarlyData-like Linked Data source.
+
+Figure 2 and Figure 7 of the paper explore the Scholarly LD
+(scholarlydata.org, the Semantic Web conference dataset).  This generator
+reproduces its *structure*: the conference-ontology class names the paper
+shows (Event, SessionEvent, Vevent, ConferenceSeries, InformationObject,
+Situation, ...), realistic class-size skew (many Persons/Documents, few
+ConferenceSeries) and the domain/range pattern highlighted in Figure 7
+(properties from Vevent/SessionEvent/ConferenceSeries/InformationObject
+into Event, and from Event into Situation).
+"""
+
+from __future__ import annotations
+
+from ..rdf.graph import Graph
+from .spec import ClassSpec, DatasetSpec, ObjectPropertySpec, instantiate
+
+__all__ = ["scholarly_spec", "scholarly_graph", "SCHOLARLY_NAMESPACE"]
+
+SCHOLARLY_NAMESPACE = "https://w3id.org/scholarlydata/"
+
+
+def scholarly_spec(scale: float = 1.0) -> DatasetSpec:
+    """The Scholarly LD spec; *scale* multiplies every instance count."""
+
+    def n(count: int) -> int:
+        return max(1, int(count * scale))
+
+    classes = [
+        # The Figure 2 / Figure 7 cast:
+        ClassSpec("Event", n(180), ["name", "startDate", "endDate", "description"]),
+        ClassSpec("SessionEvent", n(95), ["name", "startDate"]),
+        ClassSpec("Vevent", n(60), ["summary", "dtstart"]),
+        ClassSpec("ConferenceSeries", n(12), ["name"]),
+        ClassSpec("InformationObject", n(220), ["title"]),
+        ClassSpec("Situation", n(140), ["description"]),
+        # The rest of the conference ontology's instantiated classes:
+        ClassSpec("Conference", n(45), ["name", "startDate", "endDate", "location"]),
+        ClassSpec("Workshop", n(70), ["name", "startDate"]),
+        ClassSpec("Tutorial", n(25), ["name"]),
+        ClassSpec("Talk", n(310), ["title", "startDate"]),
+        ClassSpec("Person", n(1450), ["name", "label"]),
+        ClassSpec("Organisation", n(260), ["name"]),
+        ClassSpec("AffiliationDuringEvent", n(900), ["description"]),
+        ClassSpec("Document", n(820), ["title"]),
+        ClassSpec("InProceedings", n(640), ["title", "pagesNumber"]),
+        ClassSpec("Proceedings", n(55), ["title"]),
+        ClassSpec("Role", n(35), ["name"]),
+        ClassSpec("RoleDuringEvent", n(780), ["description"]),
+        ClassSpec("ProgrammeCommitteeMember", n(420), ["name"]),
+        ClassSpec("OrganisedEvent", n(90), ["name"]),
+        ClassSpec("AcademicEvent", n(130), ["name", "startDate"]),
+        ClassSpec("SocialEvent", n(40), ["name"]),
+        ClassSpec("Break", n(50), ["name"]),
+        ClassSpec("Session", n(170), ["name"]),
+        ClassSpec("Track", n(30), ["name"]),
+        ClassSpec("Site", n(20), ["name", "location"]),
+        ClassSpec("Country", n(45), ["name"]),
+        ClassSpec("City", n(60), ["name"]),
+    ]
+
+    properties = [
+        # Figure 7's highlighted neighbourhood of Event:
+        ObjectPropertySpec("hasSituation", "Event", "Situation", 0.8),     # range: Situation
+        ObjectPropertySpec("relatesToEvent", "Vevent", "Event", 0.9),      # domains into Event
+        ObjectPropertySpec("isSessionOf", "SessionEvent", "Event", 0.9),
+        ObjectPropertySpec("seriesOfEvent", "ConferenceSeries", "Event", 2.5),
+        ObjectPropertySpec("describesEvent", "InformationObject", "Event", 0.5),
+        # Conference structure:
+        ObjectPropertySpec("partOfSeries", "Conference", "ConferenceSeries", 1.0),
+        ObjectPropertySpec("hasSubEvent", "Conference", "Workshop", 1.4),
+        ObjectPropertySpec("hasTutorial", "Conference", "Tutorial", 0.5),
+        ObjectPropertySpec("hasTalk", "Session", "Talk", 1.8),
+        ObjectPropertySpec("sessionOf", "Session", "Conference", 0.9),
+        ObjectPropertySpec("trackOf", "Track", "Conference", 0.9),
+        ObjectPropertySpec("heldAtSite", "Conference", "Site", 1.0),
+        ObjectPropertySpec("siteInCity", "Site", "City", 1.0),
+        ObjectPropertySpec("cityInCountry", "City", "Country", 1.0),
+        ObjectPropertySpec("eventOfConference", "Event", "Conference", 0.8),
+        ObjectPropertySpec("academicSubEvent", "AcademicEvent", "Event", 0.7),
+        ObjectPropertySpec("socialSubEvent", "SocialEvent", "Event", 0.7),
+        ObjectPropertySpec("breakDuring", "Break", "Session", 0.8),
+        # People and roles:
+        ObjectPropertySpec("hasAffiliation", "Person", "AffiliationDuringEvent", 0.7),
+        ObjectPropertySpec("withOrganisation", "AffiliationDuringEvent", "Organisation", 1.0),
+        ObjectPropertySpec("duringEvent", "AffiliationDuringEvent", "Conference", 1.0),
+        ObjectPropertySpec("holdsRole", "Person", "RoleDuringEvent", 0.55),
+        ObjectPropertySpec("withRole", "RoleDuringEvent", "Role", 1.0),
+        ObjectPropertySpec("roleAtEvent", "RoleDuringEvent", "Event", 0.9),
+        ObjectPropertySpec("committeeOf", "ProgrammeCommitteeMember", "Conference", 1.0),
+        ObjectPropertySpec("memberIsPerson", "ProgrammeCommitteeMember", "Person", 1.0),
+        ObjectPropertySpec("organises", "Organisation", "OrganisedEvent", 0.3),
+        # Publications:
+        ObjectPropertySpec("hasAuthor", "Document", "Person", 2.6),
+        ObjectPropertySpec("paperInProceedings", "InProceedings", "Proceedings", 1.0),
+        ObjectPropertySpec("proceedingsOf", "Proceedings", "Conference", 1.0),
+        ObjectPropertySpec("presentedAs", "InProceedings", "Talk", 0.9),
+        ObjectPropertySpec("describedBy", "Document", "InformationObject", 0.25),
+        ObjectPropertySpec("talkInSession", "Talk", "SessionEvent", 0.6),
+    ]
+
+    # The conference ontology's class hierarchy (enables the LODeX-style
+    # "inferred schema" extraction via a/rdfs:subClassOf*).
+    subclass_axioms = [
+        ("Conference", "AcademicEvent"),
+        ("Workshop", "AcademicEvent"),
+        ("Tutorial", "AcademicEvent"),
+        ("AcademicEvent", "Event"),
+        ("SocialEvent", "Event"),
+        ("Break", "Event"),
+        ("SessionEvent", "Event"),
+        ("Talk", "Event"),
+        ("InProceedings", "Document"),
+        ("Proceedings", "Document"),
+    ]
+
+    return DatasetSpec(
+        "scholarlydata",
+        SCHOLARLY_NAMESPACE,
+        classes,
+        properties,
+        subclass_axioms=subclass_axioms,
+    )
+
+
+def scholarly_graph(scale: float = 1.0, seed: int = 0) -> Graph:
+    """Instantiate the Scholarly LD at the given scale."""
+    return instantiate(scholarly_spec(scale), seed=seed)

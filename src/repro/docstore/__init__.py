@@ -1,0 +1,37 @@
+"""Embedded document store: the MongoDB substitute for the H-BOLD server.
+
+The paper stores Schema Summaries and Cluster Schemas in MongoDB so the
+presentation layer can answer from the DB instead of recomputing (§3.2).
+This package reproduces the storage contract the server layer needs:
+Mongo-flavoured CRUD + query operators + secondary indexes, with optional
+JSON-lines persistence.
+"""
+
+from .aggregation import aggregate
+from .collection import (
+    Collection,
+    DeleteResult,
+    DuplicateKeyError,
+    InsertResult,
+    UpdateResult,
+)
+from .database import Database, DocumentStore
+from .documents import DocumentError, ObjectId
+from .persistence import PersistenceError
+from .query import QuerySyntaxError, matches
+
+__all__ = [
+    "Collection",
+    "Database",
+    "DeleteResult",
+    "DocumentError",
+    "DocumentStore",
+    "DuplicateKeyError",
+    "InsertResult",
+    "ObjectId",
+    "PersistenceError",
+    "QuerySyntaxError",
+    "UpdateResult",
+    "aggregate",
+    "matches",
+]

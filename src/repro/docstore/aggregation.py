@@ -1,0 +1,176 @@
+"""A Mongo-style aggregation pipeline for the embedded store.
+
+Implements the stage subset the H-BOLD server uses for its dataset-list
+statistics (and that covers most day-to-day Mongo usage):
+
+* ``$match``   -- filter with the full query-operator language
+* ``$project`` -- include/rename fields (``1`` or ``"$path"`` references)
+* ``$group``   -- group by ``_id`` expression with accumulators
+  (``$sum``, ``$avg``, ``$min``, ``$max``, ``$push``, ``$first``, ``$count``)
+* ``$sort``    -- by one or more fields
+* ``$limit`` / ``$skip``
+* ``$unwind``  -- explode an array field
+
+Value expressions are either literals or ``"$dotted.path"`` references.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from .collection import Collection, _sort_key
+from .documents import deep_copy_document
+from .query import _MISSING, QuerySyntaxError, matches, resolve_path
+
+__all__ = ["aggregate"]
+
+
+def _resolve_expression(document: Dict[str, Any], expression: Any) -> Any:
+    if isinstance(expression, str) and expression.startswith("$"):
+        value = resolve_path(document, expression[1:])
+        return None if value is _MISSING else value
+    return expression
+
+
+def _stage_match(rows: List[Dict[str, Any]], spec: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return [row for row in rows if matches(row, spec)]
+
+
+def _stage_project(rows: List[Dict[str, Any]], spec: Dict[str, Any]) -> List[Dict[str, Any]]:
+    out = []
+    include_id = spec.get("_id", 1)
+    for row in rows:
+        projected: Dict[str, Any] = {}
+        for field, rule in spec.items():
+            if field == "_id":
+                continue
+            if rule in (1, True):
+                value = resolve_path(row, field)
+                if value is not _MISSING:
+                    projected[field] = value
+            elif rule in (0, False):
+                continue
+            else:
+                projected[field] = _resolve_expression(row, rule)
+        if include_id in (1, True) and "_id" in row:
+            projected["_id"] = row["_id"]
+        out.append(projected)
+    return out
+
+
+_ACCUMULATORS = ("$sum", "$avg", "$min", "$max", "$push", "$first", "$count")
+
+
+def _stage_group(rows: List[Dict[str, Any]], spec: Dict[str, Any]) -> List[Dict[str, Any]]:
+    if "_id" not in spec:
+        raise QuerySyntaxError("$group requires an _id expression")
+    id_expression = spec["_id"]
+
+    groups: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    members: Dict[str, List[Dict[str, Any]]] = {}
+    for row in rows:
+        key_value = _resolve_expression(row, id_expression)
+        key = repr(key_value)
+        if key not in groups:
+            groups[key] = {"_id": key_value}
+            members[key] = []
+            order.append(key)
+        members[key].append(row)
+
+    for key in order:
+        group_rows = members[key]
+        result = groups[key]
+        for field, accumulator in spec.items():
+            if field == "_id":
+                continue
+            if not isinstance(accumulator, dict) or len(accumulator) != 1:
+                raise QuerySyntaxError(f"bad accumulator for {field!r}")
+            op, operand = next(iter(accumulator.items()))
+            if op not in _ACCUMULATORS:
+                raise QuerySyntaxError(f"unknown accumulator {op!r}")
+            if op == "$count":
+                result[field] = len(group_rows)
+                continue
+            values = [_resolve_expression(row, operand) for row in group_rows]
+            if op == "$push":
+                result[field] = values
+            elif op == "$first":
+                result[field] = values[0] if values else None
+            else:
+                numbers = [
+                    v for v in values
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                ]
+                if op == "$sum":
+                    result[field] = sum(numbers)
+                elif op == "$avg":
+                    result[field] = sum(numbers) / len(numbers) if numbers else None
+                elif op == "$min":
+                    result[field] = min(numbers) if numbers else None
+                elif op == "$max":
+                    result[field] = max(numbers) if numbers else None
+    return [groups[key] for key in order]
+
+
+def _stage_sort(rows: List[Dict[str, Any]], spec: Dict[str, int]) -> List[Dict[str, Any]]:
+    out = list(rows)
+    for field, direction in reversed(list(spec.items())):
+        if direction not in (1, -1):
+            raise QuerySyntaxError(f"sort direction must be 1/-1, got {direction}")
+        out.sort(key=lambda row: _sort_key(resolve_path(row, field)),
+                 reverse=direction == -1)
+    return out
+
+
+def _stage_unwind(rows: List[Dict[str, Any]], spec: Any) -> List[Dict[str, Any]]:
+    path = spec if isinstance(spec, str) else spec.get("path", "")
+    if not path.startswith("$"):
+        raise QuerySyntaxError("$unwind path must start with '$'")
+    field = path[1:]
+    out = []
+    for row in rows:
+        value = resolve_path(row, field)
+        if value is _MISSING or value is None:
+            continue
+        if not isinstance(value, list):
+            out.append(row)
+            continue
+        for item in value:
+            clone = deep_copy_document(row)
+            # only top-level unwind targets are supported (the common case)
+            segments = field.split(".")
+            target = clone
+            for segment in segments[:-1]:
+                target = target[segment]
+            target[segments[-1]] = item
+            out.append(clone)
+    return out
+
+
+def aggregate(
+    collection: Collection, pipeline: Iterable[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Run an aggregation *pipeline* over *collection*."""
+    rows: List[Dict[str, Any]] = collection.find({})
+    for stage in pipeline:
+        if not isinstance(stage, dict) or len(stage) != 1:
+            raise QuerySyntaxError(f"each stage must be a single-key dict: {stage!r}")
+        name, spec = next(iter(stage.items()))
+        if name == "$match":
+            rows = _stage_match(rows, spec)
+        elif name == "$project":
+            rows = _stage_project(rows, spec)
+        elif name == "$group":
+            rows = _stage_group(rows, spec)
+        elif name == "$sort":
+            rows = _stage_sort(rows, spec)
+        elif name == "$limit":
+            rows = rows[: int(spec)]
+        elif name == "$skip":
+            rows = rows[int(spec):]
+        elif name == "$unwind":
+            rows = _stage_unwind(rows, spec)
+        else:
+            raise QuerySyntaxError(f"unknown pipeline stage {name!r}")
+    return rows

@@ -1,0 +1,90 @@
+"""Database: a named group of collections, the pymongo ``Database`` analog.
+
+H-BOLD's server layer keeps endpoints, indexes (statistics), Schema
+Summaries and Cluster Schemas in separate collections of one database;
+:class:`DocumentStore` is the top-level client object handed around the
+core package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .collection import Collection
+from .persistence import load_database, save_database
+
+__all__ = ["Database", "DocumentStore"]
+
+
+class Database:
+    """A lazily-created mapping of collection name -> :class:`Collection`."""
+
+    def __init__(self, name: str):
+        if not name or any(c in name for c in r'/\. "$'):
+            raise ValueError(f"bad database name {name!r}")
+        self.name = name
+        self._collections: Dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or create the named collection (Mongo auto-creates too)."""
+        existing = self._collections.get(name)
+        if existing is None:
+            existing = Collection(name)
+            self._collections[name] = existing
+        return existing
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def collection_names(self) -> List[str]:
+        return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> bool:
+        return self._collections.pop(name, None) is not None
+
+    def __iter__(self) -> Iterator[Collection]:
+        for name in self.collection_names():
+            yield self._collections[name]
+
+    def __repr__(self) -> str:
+        return f"<Database {self.name!r} collections={self.collection_names()}>"
+
+
+class DocumentStore:
+    """Top-level store: multiple databases plus optional disk persistence.
+
+    ``persist_dir`` enables JSON-lines durability: :meth:`flush` writes
+    every database to ``<persist_dir>/<db>/<collection>.jsonl`` and the
+    constructor reloads whatever is on disk.
+    """
+
+    def __init__(self, persist_dir: Optional[str] = None):
+        self._databases: Dict[str, Database] = {}
+        self.persist_dir = persist_dir
+        if persist_dir:
+            for database in load_database(persist_dir):
+                self._databases[database.name] = database
+
+    def database(self, name: str) -> Database:
+        existing = self._databases.get(name)
+        if existing is None:
+            existing = Database(name)
+            self._databases[name] = existing
+        return existing
+
+    def __getitem__(self, name: str) -> Database:
+        return self.database(name)
+
+    def database_names(self) -> List[str]:
+        return sorted(self._databases)
+
+    def drop_database(self, name: str) -> bool:
+        return self._databases.pop(name, None) is not None
+
+    def flush(self) -> None:
+        """Write all databases to disk (no-op without ``persist_dir``)."""
+        if self.persist_dir:
+            save_database(self.persist_dir, list(self._databases.values()))
+
+    def __repr__(self) -> str:
+        return f"<DocumentStore databases={self.database_names()}>"

@@ -1,0 +1,74 @@
+"""Secondary indexes for the embedded document store.
+
+Indexes map the value at a dotted field path to the set of document ids
+holding it.  Unhashable values (dicts, lists) are indexed by a canonical
+JSON rendering -- equality lookups still work, which is all the equality
+index contract promises.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Set
+
+from .documents import DocumentError, ObjectId, document_to_jsonable
+from .query import _MISSING, resolve_path
+
+__all__ = ["Index"]
+
+
+def _index_key(value: Any) -> Any:
+    """A hashable stand-in for *value*."""
+    if isinstance(value, (str, int, float, bool, type(None), ObjectId)):
+        return value
+    return json.dumps(document_to_jsonable({"v": value}), sort_keys=True)
+
+
+class Index:
+    """An equality index over one dotted field path."""
+
+    def __init__(self, field: str, unique: bool = False):
+        self.field = field
+        self.unique = unique
+        self._entries: Dict[Any, Set[ObjectId]] = {}
+
+    def _value_for(self, document: Dict[str, Any]) -> Any:
+        return resolve_path(document, self.field)
+
+    def check_unique(self, oid, document: Dict[str, Any]) -> None:
+        """Raise before insertion if adding *document* would violate unique."""
+        if not self.unique:
+            return
+        value = self._value_for(document)
+        if value is _MISSING:
+            return  # sparse behaviour: missing values don't collide
+        key = _index_key(value)
+        holders = self._entries.get(key)
+        if holders and any(other != oid for other in holders):
+            raise DocumentError(
+                f"unique index on {self.field!r} violated by value {value!r}"
+            )
+
+    def add(self, oid, document: Dict[str, Any]) -> None:
+        value = self._value_for(document)
+        if value is _MISSING:
+            return
+        self._entries.setdefault(_index_key(value), set()).add(oid)
+
+    def remove(self, oid, document: Dict[str, Any]) -> None:
+        value = self._value_for(document)
+        if value is _MISSING:
+            return
+        key = _index_key(value)
+        holders = self._entries.get(key)
+        if holders:
+            holders.discard(oid)
+            if not holders:
+                del self._entries[key]
+
+    def lookup(self, value: Any) -> List:
+        """Document ids whose indexed value equals *value*."""
+        return sorted(
+            self._entries.get(_index_key(value), ()),
+            key=lambda oid: str(oid),
+        )

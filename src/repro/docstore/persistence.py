@@ -1,0 +1,84 @@
+"""JSON-lines persistence for the document store.
+
+Layout on disk::
+
+    <root>/<database>/<collection>.jsonl      one document per line
+
+Writes are atomic per collection (write to a temp file, then rename) so a
+crash mid-flush never leaves a half-written collection -- the failure mode
+our corruption tests inject.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import TYPE_CHECKING, List
+
+from .documents import dumps_document, loads_document
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+
+__all__ = ["save_database", "load_database", "PersistenceError"]
+
+
+class PersistenceError(RuntimeError):
+    """A collection file exists but cannot be decoded."""
+
+
+def save_database(root: str, databases: List["Database"]) -> None:
+    """Write every collection of every database under *root*."""
+    os.makedirs(root, exist_ok=True)
+    for database in databases:
+        db_dir = os.path.join(root, database.name)
+        os.makedirs(db_dir, exist_ok=True)
+        for name in database.collection_names():
+            collection = database.collection(name)
+            target = os.path.join(db_dir, f"{name}.jsonl")
+            descriptor, temp_path = tempfile.mkstemp(
+                dir=db_dir, prefix=f".{name}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    for document in collection.all_documents():
+                        handle.write(dumps_document(document))
+                        handle.write("\n")
+                os.replace(temp_path, target)
+            except BaseException:
+                if os.path.exists(temp_path):
+                    os.unlink(temp_path)
+                raise
+
+
+def load_database(root: str) -> List["Database"]:
+    """Load every database found under *root* (empty list if none)."""
+    from .database import Database  # deferred: Database imports this module
+
+    databases: List[Database] = []
+    if not os.path.isdir(root):
+        return databases
+    for db_name in sorted(os.listdir(root)):
+        db_dir = os.path.join(root, db_name)
+        if not os.path.isdir(db_dir):
+            continue
+        database = Database(db_name)
+        for filename in sorted(os.listdir(db_dir)):
+            if not filename.endswith(".jsonl"):
+                continue
+            collection = database.collection(filename[: -len(".jsonl")])
+            path = os.path.join(db_dir, filename)
+            with open(path, encoding="utf-8") as handle:
+                for lineno, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        document = loads_document(line)
+                    except ValueError as exc:
+                        raise PersistenceError(
+                            f"{path}:{lineno}: corrupt document: {exc}"
+                        ) from exc
+                    collection.insert_one(document)
+        databases.append(database)
+    return databases

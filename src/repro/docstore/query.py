@@ -1,0 +1,210 @@
+"""Mongo-style query matching for the embedded document store.
+
+Supports the operator subset the H-BOLD server layer uses, which is also
+the practical core of the MongoDB query language:
+
+* equality by example: ``{"endpoint": "http://..."}``
+* comparison: ``$eq $ne $gt $gte $lt $lte``
+* membership: ``$in $nin``
+* existence and type: ``$exists``
+* regex: ``$regex`` (with ``$options`` flags ``imsx``)
+* boolean composition: ``$and $or $nor $not``
+* arrays: ``$all $size $elemMatch``
+* dotted paths: ``{"summary.classes.3.iri": ...}``
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["matches", "QuerySyntaxError", "resolve_path"]
+
+
+class QuerySyntaxError(ValueError):
+    """The filter document itself is malformed (unknown operator, ...)."""
+
+
+_MISSING = object()
+
+
+def resolve_path(document: Any, path: str) -> Any:
+    """Resolve a dotted *path* against *document*; missing -> sentinel.
+
+    Integer segments index into lists, other segments into dicts -- the same
+    addressing scheme MongoDB uses.
+    """
+    current = document
+    for segment in path.split("."):
+        if isinstance(current, dict):
+            if segment not in current:
+                return _MISSING
+            current = current[segment]
+        elif isinstance(current, list):
+            try:
+                index = int(segment)
+            except ValueError:
+                # Mongo semantics: a non-numeric segment against an array
+                # matches if any element resolves it.
+                values = [resolve_path(item, segment) for item in current]
+                values = [v for v in values if v is not _MISSING]
+                if not values:
+                    return _MISSING
+                return values
+            if not -len(current) <= index < len(current):
+                return _MISSING
+            current = current[index]
+        else:
+            return _MISSING
+    return current
+
+
+def _values_equal(left: Any, right: Any) -> bool:
+    if type(left) is bool or type(right) is bool:
+        return left is right if isinstance(left, bool) and isinstance(right, bool) else False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left == right
+    return left == right
+
+
+def _compare(op: Callable[[Any, Any], bool], value: Any, operand: Any) -> bool:
+    try:
+        if isinstance(value, (int, float)) and isinstance(operand, (int, float)) and not (
+            isinstance(value, bool) or isinstance(operand, bool)
+        ):
+            return op(value, operand)
+        if isinstance(value, str) and isinstance(operand, str):
+            return op(value, operand)
+        return False
+    except TypeError:
+        return False
+
+
+def _match_operators(value: Any, spec: Dict[str, Any]) -> bool:
+    for operator, operand in spec.items():
+        if operator == "$eq":
+            if not _match_value(value, operand):
+                return False
+        elif operator == "$ne":
+            if _match_value(value, operand):
+                return False
+        elif operator == "$gt":
+            if value is _MISSING or not _compare(lambda a, b: a > b, value, operand):
+                return False
+        elif operator == "$gte":
+            if value is _MISSING or not _compare(lambda a, b: a >= b, value, operand):
+                return False
+        elif operator == "$lt":
+            if value is _MISSING or not _compare(lambda a, b: a < b, value, operand):
+                return False
+        elif operator == "$lte":
+            if value is _MISSING or not _compare(lambda a, b: a <= b, value, operand):
+                return False
+        elif operator == "$in":
+            if not isinstance(operand, list):
+                raise QuerySyntaxError("$in needs a list")
+            if not any(_match_value(value, item) for item in operand):
+                return False
+        elif operator == "$nin":
+            if not isinstance(operand, list):
+                raise QuerySyntaxError("$nin needs a list")
+            if any(_match_value(value, item) for item in operand):
+                return False
+        elif operator == "$exists":
+            present = value is not _MISSING
+            if bool(operand) != present:
+                return False
+        elif operator == "$regex":
+            flags = 0
+            options = spec.get("$options", "")
+            for char in options:
+                flags |= {
+                    "i": re.IGNORECASE,
+                    "m": re.MULTILINE,
+                    "s": re.DOTALL,
+                    "x": re.VERBOSE,
+                }.get(char, 0)
+            if not isinstance(value, str):
+                return False
+            try:
+                if not re.search(operand, value, flags):
+                    return False
+            except re.error as exc:
+                raise QuerySyntaxError(f"bad $regex {operand!r}: {exc}") from exc
+        elif operator == "$options":
+            continue  # consumed by $regex
+        elif operator == "$not":
+            if not isinstance(operand, dict):
+                raise QuerySyntaxError("$not needs an operator document")
+            if _match_operators(value, operand):
+                return False
+        elif operator == "$all":
+            if not isinstance(operand, list):
+                raise QuerySyntaxError("$all needs a list")
+            if not isinstance(value, list):
+                return False
+            if not all(any(_match_value(item, want) for item in value) for want in operand):
+                return False
+        elif operator == "$size":
+            if not isinstance(value, list) or len(value) != operand:
+                return False
+        elif operator == "$elemMatch":
+            if not isinstance(operand, dict):
+                raise QuerySyntaxError("$elemMatch needs a filter document")
+            if not isinstance(value, list):
+                return False
+            if not any(
+                matches(item, operand) if isinstance(item, dict) else _match_operators(item, operand)
+                for item in value
+            ):
+                return False
+        else:
+            raise QuerySyntaxError(f"unknown operator {operator!r}")
+    return True
+
+
+def _is_operator_doc(spec: Any) -> bool:
+    return isinstance(spec, dict) and bool(spec) and all(
+        isinstance(k, str) and k.startswith("$") for k in spec
+    )
+
+
+def _match_value(value: Any, spec: Any) -> bool:
+    """Match a resolved value against an exact value or operator document."""
+    if _is_operator_doc(spec):
+        return _match_operators(value, spec)
+    if value is _MISSING:
+        return spec is None  # Mongo: {field: null} matches missing fields
+    if isinstance(value, list) and not isinstance(spec, list):
+        # An array field matches if any element equals the spec value.
+        return any(_values_equal(item, spec) for item in value) or _values_equal(value, spec)
+    return _values_equal(value, spec)
+
+
+def matches(document: Dict[str, Any], query: Dict[str, Any]) -> bool:
+    """Does *document* satisfy the Mongo-style *query* filter?"""
+    if not isinstance(query, dict):
+        raise QuerySyntaxError(f"filter must be a dict, got {type(query).__name__}")
+    for key, spec in query.items():
+        if key == "$and":
+            if not isinstance(spec, list) or not spec:
+                raise QuerySyntaxError("$and needs a non-empty list")
+            if not all(matches(document, sub) for sub in spec):
+                return False
+        elif key == "$or":
+            if not isinstance(spec, list) or not spec:
+                raise QuerySyntaxError("$or needs a non-empty list")
+            if not any(matches(document, sub) for sub in spec):
+                return False
+        elif key == "$nor":
+            if not isinstance(spec, list) or not spec:
+                raise QuerySyntaxError("$nor needs a non-empty list")
+            if any(matches(document, sub) for sub in spec):
+                return False
+        elif key.startswith("$"):
+            raise QuerySyntaxError(f"unknown top-level operator {key!r}")
+        else:
+            value = resolve_path(document, key)
+            if not _match_value(value, spec):
+                return False
+    return True

@@ -1,0 +1,61 @@
+"""Simulated time for the endpoint network.
+
+Everything latency- or schedule-related in the reproduction runs against
+this clock instead of wall time, which makes the E1/E3 benchmarks
+deterministic and lets 60 simulated days run in milliseconds.
+
+Time is kept in fractional milliseconds since the simulation epoch; days
+(for the §3.1 update scheduler) are derived at 86_400_000 ms each.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulationClock", "MS_PER_DAY"]
+
+MS_PER_DAY = 86_400_000.0
+
+
+class SimulationClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_ms
+
+    @property
+    def today(self) -> int:
+        """The current simulated day number (0-based)."""
+        return int(self._now_ms // MS_PER_DAY)
+
+    def advance(self, delta_ms: float) -> float:
+        """Advance by *delta_ms* (must be non-negative); return new time."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot move time backwards ({delta_ms} ms)")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def advance_days(self, days: float) -> float:
+        return self.advance(days * MS_PER_DAY)
+
+    def sleep_until_day(self, day: int) -> None:
+        """Jump to the start of *day* (no-op if already past it)."""
+        target = day * MS_PER_DAY
+        if target > self._now_ms:
+            self._now_ms = target
+
+    def __repr__(self) -> str:
+        return f"<SimulationClock day={self.today} t={self._now_ms:.1f}ms>"
+
+
+class Stopwatch:
+    """Measures elapsed simulated time across a code region."""
+
+    def __init__(self, clock: SimulationClock):
+        self.clock = clock
+        self.start_ms = clock.now_ms
+
+    def elapsed_ms(self) -> float:
+        return self.clock.now_ms - self.start_ms

@@ -1,0 +1,220 @@
+"""The simulated SPARQL endpoint.
+
+Wraps one :class:`~repro.rdf.graph.Graph` behind the behaviour of a real
+deployment: an implementation profile (capabilities + latency model), an
+availability model, and a shared simulation clock that all query latency
+is charged to.  The H-BOLD index-extraction code talks to these endpoints
+exactly as it would to remote ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Optional, Union
+
+from ..rdf.graph import Graph
+from ..sparql.evaluator import QueryEngine
+from ..sparql.nodes import AskQuery, SelectQuery
+from ..sparql.parser import parse_query
+from ..sparql.results import AskResult, SelectResult
+from .availability import AlwaysAvailable, AvailabilityModel
+from .clock import SimulationClock
+from .errors import EndpointTimeout, EndpointUnavailable, QueryRejected
+from .profiles import EndpointProfile, PROFILES
+
+__all__ = ["SparqlEndpoint"]
+
+
+class EndpointStats:
+    """Counters the benchmarks read off each endpoint."""
+
+    __slots__ = ("queries", "failures", "timeouts", "rejected", "truncated", "total_latency_ms")
+
+    def __init__(self):
+        self.queries = 0
+        self.failures = 0
+        self.timeouts = 0
+        self.rejected = 0
+        self.truncated = 0
+        self.total_latency_ms = 0.0
+
+
+class SparqlEndpoint:
+    """One endpoint: a graph + a profile + availability + latency."""
+
+    def __init__(
+        self,
+        url: str,
+        graph: Graph,
+        clock: SimulationClock,
+        profile: Union[str, EndpointProfile] = "virtuoso",
+        availability: Optional[AvailabilityModel] = None,
+        seed: int = 0,
+        title: str = "",
+    ):
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        self.url = url
+        self.graph = graph
+        self.clock = clock
+        self.profile = profile
+        self.availability = availability or AlwaysAvailable()
+        self.title = title or url
+        self._engine = QueryEngine(graph)
+        digest = hashlib.sha256(f"{seed}:{url}:latency".encode("utf-8")).digest()
+        self._rng = random.Random(int.from_bytes(digest[:8], "big"))
+        self.stats = EndpointStats()
+
+    def __repr__(self) -> str:
+        return f"<SparqlEndpoint {self.url!r} profile={self.profile.name} triples={len(self.graph)}>"
+
+    # -- querying -------------------------------------------------------------
+
+    def query(self, text: str) -> Union[SelectResult, AskResult]:
+        """Execute *text*, charging simulated latency to the clock.
+
+        Raises :class:`EndpointUnavailable` when the availability model says
+        the endpoint is down today, :class:`QueryRejected` for unsupported
+        features, :class:`EndpointTimeout` when execution cost exceeds the
+        profile's timeout.  SELECT results may come back *truncated* (with
+        ``result.truncated`` set) when the profile caps result rows.
+        """
+        self.stats.queries += 1
+        if not self.availability.is_available(self.clock.today):
+            # A dead endpoint still costs a connect attempt before failing.
+            self.clock.advance(self._jitter(self.profile.connect_ms * 2.0))
+            self.stats.failures += 1
+            raise EndpointUnavailable(f"endpoint {self.url} is unavailable", url=self.url)
+
+        parsed = parse_query(text)
+
+        if not self.profile.supports_property_paths and _contains_path(parsed):
+            self.clock.advance(self._jitter(self.profile.connect_ms))
+            self.stats.rejected += 1
+            raise QueryRejected(
+                f"endpoint {self.url} ({self.profile.name}) rejects property paths",
+                url=self.url,
+            )
+
+        if isinstance(parsed, SelectQuery):
+            if parsed.has_aggregates() and not self.profile.supports_aggregates:
+                self.clock.advance(self._jitter(self.profile.connect_ms))
+                self.stats.rejected += 1
+                raise QueryRejected(
+                    f"endpoint {self.url} ({self.profile.name}) rejects aggregates",
+                    url=self.url,
+                )
+            if parsed.order_by and not self.profile.supports_order_by:
+                self.clock.advance(self._jitter(self.profile.connect_ms))
+                self.stats.rejected += 1
+                raise QueryRejected(
+                    f"endpoint {self.url} ({self.profile.name}) rejects ORDER BY",
+                    url=self.url,
+                )
+
+        result = self._engine.run(parsed)
+
+        latency = self._estimate_latency(parsed, result)
+        if latency > self.profile.timeout_ms:
+            self.clock.advance(self.profile.timeout_ms)
+            self.stats.timeouts += 1
+            raise EndpointTimeout(
+                f"endpoint {self.url} timed out after {self.profile.timeout_ms:.0f} ms",
+                url=self.url,
+            )
+        self.clock.advance(latency)
+        self.stats.total_latency_ms += latency
+
+        if isinstance(result, SelectResult):
+            cap = self.profile.max_result_rows
+            if cap is not None and len(result.rows) > cap:
+                result = SelectResult(result.variables, result.rows[:cap], truncated=True)
+                self.stats.truncated += 1
+        return result
+
+    def _estimate_latency(self, parsed, result) -> float:
+        profile = self.profile
+        latency = profile.connect_ms + profile.parse_ms
+        pattern_count = _count_patterns(parsed)
+        latency += pattern_count * profile.per_pattern_ms
+        # Execution cost grows with dataset size (index lookups aren't free)
+        # and with the result cardinality.
+        latency += len(self.graph) * 0.0004
+        if isinstance(result, SelectResult):
+            latency += len(result.rows) * profile.per_solution_ms
+        if isinstance(parsed, SelectQuery) and parsed.has_aggregates():
+            latency += profile.aggregate_overhead_ms
+        return self._jitter(latency)
+
+    def _jitter(self, value: float) -> float:
+        spread = self.profile.jitter
+        return value * (1.0 + self._rng.uniform(-spread, spread))
+
+    # -- test/bench helpers ------------------------------------------------------
+
+    def is_up(self) -> bool:
+        return self.availability.is_available(self.clock.today)
+
+    def triple_count(self) -> int:
+        return len(self.graph)
+
+
+def _contains_path(parsed) -> bool:
+    """Does the query use a SPARQL 1.1 property path in any pattern?"""
+    from ..sparql.nodes import (
+        GroupPattern,
+        OptionalPattern,
+        TriplePattern,
+        UnionPattern,
+    )
+    from ..sparql.paths import is_path
+
+    def walk(group: GroupPattern) -> bool:
+        for element in group.elements:
+            if isinstance(element, TriplePattern) and is_path(element.predicate):
+                return True
+            if isinstance(element, OptionalPattern) and walk(element.group):
+                return True
+            if isinstance(element, UnionPattern) and any(
+                walk(alt) for alt in element.alternatives
+            ):
+                return True
+            if isinstance(element, GroupPattern) and walk(element):
+                return True
+        return False
+
+    if isinstance(parsed, (SelectQuery, AskQuery)):
+        return walk(parsed.where)
+    return False
+
+
+def _count_patterns(parsed) -> int:
+    """Rough BGP size: triple patterns in the WHERE clause (any nesting)."""
+    from ..sparql.nodes import (
+        FilterPattern,
+        GroupPattern,
+        OptionalPattern,
+        TriplePattern,
+        UnionPattern,
+        ValuesPattern,
+    )
+
+    def count_group(group: GroupPattern) -> int:
+        total = 0
+        for element in group.elements:
+            if isinstance(element, TriplePattern):
+                total += 1
+            elif isinstance(element, OptionalPattern):
+                total += count_group(element.group)
+            elif isinstance(element, UnionPattern):
+                total += sum(count_group(alt) for alt in element.alternatives)
+            elif isinstance(element, GroupPattern):
+                total += count_group(element)
+            elif isinstance(element, (FilterPattern, ValuesPattern)):
+                total += 0
+        return total
+
+    if isinstance(parsed, (SelectQuery, AskQuery)):
+        return count_group(parsed.where)
+    return 1

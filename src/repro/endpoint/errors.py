@@ -1,0 +1,41 @@
+"""Errors raised by the simulated endpoint network.
+
+Mirrors the failure modes a SPARQL client sees against real endpoints:
+unreachable hosts, server-side timeouts, feature rejections and truncated
+results (the last one is a *flag*, not an error -- Virtuoso truncates
+silently, which is precisely why pattern strategies exist).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EndpointError",
+    "EndpointUnavailable",
+    "EndpointTimeout",
+    "QueryRejected",
+    "UnknownEndpoint",
+]
+
+
+class EndpointError(Exception):
+    """Base class for endpoint-level failures."""
+
+    def __init__(self, message: str, url: str = ""):
+        super().__init__(message)
+        self.url = url
+
+
+class EndpointUnavailable(EndpointError):
+    """The endpoint did not answer (down on this simulated day)."""
+
+
+class EndpointTimeout(EndpointError):
+    """Execution exceeded the endpoint's server-side timeout."""
+
+
+class QueryRejected(EndpointError):
+    """The endpoint implementation does not support this query feature."""
+
+
+class UnknownEndpoint(EndpointError):
+    """No endpoint is registered at this URL (DNS failure analog)."""

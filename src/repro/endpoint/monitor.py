@@ -1,0 +1,129 @@
+"""A SPARQLES-style availability monitor.
+
+§3.1 cites the SPARQLES service (sparqles.ai.wu.ac.at) as the source of
+endpoint-availability knowledge.  This module reproduces the part H-BOLD
+relies on: a monitor that probes every endpoint on a schedule with a cheap
+``ASK`` query, keeps per-endpoint probe histories, and derives the
+availability classes SPARQLES reports (the ">99%", "95-99%", "75-95%",
+"5-75%", "<5%" buckets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .clock import SimulationClock
+from .errors import EndpointError
+from .network import EndpointNetwork, SparqlClient
+
+__all__ = ["AvailabilityMonitor", "ProbeRecord", "AVAILABILITY_BUCKETS"]
+
+#: SPARQLES availability classes: (label, lower bound inclusive)
+AVAILABILITY_BUCKETS: Tuple[Tuple[str, float], ...] = (
+    (">99%", 0.99),
+    ("95-99%", 0.95),
+    ("75-95%", 0.75),
+    ("5-75%", 0.05),
+    ("<5%", 0.0),
+)
+
+PROBE_QUERY = "ASK { ?s ?p ?o }"
+
+
+class ProbeRecord:
+    """One availability probe result."""
+
+    __slots__ = ("day", "at_ms", "alive", "latency_ms")
+
+    def __init__(self, day: int, at_ms: float, alive: bool, latency_ms: float):
+        self.day = day
+        self.at_ms = at_ms
+        self.alive = alive
+        self.latency_ms = latency_ms
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<ProbeRecord day={self.day} {state} {self.latency_ms:.0f}ms>"
+
+
+class AvailabilityMonitor:
+    """Probes endpoints daily and aggregates availability statistics."""
+
+    def __init__(self, network: EndpointNetwork, client: Optional[SparqlClient] = None):
+        self.network = network
+        self.client = client or SparqlClient(network, max_retries=0)
+        self._history: Dict[str, List[ProbeRecord]] = {}
+
+    # -- probing ------------------------------------------------------------
+
+    def probe(self, url: str) -> ProbeRecord:
+        """One ASK probe against *url*, recorded in the history."""
+        clock: SimulationClock = self.network.clock
+        start = clock.now_ms
+        try:
+            alive = bool(self.client.query(url, PROBE_QUERY))
+        except EndpointError:
+            alive = False
+        record = ProbeRecord(clock.today, start, alive, clock.now_ms - start)
+        self._history.setdefault(url, []).append(record)
+        return record
+
+    def probe_all(self, urls: Optional[List[str]] = None) -> Dict[str, ProbeRecord]:
+        targets = urls if urls is not None else self.network.urls()
+        return {url: self.probe(url) for url in targets}
+
+    def run_days(self, days: int, urls: Optional[List[str]] = None) -> None:
+        """Probe daily for *days* simulated days."""
+        clock = self.network.clock
+        for _ in range(days):
+            self.probe_all(urls)
+            clock.sleep_until_day(clock.today + 1)
+
+    # -- statistics ------------------------------------------------------------
+
+    def history(self, url: str) -> List[ProbeRecord]:
+        return list(self._history.get(url, ()))
+
+    def availability(self, url: str) -> float:
+        """Fraction of probes that succeeded (1.0 with no probes yet)."""
+        records = self._history.get(url)
+        if not records:
+            return 1.0
+        return sum(1 for r in records if r.alive) / len(records)
+
+    def bucket(self, url: str) -> str:
+        """The SPARQLES availability class for *url*."""
+        ratio = self.availability(url)
+        for label, lower in AVAILABILITY_BUCKETS:
+            if ratio >= lower:
+                return label
+        return AVAILABILITY_BUCKETS[-1][0]
+
+    def bucket_census(self, urls: Optional[List[str]] = None) -> Dict[str, int]:
+        """How many endpoints fall into each availability class."""
+        targets = urls if urls is not None else sorted(self._history)
+        census = {label: 0 for label, _ in AVAILABILITY_BUCKETS}
+        for url in targets:
+            census[self.bucket(url)] += 1
+        return census
+
+    def mean_latency_ms(self, url: str) -> Optional[float]:
+        """Mean probe latency over successful probes, or None."""
+        alive = [r.latency_ms for r in self._history.get(url, ()) if r.alive]
+        if not alive:
+            return None
+        return sum(alive) / len(alive)
+
+    def flapping_endpoints(self, min_transitions: int = 4) -> List[str]:
+        """Endpoints whose up/down state changed at least *min_transitions*
+        times -- the ones §3.1's daily-retry rule exists for."""
+        out = []
+        for url, records in sorted(self._history.items()):
+            transitions = sum(
+                1
+                for previous, current in zip(records, records[1:])
+                if previous.alive != current.alive
+            )
+            if transitions >= min_transitions:
+                out.append(url)
+        return out

@@ -1,0 +1,109 @@
+"""The endpoint network: a URL-addressed registry of simulated endpoints.
+
+This is the "internet" of the reproduction -- index extraction, the portal
+crawler and the presentation layer reach every endpoint through a
+:class:`SparqlClient` bound to one :class:`EndpointNetwork`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..sparql.results import AskResult, SelectResult
+from .clock import SimulationClock
+from .endpoint import SparqlEndpoint
+from .errors import EndpointError, EndpointUnavailable, UnknownEndpoint
+
+__all__ = ["EndpointNetwork", "SparqlClient"]
+
+
+class EndpointNetwork:
+    """Maps URL -> :class:`SparqlEndpoint`, sharing one simulation clock."""
+
+    def __init__(self, clock: Optional[SimulationClock] = None):
+        self.clock = clock or SimulationClock()
+        self._endpoints: Dict[str, SparqlEndpoint] = {}
+
+    def register(self, endpoint: SparqlEndpoint) -> SparqlEndpoint:
+        if endpoint.url in self._endpoints:
+            raise ValueError(f"endpoint already registered at {endpoint.url}")
+        if endpoint.clock is not self.clock:
+            raise ValueError("endpoint must share the network clock")
+        self._endpoints[endpoint.url] = endpoint
+        return endpoint
+
+    def deregister(self, url: str) -> bool:
+        return self._endpoints.pop(url, None) is not None
+
+    def get(self, url: str) -> SparqlEndpoint:
+        endpoint = self._endpoints.get(url)
+        if endpoint is None:
+            raise UnknownEndpoint(f"no endpoint at {url}", url=url)
+        return endpoint
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._endpoints
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    def urls(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    def __iter__(self) -> Iterator[SparqlEndpoint]:
+        for url in self.urls():
+            yield self._endpoints[url]
+
+
+class SparqlClient:
+    """A client with retry/timeout policy over an :class:`EndpointNetwork`.
+
+    Retries only *transient* failures (unavailability); feature rejections
+    and timeouts surface immediately so the pattern-strategy layer can
+    switch approach instead of hammering the endpoint.
+    """
+
+    def __init__(
+        self,
+        network: EndpointNetwork,
+        max_retries: int = 2,
+        retry_backoff_ms: float = 500.0,
+    ):
+        self.network = network
+        self.max_retries = max_retries
+        self.retry_backoff_ms = retry_backoff_ms
+
+    def query(self, url: str, text: str) -> Union[SelectResult, AskResult]:
+        endpoint = self.network.get(url)
+        attempts = self.max_retries + 1
+        last_error: Optional[EndpointError] = None
+        for attempt in range(attempts):
+            try:
+                return endpoint.query(text)
+            except EndpointUnavailable as exc:
+                last_error = exc
+                if attempt + 1 < attempts:
+                    self.network.clock.advance(self.retry_backoff_ms * (attempt + 1))
+        assert last_error is not None
+        raise last_error
+
+    # -- convenience wrappers ---------------------------------------------------
+
+    def select(self, url: str, text: str) -> SelectResult:
+        result = self.query(url, text)
+        if not isinstance(result, SelectResult):
+            raise TypeError(f"expected SELECT result, got {type(result).__name__}")
+        return result
+
+    def ask(self, url: str, text: str) -> bool:
+        result = self.query(url, text)
+        if not isinstance(result, AskResult):
+            raise TypeError(f"expected ASK result, got {type(result).__name__}")
+        return bool(result)
+
+    def is_alive(self, url: str) -> bool:
+        """The availability probe H-BOLD runs before extraction."""
+        try:
+            return self.ask(url, "ASK { ?s ?p ?o }")
+        except EndpointError:
+            return False

@@ -1,0 +1,59 @@
+"""RDF substrate: terms, namespaces, indexed triple store, N-Triples, Turtle.
+
+This package replaces rdflib for the H-BOLD reproduction.  It provides the
+data model (``IRI``, ``BNode``, ``Literal``, ``Triple``), an in-memory
+triple store with SPO/POS/OSP indexes (``Graph``), and readers/writers for
+the two serializations the pipeline uses (N-Triples and a Turtle subset).
+"""
+
+from .graph import Graph
+from .namespaces import (
+    DCAT,
+    DCTERMS,
+    FOAF,
+    OWL,
+    PREFIXES,
+    RDF,
+    RDFS,
+    SCHEMA,
+    SWC,
+    VOID,
+    XSD,
+    Namespace,
+    curie,
+    expand_curie,
+)
+from .ntriples import NTriplesError, graph_from_ntriples, parse_ntriples, serialize_ntriples
+from .terms import BNode, IRI, Literal, Term, Triple, Variable
+from .turtle import TurtleError, parse_turtle, serialize_turtle
+
+__all__ = [
+    "BNode",
+    "DCAT",
+    "DCTERMS",
+    "FOAF",
+    "Graph",
+    "IRI",
+    "Literal",
+    "Namespace",
+    "NTriplesError",
+    "OWL",
+    "PREFIXES",
+    "RDF",
+    "RDFS",
+    "SCHEMA",
+    "SWC",
+    "Term",
+    "Triple",
+    "TurtleError",
+    "VOID",
+    "Variable",
+    "XSD",
+    "curie",
+    "expand_curie",
+    "graph_from_ntriples",
+    "parse_ntriples",
+    "parse_turtle",
+    "serialize_ntriples",
+    "serialize_turtle",
+]

@@ -1,0 +1,281 @@
+"""An indexed, in-memory RDF triple store.
+
+This is the storage substrate under every simulated SPARQL endpoint.  It
+maintains three permutation indexes (SPO, POS, OSP) so that any triple
+pattern with at least one bound position is answered without a full scan --
+the same design as classical hexastores reduced to the three orderings a
+single-variable-join workload actually needs.
+
+The store is deliberately *not* thread-safe: the simulation layers are
+single-threaded and the paper's server pipeline is batch-oriented.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+
+from .namespaces import RDF, RDFS
+from .terms import BNode, IRI, Literal, Term, Triple
+
+__all__ = ["Graph"]
+
+_SubjectLike = Union[IRI, BNode]
+TriplePattern = Tuple[Optional[Term], Optional[IRI], Optional[Term]]
+
+
+class Graph:
+    """A set of triples with SPO/POS/OSP indexes and graph-level helpers.
+
+    >>> g = Graph()
+    >>> from repro.rdf.terms import IRI, Literal
+    >>> s, p = IRI("http://ex.org/s"), IRI("http://ex.org/p")
+    >>> _ = g.add(Triple(s, p, Literal("x")))
+    >>> len(g)
+    1
+    """
+
+    def __init__(self, identifier: Optional[str] = None):
+        self.identifier = identifier
+        self._spo: Dict[Term, Dict[IRI, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[IRI, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[Term, Dict[Term, Set[IRI]]] = defaultdict(lambda: defaultdict(set))
+        self._size = 0
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert *triple*; return True if it was not already present."""
+        s, p, o = triple.subject, triple.predicate, triple.object
+        objects = self._spo[s][p]
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._size += 1
+        return True
+
+    def add_triple(self, subject: _SubjectLike, predicate: IRI, obj: Term) -> bool:
+        """Convenience: build and insert a :class:`Triple`."""
+        return self.add(Triple(subject, predicate, obj))
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; return how many were new."""
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove *triple*; return True if it was present."""
+        s, p, o = triple.subject, triple.predicate, triple.object
+        objects = self._spo.get(s, {}).get(p)
+        if not objects or o not in objects:
+            return False
+        objects.discard(o)
+        if not objects:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        self._pos[p][o].discard(s)
+        if not self._pos[p][o]:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        self._osp[o][s].discard(p)
+        if not self._osp[o][s]:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+        self._size -= 1
+        return True
+
+    def remove_pattern(self, subject=None, predicate=None, obj=None) -> int:
+        """Remove every triple matching the pattern; return removal count."""
+        victims = list(self.triples(subject, predicate, obj))
+        for triple in victims:
+            self.remove(triple)
+        return len(victims)
+
+    def clear(self) -> None:
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # -- lookup --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple.object in self._spo.get(triple.subject, {}).get(
+            triple.predicate, ()
+        )
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the (possibly wildcard) pattern.
+
+        ``None`` in a position is a wildcard.  The most selective index for
+        the bound positions is used.
+        """
+        if subject is not None:
+            by_predicate = self._spo.get(subject)
+            if not by_predicate:
+                return
+            if predicate is not None:
+                objects = by_predicate.get(predicate)
+                if not objects:
+                    return
+                if obj is not None:
+                    if obj in objects:
+                        yield Triple(subject, predicate, obj)
+                    return
+                for o in objects:
+                    yield Triple(subject, predicate, o)
+                return
+            for p, objects in by_predicate.items():
+                if obj is not None:
+                    if obj in objects:
+                        yield Triple(subject, p, obj)
+                    continue
+                for o in objects:
+                    yield Triple(subject, p, o)
+            return
+
+        if predicate is not None:
+            by_object = self._pos.get(predicate)
+            if not by_object:
+                return
+            if obj is not None:
+                for s in by_object.get(obj, ()):
+                    yield Triple(s, predicate, obj)
+                return
+            for o, subjects in by_object.items():
+                for s in subjects:
+                    yield Triple(s, predicate, o)
+            return
+
+        if obj is not None:
+            by_subject = self._osp.get(obj)
+            if not by_subject:
+                return
+            for s, predicates in by_subject.items():
+                for p in predicates:
+                    yield Triple(s, p, obj)
+            return
+
+        for s, by_predicate in self._spo.items():
+            for p, objects in by_predicate.items():
+                for o in objects:
+                    yield Triple(s, p, o)
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Count triples matching the pattern without materializing them."""
+        if subject is None and predicate is None and obj is None:
+            return self._size
+        if subject is not None and predicate is not None and obj is None:
+            return len(self._spo.get(subject, {}).get(predicate, ()))
+        if subject is not None and predicate is None and obj is None:
+            return sum(len(v) for v in self._spo.get(subject, {}).values())
+        if predicate is not None and subject is None and obj is None:
+            return sum(len(v) for v in self._pos.get(predicate, {}).values())
+        if predicate is not None and obj is not None and subject is None:
+            return len(self._pos.get(predicate, {}).get(obj, ()))
+        if obj is not None and subject is None and predicate is None:
+            return sum(len(v) for v in self._osp.get(obj, {}).values())
+        return sum(1 for _ in self.triples(subject, predicate, obj))
+
+    # -- convenience accessors -------------------------------------------
+
+    def subjects(self, predicate: Optional[IRI] = None, obj: Optional[Term] = None):
+        """Distinct subjects of triples matching ``(?, predicate, obj)``."""
+        if predicate is not None and obj is not None:
+            yield from self._pos.get(predicate, {}).get(obj, ())
+            return
+        seen = set()
+        for triple in self.triples(None, predicate, obj):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def predicates(self, subject: Optional[Term] = None, obj: Optional[Term] = None):
+        """Distinct predicates of triples matching ``(subject, ?, obj)``."""
+        seen = set()
+        for triple in self.triples(subject, None, obj):
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                yield triple.predicate
+
+    def objects(self, subject: Optional[Term] = None, predicate: Optional[IRI] = None):
+        """Distinct objects of triples matching ``(subject, predicate, ?)``."""
+        if subject is not None and predicate is not None:
+            yield from self._spo.get(subject, {}).get(predicate, ())
+            return
+        seen = set()
+        for triple in self.triples(subject, predicate, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def value(
+        self, subject: Optional[Term] = None, predicate: Optional[IRI] = None
+    ) -> Optional[Term]:
+        """The first object of ``(subject, predicate, ?)``, or None."""
+        for obj in self.objects(subject, predicate):
+            return obj
+        return None
+
+    # -- schema-level helpers used by index extraction ---------------------
+
+    def classes(self) -> Set[Term]:
+        """Distinct instantiated classes (objects of ``rdf:type``)."""
+        return set(self._pos.get(RDF.type, {}).keys())
+
+    def instances_of(self, cls: Term) -> Set[Term]:
+        """Subjects typed as *cls*."""
+        return set(self._pos.get(RDF.type, {}).get(cls, ()))
+
+    def class_count(self, cls: Term) -> int:
+        return len(self._pos.get(RDF.type, {}).get(cls, ()))
+
+    def subclasses(self, cls: Term) -> Set[Term]:
+        """Direct rdfs:subClassOf children of *cls*."""
+        return set(self._pos.get(RDFS.subClassOf, {}).get(cls, ()))
+
+    def label(self, subject: Term) -> Optional[str]:
+        """The rdfs:label of *subject* if present, as a plain string."""
+        value = self.value(subject, RDFS.label)
+        if isinstance(value, Literal):
+            return value.lexical
+        return None
+
+    # -- set-algebra -----------------------------------------------------
+
+    def __iadd__(self, other: "Graph") -> "Graph":
+        self.update(other)
+        return self
+
+    def copy(self) -> "Graph":
+        out = Graph(identifier=self.identifier)
+        out.update(self)
+        return out
+
+    def __repr__(self) -> str:
+        name = self.identifier or "anonymous"
+        return f"<Graph {name!r} with {self._size} triples>"

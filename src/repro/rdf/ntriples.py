@@ -1,0 +1,135 @@
+"""N-Triples reader and writer (RDF 1.1 N-Triples, the line-based format).
+
+N-Triples is the lingua franca for RDF dumps; the paper's pipeline ingests
+"RDF dumps through a SPARQL endpoint", and our simulated endpoints load
+fixture data through this module.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Iterable, Iterator, TextIO, Union
+
+from .graph import Graph
+from .terms import BNode, IRI, Literal, Triple
+
+__all__ = ["parse_ntriples", "serialize_ntriples", "NTriplesError"]
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples input, with 1-based line numbers."""
+
+    def __init__(self, message: str, lineno: int):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_IRIREF = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+_BNODE = r"_:([A-Za-z0-9_][A-Za-z0-9_.-]*)"
+_LITERAL = r'"((?:[^"\\\n\r]|\\.)*)"'
+_LANG = r"@([a-zA-Z]+(?:-[a-zA-Z0-9]+)*)"
+
+_SUBJECT_RE = re.compile(rf"(?:{_IRIREF}|{_BNODE})\s+")
+_PREDICATE_RE = re.compile(rf"{_IRIREF}\s+")
+_OBJECT_RE = re.compile(
+    rf"(?:{_IRIREF}|{_BNODE}|{_LITERAL}(?:{_LANG}|\^\^{_IRIREF})?)\s*\.\s*(?:#.*)?$"
+)
+
+_ESCAPES = {"t": "\t", "n": "\n", "r": "\r", '"': '"', "\\": "\\", "b": "\b", "f": "\f"}
+
+
+def _unescape(text: str, lineno: int) -> str:
+    # \uXXXX / \UXXXXXXXX are handled before the single-character escapes.
+    out = []
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c != "\\":
+            out.append(c)
+            i += 1
+            continue
+        if i + 1 >= len(text):
+            raise NTriplesError("dangling backslash", lineno)
+        nxt = text[i + 1]
+        if nxt == "u":
+            out.append(chr(int(text[i + 2 : i + 6], 16)))
+            i += 6
+        elif nxt == "U":
+            out.append(chr(int(text[i + 2 : i + 10], 16)))
+            i += 10
+        elif nxt in _ESCAPES:
+            out.append(_ESCAPES[nxt])
+            i += 2
+        else:
+            raise NTriplesError(f"invalid escape \\{nxt}", lineno)
+    return "".join(out)
+
+
+def parse_ntriples(source: Union[str, TextIO]) -> Iterator[Triple]:
+    """Yield triples from N-Triples text or a file-like object.
+
+    Blank lines and ``#`` comment lines are skipped.  Malformed lines raise
+    :class:`NTriplesError` carrying the line number.
+    """
+    stream: TextIO
+    if isinstance(source, str):
+        stream = io.StringIO(source)
+    else:
+        stream = source
+
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+
+        match = _SUBJECT_RE.match(line)
+        if not match:
+            raise NTriplesError("expected subject", lineno)
+        iri_value, bnode_label = match.group(1), match.group(2)
+        subject = IRI(iri_value) if iri_value is not None else BNode(bnode_label)
+        rest = line[match.end():]
+
+        match = _PREDICATE_RE.match(rest)
+        if not match:
+            raise NTriplesError("expected predicate IRI", lineno)
+        predicate = IRI(match.group(1))
+        rest = rest[match.end():]
+
+        match = _OBJECT_RE.match(rest)
+        if not match:
+            raise NTriplesError("expected object followed by '.'", lineno)
+        obj_iri, obj_bnode, obj_lex, obj_lang, obj_dt = match.groups()
+        if obj_iri is not None:
+            obj = IRI(obj_iri)
+        elif obj_bnode is not None:
+            obj = BNode(obj_bnode)
+        else:
+            lexical = _unescape(obj_lex, lineno)
+            if obj_lang:
+                obj = Literal(lexical, language=obj_lang)
+            elif obj_dt:
+                obj = Literal(lexical, datatype=obj_dt)
+            else:
+                obj = Literal(lexical)
+
+        yield Triple(subject, predicate, obj)
+
+
+def serialize_ntriples(triples: Iterable[Triple], sort: bool = False) -> str:
+    """Serialize *triples* to N-Triples text.
+
+    With ``sort=True`` the output is canonicalized by term order, which makes
+    round-trip tests and fixture diffs deterministic.
+    """
+    items = list(triples)
+    if sort:
+        items.sort(key=lambda t: t.sort_key())
+    return "".join(t.n3() + "\n" for t in items)
+
+
+def graph_from_ntriples(source: Union[str, TextIO], identifier: str = None) -> Graph:
+    """Parse N-Triples straight into a fresh :class:`Graph`."""
+    graph = Graph(identifier=identifier)
+    graph.update(parse_ntriples(source))
+    return graph

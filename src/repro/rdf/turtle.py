@@ -1,0 +1,404 @@
+"""Turtle subset reader and writer.
+
+Supported surface syntax (the subset our generators and fixtures use):
+
+* ``@prefix`` / ``@base`` and SPARQL-style ``PREFIX`` / ``BASE`` directives
+* IRIs, prefixed names, ``a`` for ``rdf:type``
+* predicate lists (``;``) and object lists (``,``)
+* plain/lang-tagged/datatyped literals, long (triple-quoted) strings,
+  integers, decimals, doubles and booleans
+* labelled blank nodes (``_:x``) and anonymous blank nodes (``[ ... ]``)
+
+RDF collections ``( ... )`` are intentionally not supported and raise a
+clear :class:`TurtleError` — nothing in the H-BOLD workload emits them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .graph import Graph
+from .namespaces import PREFIXES, RDF
+from .terms import BNode, IRI, Literal, Term, Triple
+
+__all__ = ["parse_turtle", "serialize_turtle", "TurtleError"]
+
+
+class TurtleError(ValueError):
+    """Raised on malformed Turtle with position information."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>\#[^\n]*)
+  | (?P<PREFIX_DIRECTIVE>@prefix\b|PREFIX\b)
+  | (?P<BASE_DIRECTIVE>@base\b|BASE\b)
+  | (?P<IRIREF><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<LONG_STRING>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+  | (?P<STRING>"(?:[^"\\\n\r]|\\.)*")
+  | (?P<LANGTAG>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<DOUBLE_CARET>\^\^)
+  | (?P<BOOLEAN>\b(?:true|false)\b)
+  | (?P<DOUBLE>[+-]?(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+  | (?P<DECIMAL>[+-]?\d*\.\d+)
+  | (?P<INTEGER>[+-]?\d+)
+  | (?P<BNODE>_:[A-Za-z0-9_][A-Za-z0-9_.-]*)
+  | (?P<A>\ba\b)
+  | (?P<PNAME>[A-Za-z_][A-Za-z0-9_.-]*?:[A-Za-z0-9_]?[A-Za-z0-9_.%-]*)
+  | (?P<COLONNAME>:[A-Za-z0-9_][A-Za-z0-9_.-]*)
+  | (?P<PUNCT>[.;,\[\]\(\)])
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {"t": "\t", "n": "\n", "r": "\r", '"': '"', "'": "'", "\\": "\\", "b": "\b", "f": "\f"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            column = pos - line_start + 1
+            raise TurtleError(f"unexpected character {text[pos]!r}", line, column)
+        kind = match.lastgroup
+        value = match.group()
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, value, line, pos - line_start + 1))
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + value.rindex("\n") + 1
+        pos = match.end()
+    tokens.append(_Token("EOF", "", line, pos - line_start + 1))
+    return tokens
+
+
+def _unescape_string(raw: str, token: _Token) -> str:
+    out = []
+    i = 0
+    while i < len(raw):
+        c = raw[i]
+        if c != "\\":
+            out.append(c)
+            i += 1
+            continue
+        nxt = raw[i + 1] if i + 1 < len(raw) else ""
+        if nxt == "u":
+            out.append(chr(int(raw[i + 2 : i + 6], 16)))
+            i += 6
+        elif nxt == "U":
+            out.append(chr(int(raw[i + 2 : i + 10], 16)))
+            i += 10
+        elif nxt in _ESCAPES:
+            out.append(_ESCAPES[nxt])
+            i += 2
+        else:
+            raise TurtleError(f"invalid escape \\{nxt}", token.line, token.column)
+    return "".join(out)
+
+
+class _Parser:
+    def __init__(self, text: str, base: Optional[str] = None):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.base = base or ""
+        self.prefixes: Dict[str, str] = {}
+        self.triples: List[Triple] = []
+        self._anon_counter = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise TurtleError(
+                f"expected {text or kind}, got {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def error(self, message: str) -> TurtleError:
+        token = self.peek()
+        return TurtleError(message, token.line, token.column)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> List[Triple]:
+        while self.peek().kind != "EOF":
+            token = self.peek()
+            if token.kind == "PREFIX_DIRECTIVE":
+                self._parse_prefix()
+            elif token.kind == "BASE_DIRECTIVE":
+                self._parse_base()
+            else:
+                self._parse_statement()
+        return self.triples
+
+    def _parse_prefix(self) -> None:
+        directive = self.next()
+        token = self.next()
+        if token.kind == "PNAME" and token.text.endswith(":"):
+            prefix = token.text[:-1]
+        elif token.kind == "COLONNAME":
+            raise TurtleError("malformed prefix declaration", token.line, token.column)
+        elif token.text == ":":  # pragma: no cover - tokenizer folds this into PNAME
+            prefix = ""
+        else:
+            # "ex:" tokenizes as PNAME only with a trailing local part; accept
+            # a bare "prefix:" via PNAME ending in colon, else complain.
+            raise TurtleError(
+                f"expected prefix name, got {token.text!r}", token.line, token.column
+            )
+        iri_token = self.expect("IRIREF")
+        self.prefixes[prefix] = self._resolve_iri(iri_token.text[1:-1])
+        if directive.text == "@prefix":
+            self.expect("PUNCT", ".")
+
+    def _parse_base(self) -> None:
+        directive = self.next()
+        iri_token = self.expect("IRIREF")
+        self.base = self._resolve_iri(iri_token.text[1:-1])
+        if directive.text == "@base":
+            self.expect("PUNCT", ".")
+
+    def _resolve_iri(self, value: str) -> str:
+        if self.base and "://" not in value and not value.startswith("urn:"):
+            return self.base + value
+        return value
+
+    def _parse_statement(self) -> None:
+        subject = self._parse_subject()
+        self._parse_predicate_object_list(subject)
+        self.expect("PUNCT", ".")
+
+    def _parse_subject(self) -> Term:
+        token = self.peek()
+        if token.kind == "IRIREF":
+            return self._parse_iri()
+        if token.kind in ("PNAME", "COLONNAME"):
+            return self._parse_pname()
+        if token.kind == "BNODE":
+            self.next()
+            return BNode(token.text[2:])
+        if token.kind == "PUNCT" and token.text == "[":
+            return self._parse_anon_bnode()
+        raise self.error(f"expected subject, got {token.text!r}")
+
+    def _parse_predicate_object_list(self, subject: Term) -> None:
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_object()
+                self.triples.append(Triple(subject, predicate, obj))
+                if self.peek().text == ",":
+                    self.next()
+                    continue
+                break
+            if self.peek().text == ";":
+                self.next()
+                # allow trailing ';' before '.' or ']'
+                if self.peek().text in (".", "]"):
+                    return
+                continue
+            return
+
+    def _parse_predicate(self) -> IRI:
+        token = self.peek()
+        if token.kind == "A":
+            self.next()
+            return RDF.type
+        if token.kind == "IRIREF":
+            return self._parse_iri()
+        if token.kind in ("PNAME", "COLONNAME"):
+            term = self._parse_pname()
+            return term
+        raise self.error(f"expected predicate, got {token.text!r}")
+
+    def _parse_object(self) -> Term:
+        token = self.peek()
+        if token.kind == "IRIREF":
+            return self._parse_iri()
+        if token.kind in ("PNAME", "COLONNAME"):
+            return self._parse_pname()
+        if token.kind == "BNODE":
+            self.next()
+            return BNode(token.text[2:])
+        if token.kind == "PUNCT" and token.text == "[":
+            return self._parse_anon_bnode()
+        if token.kind == "PUNCT" and token.text == "(":
+            raise self.error("RDF collections '( ... )' are not supported")
+        if token.kind in ("STRING", "LONG_STRING"):
+            return self._parse_literal()
+        if token.kind == "INTEGER":
+            self.next()
+            return Literal(int(token.text))
+        if token.kind == "DECIMAL":
+            self.next()
+            return Literal(token.text, datatype="http://www.w3.org/2001/XMLSchema#decimal")
+        if token.kind == "DOUBLE":
+            self.next()
+            return Literal(float(token.text))
+        if token.kind == "BOOLEAN":
+            self.next()
+            return Literal(token.text == "true")
+        raise self.error(f"expected object, got {token.text!r}")
+
+    def _parse_iri(self) -> IRI:
+        token = self.expect("IRIREF")
+        return IRI(self._resolve_iri(token.text[1:-1]))
+
+    def _parse_pname(self) -> IRI:
+        token = self.next()
+        text = token.text
+        prefix, _, local = text.partition(":")
+        local = local.replace("%20", " ")
+        if prefix not in self.prefixes:
+            raise TurtleError(f"unknown prefix {prefix!r}:", token.line, token.column)
+        return IRI(self.prefixes[prefix] + local)
+
+    def _parse_literal(self) -> Literal:
+        token = self.next()
+        if token.kind == "LONG_STRING":
+            raw = token.text[3:-3]
+        else:
+            raw = token.text[1:-1]
+        lexical = _unescape_string(raw, token)
+        nxt = self.peek()
+        if nxt.kind == "LANGTAG":
+            self.next()
+            return Literal(lexical, language=nxt.text[1:])
+        if nxt.kind == "DOUBLE_CARET":
+            self.next()
+            dtype_token = self.peek()
+            if dtype_token.kind == "IRIREF":
+                dtype = self._parse_iri()
+            elif dtype_token.kind in ("PNAME", "COLONNAME"):
+                dtype = self._parse_pname()
+            else:
+                raise self.error("expected datatype IRI after ^^")
+            return Literal(lexical, datatype=dtype)
+        return Literal(lexical)
+
+    def _parse_anon_bnode(self) -> BNode:
+        open_token = self.expect("PUNCT", "[")
+        self._anon_counter += 1
+        node = BNode(f"anon{open_token.line}_{open_token.column}_{self._anon_counter}")
+        if self.peek().text != "]":
+            self._parse_predicate_object_list(node)
+        self.expect("PUNCT", "]")
+        return node
+
+
+def parse_turtle(text: str, base: Optional[str] = None) -> Graph:
+    """Parse Turtle *text* into a new :class:`Graph`."""
+    parser = _Parser(text, base=base)
+    graph = Graph()
+    graph.update(parser.parse())
+    return graph
+
+
+def serialize_turtle(
+    graph: Iterable[Triple],
+    prefixes: Optional[Dict[str, str]] = None,
+) -> str:
+    """Serialize triples to Turtle, grouping by subject and abbreviating.
+
+    Uses the default well-known prefix table plus any caller-supplied
+    *prefixes* (mapping prefix -> base IRI).
+    """
+    table: Dict[str, str] = {p: ns.base for p, ns in PREFIXES.items()}
+    if prefixes:
+        table.update(prefixes)
+
+    def abbreviate(term: Term) -> str:
+        if isinstance(term, IRI):
+            if term == RDF.type:
+                return "a"
+            best: Tuple[int, str] = (-1, term.n3())
+            for prefix, base in table.items():
+                if term.value.startswith(base) and len(base) > best[0]:
+                    local = term.value[len(base):]
+                    if local and re.fullmatch(r"[A-Za-z0-9_][A-Za-z0-9_.-]*", local):
+                        best = (len(base), f"{prefix}:{local}")
+            return best[1]
+        return term.n3()
+
+    by_subject: Dict[Term, List[Triple]] = {}
+    for triple in graph:
+        by_subject.setdefault(triple.subject, []).append(triple)
+
+    used_prefixes = set()
+
+    def note_usage(text: str) -> str:
+        if ":" in text and not text.startswith("<") and not text.startswith('"'):
+            used_prefixes.add(text.split(":", 1)[0])
+        return text
+
+    body_lines: List[str] = []
+    for subject in sorted(by_subject, key=lambda t: t.sort_key()):
+        triples = sorted(by_subject[subject], key=lambda t: t.sort_key())
+        subject_text = note_usage(abbreviate(subject)) if isinstance(subject, IRI) else subject.n3()
+        by_predicate: Dict[IRI, List[Term]] = {}
+        for triple in triples:
+            by_predicate.setdefault(triple.predicate, []).append(triple.object)
+        predicate_parts = []
+        for predicate in sorted(by_predicate, key=lambda t: t.sort_key()):
+            objects = by_predicate[predicate]
+            object_texts = []
+            for obj in objects:
+                if isinstance(obj, IRI):
+                    object_texts.append(note_usage(abbreviate(obj)))
+                else:
+                    text = obj.n3()
+                    if isinstance(obj, Literal) and obj.datatype:
+                        compact = abbreviate(IRI(obj.datatype))
+                        if not compact.startswith("<"):
+                            note_usage(compact)
+                            escaped = text[: text.rindex("^^")]
+                            text = f"{escaped}^^{compact}"
+                    object_texts.append(text)
+            pred_text = note_usage(abbreviate(predicate)) if predicate != RDF.type else "a"
+            predicate_parts.append(f"{pred_text} {', '.join(object_texts)}")
+        body_lines.append(f"{subject_text} " + " ;\n    ".join(predicate_parts) + " .")
+
+    header_lines = [
+        f"@prefix {prefix}: <{table[prefix]}> ."
+        for prefix in sorted(used_prefixes)
+        if prefix in table
+    ]
+    sections = []
+    if header_lines:
+        sections.append("\n".join(header_lines))
+    sections.append("\n\n".join(body_lines))
+    return "\n\n".join(sections) + "\n"

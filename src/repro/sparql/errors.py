@@ -1,0 +1,37 @@
+"""Exception hierarchy for the SPARQL engine.
+
+Endpoint simulation layers (timeouts, result limits) raise their own errors
+on top of these; everything query-shaped funnels through ``SparqlError`` so
+callers can catch one type at the boundary.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SparqlError",
+    "SparqlSyntaxError",
+    "SparqlEvaluationError",
+    "UnsupportedSparqlError",
+]
+
+
+class SparqlError(Exception):
+    """Base class for every error raised by the SPARQL engine."""
+
+
+class SparqlSyntaxError(SparqlError):
+    """The query text failed to tokenize or parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SparqlEvaluationError(SparqlError):
+    """A well-formed query failed during evaluation (type errors etc.)."""
+
+
+class UnsupportedSparqlError(SparqlSyntaxError):
+    """The query uses SPARQL 1.1 syntax outside the implemented subset."""

@@ -1,0 +1,567 @@
+"""Query evaluation over a :class:`~repro.rdf.graph.Graph`.
+
+The evaluator walks the AST directly (no separate algebra IR -- the subset
+is small enough that the classic textbook pipeline would only add plumbing):
+
+1. group graph patterns produce streams of solutions (dicts Variable->Term),
+2. BGPs are answered by index nested-loop joins, most selective pattern
+   first,
+3. OPTIONAL is a left join, UNION a concatenation, FILTER a predicate with
+   SPARQL error semantics, VALUES an inline join,
+4. aggregation groups solutions and folds aggregates,
+5. solution modifiers (ORDER/DISTINCT/OFFSET/LIMIT) apply last, in the order
+   the SPARQL spec defines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..rdf.graph import Graph
+from ..rdf.terms import BNode, IRI, Literal, Term, Variable
+from .errors import SparqlEvaluationError
+from .functions import (
+    ExpressionError,
+    Solution,
+    compare_terms,
+    effective_boolean_value,
+    evaluate_expression,
+)
+from .nodes import (
+    Aggregate,
+    AskQuery,
+    ExistsExpression,
+    Expression,
+    FilterPattern,
+    GroupPattern,
+    OptionalPattern,
+    Projection,
+    Query,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    ValuesPattern,
+    VariableExpression,
+    contains_aggregate,
+)
+from .parser import parse_query
+from .results import AskResult, Row, SelectResult
+
+__all__ = ["evaluate", "QueryEngine"]
+
+
+def _substitute(pattern: TriplePattern, solution: Solution) -> Tuple:
+    """Resolve pattern positions against *solution*; variables stay None."""
+
+    def resolve(term):
+        if isinstance(term, Variable):
+            return solution.get(term)
+        if isinstance(term, BNode):
+            # Blank nodes in query patterns act as non-selectable variables.
+            return None
+        return term
+
+    return resolve(pattern.subject), resolve(pattern.predicate), resolve(pattern.object)
+
+
+class QueryEngine:
+    """Evaluates parsed queries against one graph.
+
+    Instances are cheap; hold one per graph or just use :func:`evaluate`.
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, query: Union[str, Query]) -> Union[SelectResult, AskResult]:
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, SelectQuery):
+            return self._run_select(query)
+        if isinstance(query, AskQuery):
+            return AskResult(self._any_solution(query.where))
+        raise SparqlEvaluationError(f"cannot evaluate {type(query).__name__}")
+
+    # -- pattern evaluation -----------------------------------------------------
+
+    def _evaluate_group(
+        self, group: GroupPattern, bindings: Iterable[Solution]
+    ) -> Iterator[Solution]:
+        """Evaluate a group pattern given an input solution stream."""
+        solutions = list(bindings)
+        filters: List[FilterPattern] = []
+        pending_bgp: List[TriplePattern] = []
+
+        def flush_bgp(current: List[Solution]) -> List[Solution]:
+            if not pending_bgp:
+                return current
+            out = self._evaluate_bgp(list(pending_bgp), current)
+            pending_bgp.clear()
+            return out
+
+        for element in group.elements:
+            if isinstance(element, TriplePattern):
+                pending_bgp.append(element)
+            elif isinstance(element, FilterPattern):
+                filters.append(element)
+            elif isinstance(element, OptionalPattern):
+                solutions = flush_bgp(solutions)
+                solutions = self._evaluate_optional(element, solutions)
+            elif isinstance(element, UnionPattern):
+                solutions = flush_bgp(solutions)
+                merged: List[Solution] = []
+                for alternative in element.alternatives:
+                    merged.extend(self._evaluate_group(alternative, solutions))
+                solutions = merged
+            elif isinstance(element, GroupPattern):
+                solutions = flush_bgp(solutions)
+                solutions = list(self._evaluate_group(element, solutions))
+            elif isinstance(element, ValuesPattern):
+                solutions = flush_bgp(solutions)
+                solutions = self._evaluate_values(element, solutions)
+            else:  # pragma: no cover - parser prevents this
+                raise SparqlEvaluationError(f"unknown pattern element {element!r}")
+
+        solutions = flush_bgp(solutions)
+
+        for filter_pattern in filters:
+            solutions = [
+                s for s in solutions if self._filter_passes(filter_pattern.expression, s)
+            ]
+        return iter(solutions)
+
+    def _evaluate_bgp(
+        self, patterns: List[TriplePattern], solutions: List[Solution]
+    ) -> List[Solution]:
+        """Index nested-loop join, re-picking the most selective pattern."""
+        if not patterns:
+            return solutions
+
+        current = solutions
+        remaining = list(patterns)
+        bound_vars = set()
+        for solution in solutions:
+            bound_vars.update(solution.keys())
+            break  # the header is identical across input solutions
+
+        while remaining:
+            remaining.sort(
+                key=lambda p: -self._selectivity_score(p, bound_vars)
+            )
+            pattern = remaining.pop(0)
+            next_solutions: List[Solution] = []
+            for solution in current:
+                next_solutions.extend(self._match_pattern(pattern, solution))
+            current = next_solutions
+            for variable in pattern.variables():
+                bound_vars.add(variable)
+            if not current:
+                return []
+        return current
+
+    @staticmethod
+    def _selectivity_score(pattern: TriplePattern, bound_vars: set) -> int:
+        """Higher = evaluate earlier. Ground/bound positions add selectivity."""
+        score = 0
+        for position, weight in (
+            (pattern.subject, 4),
+            (pattern.object, 3),
+            (pattern.predicate, 2),
+        ):
+            if not isinstance(position, Variable):
+                score += weight
+            elif position in bound_vars:
+                score += weight - 1
+        return score
+
+    def _match_pattern(
+        self, pattern: TriplePattern, solution: Solution
+    ) -> Iterator[Solution]:
+        s, p, o = _substitute(pattern, solution)
+
+        from .paths import evaluate_path, is_path
+
+        if is_path(pattern.predicate):
+            for subject, obj in evaluate_path(self.graph, pattern.predicate, s, o):
+                out = dict(solution)
+                compatible = True
+                for variable, value in (
+                    (pattern.subject, subject),
+                    (pattern.object, obj),
+                ):
+                    if isinstance(variable, Variable):
+                        existing = out.get(variable)
+                        if existing is None:
+                            out[variable] = value
+                        elif existing != value:
+                            compatible = False
+                            break
+                if compatible:
+                    yield out
+            return
+
+        for triple in self.graph.triples(s, p, o):
+            out = dict(solution)
+            compatible = True
+            for variable, value in (
+                (pattern.subject, triple.subject),
+                (pattern.predicate, triple.predicate),
+                (pattern.object, triple.object),
+            ):
+                if isinstance(variable, Variable):
+                    existing = out.get(variable)
+                    if existing is None:
+                        out[variable] = value
+                    elif existing != value:
+                        compatible = False
+                        break
+            if compatible:
+                yield out
+
+    def _evaluate_optional(
+        self, element: OptionalPattern, solutions: List[Solution]
+    ) -> List[Solution]:
+        out: List[Solution] = []
+        for solution in solutions:
+            extended = list(self._evaluate_group(element.group, [solution]))
+            if extended:
+                out.extend(extended)
+            else:
+                out.append(solution)
+        return out
+
+    def _evaluate_values(
+        self, element: ValuesPattern, solutions: List[Solution]
+    ) -> List[Solution]:
+        out: List[Solution] = []
+        for solution in solutions:
+            for row in element.rows:
+                candidate = dict(solution)
+                compatible = True
+                for variable, value in zip(element.variables, row):
+                    if value is None:
+                        continue  # UNDEF leaves the variable unconstrained
+                    existing = candidate.get(variable)
+                    if existing is None:
+                        candidate[variable] = value
+                    elif existing != value:
+                        compatible = False
+                        break
+                if compatible:
+                    out.append(candidate)
+        return out
+
+    def _filter_passes(self, expression: Expression, solution: Solution) -> bool:
+        try:
+            value = evaluate_expression(expression, solution, self._evaluate_exists)
+            return effective_boolean_value(value)
+        except ExpressionError:
+            return False
+
+    def _evaluate_exists(self, expression: ExistsExpression, solution: Solution) -> bool:
+        for _ in self._evaluate_group(expression.group, [dict(solution)]):
+            return True
+        return False
+
+    def _any_solution(self, group: GroupPattern) -> bool:
+        for _ in self._evaluate_group(group, [{}]):
+            return True
+        return False
+
+    # -- SELECT pipeline -----------------------------------------------------
+
+    def _run_select(self, query: SelectQuery) -> SelectResult:
+        solutions = list(self._evaluate_group(query.where, [{}]))
+
+        if query.has_aggregates():
+            rows, variables = self._aggregate(query, solutions)
+            scopes: List[Solution] = [
+                {Variable(name): term for name, term in row.items() if term is not None}
+                for row in rows
+            ]
+        else:
+            rows, variables = self._project(query, solutions)
+            # ORDER BY may reference WHERE variables that were not projected
+            # (ordering happens before projection in the spec), and also the
+            # projection aliases -- merge both into the sort scope.
+            scopes = []
+            for row, solution in zip(rows, solutions):
+                scope = dict(solution)
+                for name, term in row.items():
+                    if term is not None:
+                        scope[Variable(name)] = term
+                scopes.append(scope)
+
+        if query.order_by:
+            rows = self._order(query, rows, scopes)
+        if query.distinct:
+            rows = self._distinct(rows, variables)
+        if query.offset:
+            rows = rows[query.offset:]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return SelectResult(variables, rows)
+
+    def _project(
+        self, query: SelectQuery, solutions: List[Solution]
+    ) -> Tuple[List[Row], List[str]]:
+        if query.select_all:
+            names: List[str] = []
+            seen = set()
+            for solution in solutions:
+                for variable in solution:
+                    if variable.name not in seen:
+                        seen.add(variable.name)
+                        names.append(variable.name)
+            names.sort()
+            rows = [
+                {name: solution.get(Variable(name)) for name in names}
+                for solution in solutions
+            ]
+            return rows, names
+
+        names = []
+        for projection in query.projections:
+            variable = projection.variable
+            if variable is None:
+                raise SparqlEvaluationError("projection without output variable")
+            names.append(variable.name)
+
+        rows = []
+        for solution in solutions:
+            row: Row = {}
+            for projection, name in zip(query.projections, names):
+                if isinstance(projection.expression, VariableExpression) and (
+                    projection.alias is None
+                ):
+                    row[name] = solution.get(projection.expression.variable)
+                else:
+                    try:
+                        row[name] = evaluate_expression(
+                            projection.expression, solution, self._evaluate_exists
+                        )
+                    except ExpressionError:
+                        row[name] = None
+            rows.append(row)
+        return rows, names
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _aggregate(
+        self, query: SelectQuery, solutions: List[Solution]
+    ) -> Tuple[List[Row], List[str]]:
+        groups: Dict[Tuple, List[Solution]] = {}
+        if query.group_by:
+            for solution in solutions:
+                key = []
+                for expression in query.group_by:
+                    try:
+                        key.append(
+                            evaluate_expression(expression, solution, self._evaluate_exists)
+                        )
+                    except ExpressionError:
+                        key.append(None)
+                groups.setdefault(tuple(key), []).append(solution)
+        else:
+            # Implicit single group; aggregates over an empty pattern still
+            # produce one row (COUNT(*) = 0) per the spec.
+            groups[()] = solutions
+
+        names: List[str] = []
+        for projection in query.projections:
+            variable = projection.variable
+            if variable is None:
+                raise SparqlEvaluationError(
+                    "aggregate projections need an AS alias or bare variable"
+                )
+            names.append(variable.name)
+
+        rows: List[Row] = []
+        for key, members in groups.items():
+            representative = members[0] if members else {}
+            key_bindings: Solution = {}
+            for expression, value in zip(query.group_by, key):
+                if isinstance(expression, VariableExpression) and value is not None:
+                    key_bindings[expression.variable] = value
+
+            if query.having is not None:
+                if not self._having_passes(query.having, members, key_bindings):
+                    continue
+
+            row: Row = {}
+            for projection, name in zip(query.projections, names):
+                row[name] = self._evaluate_projection_in_group(
+                    projection.expression, members, representative, key_bindings
+                )
+            rows.append(row)
+        return rows, names
+
+    def _having_passes(
+        self, expression: Expression, members: List[Solution], key_bindings: Solution
+    ) -> bool:
+        try:
+            value = self._evaluate_projection_in_group(
+                expression, members, members[0] if members else {}, key_bindings
+            )
+            return value is not None and effective_boolean_value(value)
+        except ExpressionError:
+            return False
+
+    def _evaluate_projection_in_group(
+        self,
+        expression: Expression,
+        members: List[Solution],
+        representative: Solution,
+        key_bindings: Solution,
+    ) -> Optional[Term]:
+        if isinstance(expression, Aggregate):
+            return self._fold_aggregate(expression, members)
+        if contains_aggregate(expression):
+            # Rebuild the expression with aggregates replaced by their folds.
+            substituted = self._substitute_aggregates(expression, members)
+            try:
+                return evaluate_expression(substituted, key_bindings, self._evaluate_exists)
+            except ExpressionError:
+                return None
+        scope = dict(representative)
+        scope.update(key_bindings)
+        try:
+            return evaluate_expression(expression, scope, self._evaluate_exists)
+        except ExpressionError:
+            return None
+
+    def _substitute_aggregates(self, expression: Expression, members: List[Solution]):
+        import copy
+
+        from .nodes import TermExpression  # local to avoid confusion at top level
+
+        if isinstance(expression, Aggregate):
+            value = self._fold_aggregate(expression, members)
+            if value is None:
+                raise ExpressionError("aggregate over empty group")
+            return TermExpression(value)
+        clone = copy.copy(expression)  # never mutate the parsed AST
+        for slot in expression.__slots__:
+            value = getattr(expression, slot)
+            if isinstance(value, Expression):
+                setattr(clone, slot, self._substitute_aggregates(value, members))
+            elif isinstance(value, list):
+                setattr(
+                    clone,
+                    slot,
+                    [
+                        self._substitute_aggregates(v, members)
+                        if isinstance(v, Expression)
+                        else v
+                        for v in value
+                    ],
+                )
+        return clone
+
+    def _fold_aggregate(self, aggregate: Aggregate, members: List[Solution]) -> Optional[Term]:
+        values: List[Term] = []
+        if aggregate.expression is None:  # COUNT(*)
+            if aggregate.distinct:
+                unique = {tuple(sorted((v.name, t) for v, t in m.items())) for m in members}
+                return Literal(len(unique))
+            return Literal(len(members))
+
+        for member in members:
+            try:
+                values.append(
+                    evaluate_expression(aggregate.expression, member, self._evaluate_exists)
+                )
+            except ExpressionError:
+                continue
+
+        if aggregate.distinct:
+            seen = []
+            for value in values:
+                if value not in seen:
+                    seen.append(value)
+            values = seen
+
+        function = aggregate.function
+        if function == "COUNT":
+            return Literal(len(values))
+        if function == "SAMPLE":
+            return values[0] if values else None
+        if function == "GROUP_CONCAT":
+            parts = []
+            for value in values:
+                if isinstance(value, Literal):
+                    parts.append(value.lexical)
+                elif isinstance(value, IRI):
+                    parts.append(value.value)
+                else:
+                    parts.append(str(value))
+            return Literal(aggregate.separator.join(parts))
+        if function in ("MIN", "MAX"):
+            if not values:
+                return None
+            ordered = sorted(values, key=lambda t: t.sort_key())
+            return ordered[0] if function == "MIN" else ordered[-1]
+
+        numbers: List[float] = []
+        for value in values:
+            if isinstance(value, Literal):
+                number = value.numeric_value()
+                if number is None:
+                    try:
+                        number = float(value.lexical)
+                    except ValueError:
+                        continue
+                numbers.append(number)
+        if function == "SUM":
+            total = sum(numbers)
+            return Literal(int(total)) if total == int(total) else Literal(float(total))
+        if function == "AVG":
+            if not numbers:
+                return None
+            mean = sum(numbers) / len(numbers)
+            return Literal(int(mean)) if mean == int(mean) else Literal(float(mean))
+        raise SparqlEvaluationError(f"unhandled aggregate {function}")
+
+    # -- ordering / distinct -----------------------------------------------------
+
+    def _order(
+        self, query: SelectQuery, rows: List[Row], scopes: List[Solution]
+    ) -> List[Row]:
+        def sort_key(scope: Solution):
+            keys = []
+            for condition in query.order_by:
+                try:
+                    value = evaluate_expression(
+                        condition.expression, scope, self._evaluate_exists
+                    )
+                    key = (1, value.sort_key())
+                except ExpressionError:
+                    key = (0, ())  # unbound sorts lowest
+                keys.append(key)
+            return keys
+
+        # Stable multi-key sort: sort by the last condition first; Python's
+        # sort keeps equal elements in place even with reverse=True.
+        decorated = [(sort_key(scope), row) for scope, row in zip(scopes, rows)]
+        for position in range(len(query.order_by) - 1, -1, -1):
+            reverse = query.order_by[position].descending
+            decorated.sort(key=lambda item: item[0][position], reverse=reverse)
+        return [row for _, row in decorated]
+
+    @staticmethod
+    def _distinct(rows: List[Row], variables: List[str]) -> List[Row]:
+        seen = set()
+        out: List[Row] = []
+        for row in rows:
+            key = tuple(row.get(name) for name in variables)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return out
+
+
+def evaluate(graph: Graph, query: Union[str, Query]) -> Union[SelectResult, AskResult]:
+    """Evaluate *query* (text or AST) against *graph*."""
+    return QueryEngine(graph).run(query)

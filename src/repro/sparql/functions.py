@@ -1,0 +1,412 @@
+"""Expression evaluation for the SPARQL subset: builtins, EBV, comparison.
+
+A *solution* is a ``dict`` mapping :class:`~repro.rdf.terms.Variable` to
+ground terms.  Expression evaluation returns a ground term or raises
+:class:`ExpressionError`; filter contexts turn errors into "false" exactly
+as SPARQL's error semantics prescribe.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Dict, List, Optional
+
+from ..rdf.terms import (
+    XSD_BOOLEAN,
+    XSD_DATE,
+    XSD_DATETIME,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    Variable,
+)
+from .errors import SparqlEvaluationError
+from .nodes import (
+    Aggregate,
+    AndExpression,
+    ArithmeticExpression,
+    CompareExpression,
+    ExistsExpression,
+    Expression,
+    FunctionCall,
+    InExpression,
+    NotExpression,
+    OrExpression,
+    TermExpression,
+    VariableExpression,
+)
+
+__all__ = [
+    "ExpressionError",
+    "Solution",
+    "evaluate_expression",
+    "effective_boolean_value",
+    "compare_terms",
+]
+
+Solution = Dict[Variable, Term]
+
+
+class ExpressionError(SparqlEvaluationError):
+    """An expression failed to evaluate (unbound var, type error, ...)."""
+
+
+TRUE = Literal(True)
+FALSE = Literal(False)
+
+
+def effective_boolean_value(term: Term) -> bool:
+    """SPARQL 17.2.2 EBV, with errors raised as :class:`ExpressionError`."""
+    if isinstance(term, Literal):
+        if term.datatype == XSD_BOOLEAN:
+            value = term.boolean_value()
+            if value is None:
+                return False  # invalid boolean lexical form -> false per spec
+            return value
+        if term.is_numeric():
+            value = term.numeric_value()
+            return value is not None and value != 0 and not math.isnan(value)
+        if term.datatype is None or term.datatype.endswith("#string"):
+            return len(term.lexical) > 0
+    raise ExpressionError(f"no effective boolean value for {term!r}")
+
+
+def _numeric(term: Term) -> float:
+    if isinstance(term, Literal):
+        value = term.numeric_value()
+        if value is not None:
+            return value
+        # Allow plain literals whose lexical form is numeric -- real-world
+        # endpoints are sloppy about datatypes and H-BOLD must cope.
+        try:
+            return float(term.lexical)
+        except ValueError:
+            pass
+    raise ExpressionError(f"not a number: {term!r}")
+
+
+def compare_terms(op: str, left: Term, right: Term) -> bool:
+    """Evaluate a SPARQL comparison between two ground terms."""
+    if op in ("=", "!="):
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            if left.is_numeric() and right.is_numeric():
+                equal = _numeric(left) == _numeric(right)
+            else:
+                equal = left == right
+        else:
+            equal = left == right
+        return equal if op == "=" else not equal
+
+    # Ordering comparisons require comparable literals.
+    if not isinstance(left, Literal) or not isinstance(right, Literal):
+        raise ExpressionError(f"cannot order {left!r} and {right!r}")
+
+    if left.is_numeric() or right.is_numeric():
+        lv: object = _numeric(left)
+        rv: object = _numeric(right)
+    elif left.datatype in (XSD_DATETIME, XSD_DATE) and right.datatype in (
+        XSD_DATETIME,
+        XSD_DATE,
+    ):
+        lv, rv = left.lexical, right.lexical  # ISO-8601 orders lexically
+    else:
+        lv, rv = left.lexical, right.lexical
+
+    if op == "<":
+        return lv < rv
+    if op == "<=":
+        return lv <= rv
+    if op == ">":
+        return lv > rv
+    if op == ">=":
+        return lv >= rv
+    raise ExpressionError(f"unknown comparison {op!r}")
+
+
+def _string_arg(term: Term) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    raise ExpressionError(f"expected string-compatible term, got {term!r}")
+
+
+def _regex_flags(flag_text: str) -> int:
+    flags = 0
+    for char in flag_text:
+        if char == "i":
+            flags |= re.IGNORECASE
+        elif char == "s":
+            flags |= re.DOTALL
+        elif char == "m":
+            flags |= re.MULTILINE
+        elif char == "x":
+            flags |= re.VERBOSE
+        else:
+            raise ExpressionError(f"unsupported regex flag {char!r}")
+    return flags
+
+
+def _fn_regex(args: List[Term]) -> Term:
+    if len(args) not in (2, 3):
+        raise ExpressionError("REGEX takes 2 or 3 arguments")
+    text = _string_arg(args[0])
+    pattern = _string_arg(args[1])
+    flags = _regex_flags(_string_arg(args[2])) if len(args) == 3 else 0
+    try:
+        return TRUE if re.search(pattern, text, flags) else FALSE
+    except re.error as exc:
+        raise ExpressionError(f"invalid regex {pattern!r}: {exc}") from exc
+
+
+def _fn_replace(args: List[Term]) -> Term:
+    if len(args) not in (3, 4):
+        raise ExpressionError("REPLACE takes 3 or 4 arguments")
+    text = _string_arg(args[0])
+    pattern = _string_arg(args[1])
+    replacement = _string_arg(args[2])
+    flags = _regex_flags(_string_arg(args[3])) if len(args) == 4 else 0
+    try:
+        return Literal(re.sub(pattern, replacement, text, flags=flags))
+    except re.error as exc:
+        raise ExpressionError(f"invalid regex {pattern!r}: {exc}") from exc
+
+
+def _fn_str(args: List[Term]) -> Term:
+    (term,) = args
+    if isinstance(term, Literal):
+        return Literal(term.lexical)
+    if isinstance(term, IRI):
+        return Literal(term.value)
+    raise ExpressionError("STR of a blank node is an error")
+
+
+def _fn_lang(args: List[Term]) -> Term:
+    (term,) = args
+    if isinstance(term, Literal):
+        return Literal(term.language or "")
+    raise ExpressionError("LANG requires a literal")
+
+
+def _fn_langmatches(args: List[Term]) -> Term:
+    tag = _string_arg(args[0]).lower()
+    pattern = _string_arg(args[1]).lower()
+    if pattern == "*":
+        return TRUE if tag else FALSE
+    return TRUE if tag == pattern or tag.startswith(pattern + "-") else FALSE
+
+
+def _fn_datatype(args: List[Term]) -> Term:
+    (term,) = args
+    if isinstance(term, Literal):
+        if term.language:
+            return IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+        return IRI(term.datatype or "http://www.w3.org/2001/XMLSchema#string")
+    raise ExpressionError("DATATYPE requires a literal")
+
+
+def _fn_iri(args: List[Term]) -> Term:
+    (term,) = args
+    if isinstance(term, IRI):
+        return term
+    if isinstance(term, Literal) and not term.language and not term.datatype:
+        return IRI(term.lexical)
+    raise ExpressionError(f"cannot cast {term!r} to IRI")
+
+
+def _numeric_literal(value: float) -> Literal:
+    if value == int(value) and abs(value) < 1e15:
+        return Literal(int(value))
+    return Literal(float(value))
+
+
+_FUNCTIONS: Dict[str, Callable[[List[Term]], Term]] = {
+    "REGEX": _fn_regex,
+    "REPLACE": _fn_replace,
+    "STR": _fn_str,
+    "LANG": _fn_lang,
+    "LANGMATCHES": _fn_langmatches,
+    "DATATYPE": _fn_datatype,
+    "IRI": _fn_iri,
+    "URI": _fn_iri,
+    "ISIRI": lambda args: TRUE if isinstance(args[0], IRI) else FALSE,
+    "ISURI": lambda args: TRUE if isinstance(args[0], IRI) else FALSE,
+    "ISBLANK": lambda args: TRUE if isinstance(args[0], BNode) else FALSE,
+    "ISLITERAL": lambda args: TRUE if isinstance(args[0], Literal) else FALSE,
+    "ISNUMERIC": lambda args: (
+        TRUE if isinstance(args[0], Literal) and args[0].is_numeric() else FALSE
+    ),
+    "CONTAINS": lambda args: (
+        TRUE if _string_arg(args[1]) in _string_arg(args[0]) else FALSE
+    ),
+    "STRSTARTS": lambda args: (
+        TRUE if _string_arg(args[0]).startswith(_string_arg(args[1])) else FALSE
+    ),
+    "STRENDS": lambda args: (
+        TRUE if _string_arg(args[0]).endswith(_string_arg(args[1])) else FALSE
+    ),
+    "STRLEN": lambda args: Literal(len(_string_arg(args[0]))),
+    "UCASE": lambda args: Literal(_string_arg(args[0]).upper()),
+    "LCASE": lambda args: Literal(_string_arg(args[0]).lower()),
+    "CONCAT": lambda args: Literal("".join(_string_arg(a) for a in args)),
+    "ABS": lambda args: _numeric_literal(abs(_numeric(args[0]))),
+    "CEIL": lambda args: _numeric_literal(math.ceil(_numeric(args[0]))),
+    "FLOOR": lambda args: _numeric_literal(math.floor(_numeric(args[0]))),
+    "ROUND": lambda args: _numeric_literal(round(_numeric(args[0]))),
+    "STRAFTER": lambda args: Literal(
+        _string_arg(args[0]).split(_string_arg(args[1]), 1)[1]
+        if _string_arg(args[1]) in _string_arg(args[0])
+        else ""
+    ),
+    "STRBEFORE": lambda args: Literal(
+        _string_arg(args[0]).split(_string_arg(args[1]), 1)[0]
+        if _string_arg(args[1]) in _string_arg(args[0])
+        else ""
+    ),
+}
+
+
+def evaluate_expression(
+    expression: Expression,
+    solution: Solution,
+    exists_evaluator: Optional[Callable[[ExistsExpression, Solution], bool]] = None,
+) -> Term:
+    """Evaluate *expression* against *solution*, returning a ground term.
+
+    ``exists_evaluator`` is injected by the query evaluator so that
+    ``EXISTS { ... }`` can re-enter pattern matching; expressions evaluated
+    outside a query context (e.g. in unit tests) simply cannot use EXISTS.
+    """
+    if isinstance(expression, TermExpression):
+        return expression.term
+
+    if isinstance(expression, VariableExpression):
+        value = solution.get(expression.variable)
+        if value is None:
+            raise ExpressionError(f"unbound variable {expression.variable}")
+        return value
+
+    if isinstance(expression, AndExpression):
+        # SPARQL logical-and: errors propagate unless the other side is false.
+        try:
+            left = effective_boolean_value(
+                evaluate_expression(expression.left, solution, exists_evaluator)
+            )
+        except ExpressionError:
+            right = effective_boolean_value(
+                evaluate_expression(expression.right, solution, exists_evaluator)
+            )
+            if right is False:
+                return FALSE
+            raise
+        if not left:
+            return FALSE
+        right = effective_boolean_value(
+            evaluate_expression(expression.right, solution, exists_evaluator)
+        )
+        return TRUE if right else FALSE
+
+    if isinstance(expression, OrExpression):
+        try:
+            left = effective_boolean_value(
+                evaluate_expression(expression.left, solution, exists_evaluator)
+            )
+        except ExpressionError:
+            right = effective_boolean_value(
+                evaluate_expression(expression.right, solution, exists_evaluator)
+            )
+            if right is True:
+                return TRUE
+            raise
+        if left:
+            return TRUE
+        right = effective_boolean_value(
+            evaluate_expression(expression.right, solution, exists_evaluator)
+        )
+        return TRUE if right else FALSE
+
+    if isinstance(expression, NotExpression):
+        value = effective_boolean_value(
+            evaluate_expression(expression.operand, solution, exists_evaluator)
+        )
+        return FALSE if value else TRUE
+
+    if isinstance(expression, CompareExpression):
+        left = evaluate_expression(expression.left, solution, exists_evaluator)
+        right = evaluate_expression(expression.right, solution, exists_evaluator)
+        return TRUE if compare_terms(expression.op, left, right) else FALSE
+
+    if isinstance(expression, ArithmeticExpression):
+        left = _numeric(evaluate_expression(expression.left, solution, exists_evaluator))
+        right = _numeric(evaluate_expression(expression.right, solution, exists_evaluator))
+        if expression.op == "+":
+            return _numeric_literal(left + right)
+        if expression.op == "-":
+            return _numeric_literal(left - right)
+        if expression.op == "*":
+            return _numeric_literal(left * right)
+        if right == 0:
+            raise ExpressionError("division by zero")
+        return _numeric_literal(left / right)
+
+    if isinstance(expression, FunctionCall):
+        name = expression.name
+        if name == "BOUND":
+            if len(expression.args) != 1 or not isinstance(
+                expression.args[0], VariableExpression
+            ):
+                raise ExpressionError("BOUND takes exactly one variable")
+            variable = expression.args[0].variable
+            return TRUE if variable in solution else FALSE
+        if name == "COALESCE":
+            for arg in expression.args:
+                try:
+                    return evaluate_expression(arg, solution, exists_evaluator)
+                except ExpressionError:
+                    continue
+            raise ExpressionError("COALESCE: all arguments errored")
+        if name == "IF":
+            if len(expression.args) != 3:
+                raise ExpressionError("IF takes 3 arguments")
+            condition = effective_boolean_value(
+                evaluate_expression(expression.args[0], solution, exists_evaluator)
+            )
+            branch = expression.args[1] if condition else expression.args[2]
+            return evaluate_expression(branch, solution, exists_evaluator)
+        handler = _FUNCTIONS.get(name)
+        if handler is None:
+            raise ExpressionError(f"unknown function {name}")
+        args = [
+            evaluate_expression(arg, solution, exists_evaluator) for arg in expression.args
+        ]
+        return handler(args)
+
+    if isinstance(expression, InExpression):
+        operand = evaluate_expression(expression.operand, solution, exists_evaluator)
+        found = False
+        for choice in expression.choices:
+            value = evaluate_expression(choice, solution, exists_evaluator)
+            if compare_terms("=", operand, value):
+                found = True
+                break
+        if expression.negated:
+            return FALSE if found else TRUE
+        return TRUE if found else FALSE
+
+    if isinstance(expression, ExistsExpression):
+        if exists_evaluator is None:
+            raise ExpressionError("EXISTS is not available in this context")
+        result = exists_evaluator(expression, solution)
+        if expression.negated:
+            result = not result
+        return TRUE if result else FALSE
+
+    if isinstance(expression, Aggregate):
+        raise ExpressionError("aggregate used outside of aggregation context")
+
+    raise ExpressionError(f"cannot evaluate {expression!r}")

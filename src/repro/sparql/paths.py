@@ -1,0 +1,227 @@
+"""SPARQL 1.1 property paths (the subset schema tools use).
+
+Supported path syntax in the predicate position:
+
+* ``iri`` and ``a``            -- plain links
+* ``^path``                    -- inverse
+* ``path1 / path2``            -- sequence
+* ``path1 | path2``            -- alternative
+* ``path*`` / ``path+``        -- reflexive / transitive closure
+
+This enables the "inferred schema" queries of the LODeX lineage, e.g.::
+
+    SELECT ?s WHERE { ?s a/rdfs:subClassOf* ex:Agent }
+
+Path evaluation yields (subject, object) pairs; closures are computed by
+BFS from the bound side (or over the whole node universe when both ends
+are unbound, per the spec's zero-length-path semantics).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional, Set, Tuple, Union
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Term
+
+__all__ = [
+    "Path",
+    "LinkPath",
+    "InversePath",
+    "SequencePath",
+    "AlternativePath",
+    "ClosurePath",
+    "evaluate_path",
+    "is_path",
+]
+
+
+class Path:
+    """Base class: structural equality + repr over __slots__."""
+
+    __slots__ = ()
+
+    def _fields(self) -> Tuple:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other._fields() == self._fields()
+
+    def __hash__(self) -> int:
+        return hash((type(self),) + self._fields())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={getattr(self, n)!r}" for n in self.__slots__)
+        return f"{type(self).__name__}({inner})"
+
+
+class LinkPath(Path):
+    """A plain predicate IRI used inside a larger path."""
+
+    __slots__ = ("iri",)
+
+    def __init__(self, iri: IRI):
+        self.iri = iri
+
+
+class InversePath(Path):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: "PathLike"):
+        self.inner = inner
+
+
+class SequencePath(Path):
+    __slots__ = ("steps",)
+
+    def __init__(self, steps):
+        self.steps = tuple(steps)
+        if len(self.steps) < 2:
+            raise ValueError("sequence path needs at least two steps")
+
+
+class AlternativePath(Path):
+    __slots__ = ("choices",)
+
+    def __init__(self, choices):
+        self.choices = tuple(choices)
+        if len(self.choices) < 2:
+            raise ValueError("alternative path needs at least two choices")
+
+
+class ClosurePath(Path):
+    """``path*`` (include_zero=True) or ``path+`` (include_zero=False)."""
+
+    __slots__ = ("inner", "include_zero")
+
+    def __init__(self, inner: "PathLike", include_zero: bool):
+        self.inner = inner
+        self.include_zero = include_zero
+
+
+PathLike = Union[Path, IRI]
+
+
+def is_path(value) -> bool:
+    return isinstance(value, Path)
+
+
+def _node_universe(graph: Graph) -> Set[Term]:
+    """All subjects and objects -- the domain of zero-length paths."""
+    nodes: Set[Term] = set()
+    for triple in graph.triples():
+        nodes.add(triple.subject)
+        nodes.add(triple.object)
+    return nodes
+
+
+def _step_pairs(
+    graph: Graph, path: PathLike, subject: Optional[Term], obj: Optional[Term]
+) -> Iterator[Tuple[Term, Term]]:
+    """(s, o) pairs for a single-step path with optional bindings."""
+    if isinstance(path, IRI):
+        for triple in graph.triples(subject, path, obj):
+            yield triple.subject, triple.object
+        return
+    if isinstance(path, LinkPath):
+        yield from _step_pairs(graph, path.iri, subject, obj)
+        return
+    if isinstance(path, InversePath):
+        for o, s in _step_pairs(graph, path.inner, obj, subject):
+            yield s, o
+        return
+    if isinstance(path, AlternativePath):
+        seen: Set[Tuple[Term, Term]] = set()
+        for choice in path.choices:
+            for pair in _step_pairs(graph, choice, subject, obj):
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+        return
+    if isinstance(path, SequencePath):
+        yield from _sequence_pairs(graph, path.steps, subject, obj)
+        return
+    if isinstance(path, ClosurePath):
+        yield from _closure_pairs(graph, path, subject, obj)
+        return
+    raise TypeError(f"not a path: {path!r}")
+
+
+def _sequence_pairs(
+    graph: Graph, steps, subject: Optional[Term], obj: Optional[Term]
+) -> Iterator[Tuple[Term, Term]]:
+    first, rest = steps[0], steps[1:]
+    if not rest:
+        yield from _step_pairs(graph, first, subject, obj)
+        return
+    seen: Set[Tuple[Term, Term]] = set()
+    for s, middle in _step_pairs(graph, first, subject, None):
+        for _, o in _sequence_pairs(graph, rest, middle, obj):
+            if (s, o) not in seen:
+                seen.add((s, o))
+                yield s, o
+
+
+def _closure_pairs(
+    graph: Graph, path: ClosurePath, subject: Optional[Term], obj: Optional[Term]
+) -> Iterator[Tuple[Term, Term]]:
+    inner = path.inner
+
+    def forward_reachable(start: Term) -> Set[Term]:
+        reached: Set[Term] = set()
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for _, target in _step_pairs(graph, inner, node, None):
+                if target not in reached:
+                    reached.add(target)
+                    queue.append(target)
+        return reached
+
+    def backward_reachable(end: Term) -> Set[Term]:
+        reached: Set[Term] = set()
+        queue = deque([end])
+        while queue:
+            node = queue.popleft()
+            for source, _ in _step_pairs(graph, inner, None, node):
+                if source not in reached:
+                    reached.add(source)
+                    queue.append(source)
+        return reached
+
+    if subject is not None:
+        targets = forward_reachable(subject)
+        if path.include_zero:
+            targets = targets | {subject}
+        for target in targets:
+            if obj is None or obj == target:
+                yield subject, target
+        return
+
+    if obj is not None:
+        sources = backward_reachable(obj)
+        if path.include_zero:
+            sources = sources | {obj}
+        for source in sources:
+            yield source, obj
+        return
+
+    # both unbound: closure from every node in the universe
+    universe = _node_universe(graph)
+    seen: Set[Tuple[Term, Term]] = set()
+    for node in universe:
+        targets = forward_reachable(node)
+        if path.include_zero:
+            targets = targets | {node}
+        for target in targets:
+            if (node, target) not in seen:
+                seen.add((node, target))
+                yield node, target
+
+
+def evaluate_path(
+    graph: Graph, path: PathLike, subject: Optional[Term], obj: Optional[Term]
+) -> Iterator[Tuple[Term, Term]]:
+    """All (subject, object) pairs connected by *path* under the bindings."""
+    yield from _step_pairs(graph, path, subject, obj)

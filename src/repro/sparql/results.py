@@ -1,0 +1,184 @@
+"""Result containers for SELECT and ASK queries.
+
+``SelectResult`` mimics the shape of the SPARQL 1.1 JSON results format so
+that the endpoint simulator can hand callers exactly what a remote endpoint
+would: a ``head`` with variable names and ``results.bindings`` rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..rdf.terms import BNode, IRI, Literal, Term
+
+__all__ = ["SelectResult", "AskResult", "binding_to_json", "term_from_json"]
+
+Row = Dict[str, Optional[Term]]
+
+
+def binding_to_json(term: Term) -> Dict[str, str]:
+    """Encode one term as a SPARQL-JSON binding object."""
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        out: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.language:
+            out["xml:lang"] = term.language
+        elif term.datatype:
+            out["datatype"] = term.datatype
+        return out
+    raise TypeError(f"cannot serialize {term!r}")
+
+
+def term_from_json(binding: Dict[str, str]) -> Term:
+    """Decode a SPARQL-JSON binding object back into a term."""
+    kind = binding["type"]
+    if kind == "uri":
+        return IRI(binding["value"])
+    if kind == "bnode":
+        return BNode(binding["value"])
+    if kind in ("literal", "typed-literal"):
+        return Literal(
+            binding["value"],
+            language=binding.get("xml:lang"),
+            datatype=binding.get("datatype"),
+        )
+    raise ValueError(f"unknown binding type {kind!r}")
+
+
+class SelectResult:
+    """An ordered sequence of solution rows with a fixed variable header.
+
+    Rows are dictionaries keyed by variable *name* (no ``?``); unbound
+    variables are ``None``, matching how the JSON format omits them.
+    """
+
+    def __init__(self, variables: Sequence[str], rows: List[Row], truncated: bool = False):
+        self.variables = list(variables)
+        self.rows = rows
+        #: set by the endpoint layer when a result-size limit cut the data off
+        self.truncated = truncated
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self.rows[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __repr__(self) -> str:
+        return f"<SelectResult {len(self.rows)} rows x {self.variables}>"
+
+    # -- column access helpers ----------------------------------------------
+
+    def column(self, variable: str) -> List[Optional[Term]]:
+        """All values of one output variable, in row order."""
+        return [row.get(variable) for row in self.rows]
+
+    def scalar(self) -> Optional[Term]:
+        """The single value of a 1x1 result (e.g. ``SELECT (COUNT(*) AS ?n)``)."""
+        if len(self.rows) != 1 or len(self.variables) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, have {len(self.rows)}x{len(self.variables)}"
+            )
+        return self.rows[0].get(self.variables[0])
+
+    def scalar_int(self, default: int = 0) -> int:
+        """The single value as an int — the common COUNT(*) accessor."""
+        value = self.scalar()
+        if value is None:
+            return default
+        if isinstance(value, Literal):
+            number = value.numeric_value()
+            if number is not None:
+                return int(number)
+            try:
+                return int(value.lexical)
+            except ValueError:
+                return default
+        return default
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        """SPARQL 1.1 Query Results JSON Format."""
+        bindings = []
+        for row in self.rows:
+            encoded = {}
+            for name, term in row.items():
+                if term is not None:
+                    encoded[name] = binding_to_json(term)
+            bindings.append(encoded)
+        document = {
+            "head": {"vars": self.variables},
+            "results": {"bindings": bindings},
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SelectResult":
+        document = json.loads(text)
+        variables = document["head"]["vars"]
+        rows: List[Row] = []
+        for binding in document["results"]["bindings"]:
+            row: Row = {name: None for name in variables}
+            for name, encoded in binding.items():
+                row[name] = term_from_json(encoded)
+            rows.append(row)
+        return cls(variables, rows)
+
+    def to_csv(self) -> str:
+        """SPARQL 1.1 CSV results: header row then plain lexical values."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.variables)
+        for row in self.rows:
+            record = []
+            for name in self.variables:
+                term = row.get(name)
+                if term is None:
+                    record.append("")
+                elif isinstance(term, IRI):
+                    record.append(term.value)
+                elif isinstance(term, BNode):
+                    record.append(f"_:{term.label}")
+                else:
+                    record.append(term.lexical)
+            writer.writerow(record)
+        return buffer.getvalue()
+
+
+class AskResult:
+    """The boolean result of an ASK query, serializable like SelectResult."""
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def __bool__(self) -> bool:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, AskResult):
+            return other.value == self.value
+        if isinstance(other, bool):
+            return other == self.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((AskResult, self.value))
+
+    def __repr__(self) -> str:
+        return f"AskResult({self.value})"
+
+    def to_json(self) -> str:
+        return json.dumps({"head": {}, "boolean": self.value})

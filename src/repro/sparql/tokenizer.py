@@ -1,0 +1,162 @@
+"""Tokenizer for the SPARQL subset.
+
+Produces a flat token list consumed by :mod:`repro.sparql.parser`.  Keywords
+are recognized case-insensitively (per the SPARQL grammar) and normalized to
+upper case in the token stream.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .errors import SparqlSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "REDUCED",
+        "WHERE",
+        "FILTER",
+        "OPTIONAL",
+        "UNION",
+        "PREFIX",
+        "BASE",
+        "ORDER",
+        "BY",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "GROUP",
+        "HAVING",
+        "AS",
+        "ASK",
+        "CONSTRUCT",
+        "DESCRIBE",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+        "SAMPLE",
+        "GROUP_CONCAT",
+        "REGEX",
+        "STR",
+        "LANG",
+        "LANGMATCHES",
+        "DATATYPE",
+        "BOUND",
+        "IRI",
+        "URI",
+        "ISIRI",
+        "ISURI",
+        "ISBLANK",
+        "ISLITERAL",
+        "ISNUMERIC",
+        "CONTAINS",
+        "STRSTARTS",
+        "STRENDS",
+        "STRLEN",
+        "UCASE",
+        "LCASE",
+        "CONCAT",
+        "REPLACE",
+        "ABS",
+        "CEIL",
+        "FLOOR",
+        "ROUND",
+        "NOT",
+        "IN",
+        "EXISTS",
+        "VALUES",
+        "UNDEF",
+        "TRUE",
+        "FALSE",
+        "SEPARATOR",
+        "COALESCE",
+        "IF",
+        "STRAFTER",
+        "STRBEFORE",
+    }
+)
+
+# PNAME is tried before NAME so "dcat:Dataset" lexes as one prefixed name
+# rather than a keyword-lookalike followed by a colon.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>\#[^\n]*)
+  | (?P<IRIREF><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<VAR>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<LONG_STRING>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\"|'''(?:[^'\\]|\\.|'(?!''))*''')
+  | (?P<STRING>"(?:[^"\\\n\r]|\\.)*"|'(?:[^'\\\n\r]|\\.)*')
+  | (?P<LANGTAG>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<DOUBLE_CARET>\^\^)
+  | (?P<CARET>\^)
+  | (?P<DOUBLE>[+-]?(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+  | (?P<DECIMAL>[+-]?\d*\.\d+)
+  | (?P<INTEGER>[+-]?\d+)
+  | (?P<BNODE>_:[A-Za-z0-9_][A-Za-z0-9_.-]*)
+  | (?P<PNAME>[A-Za-z_][A-Za-z0-9_.-]*:[A-Za-z0-9_]?[A-Za-z0-9_.%-]*|:[A-Za-z0-9_][A-Za-z0-9_.-]*|[A-Za-z_][A-Za-z0-9_.-]*:(?![A-Za-z0-9_]))
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP>&&|\|\||!=|<=|>=|[=<>!*/+\-|])
+  | (?P<PUNCT>[{}()\[\].;,])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    """A single lexical token with position info for error messages."""
+
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.text in names
+
+
+def tokenize(query: str) -> List[Token]:
+    """Tokenize *query*, raising :class:`SparqlSyntaxError` on junk input."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(query):
+        match = _TOKEN_RE.match(query, pos)
+        if not match:
+            raise SparqlSyntaxError(
+                f"unexpected character {query[pos]!r}", line, pos - line_start + 1
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = pos - line_start + 1
+        if kind == "NAME":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, line, column))
+            elif upper == "A" or text == "a":
+                tokens.append(Token("A", "a", line, column))
+            else:
+                raise SparqlSyntaxError(f"unexpected name {text!r}", line, column)
+        elif kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, text, line, column))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + text.rindex("\n") + 1
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, pos - line_start + 1))
+    return tokens

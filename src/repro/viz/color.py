@@ -1,0 +1,142 @@
+"""Color utilities: hex parsing, HSL conversion, categorical palettes.
+
+The presentation layer assigns one color per cluster (Figures 4-6) and
+shades classes within a cluster by lightness, so we need a categorical
+scheme plus lighten/darken in HSL space.
+"""
+
+from __future__ import annotations
+
+import colorsys
+from typing import List, Tuple
+
+__all__ = [
+    "Color",
+    "CATEGORY10",
+    "CATEGORY20",
+    "categorical_color",
+    "lighten",
+    "darken",
+]
+
+
+class Color:
+    """An sRGB color with hex round-tripping and HSL adjustment."""
+
+    __slots__ = ("r", "g", "b")
+
+    def __init__(self, r: int, g: int, b: int):
+        for channel, name in ((r, "r"), (g, "g"), (b, "b")):
+            if not 0 <= channel <= 255:
+                raise ValueError(f"channel {name}={channel} out of range")
+        object.__setattr__(self, "r", int(r))
+        object.__setattr__(self, "g", int(g))
+        object.__setattr__(self, "b", int(b))
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("Color is immutable")
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Color":
+        text = text.lstrip("#")
+        if len(text) == 3:
+            text = "".join(c * 2 for c in text)
+        if len(text) != 6:
+            raise ValueError(f"bad hex color {text!r}")
+        return cls(int(text[0:2], 16), int(text[2:4], 16), int(text[4:6], 16))
+
+    def to_hex(self) -> str:
+        return f"#{self.r:02x}{self.g:02x}{self.b:02x}"
+
+    def __str__(self) -> str:
+        return self.to_hex()
+
+    def __repr__(self) -> str:
+        return f"Color({self.to_hex()!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Color) and (other.r, other.g, other.b) == (
+            self.r,
+            self.g,
+            self.b,
+        )
+
+    def __hash__(self) -> int:
+        return hash((Color, self.r, self.g, self.b))
+
+    def to_hsl(self) -> Tuple[float, float, float]:
+        h, l, s = colorsys.rgb_to_hls(self.r / 255, self.g / 255, self.b / 255)
+        return h, s, l
+
+    @classmethod
+    def from_hsl(cls, h: float, s: float, l: float) -> "Color":
+        r, g, b = colorsys.hls_to_rgb(h % 1.0, min(1.0, max(0.0, l)), min(1.0, max(0.0, s)))
+        return cls(round(r * 255), round(g * 255), round(b * 255))
+
+    def adjust_lightness(self, delta: float) -> "Color":
+        h, s, l = self.to_hsl()
+        return Color.from_hsl(h, s, l + delta)
+
+
+#: d3.schemeCategory10 -- the default D3 categorical palette H-BOLD used.
+CATEGORY10: List[Color] = [
+    Color.from_hex(value)
+    for value in (
+        "#1f77b4",
+        "#ff7f0e",
+        "#2ca02c",
+        "#d62728",
+        "#9467bd",
+        "#8c564b",
+        "#e377c2",
+        "#7f7f7f",
+        "#bcbd22",
+        "#17becf",
+    )
+]
+
+#: d3.schemeCategory20 (classic) for datasets with many clusters.
+CATEGORY20: List[Color] = [
+    Color.from_hex(value)
+    for value in (
+        "#1f77b4",
+        "#aec7e8",
+        "#ff7f0e",
+        "#ffbb78",
+        "#2ca02c",
+        "#98df8a",
+        "#d62728",
+        "#ff9896",
+        "#9467bd",
+        "#c5b0d5",
+        "#8c564b",
+        "#c49c94",
+        "#e377c2",
+        "#f7b6d2",
+        "#7f7f7f",
+        "#c7c7c7",
+        "#bcbd22",
+        "#dbdb8d",
+        "#17becf",
+        "#9edae5",
+    )
+]
+
+
+def categorical_color(index: int, palette: List[Color] = None) -> Color:
+    """The color for category *index*, cycling the palette with a lightness
+    nudge on each full cycle so repeats stay distinguishable."""
+    palette = palette or CATEGORY10
+    base = palette[index % len(palette)]
+    cycle = index // len(palette)
+    if cycle == 0:
+        return base
+    return base.adjust_lightness(0.12 if cycle % 2 else -0.12)
+
+
+def lighten(color: Color, amount: float = 0.15) -> Color:
+    return color.adjust_lightness(abs(amount))
+
+
+def darken(color: Color, amount: float = 0.15) -> Color:
+    return color.adjust_lightness(-abs(amount))

@@ -1,0 +1,227 @@
+"""Unit tests for the community detection algorithms and metrics."""
+
+import pytest
+
+from repro.community import (
+    Partition,
+    UndirectedGraph,
+    edge_betweenness,
+    girvan_newman,
+    greedy_modularity,
+    label_propagation,
+    louvain,
+    modularity,
+    normalized_mutual_information,
+)
+
+
+def two_cliques(size: int = 4, bridges: int = 1) -> UndirectedGraph:
+    """Two K_size cliques joined by `bridges` edges."""
+    graph = UndirectedGraph()
+    left = [f"l{i}" for i in range(size)]
+    right = [f"r{i}" for i in range(size)]
+    for clique in (left, right):
+        for i in range(size):
+            for j in range(i + 1, size):
+                graph.add_edge(clique[i], clique[j])
+    for b in range(bridges):
+        graph.add_edge(left[b % size], right[b % size])
+    return graph
+
+
+def ring_of_cliques(cliques: int = 4, size: int = 5) -> UndirectedGraph:
+    graph = UndirectedGraph()
+    for c in range(cliques):
+        members = [f"c{c}n{i}" for i in range(size)]
+        for i in range(size):
+            for j in range(i + 1, size):
+                graph.add_edge(members[i], members[j])
+        graph.add_edge(f"c{c}n0", f"c{(c + 1) % cliques}n0")
+    return graph
+
+
+class TestUndirectedGraph:
+    def test_parallel_edges_accumulate_weight(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("a", "b", 2.0)
+        assert graph.edge_weight("a", "b") == 3.0
+        assert graph.edge_count() == 1
+
+    def test_self_loop_degree_counts_twice(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "a", 1.0)
+        graph.add_edge("a", "b", 1.0)
+        assert graph.degree("a") == 3.0  # loop counts twice (2) + edge once (1)
+
+    def test_total_weight(self):
+        graph = two_cliques()
+        assert graph.total_weight() == 13  # 6 + 6 + 1 bridges
+
+    def test_connected_components(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("c", "d")
+        graph.add_node("e")
+        components = sorted(map(sorted, graph.connected_components()))
+        assert components == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_remove_edge(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b", 2.0)
+        assert graph.remove_edge("a", "b") == 2.0
+        assert not graph.has_edge("a", "b")
+        assert graph.total_weight() == 0.0
+
+    def test_subgraph(self):
+        graph = two_cliques()
+        sub = graph.subgraph({"l0", "l1", "l2"})
+        assert len(sub) == 3
+        assert sub.edge_count() == 3
+
+    def test_negative_weight_rejected(self):
+        graph = UndirectedGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "b", -1.0)
+
+
+class TestPartition:
+    def test_normalized_ids(self):
+        partition = Partition({"a": 17, "b": 17, "c": 99})
+        assert set(partition.as_dict().values()) == {0, 1}
+
+    def test_from_communities_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Partition.from_communities([{"a", "b"}, {"b", "c"}])
+
+    def test_equality_up_to_relabelling(self):
+        left = Partition({"a": 0, "b": 0, "c": 1})
+        right = Partition({"a": 5, "b": 5, "c": 2})
+        assert left == right
+        assert left != Partition({"a": 0, "b": 1, "c": 1})
+
+    def test_sizes(self):
+        partition = Partition({"a": 0, "b": 0, "c": 1})
+        assert partition.sizes() == [2, 1]
+
+
+class TestModularity:
+    def test_single_community_is_zero(self):
+        graph = two_cliques()
+        partition = Partition({node: 0 for node in graph.nodes()})
+        assert modularity(graph, partition) == pytest.approx(0.0)
+
+    def test_good_split_positive(self):
+        graph = two_cliques()
+        partition = Partition(
+            {node: 0 if node.startswith("l") else 1 for node in graph.nodes()}
+        )
+        assert modularity(graph, partition) > 0.3
+
+    def test_bad_split_lower_than_good(self):
+        graph = two_cliques()
+        good = Partition({n: 0 if n.startswith("l") else 1 for n in graph.nodes()})
+        bad = Partition({n: hash(n) % 2 for n in graph.nodes()})
+        assert modularity(graph, good) >= modularity(graph, bad)
+
+    def test_empty_graph(self):
+        assert modularity(UndirectedGraph(), Partition({})) == 0.0
+
+    def test_uncovered_node_raises(self):
+        graph = two_cliques()
+        with pytest.raises(ValueError):
+            modularity(graph, Partition({"l0": 0}))
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [lambda g: louvain(g, seed=1), greedy_modularity, girvan_newman],
+    ids=["louvain", "greedy", "girvan-newman"],
+)
+class TestAlgorithmsRecoverPlantedStructure:
+    def test_two_cliques(self, algorithm):
+        graph = two_cliques()
+        partition = algorithm(graph)
+        expected = Partition(
+            {node: 0 if node.startswith("l") else 1 for node in graph.nodes()}
+        )
+        assert partition == expected
+
+    def test_ring_of_cliques(self, algorithm):
+        graph = ring_of_cliques(cliques=4, size=5)
+        partition = algorithm(graph)
+        assert partition.community_count() == 4
+        # every clique must land in a single community
+        for c in range(4):
+            members = {f"c{c}n{i}" for i in range(5)}
+            communities = {partition[m] for m in members}
+            assert len(communities) == 1
+
+    def test_partition_is_total(self, algorithm):
+        graph = ring_of_cliques()
+        partition = algorithm(graph)
+        assert partition.covers(graph.nodes())
+
+
+class TestLouvainSpecifics:
+    def test_deterministic_per_seed(self):
+        graph = ring_of_cliques(5, 4)
+        assert louvain(graph, seed=3) == louvain(graph, seed=3)
+
+    def test_empty_graph(self):
+        assert louvain(UndirectedGraph()).community_count() == 0
+
+    def test_isolated_nodes_are_singletons(self):
+        graph = UndirectedGraph()
+        graph.add_node("lonely")
+        graph.add_edge("a", "b")
+        partition = louvain(graph)
+        assert partition["lonely"] not in (partition["a"], partition["b"])
+
+    def test_resolution_controls_granularity(self):
+        graph = ring_of_cliques(6, 4)
+        coarse = louvain(graph, resolution=0.2)
+        fine = louvain(graph, resolution=2.0)
+        assert coarse.community_count() <= fine.community_count()
+
+
+class TestLabelPropagation:
+    def test_strong_communities_found(self):
+        graph = ring_of_cliques(cliques=3, size=8)
+        partition = label_propagation(graph, seed=2)
+        assert 2 <= partition.community_count() <= 4
+
+    def test_covers_all_nodes(self):
+        graph = two_cliques()
+        assert label_propagation(graph).covers(graph.nodes())
+
+    def test_singleton_graph(self):
+        graph = UndirectedGraph()
+        graph.add_node("x")
+        assert label_propagation(graph).community_count() == 1
+
+
+class TestEdgeBetweenness:
+    def test_bridge_has_highest_betweenness(self):
+        graph = two_cliques()
+        scores = edge_betweenness(graph)
+        top_edge = max(scores, key=scores.get)
+        assert set(top_edge) == {"l0", "r0"}
+
+    def test_symmetric_path_graph(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        scores = edge_betweenness(graph)
+        values = sorted(scores.values())
+        assert values == [2.0, 2.0]  # each edge lies on 2 shortest paths
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        p = Partition({"a": 0, "b": 0, "c": 1})
+        assert normalized_mutual_information(p, p) == pytest.approx(1.0)
+
+    def test_mismatched_nodes_raise(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(Partition({"a": 0}), Partition({"b": 0}))

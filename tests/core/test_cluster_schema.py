@@ -1,0 +1,115 @@
+"""Unit tests for Cluster Schema construction."""
+
+import pytest
+
+from repro.community import Partition
+from repro.core import build_cluster_schema, summary_to_undirected
+from repro.core.models import SchemaEdge, SchemaNode, SchemaSummary
+
+NS = "http://x.example.org/"
+
+
+def clustered_summary() -> SchemaSummary:
+    """Two dense groups of classes plus one bridge arc."""
+    nodes = []
+    edges = []
+    for group, names in enumerate((["A", "B", "C"], ["X", "Y", "Z"])):
+        for name in names:
+            nodes.append(SchemaNode(NS + name, 10 * (group + 1)))
+        for i, left in enumerate(names):
+            for right in names[i + 1:]:
+                edges.append(SchemaEdge(NS + left, NS + f"p{left}{right}", NS + right))
+    edges.append(SchemaEdge(NS + "A", NS + "bridge", NS + "X"))
+    # make A clearly the highest-degree class of its group
+    edges.append(SchemaEdge(NS + "B", NS + "extra", NS + "A"))
+    edges.append(SchemaEdge(NS + "C", NS + "extra2", NS + "A"))
+    return SchemaSummary("http://e/sparql", nodes, edges, total_instances=90)
+
+
+class TestProjection:
+    def test_all_classes_become_nodes(self):
+        graph = summary_to_undirected(clustered_summary())
+        assert len(graph) == 6
+
+    def test_parallel_arcs_accumulate(self):
+        nodes = [SchemaNode(NS + "A", 1), SchemaNode(NS + "B", 1)]
+        edges = [
+            SchemaEdge(NS + "A", NS + "p", NS + "B"),
+            SchemaEdge(NS + "B", NS + "q", NS + "A"),
+        ]
+        summary = SchemaSummary("http://e/", nodes, edges, 2)
+        graph = summary_to_undirected(summary)
+        assert graph.edge_weight(NS + "A", NS + "B") == 2.0
+
+    def test_isolated_class_still_present(self):
+        nodes = [SchemaNode(NS + "A", 1), SchemaNode(NS + "Lonely", 1)]
+        summary = SchemaSummary("http://e/", nodes, [], 2)
+        graph = summary_to_undirected(summary)
+        assert NS + "Lonely" in graph
+
+
+class TestBuild:
+    def test_two_groups_found(self):
+        schema = build_cluster_schema(clustered_summary())
+        assert schema.cluster_count == 2
+        groups = sorted(sorted(c.class_iris) for c in schema.clusters)
+        assert groups == [
+            sorted([NS + "A", NS + "B", NS + "C"]),
+            sorted([NS + "X", NS + "Y", NS + "Z"]),
+        ]
+
+    def test_no_overlap_guaranteed(self):
+        schema = build_cluster_schema(clustered_summary())
+        seen = set()
+        for cluster in schema.clusters:
+            for iri in cluster.class_iris:
+                assert iri not in seen
+                seen.add(iri)
+
+    def test_label_is_highest_degree_class(self):
+        """§2.1: labels assigned by degree (in + out)."""
+        schema = build_cluster_schema(clustered_summary())
+        labels = {c.label for c in schema.clusters}
+        assert "A" in labels  # A has the extra in-arcs
+
+    def test_instance_counts_aggregate(self):
+        schema = build_cluster_schema(clustered_summary())
+        total = sum(c.instance_count for c in schema.clusters)
+        assert total == 90
+
+    def test_cluster_edges_aggregate_bridges(self):
+        schema = build_cluster_schema(clustered_summary())
+        assert len(schema.edges) == 1
+        assert schema.edges[0].weight == 1
+
+    def test_modularity_recorded(self):
+        schema = build_cluster_schema(clustered_summary())
+        assert schema.modularity > 0.2
+
+    def test_algorithm_choices(self):
+        summary = clustered_summary()
+        for algorithm in ("louvain", "label-propagation", "greedy-modularity"):
+            schema = build_cluster_schema(summary, algorithm=algorithm)
+            assert schema.algorithm == algorithm
+            assert schema.covers(summary.class_iris())
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            build_cluster_schema(clustered_summary(), algorithm="quantum")
+
+    def test_custom_detector(self):
+        summary = clustered_summary()
+        everything_one = lambda graph: Partition({n: 0 for n in graph.nodes()})
+        schema = build_cluster_schema(summary, detector=everything_one)
+        assert schema.cluster_count == 1
+        assert schema.edges == []
+
+    def test_empty_summary(self):
+        summary = SchemaSummary("http://e/", [], [], 0)
+        schema = build_cluster_schema(summary)
+        assert schema.cluster_count == 0
+
+    def test_deterministic(self):
+        a = build_cluster_schema(clustered_summary())
+        b = build_cluster_schema(clustered_summary())
+        assert [c.class_iris for c in a.clusters] == [c.class_iris for c in b.clusters]

@@ -1,0 +1,274 @@
+"""Unit tests for the portal crawler, the endpoint registry (manual
+insertion + e-mail) and the daily update scheduler."""
+
+import pytest
+
+from repro.core import (
+    EmailOutbox,
+    EndpointRegistry,
+    FRESHNESS_DAYS,
+    HboldStorage,
+    IndexExtractor,
+    LISTING_1_QUERY,
+    PortalCrawler,
+    UpdateScheduler,
+)
+from repro.datagen import PORTAL_CENSUS, build_portal_catalog
+from repro.docstore import DocumentStore
+from repro.endpoint import (
+    AlwaysAvailable,
+    EndpointNetwork,
+    SimulationClock,
+    SparqlClient,
+    SparqlEndpoint,
+)
+from repro.rdf import parse_turtle
+
+TTL = """
+@prefix ex: <http://example.org/> .
+ex:a1 a ex:A ; ex:rel ex:b1 .
+ex:b1 a ex:B .
+"""
+
+
+def environment():
+    clock = SimulationClock()
+    network = EndpointNetwork(clock=clock)
+    client = SparqlClient(network)
+    storage = HboldStorage(DocumentStore())
+    extractor = IndexExtractor(client)
+    return network, client, storage, extractor
+
+
+def add_endpoint(network, url, ttl=TTL, availability=None, profile="virtuoso"):
+    endpoint = SparqlEndpoint(
+        url,
+        parse_turtle(ttl),
+        network.clock,
+        profile=profile,
+        availability=availability or AlwaysAvailable(),
+    )
+    network.register(endpoint)
+    return endpoint
+
+
+class TestCrawler:
+    def test_listing1_discovers_portal_endpoints(self):
+        network, client, _, _ = environment()
+        census = PORTAL_CENSUS[1]  # euodp, 9 endpoints
+        catalog, urls = build_portal_catalog(
+            census, [f"http://k{i}/sparql" for i in range(census.overlapping)]
+        )
+        portal = SparqlEndpoint("http://portal/sparql", catalog, network.clock)
+        network.register(portal)
+
+        crawler = PortalCrawler(client)
+        discovered = crawler.crawl_portal("http://portal/sparql", portal_key="euodp")
+        assert len(discovered) == 9
+        assert {d.url for d in discovered} == set(urls)
+        assert all(d.portal == "euodp" for d in discovered)
+        assert all(d.title for d in discovered)
+
+    def test_unreachable_portal_returns_empty(self):
+        _, client, _, _ = environment()
+        crawler = PortalCrawler(client)
+        assert crawler.crawl_portal("http://ghost/sparql") == []
+
+    def test_merge_into_registry_counts_new(self):
+        from repro.core.crawler import DiscoveredEndpoint
+
+        crawler = PortalCrawler(None)
+        discovered = {
+            "p1": [
+                DiscoveredEndpoint("d1", "t", "http://a/sparql", "p1"),
+                DiscoveredEndpoint("d2", "t", "http://b/sparql", "p1"),
+            ],
+            "p2": [DiscoveredEndpoint("d3", "t", "http://b/sparql", "p2")],
+        }
+        new, found = crawler.merge_into_registry(discovered, ["http://a/sparql"])
+        assert found == {"p1": 2, "p2": 1}
+        assert [e.url for e in new] == ["http://b/sparql"]  # deduped across portals
+
+    def test_listing1_text_matches_paper(self):
+        assert "regex ( ?url, 'sparql' )" in LISTING_1_QUERY
+        assert "dcat:accessURL" in LISTING_1_QUERY
+        assert "dc:title" in LISTING_1_QUERY
+
+
+class TestRegistry:
+    def test_submit_indexes_and_notifies(self):
+        network, client, storage, extractor = environment()
+        add_endpoint(network, "http://new/sparql")
+        outbox = EmailOutbox()
+        registry = EndpointRegistry(storage, extractor, outbox=outbox)
+
+        result = registry.submit("http://new/sparql", "user@example.org")
+        assert result.accepted and result.indexed
+        assert storage.endpoint_record("http://new/sparql")["status"] == "indexed"
+        assert len(outbox) == 1
+        assert "available" in outbox.sent[0].subject
+
+    def test_address_deleted_after_notification(self):
+        """§3.4: 'At the end of the extraction, the e-mail address is deleted'."""
+        network, client, storage, extractor = environment()
+        add_endpoint(network, "http://new/sparql")
+        registry = EndpointRegistry(storage, extractor)
+        registry.submit("http://new/sparql", "person@example.org")
+        assert registry.pending_address_count() == 0
+
+    def test_failed_extraction_notifies_failure(self):
+        network, client, storage, extractor = environment()
+
+        class Down(AlwaysAvailable):
+            def is_available(self, day):
+                return False
+
+        add_endpoint(network, "http://dead/sparql", availability=Down())
+        outbox = EmailOutbox()
+        registry = EndpointRegistry(storage, extractor, outbox=outbox)
+        result = registry.submit("http://dead/sparql", "user@example.org")
+        assert result.accepted and not result.indexed
+        assert "failed" in outbox.sent[0].subject
+        assert registry.pending_address_count() == 0
+
+    def test_invalid_url_rejected(self):
+        network, client, storage, extractor = environment()
+        registry = EndpointRegistry(storage, extractor)
+        result = registry.submit("ftp://nope", "user@example.org")
+        assert not result.accepted
+
+    def test_already_indexed_short_circuit(self):
+        network, client, storage, extractor = environment()
+        add_endpoint(network, "http://new/sparql")
+        registry = EndpointRegistry(storage, extractor)
+        registry.submit("http://new/sparql", "a@example.org")
+        outbox_before = len(registry.outbox)
+        result = registry.submit("http://new/sparql", "b@example.org")
+        assert result.indexed and not result.accepted
+        assert len(registry.outbox) == outbox_before  # no second mail
+
+    def test_bad_email_does_not_break_pipeline(self):
+        network, client, storage, extractor = environment()
+        add_endpoint(network, "http://new/sparql")
+        registry = EndpointRegistry(storage, extractor)
+        result = registry.submit("http://new/sparql", "not-an-address")
+        assert result.indexed  # extraction succeeded regardless
+
+    def test_dataset_list_puts_indexed_first(self):
+        network, client, storage, extractor = environment()
+        add_endpoint(network, "http://new/sparql")
+        registry = EndpointRegistry(storage, extractor)
+        registry.add_listed("http://plain/sparql")
+        registry.submit("http://new/sparql", "u@example.org")
+        datasets = registry.dataset_list()
+        assert datasets[0]["url"] == "http://new/sparql"
+
+
+class TestOutbox:
+    def test_no_plaintext_address_retained(self):
+        outbox = EmailOutbox()
+        outbox.send("secret@example.org", "s", "b")
+        import json
+
+        dumped = repr(outbox.sent[0].__dict__ if hasattr(outbox.sent[0], "__dict__") else [
+            getattr(outbox.sent[0], name) for name in outbox.sent[0].__slots__
+        ])
+        assert "secret@example.org" not in dumped
+
+    def test_messages_for_matches_by_hash(self):
+        outbox = EmailOutbox()
+        outbox.send("a@example.org", "s1", "b")
+        outbox.send("b@example.org", "s2", "b")
+        assert [m.subject for m in outbox.messages_for("a@example.org")] == ["s1"]
+
+    def test_invalid_address_raises(self):
+        outbox = EmailOutbox()
+        with pytest.raises(ValueError):
+            outbox.send("nope", "s", "b")
+        assert outbox.delivery_failures == 1
+
+
+class TestScheduler:
+    def build_world(self, flaky_days=None):
+        network, client, storage, extractor = environment()
+        add_endpoint(network, "http://stable/sparql")
+
+        class DownOn(AlwaysAvailable):
+            def __init__(self, days):
+                self.days = set(days)
+
+            def is_available(self, day):
+                return day not in self.days
+
+        add_endpoint(
+            network, "http://flaky/sparql", availability=DownOn(flaky_days or [0])
+        )
+        storage.upsert_endpoint("http://stable/sparql")
+        storage.upsert_endpoint("http://flaky/sparql")
+        scheduler = UpdateScheduler(storage, extractor)
+        return network, storage, scheduler
+
+    def test_first_day_attempts_everything(self):
+        network, storage, scheduler = self.build_world()
+        report = scheduler.run_day()
+        assert len(report.attempted) == 2
+        assert report.succeeded == ["http://stable/sparql"]
+        assert report.failed == ["http://flaky/sparql"]
+
+    def test_fresh_endpoints_skipped_within_week(self):
+        network, storage, scheduler = self.build_world()
+        scheduler.run_days(2)
+        second = scheduler.reports[1]
+        assert "http://stable/sparql" not in second.attempted  # fresh
+        assert "http://flaky/sparql" in second.attempted  # failed -> daily retry
+
+    def test_weekly_refresh_triggers(self):
+        network, storage, scheduler = self.build_world(flaky_days=[])
+        reports = scheduler.run_days(FRESHNESS_DAYS + 1)
+        assert "http://stable/sparql" in reports[0].attempted
+        for report in reports[1:FRESHNESS_DAYS]:
+            assert "http://stable/sparql" not in report.attempted
+        assert "http://stable/sparql" in reports[FRESHNESS_DAYS].attempted
+
+    def test_failed_endpoint_retried_daily_until_recovery(self):
+        network, storage, scheduler = self.build_world(flaky_days=[0, 1])
+        reports = scheduler.run_days(3)
+        assert "http://flaky/sparql" in reports[0].failed
+        assert "http://flaky/sparql" in reports[1].failed
+        assert "http://flaky/sparql" in reports[2].succeeded
+
+    def test_daily_policy_attempts_every_day(self):
+        network, client, storage, extractor = environment()
+        add_endpoint(network, "http://stable/sparql")
+        storage.upsert_endpoint("http://stable/sparql")
+        scheduler = UpdateScheduler(storage, extractor, policy="daily")
+        reports = scheduler.run_days(3)
+        assert all("http://stable/sparql" in r.attempted for r in reports)
+
+    def test_paper_policy_cheaper_than_daily(self):
+        costs = self._policy_costs()
+        assert costs["paper"] < costs["daily"]
+
+    def _policy_costs(self):
+        out = {}
+        for policy in ("paper", "daily"):
+            network, client, storage, extractor = environment()
+            add_endpoint(network, "http://stable/sparql")
+            storage.upsert_endpoint("http://stable/sparql")
+            scheduler = UpdateScheduler(storage, extractor, policy=policy)
+            scheduler.run_days(10)
+            out[policy] = sum(len(r.attempted) for r in scheduler.reports)
+        return out
+
+    def test_unknown_policy(self):
+        _, _, storage, extractor = environment()
+        with pytest.raises(KeyError):
+            UpdateScheduler(storage, extractor, policy="random")
+
+    def test_staleness_profile(self):
+        network, storage, scheduler = self.build_world(flaky_days=[])
+        scheduler.run_days(5)
+        profile = scheduler.staleness_profile(5)
+        assert profile["policy"] == "paper"
+        assert profile["successes"] >= 2
+        assert profile["mean_staleness_days"] < 5

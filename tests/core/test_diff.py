@@ -1,0 +1,132 @@
+"""Unit tests for schema diffing and the recluster-skip optimization."""
+
+import pytest
+
+from repro.core import diff_summaries
+from repro.core.models import SchemaEdge, SchemaNode, SchemaSummary
+
+NS = "http://x.example.org/"
+URL = "http://e/sparql"
+
+
+def summary(counts, edge_pairs, total=None):
+    nodes = [SchemaNode(NS + name, count) for name, count in counts.items()]
+    edges = [
+        SchemaEdge(NS + source, NS + f"p_{source}_{target}", NS + target)
+        for source, target in edge_pairs
+    ]
+    total = total if total is not None else sum(counts.values())
+    return SchemaSummary(URL, nodes, edges, total)
+
+
+class TestDiff:
+    def test_identical_summaries_unchanged(self):
+        old = summary({"A": 10, "B": 5}, [("A", "B")])
+        new = summary({"A": 10, "B": 5}, [("A", "B")])
+        diff = diff_summaries(old, new)
+        assert diff.is_unchanged()
+        assert not diff.structure_changed()
+        assert "unchanged" in diff.summary_line()
+
+    def test_added_and_removed_classes(self):
+        old = summary({"A": 10, "B": 5}, [])
+        new = summary({"A": 10, "C": 3}, [])
+        diff = diff_summaries(old, new)
+        assert diff.added_classes == [NS + "C"]
+        assert diff.removed_classes == [NS + "B"]
+        assert diff.structure_changed()
+
+    def test_count_changes(self):
+        old = summary({"A": 10, "B": 5}, [])
+        new = summary({"A": 12, "B": 5}, [])
+        diff = diff_summaries(old, new)
+        assert diff.count_changes == [(NS + "A", 10, 12)]
+        assert not diff.structure_changed()  # counts only, same graph
+        assert not diff.is_unchanged()
+
+    def test_edge_changes(self):
+        old = summary({"A": 1, "B": 1, "C": 1}, [("A", "B")])
+        new = summary({"A": 1, "B": 1, "C": 1}, [("A", "B"), ("B", "C")])
+        diff = diff_summaries(old, new)
+        assert len(diff.added_edges) == 1
+        assert diff.added_edges[0][2] == NS + "C"
+        assert diff.removed_edges == []
+
+    def test_instance_delta(self):
+        old = summary({"A": 10}, [])
+        new = summary({"A": 17}, [])
+        assert diff_summaries(old, new).instance_delta == 7
+
+    def test_different_endpoints_rejected(self):
+        old = summary({"A": 1}, [])
+        other = SchemaSummary("http://other/", [SchemaNode(NS + "A", 1)], [], 1)
+        with pytest.raises(ValueError):
+            diff_summaries(old, other)
+
+    def test_to_doc_is_json_shaped(self):
+        import json
+
+        old = summary({"A": 10, "B": 5}, [("A", "B")])
+        new = summary({"A": 11, "C": 2}, [("A", "C")])
+        json.dumps(diff_summaries(old, new).to_doc())
+
+    def test_summary_line_mentions_changes(self):
+        old = summary({"A": 10, "B": 5}, [("A", "B")])
+        new = summary({"A": 11, "B": 5, "C": 1}, [("A", "B"), ("A", "C")])
+        line = diff_summaries(old, new).summary_line()
+        assert "+1/-0 classes" in line
+        assert "instances +" in line
+
+
+class TestSchedulerReclusterSkip:
+    def test_unchanged_summary_skips_community_detection(self):
+        """§3.2's rule applied server-side: identical Schema Summary ->
+        reuse the stored Cluster Schema instead of re-clustering."""
+        from repro.core import (
+            FRESHNESS_DAYS,
+            HBold,
+            UpdateScheduler,
+        )
+        from repro.datagen import build_world
+
+        world = build_world(indexable=3, broken=0, portal_new_indexable=0,
+                            seed=6, flaky=False)
+        app = HBold(world.network)
+        app.bootstrap_registry(world.indexable_urls)
+        scheduler = UpdateScheduler(app.storage, app.extractor)
+
+        first_week = scheduler.run_days(1)
+        assert first_week[0].reclusters_skipped == 0  # nothing stored yet
+
+        # jump past the freshness window; the data has not changed
+        world.network.clock.sleep_until_day(FRESHNESS_DAYS)
+        second = scheduler.run_day()
+        assert len(second.succeeded) == 3
+        assert second.reclusters_skipped == 3  # all summaries identical
+
+    def test_changed_data_triggers_recluster(self):
+        from repro.core import FRESHNESS_DAYS, HBold, UpdateScheduler
+        from repro.datagen import build_world
+        from repro.rdf import IRI, RDF
+
+        world = build_world(indexable=2, broken=0, portal_new_indexable=0,
+                            seed=6, flaky=False)
+        app = HBold(world.network)
+        app.bootstrap_registry(world.indexable_urls)
+        scheduler = UpdateScheduler(app.storage, app.extractor)
+        scheduler.run_day()
+
+        # mutate one endpoint's data: add an instance of a brand-new class
+        url = world.indexable_urls[0]
+        graph = world.network.get(url).graph
+        graph.add_triple(
+            IRI("http://mut.example.org/thing1"),
+            RDF.type,
+            IRI("http://mut.example.org/BrandNewClass"),
+        )
+
+        world.network.clock.sleep_until_day(FRESHNESS_DAYS)
+        report = scheduler.run_day()
+        assert report.reclusters_skipped == 1  # only the untouched endpoint
+        new_summary = app.storage.load_summary(url)
+        assert "http://mut.example.org/BrandNewClass" in new_summary

@@ -1,0 +1,229 @@
+"""Unit tests for the extension modules: statistics, VoID export, schema
+exports, the multilevel abstraction hierarchy and the cluster-graph view."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    build_cluster_schema,
+    build_multilevel_hierarchy,
+    clusters_to_csv,
+    clusters_to_json,
+    compute_statistics,
+    summary_to_graph,
+    summary_to_turtle,
+    summary_to_void_turtle,
+    void_description,
+)
+from repro.core.models import SchemaEdge, SchemaNode, SchemaSummary
+from repro.rdf import IRI, VOID, parse_turtle
+
+NS = "http://x.example.org/"
+
+
+def rich_summary() -> SchemaSummary:
+    """Three dense groups of classes with bridges -- enough structure for a
+    multi-level pyramid."""
+    nodes = []
+    edges = []
+    groups = (["A", "B", "C"], ["D", "E", "F"], ["G", "H", "I"])
+    for gi, group in enumerate(groups):
+        for index, name in enumerate(group):
+            nodes.append(
+                SchemaNode(
+                    NS + name,
+                    (gi + 1) * 10 + index,
+                    datatype_properties=[NS + f"attr{name}"],
+                )
+            )
+        for i, left in enumerate(group):
+            for right in group[i + 1:]:
+                edges.append(SchemaEdge(NS + left, NS + f"p{left}{right}", NS + right))
+    edges.append(SchemaEdge(NS + "A", NS + "bridge1", NS + "D"))
+    edges.append(SchemaEdge(NS + "D", NS + "bridge2", NS + "G"))
+    return SchemaSummary("http://e/sparql", nodes, edges, total_instances=sum(
+        n.instance_count for n in nodes
+    ))
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = compute_statistics(rich_summary())
+        assert stats.class_count == 9
+        assert stats.link_count == 11
+        assert stats.datatype_property_count == 9
+        assert stats.property_count == 11 + 9
+
+    def test_largest_classes_sorted(self):
+        stats = compute_statistics(rich_summary(), top=3)
+        counts = [count for _, count in stats.largest_classes]
+        assert counts == sorted(counts, reverse=True)
+        assert len(stats.largest_classes) == 3
+
+    def test_degree_histogram_covers_all_classes(self):
+        stats = compute_statistics(rich_summary())
+        assert sum(stats.degree_histogram.values()) == 9
+
+    def test_gini_bounds(self):
+        stats = compute_statistics(rich_summary())
+        assert 0.0 <= stats.instance_gini < 1.0
+
+    def test_gini_uniform_is_zero(self):
+        nodes = [SchemaNode(NS + f"C{i}", 10) for i in range(5)]
+        summary = SchemaSummary("http://e/", nodes, [], 50)
+        assert compute_statistics(summary).instance_gini == pytest.approx(0.0)
+
+    def test_to_doc_is_json_safe(self):
+        doc = compute_statistics(rich_summary()).to_doc()
+        json.dumps(doc)  # must not raise
+
+
+class TestVoid:
+    def test_void_description_shape(self):
+        summary = rich_summary()
+        graph = void_description(summary)
+        datasets = list(graph.subjects(None, VOID.Dataset))
+        # exactly one void:Dataset, with entity/class counts
+        from repro.rdf import RDF
+
+        dataset = next(iter(graph.subjects(RDF.type, VOID.Dataset)))
+        assert graph.value(dataset, VOID.entities).to_python() == summary.total_instances
+        assert graph.value(dataset, VOID.classes).to_python() == 9
+        partitions = list(graph.objects(dataset, VOID.classPartition))
+        assert len(partitions) == 9
+
+    def test_void_turtle_parses_back(self):
+        text = summary_to_void_turtle(rich_summary())
+        graph = parse_turtle(text)
+        assert len(graph) > 20
+
+
+class TestSchemaExports:
+    def test_summary_graph_has_domain_range(self):
+        from repro.rdf import RDFS
+
+        graph = summary_to_graph(rich_summary())
+        prop = IRI(NS + "bridge1")
+        assert graph.value(prop, RDFS.domain) == IRI(NS + "A")
+        assert graph.value(prop, RDFS.range) == IRI(NS + "D")
+
+    def test_summary_turtle_round_trips(self):
+        text = summary_to_turtle(rich_summary())
+        graph = parse_turtle(text)
+        assert len(graph) == len(summary_to_graph(rich_summary()))
+
+    def test_clusters_csv(self):
+        schema = build_cluster_schema(rich_summary())
+        text = clusters_to_csv(schema)
+        lines = text.splitlines()
+        assert lines[0] == "class_iri,cluster_id,cluster_label"
+        assert len(lines) == 10  # header + 9 classes
+
+    def test_clusters_json_d3_shape(self):
+        schema = build_cluster_schema(rich_summary())
+        document = json.loads(clusters_to_json(schema))
+        assert document["algorithm"] == "louvain"
+        assert len(document["children"]) == schema.cluster_count
+        total_classes = sum(len(c["children"]) for c in document["children"])
+        assert total_classes == 9
+
+
+class TestMultilevel:
+    def test_level0_is_classes(self):
+        hierarchy = build_multilevel_hierarchy(rich_summary())
+        assert hierarchy.levels[0].group_count == 9
+
+    def test_level1_matches_cluster_schema(self):
+        summary = rich_summary()
+        hierarchy = build_multilevel_hierarchy(summary)
+        schema = build_cluster_schema(summary)
+        assert hierarchy.levels[1].group_count == schema.cluster_count
+
+    def test_levels_are_nested_partitions(self):
+        hierarchy = build_multilevel_hierarchy(rich_summary())
+        all_classes = {node.iri for node in hierarchy.summary.nodes}
+        for level in hierarchy.levels:
+            seen = set()
+            for members in level.groups.values():
+                for iri in members:
+                    assert iri not in seen  # no overlap
+                    seen.add(iri)
+            assert seen == all_classes  # total cover
+        # each level is coarser than or equal to the one below
+        for lower, upper in zip(hierarchy.levels, hierarchy.levels[1:]):
+            assert upper.group_count <= lower.group_count
+
+    def test_group_of(self):
+        hierarchy = build_multilevel_hierarchy(rich_summary())
+        level1 = hierarchy.levels[1]
+        assert level1.group_of(NS + "A") == level1.group_of(NS + "B")
+        with pytest.raises(KeyError):
+            level1.group_of(NS + "Ghost")
+
+    def test_instance_counts_conserved_per_level(self):
+        hierarchy = build_multilevel_hierarchy(rich_summary())
+        total = hierarchy.summary.total_instances
+        for level in hierarchy.levels:
+            assert sum(level.instance_counts.values()) == total
+
+    def test_hierarchy_node_tree(self):
+        hierarchy = build_multilevel_hierarchy(rich_summary())
+        tree = hierarchy.to_hierarchy_node()
+        assert len(tree.leaves()) == 9
+        tree.sum_values()
+        assert tree.value == hierarchy.summary.total_instances
+
+    def test_tree_feeds_layouts(self):
+        from repro.viz import sunburst_layout, treemap_layout
+
+        hierarchy = build_multilevel_hierarchy(rich_summary())
+        tree = hierarchy.to_hierarchy_node().sum_values()
+        treemap_layout(tree, 400, 300)
+        assert all(node.rect is not None for node in tree.each())
+        tree2 = hierarchy.to_hierarchy_node().sum_values()
+        sunburst_layout(tree2, 200)
+        assert all(node.arc is not None for node in tree2.each())
+
+    def test_empty_summary(self):
+        summary = SchemaSummary("http://e/", [], [], 0)
+        hierarchy = build_multilevel_hierarchy(summary)
+        assert hierarchy.depth == 1
+        assert hierarchy.levels[0].group_count == 0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            build_multilevel_hierarchy(rich_summary(), algorithm="nope")
+
+
+class TestClusterGraphView:
+    def test_render_cluster_graph(self):
+        from repro.viz import render_cluster_graph
+
+        schema = build_cluster_schema(rich_summary())
+        clusters = [(c.cluster_id, c.label, c.size, c.instance_count) for c in schema.clusters]
+        edges = [(e.source, e.target, e.weight) for e in schema.edges]
+        doc = render_cluster_graph(clusters, edges)
+        text = doc.render()
+        assert text.count("<circle") == schema.cluster_count
+        assert text.count("<line") == len(schema.edges)
+
+    def test_empty_clusters_rejected(self):
+        from repro.viz import render_cluster_graph
+
+        with pytest.raises(ValueError):
+            render_cluster_graph([], [])
+
+    def test_facade_render_cluster_schema(self, indexed_app, tiny_world):
+        url = tiny_world.indexable_urls[0]
+        doc = indexed_app.render_cluster_schema(url)
+        schema = indexed_app.cluster_schema(url)
+        assert doc.render().count("<circle") == schema.cluster_count
+
+    def test_facade_statistics_and_multilevel(self, indexed_app, tiny_world):
+        url = tiny_world.indexable_urls[0]
+        stats = indexed_app.statistics(url)
+        summary = indexed_app.summary(url)
+        assert stats.class_count == len(summary.nodes)
+        hierarchy = indexed_app.multilevel_hierarchy(url)
+        assert hierarchy.depth >= 2

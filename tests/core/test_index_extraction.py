@@ -1,0 +1,185 @@
+"""Unit tests for Index Extraction and its pattern strategies."""
+
+import pytest
+
+from repro.core import ExtractionFailed, IndexExtractor
+from repro.endpoint import (
+    AlwaysAvailable,
+    EndpointNetwork,
+    SimulationClock,
+    SparqlClient,
+    SparqlEndpoint,
+)
+from repro.endpoint.profiles import EndpointProfile
+from repro.rdf import parse_turtle
+
+TTL = """
+@prefix ex: <http://example.org/> .
+
+ex:a1 a ex:A ; ex:name "a1" ; ex:rel ex:b1 .
+ex:a2 a ex:A ; ex:name "a2" ; ex:rel ex:b1 ; ex:rel ex:b2 .
+ex:a3 a ex:A ; ex:name "a3" .
+ex:b1 a ex:B ; ex:size 5 .
+ex:b2 a ex:B ; ex:size 9 ; ex:backref ex:a1 .
+ex:c1 a ex:C .
+"""
+
+EX = "http://example.org/"
+
+
+def build(profile="virtuoso", ttl=TTL, availability=None):
+    clock = SimulationClock()
+    network = EndpointNetwork(clock=clock)
+    endpoint = SparqlEndpoint(
+        "http://e/sparql",
+        parse_turtle(ttl),
+        clock,
+        profile=profile,
+        availability=availability or AlwaysAvailable(),
+    )
+    network.register(endpoint)
+    client = SparqlClient(network)
+    return IndexExtractor(client, page_size=100), endpoint
+
+
+class TestAggregateStrategy:
+    def test_extracts_class_counts(self):
+        extractor, _ = build()
+        indexes = extractor.extract("http://e/sparql")
+        counts = {c.iri: c.instance_count for c in indexes.classes}
+        assert counts == {EX + "A": 3, EX + "B": 2, EX + "C": 1}
+        assert indexes.instance_count == 6
+        assert indexes.strategy == "aggregate"
+        assert indexes.complete
+
+    def test_datatype_properties(self):
+        extractor, _ = build()
+        indexes = extractor.extract("http://e/sparql")
+        a = indexes.class_by_iri(EX + "A")
+        assert a.datatype_properties == [EX + "name"]
+        b = indexes.class_by_iri(EX + "B")
+        assert b.datatype_properties == [EX + "size"]
+
+    def test_object_links_with_counts(self):
+        extractor, _ = build()
+        indexes = extractor.extract("http://e/sparql")
+        links = {(l.source, l.property, l.target): l.count for l in indexes.links}
+        assert links[(EX + "A", EX + "rel", EX + "B")] == 3
+        assert links[(EX + "B", EX + "backref", EX + "A")] == 1
+
+    def test_extraction_timestamp_set(self):
+        extractor, endpoint = build()
+        indexes = extractor.extract("http://e/sparql")
+        assert indexes.extracted_at_ms > 0
+        assert indexes.extracted_at_ms == endpoint.clock.now_ms
+
+
+class TestScanFallback:
+    def test_no_aggregate_endpoint_falls_back(self):
+        extractor, _ = build(profile="legacy-sesame")
+        indexes = extractor.extract("http://e/sparql")
+        assert indexes.strategy == "scan"
+        counts = {c.iri: c.instance_count for c in indexes.classes}
+        assert counts == {EX + "A": 3, EX + "B": 2, EX + "C": 1}
+
+    def test_scan_matches_aggregate_results(self):
+        aggregate_extractor, _ = build(profile="virtuoso")
+        scan_extractor, _ = build(profile="legacy-sesame")
+        via_aggregate = aggregate_extractor.extract("http://e/sparql")
+        via_scan = scan_extractor.extract("http://e/sparql")
+        assert {(c.iri, c.instance_count) for c in via_aggregate.classes} == {
+            (c.iri, c.instance_count) for c in via_scan.classes
+        }
+        assert {(l.source, l.property, l.target, l.count) for l in via_aggregate.links} == {
+            (l.source, l.property, l.target, l.count) for l in via_scan.links
+        }
+
+    def test_pagination_with_tiny_result_cap(self):
+        # 60 instances, endpoint caps results at 10 rows: scan must paginate.
+        big_ttl = "@prefix ex: <http://example.org/> .\n" + "\n".join(
+            f"ex:x{i} a ex:X ." for i in range(60)
+        )
+        profile = EndpointProfile("capped", supports_aggregates=False,
+                                  max_result_rows=10, jitter=0.0)
+        clock = SimulationClock()
+        network = EndpointNetwork(clock=clock)
+        network.register(
+            SparqlEndpoint("http://cap/sparql", parse_turtle(big_ttl), clock, profile=profile)
+        )
+        extractor = IndexExtractor(SparqlClient(network), page_size=10)
+        indexes = extractor.extract("http://cap/sparql")
+        assert indexes.class_by_iri(EX + "X").instance_count == 60
+
+    def test_truncated_aggregate_falls_back_to_scan(self):
+        # aggregates supported but grouped result is truncated -> scan
+        many_classes = "@prefix ex: <http://example.org/> .\n" + "\n".join(
+            f"ex:i{i} a ex:T{i % 20} ." for i in range(100)
+        )
+        profile = EndpointProfile("trunc", supports_aggregates=True,
+                                  max_result_rows=5, jitter=0.0)
+        clock = SimulationClock()
+        network = EndpointNetwork(clock=clock)
+        network.register(
+            SparqlEndpoint("http://t/sparql", parse_turtle(many_classes), clock,
+                           profile=profile)
+        )
+        extractor = IndexExtractor(SparqlClient(network), page_size=5)
+        indexes = extractor.extract("http://t/sparql")
+        assert indexes.class_count == 20
+        assert indexes.strategy == "scan"
+
+
+class TestFailureModes:
+    def test_unavailable_endpoint(self):
+        class Down(AlwaysAvailable):
+            def is_available(self, day):
+                return False
+
+        extractor, _ = build(availability=Down())
+        with pytest.raises(ExtractionFailed, match="unavailable"):
+            extractor.extract("http://e/sparql")
+
+    def test_empty_endpoint_fails(self):
+        extractor, _ = build(ttl="@prefix ex: <http://example.org/> .\nex:x ex:p ex:y .")
+        with pytest.raises(ExtractionFailed, match="no instantiated classes"):
+            extractor.extract("http://e/sparql")
+
+    def test_too_many_classes_is_incompatible(self):
+        ttl = "@prefix ex: <http://example.org/> .\n" + "\n".join(
+            f"ex:i{i} a ex:T{i} ." for i in range(30)
+        )
+        extractor, _ = build(ttl=ttl)
+        extractor.max_classes = 10
+        with pytest.raises(ExtractionFailed, match="too many classes"):
+            extractor.extract("http://e/sparql")
+
+    def test_unknown_url(self):
+        extractor, _ = build()
+        with pytest.raises(ExtractionFailed):
+            extractor.extract("http://ghost/sparql")
+
+    def test_mid_extraction_outage_fails_cleanly(self):
+        class DiesAfterFewQueries(AlwaysAvailable):
+            def __init__(self):
+                self.queries = 0
+
+            def is_available(self, day):
+                self.queries += 1
+                return self.queries < 4
+
+        extractor, _ = build(availability=DiesAfterFewQueries())
+        extractor.client.max_retries = 0
+        with pytest.raises(ExtractionFailed):
+            extractor.extract("http://e/sparql")
+
+
+class TestCostAccounting:
+    def test_scan_strategy_costs_more_time(self):
+        aggregate_extractor, aggregate_endpoint = build(profile="virtuoso")
+        aggregate_extractor.extract("http://e/sparql")
+        aggregate_cost = aggregate_endpoint.clock.now_ms
+
+        scan_extractor, scan_endpoint = build(profile="legacy-sesame")
+        scan_extractor.extract("http://e/sparql")
+        scan_cost = scan_endpoint.clock.now_ms
+        assert scan_cost > aggregate_cost

@@ -1,0 +1,122 @@
+"""Unit tests for the inferred-schema extraction mode (LODeX lineage)."""
+
+import pytest
+
+from repro.core import IndexExtractor
+from repro.datagen import ClassSpec, DatasetSpec, instantiate, scholarly_graph
+from repro.endpoint import (
+    AlwaysAvailable,
+    EndpointNetwork,
+    SimulationClock,
+    SparqlClient,
+    SparqlEndpoint,
+)
+
+NS = "http://zoo.example.org/"
+
+ZOO = DatasetSpec(
+    "zoo",
+    NS,
+    [
+        ClassSpec("Animal", 0),
+        ClassSpec("Mammal", 2),
+        ClassSpec("Dog", 5),
+        ClassSpec("Cat", 3),
+        ClassSpec("Robot", 4),
+    ],
+    subclass_axioms=[("Dog", "Mammal"), ("Cat", "Mammal"), ("Mammal", "Animal")],
+)
+
+
+def build(profile="virtuoso"):
+    clock = SimulationClock()
+    network = EndpointNetwork(clock=clock)
+    network.register(
+        SparqlEndpoint(
+            "http://zoo/sparql",
+            instantiate(ZOO, seed=1),
+            clock,
+            profile=profile,
+            availability=AlwaysAvailable(),
+        )
+    )
+    return network
+
+
+class TestInferredCounts:
+    def test_superclasses_accumulate_instances(self):
+        extractor = IndexExtractor(SparqlClient(build()), infer_types=True)
+        indexes = extractor.extract("http://zoo/sparql")
+        counts = {c.label: c.instance_count for c in indexes.classes}
+        assert counts["Dog"] == 5
+        assert counts["Cat"] == 3
+        assert counts["Mammal"] == 2 + 5 + 3
+        assert counts["Animal"] == 2 + 5 + 3  # Animal has no direct instances
+        assert counts["Robot"] == 4
+        assert indexes.inferred
+
+    def test_uninstantiated_superclass_appears(self):
+        extractor = IndexExtractor(SparqlClient(build()), infer_types=True)
+        indexes = extractor.extract("http://zoo/sparql")
+        labels = {c.label for c in indexes.classes}
+        assert "Animal" in labels  # 0 direct instances but inferred ones
+
+    def test_plain_extraction_excludes_uninstantiated(self):
+        extractor = IndexExtractor(SparqlClient(build()), infer_types=False)
+        indexes = extractor.extract("http://zoo/sparql")
+        labels = {c.label for c in indexes.classes}
+        assert "Animal" not in labels
+        assert not indexes.inferred
+
+    def test_total_is_distinct_subjects_not_sum(self):
+        extractor = IndexExtractor(SparqlClient(build()), infer_types=True)
+        indexes = extractor.extract("http://zoo/sparql")
+        assert indexes.instance_count == 2 + 5 + 3 + 4  # no double counting
+
+    def test_scan_fallback_agrees_with_path_query(self):
+        modern = IndexExtractor(SparqlClient(build("virtuoso")), infer_types=True)
+        legacy = IndexExtractor(
+            SparqlClient(build("legacy-sesame")), infer_types=True, page_size=200
+        )
+        via_paths = modern.extract("http://zoo/sparql")
+        via_closure = legacy.extract("http://zoo/sparql")
+        assert via_closure.strategy == "scan"
+        assert {(c.iri, c.instance_count) for c in via_paths.classes} == {
+            (c.iri, c.instance_count) for c in via_closure.classes
+        }
+
+    def test_scholarly_event_hierarchy(self):
+        clock = SimulationClock()
+        network = EndpointNetwork(clock=clock)
+        network.register(
+            SparqlEndpoint(
+                "http://s/sparql",
+                scholarly_graph(scale=0.05, seed=3),
+                clock,
+                availability=AlwaysAvailable(),
+            )
+        )
+        plain = IndexExtractor(SparqlClient(network)).extract("http://s/sparql")
+        inferred = IndexExtractor(SparqlClient(network), infer_types=True).extract(
+            "http://s/sparql"
+        )
+        direct_event = plain.class_by_iri(
+            next(c.iri for c in plain.classes if c.label == "Event")
+        ).instance_count
+        inferred_event = inferred.class_by_iri(
+            next(c.iri for c in inferred.classes if c.label == "Event")
+        ).instance_count
+        # Event gains Conference/Workshop/Talk/... instances through the closure
+        assert inferred_event > direct_event
+        # totals stay the dataset's true size
+        assert inferred.instance_count == plain.instance_count
+
+    def test_inferred_flag_round_trips_through_storage(self):
+        from repro.core import HboldStorage
+        from repro.docstore import DocumentStore
+
+        extractor = IndexExtractor(SparqlClient(build()), infer_types=True)
+        indexes = extractor.extract("http://zoo/sparql")
+        storage = HboldStorage(DocumentStore())
+        storage.save_indexes(indexes)
+        assert storage.load_indexes("http://zoo/sparql").inferred

@@ -1,0 +1,266 @@
+"""Unit tests for HboldStorage, ExplorationSession and VisualQuery."""
+
+import pytest
+
+from repro.core import (
+    HboldStorage,
+    ExplorationSession,
+    QueryBuildError,
+    VisualQuery,
+    build_cluster_schema,
+)
+from repro.core.models import (
+    ClassIndex,
+    EndpointIndexes,
+    LinkIndex,
+    SchemaEdge,
+    SchemaNode,
+    SchemaSummary,
+)
+from repro.docstore import DocumentStore
+
+NS = "http://x.example.org/"
+URL = "http://e/sparql"
+
+
+def chain_summary() -> SchemaSummary:
+    """A -> B -> C -> D chain plus isolated E."""
+    nodes = [
+        SchemaNode(NS + "A", 40, datatype_properties=[NS + "name"]),
+        SchemaNode(NS + "B", 30, datatype_properties=[NS + "size"]),
+        SchemaNode(NS + "C", 20),
+        SchemaNode(NS + "D", 9),
+        SchemaNode(NS + "E", 1),
+    ]
+    edges = [
+        SchemaEdge(NS + "A", NS + "ab", NS + "B", 10),
+        SchemaEdge(NS + "B", NS + "bc", NS + "C", 10),
+        SchemaEdge(NS + "C", NS + "cd", NS + "D", 10),
+    ]
+    return SchemaSummary(URL, nodes, edges, total_instances=100)
+
+
+@pytest.fixture()
+def storage() -> HboldStorage:
+    return HboldStorage(DocumentStore())
+
+
+class TestStorage:
+    def test_indexes_round_trip(self, storage):
+        indexes = EndpointIndexes(
+            URL, 10, [ClassIndex(NS + "A", 10)], [LinkIndex(NS + "A", NS + "p", NS + "A", 1)]
+        )
+        storage.save_indexes(indexes)
+        reloaded = storage.load_indexes(URL)
+        assert reloaded.instance_count == 10
+        assert storage.load_indexes("http://missing/") is None
+
+    def test_save_is_upsert(self, storage):
+        summary = chain_summary()
+        storage.save_summary(summary)
+        storage.save_summary(summary)
+        assert storage.summaries.count_documents() == 1
+
+    def test_summary_and_clusters_round_trip(self, storage):
+        summary = chain_summary()
+        schema = build_cluster_schema(summary)
+        storage.save_summary(summary)
+        storage.save_cluster_schema(schema)
+        assert storage.load_summary(URL).total_instances == 100
+        assert storage.load_cluster_schema(URL).cluster_count == schema.cluster_count
+
+    def test_endpoint_records(self, storage):
+        storage.upsert_endpoint("http://a/", title="A", source="registry")
+        storage.upsert_endpoint("http://a/", status="indexed")
+        record = storage.endpoint_record("http://a/")
+        assert record["title"] == "A"
+        assert record["status"] == "indexed"
+        assert storage.endpoint_count() == 1
+
+    def test_extraction_bookkeeping(self, storage):
+        storage.upsert_endpoint("http://a/")
+        storage.record_extraction_success("http://a/", day=3)
+        record = storage.endpoint_record("http://a/")
+        assert record["last_success_day"] == 3
+        assert record["status"] == "indexed"
+        storage.record_extraction_failure("http://a/", day=9, error="down")
+        record = storage.endpoint_record("http://a/")
+        assert record["last_attempt_day"] == 9
+        assert record["status"] == "stale"  # had a success before
+        assert record["last_error"] == "down"
+
+    def test_failure_without_success_is_broken(self, storage):
+        storage.upsert_endpoint("http://b/")
+        storage.record_extraction_failure("http://b/", day=0, error="nope")
+        assert storage.endpoint_record("http://b/")["status"] == "broken"
+
+    def test_indexed_urls(self, storage):
+        storage.upsert_endpoint("http://a/")
+        storage.record_extraction_success("http://a/", 0)
+        storage.upsert_endpoint("http://b/")
+        assert storage.indexed_urls() == ["http://a/"]
+
+    def test_storage_persists_through_store(self, tmp_path):
+        store = DocumentStore(persist_dir=str(tmp_path / "hbold"))
+        storage = HboldStorage(store)
+        storage.save_summary(chain_summary())
+        storage.flush()
+        reopened = HboldStorage(DocumentStore(persist_dir=str(tmp_path / "hbold")))
+        assert reopened.load_summary(URL) is not None
+
+
+class TestExploration:
+    @pytest.fixture()
+    def session(self) -> ExplorationSession:
+        summary = chain_summary()
+        return ExplorationSession(summary, build_cluster_schema(summary))
+
+    def test_initial_cluster_view_is_empty(self, session):
+        step = session.start_from_cluster_schema()
+        assert step.node_count == 0
+        assert step.instance_coverage == 0.0
+
+    def test_select_class_shows_neighbourhood(self, session):
+        step = session.select_class(NS + "B")
+        assert set(step.visible_classes) == {NS + "A", NS + "B", NS + "C"}
+        assert step.instance_coverage == pytest.approx(0.9)
+        assert len(step.visible_edges) == 2
+
+    def test_expand_grows_view(self, session):
+        session.select_class(NS + "A")
+        step = session.expand(NS + "B")
+        assert NS + "C" in step.visible_classes
+
+    def test_expand_requires_visible_class(self, session):
+        session.select_class(NS + "A")
+        with pytest.raises(ValueError):
+            session.expand(NS + "D")
+
+    def test_coverage_monotonically_increases(self, session):
+        session.select_class(NS + "A")
+        coverages = [session.instance_coverage()]
+        for step in session.expand_all():
+            coverages.append(step.instance_coverage)
+        assert coverages == sorted(coverages)
+        assert coverages[-1] == pytest.approx(1.0)
+
+    def test_expand_all_reaches_full_summary(self, session):
+        """Figure 2: expansion can repeat until all classes are displayed."""
+        session.select_class(NS + "A")
+        session.expand_all()
+        assert session.is_complete()
+        # isolated class E is only reachable via the final reveal
+        assert NS + "E" in session.visible_classes
+
+    def test_start_from_schema_summary(self, session):
+        step = session.start_from_schema_summary()
+        assert step.node_count == 5
+        assert step.instance_coverage == pytest.approx(1.0)
+        assert session.is_complete()
+
+    def test_unknown_class_raises(self, session):
+        with pytest.raises(KeyError):
+            session.select_class(NS + "Ghost")
+
+    def test_history_recorded(self, session):
+        session.start_from_cluster_schema()
+        session.select_class(NS + "A")
+        session.expand(NS + "B")
+        assert [s.action for s in session.history] == [
+            "view-cluster-schema",
+            "select-class",
+            "expand",
+        ]
+
+    def test_class_details(self, session):
+        details = session.class_details(NS + "B")
+        assert details["label"] == "B"
+        assert details["instance_count"] == 30
+        assert details["attributes"] == [NS + "size"]
+        assert details["incoming"] == [(NS + "A", NS + "ab", 10)]
+        assert details["outgoing"] == [(NS + "bc", NS + "C", 10)]
+        assert details["cluster"] is not None
+
+    def test_mismatched_inputs_rejected(self):
+        summary = chain_summary()
+        other = SchemaSummary("http://other/", [], [], 0)
+        with pytest.raises(ValueError):
+            ExplorationSession(summary, build_cluster_schema(other))
+
+
+class TestVisualQuery:
+    @pytest.fixture()
+    def summary(self) -> SchemaSummary:
+        return chain_summary()
+
+    def test_minimal_query(self, summary):
+        query = VisualQuery(summary, NS + "A")
+        text = query.to_sparql()
+        assert f"?a a <{NS}A>" in text
+        assert text.startswith("SELECT DISTINCT ?a")
+
+    def test_attribute_selection(self, summary):
+        query = VisualQuery(summary, NS + "A")
+        variable = query.select_attribute(NS + "name")
+        text = query.to_sparql()
+        assert f"<{NS}name> ?{variable}" in text
+
+    def test_unknown_attribute_rejected(self, summary):
+        query = VisualQuery(summary, NS + "A")
+        with pytest.raises(QueryBuildError):
+            query.select_attribute(NS + "nope")
+
+    def test_forward_connection(self, summary):
+        query = VisualQuery(summary, NS + "A")
+        variable = query.follow_connection(NS + "ab", NS + "B")
+        text = query.to_sparql()
+        assert f"?a <{NS}ab> ?{variable}" in text
+        assert f"?{variable} a <{NS}B>" in text
+
+    def test_backward_connection(self, summary):
+        query = VisualQuery(summary, NS + "B")
+        variable = query.follow_connection(NS + "ab", NS + "A", forward=False)
+        assert f"?{variable} <{NS}ab> ?b" in query.to_sparql()
+
+    def test_connection_not_in_schema_rejected(self, summary):
+        query = VisualQuery(summary, NS + "A")
+        with pytest.raises(QueryBuildError):
+            query.follow_connection(NS + "cd", NS + "D")
+
+    def test_connection_attribute(self, summary):
+        query = VisualQuery(summary, NS + "A")
+        variable = query.follow_connection(NS + "ab", NS + "B")
+        attr = query.select_connection_attribute(variable, NS + "size")
+        assert f"?{variable} <{NS}size> ?{attr}" in query.to_sparql()
+
+    def test_filters_and_limit(self, summary):
+        query = VisualQuery(summary, NS + "A")
+        variable = query.select_attribute(NS + "name")
+        query.add_filter(f"regex(?{variable}, 'x')")
+        query.set_limit(10)
+        text = query.to_sparql()
+        assert "FILTER ( regex" in text
+        assert text.endswith("LIMIT 10")
+
+    def test_empty_filter_rejected(self, summary):
+        with pytest.raises(QueryBuildError):
+            VisualQuery(summary, NS + "A").add_filter("   ")
+
+    def test_variable_names_unique(self, summary):
+        query = VisualQuery(summary, NS + "A")
+        v1 = query.follow_connection(NS + "ab", NS + "B")
+        names = query.projected_variables()
+        assert len(names) == len(set(names))
+
+    def test_generated_query_parses(self, summary):
+        from repro.sparql import parse_query
+
+        query = VisualQuery(summary, NS + "A")
+        query.select_attribute(NS + "name")
+        query.follow_connection(NS + "ab", NS + "B")
+        query.set_limit(5)
+        parse_query(query.to_sparql())  # must not raise
+
+    def test_unknown_focus_rejected(self, summary):
+        with pytest.raises(QueryBuildError):
+            VisualQuery(summary, NS + "Ghost")

@@ -1,0 +1,220 @@
+"""Unit tests for the synthetic Linked Data generators."""
+
+import pytest
+
+from repro.datagen import (
+    PORTAL_CENSUS,
+    ClassSpec,
+    DatasetSpec,
+    ObjectPropertySpec,
+    big_lod_graph,
+    big_lod_spec,
+    build_all_portals,
+    build_portal_catalog,
+    build_world,
+    government_graph,
+    instantiate,
+    scholarly_graph,
+    scholarly_spec,
+    trafair_graph,
+)
+from repro.rdf import DCAT, RDF
+from repro.sparql import evaluate
+
+
+class TestSpec:
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DatasetSpec("x", "http://x/", [ClassSpec("A", 1), ClassSpec("A", 2)])
+
+    def test_unknown_property_domain_rejected(self):
+        with pytest.raises(ValueError, match="unknown domain"):
+            DatasetSpec(
+                "x",
+                "http://x/",
+                [ClassSpec("A", 1)],
+                [ObjectPropertySpec("p", "Nope", "A")],
+            )
+
+    def test_instantiate_deterministic(self):
+        spec = DatasetSpec(
+            "d",
+            "http://d.example/",
+            [ClassSpec("A", 5, ["label"]), ClassSpec("B", 3)],
+            [ObjectPropertySpec("rel", "A", "B", 1.0)],
+        )
+        g1 = instantiate(spec, seed=9)
+        g2 = instantiate(spec, seed=9)
+        assert len(g1) == len(g2)
+        assert all(t in g2 for t in g1)
+
+    def test_different_seeds_differ(self):
+        spec = DatasetSpec(
+            "d",
+            "http://d.example/",
+            [ClassSpec("A", 20), ClassSpec("B", 20)],
+            [ObjectPropertySpec("rel", "A", "B", 0.5)],
+        )
+        g1, g2 = instantiate(spec, seed=1), instantiate(spec, seed=2)
+        assert any(t not in g2 for t in g1)
+
+    def test_instance_counts_exact(self):
+        spec = DatasetSpec("d", "http://d.example/", [ClassSpec("A", 7)])
+        graph = instantiate(spec)
+        assert graph.class_count(spec.namespace.term("A")) == 7
+
+    def test_density_controls_expected_links(self):
+        spec = DatasetSpec(
+            "d",
+            "http://d.example/",
+            [ClassSpec("A", 200), ClassSpec("B", 10)],
+            [ObjectPropertySpec("rel", "A", "B", 2.0)],
+        )
+        graph = instantiate(spec, seed=4)
+        links = graph.count(predicate=spec.namespace.term("rel"))
+        assert 350 <= links <= 450  # expectation 400
+
+
+class TestScholarly:
+    def test_figure_cast_present(self, scholarly):
+        names = {c.local_name() for c in scholarly.classes()}
+        for expected in (
+            "Event",
+            "SessionEvent",
+            "Vevent",
+            "ConferenceSeries",
+            "InformationObject",
+            "Situation",
+        ):
+            assert expected in names
+
+    def test_class_count_close_to_scholarlydata(self, scholarly):
+        # the real source instantiates ~30 classes
+        assert 25 <= len(scholarly.classes()) <= 32
+
+    def test_figure7_domain_range_pattern(self):
+        spec = scholarly_spec()
+        by_name = {p.name: p for p in spec.object_properties}
+        assert by_name["hasSituation"].domain == "Event"
+        assert by_name["hasSituation"].range == "Situation"
+        for prop in ("relatesToEvent", "isSessionOf", "seriesOfEvent", "describesEvent"):
+            assert by_name[prop].range == "Event"
+
+    def test_person_dominates_instances(self, scholarly):
+        counts = {c.local_name(): scholarly.class_count(c) for c in scholarly.classes()}
+        assert counts["Person"] == max(counts.values())
+
+    def test_scale(self):
+        small = scholarly_graph(scale=0.05, seed=1)
+        big = scholarly_graph(scale=0.2, seed=1)
+        assert len(big) > len(small)
+
+
+class TestBigLod:
+    def test_latent_groups_have_denser_intra_connectivity(self):
+        spec = big_lod_spec(class_count=40, group_count=4, seed=2)
+        intra = inter = 0
+        group_of = {cls.name: i % 4 for i, cls in enumerate(spec.classes)}
+        for prop in spec.object_properties:
+            if group_of[prop.domain] == group_of[prop.range]:
+                intra += 1
+            else:
+                inter += 1
+        # intra pairs are 10x rarer but 10x+ likelier to link
+        assert intra > 0 and inter >= 0
+        assert intra / max(1, (40 * 9)) > inter / max(1, (40 * 30))
+
+    def test_zipf_skew(self):
+        graph = big_lod_graph(class_count=30, group_count=3, instances_per_class=20, seed=1)
+        counts = sorted((graph.class_count(c) for c in graph.classes()), reverse=True)
+        assert counts[0] > counts[-1] * 5  # strong skew
+
+    def test_parameters_respected(self):
+        graph = big_lod_graph(class_count=25, group_count=5, instances_per_class=5, seed=0)
+        assert len(graph.classes()) == 25
+
+
+class TestGovernmentAndTrafair:
+    def test_government_structure(self):
+        graph = government_graph(scale=0.1, seed=0)
+        names = {c.local_name() for c in graph.classes()}
+        assert {"Municipality", "BusStop", "School"} <= names
+
+    def test_trafair_observations_dominate(self):
+        graph = trafair_graph(scale=0.1, seed=0)
+        counts = {c.local_name(): graph.class_count(c) for c in graph.classes()}
+        assert counts["Observation"] == max(counts.values())
+
+
+class TestPortals:
+    def test_census_matches_paper(self):
+        by_key = {c.key: c for c in PORTAL_CENSUS}
+        assert by_key["edp"].sparql_endpoints == 65
+        assert by_key["euodp"].sparql_endpoints == 9
+        assert by_key["iodata"].sparql_endpoints == 15
+        assert sum(c.overlapping for c in PORTAL_CENSUS) == 19  # 89 found - 70 new
+
+    def test_catalog_answers_listing1(self):
+        census = PORTAL_CENSUS[1]  # euodp: 9 endpoints
+        known = [f"http://known{i}.example.org/sparql" for i in range(5)]
+        catalog, urls = build_portal_catalog(census, known, seed=0)
+        from repro.core import LISTING_1_QUERY
+
+        result = evaluate(catalog, LISTING_1_QUERY)
+        found = {str(row["url"]) for row in result}
+        assert found == set(urls)
+        assert len(found) == 9
+
+    def test_decoy_distributions_not_matched(self):
+        census = PORTAL_CENSUS[2]
+        catalog, urls = build_portal_catalog(census, ["http://k0.example.org/sparql",
+                                                      "http://k1.example.org/sparql"], seed=0)
+        datasets = set(catalog.subjects(RDF.type, DCAT.Dataset))
+        assert len(datasets) > len(urls)  # decoys exist but don't match the regex
+
+    def test_overlap_urls_reused(self):
+        known = [f"http://known{i}.example.org/sparql" for i in range(30)]
+        catalogs = build_all_portals(known, seed=0)
+        all_urls = [u for _, urls in catalogs.values() for u in urls]
+        overlap = set(all_urls) & set(known)
+        assert len(overlap) == 19
+
+    def test_insufficient_known_urls_raises(self):
+        with pytest.raises(ValueError):
+            build_all_portals(["http://only-one/sparql"], seed=0)
+
+    def test_scaled_census_for_tiny_worlds(self):
+        known = [f"http://k{i}.example.org/sparql" for i in range(5)]
+        catalogs = build_all_portals(known, seed=0, scale=0.1)
+        total = sum(len(urls) for _, urls in catalogs.values())
+        assert 3 <= total <= 12
+
+
+class TestWorld:
+    def test_tiny_world_shape(self, tiny_world):
+        assert len(tiny_world.indexable_urls) == 20
+        assert len(tiny_world.broken_urls) == 5
+        assert len(tiny_world.listed_urls) == 25
+        assert len(tiny_world.portal_new_indexable) == 3
+        assert set(tiny_world.portal_urls) == {"edp", "euodp", "iodata"}
+
+    def test_all_urls_registered(self, tiny_world):
+        for url in tiny_world.listed_urls:
+            assert url in tiny_world.network
+        for url in tiny_world.portal_urls.values():
+            assert url in tiny_world.network
+
+    def test_indexable_endpoints_have_data(self, tiny_world):
+        for url in tiny_world.indexable_urls[:5]:
+            assert tiny_world.network.get(url).triple_count() > 0
+
+    def test_broken_endpoints_are_empty(self, tiny_world):
+        for url in tiny_world.broken_urls:
+            assert tiny_world.network.get(url).triple_count() == 0
+
+    def test_world_deterministic(self):
+        a = build_world(indexable=4, broken=2, portal_new_indexable=1, seed=5, flaky=False)
+        b = build_world(indexable=4, broken=2, portal_new_indexable=1, seed=5, flaky=False)
+        assert a.indexable_urls == b.indexable_urls
+        for url in a.indexable_urls:
+            assert a.network.get(url).triple_count() == b.network.get(url).triple_count()

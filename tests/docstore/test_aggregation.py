@@ -1,0 +1,140 @@
+"""Unit tests for the aggregation pipeline."""
+
+import pytest
+
+from repro.docstore import Collection, QuerySyntaxError, aggregate
+
+
+@pytest.fixture()
+def endpoints() -> Collection:
+    collection = Collection("endpoints")
+    collection.insert_many(
+        [
+            {"url": "http://a/", "status": "indexed", "classes": 12, "tags": ["gov"]},
+            {"url": "http://b/", "status": "indexed", "classes": 30, "tags": ["gov", "geo"]},
+            {"url": "http://c/", "status": "broken", "classes": 0, "tags": []},
+            {"url": "http://d/", "status": "stale", "classes": 7, "tags": ["research"]},
+            {"url": "http://e/", "status": "indexed", "classes": 51, "tags": ["research"]},
+        ]
+    )
+    return collection
+
+
+class TestStages:
+    def test_match(self, endpoints):
+        rows = aggregate(endpoints, [{"$match": {"status": "indexed"}}])
+        assert len(rows) == 3
+
+    def test_project_include_and_compute(self, endpoints):
+        rows = aggregate(
+            endpoints,
+            [
+                {"$match": {"url": "http://a/"}},
+                {"$project": {"_id": 0, "classes": 1, "state": "$status"}},
+            ],
+        )
+        assert rows == [{"classes": 12, "state": "indexed"}]
+
+    def test_group_with_accumulators(self, endpoints):
+        rows = aggregate(
+            endpoints,
+            [
+                {
+                    "$group": {
+                        "_id": "$status",
+                        "n": {"$count": True},
+                        "total": {"$sum": "$classes"},
+                        "biggest": {"$max": "$classes"},
+                        "urls": {"$push": "$url"},
+                    }
+                },
+                {"$sort": {"_id": 1}},
+            ],
+        )
+        by_status = {row["_id"]: row for row in rows}
+        assert by_status["indexed"]["n"] == 3
+        assert by_status["indexed"]["total"] == 93
+        assert by_status["indexed"]["biggest"] == 51
+        assert by_status["broken"]["urls"] == ["http://c/"]
+
+    def test_group_constant_id_aggregates_all(self, endpoints):
+        rows = aggregate(
+            endpoints,
+            [{"$group": {"_id": None, "avg": {"$avg": "$classes"}}}],
+        )
+        assert rows[0]["avg"] == pytest.approx(100 / 5)
+
+    def test_group_first(self, endpoints):
+        rows = aggregate(
+            endpoints,
+            [{"$sort": {"classes": -1}},
+             {"$group": {"_id": "$status", "top": {"$first": "$url"}}},
+             {"$sort": {"_id": 1}}],
+        )
+        by_status = {row["_id"]: row["top"] for row in rows}
+        assert by_status["indexed"] == "http://e/"
+
+    def test_sort_limit_skip(self, endpoints):
+        rows = aggregate(
+            endpoints,
+            [{"$sort": {"classes": -1}}, {"$skip": 1}, {"$limit": 2}],
+        )
+        assert [row["classes"] for row in rows] == [30, 12]
+
+    def test_unwind(self, endpoints):
+        rows = aggregate(
+            endpoints,
+            [{"$unwind": "$tags"}, {"$group": {"_id": "$tags", "n": {"$count": True}}},
+             {"$sort": {"_id": 1}}],
+        )
+        counts = {row["_id"]: row["n"] for row in rows}
+        assert counts == {"geo": 1, "gov": 2, "research": 2}
+
+    def test_unwind_drops_empty_arrays(self, endpoints):
+        rows = aggregate(endpoints, [{"$unwind": "$tags"}])
+        assert all(isinstance(row["tags"], str) for row in rows)
+        assert len(rows) == 5  # 1 + 2 + 0 + 1 + 1
+
+
+class TestErrors:
+    def test_unknown_stage(self, endpoints):
+        with pytest.raises(QuerySyntaxError):
+            aggregate(endpoints, [{"$teleport": {}}])
+
+    def test_multi_key_stage(self, endpoints):
+        with pytest.raises(QuerySyntaxError):
+            aggregate(endpoints, [{"$match": {}, "$limit": 1}])
+
+    def test_group_without_id(self, endpoints):
+        with pytest.raises(QuerySyntaxError):
+            aggregate(endpoints, [{"$group": {"n": {"$count": True}}}])
+
+    def test_unknown_accumulator(self, endpoints):
+        with pytest.raises(QuerySyntaxError):
+            aggregate(endpoints, [{"$group": {"_id": None, "x": {"$median": "$classes"}}}])
+
+    def test_bad_sort_direction(self, endpoints):
+        with pytest.raises(QuerySyntaxError):
+            aggregate(endpoints, [{"$sort": {"classes": 2}}])
+
+    def test_bad_unwind_path(self, endpoints):
+        with pytest.raises(QuerySyntaxError):
+            aggregate(endpoints, [{"$unwind": "tags"}])
+
+
+class TestRealisticPipelines:
+    def test_dataset_list_statistics(self, endpoints):
+        """The pipeline the server uses for the dataset-list header."""
+        rows = aggregate(
+            endpoints,
+            [
+                {"$match": {"status": {"$ne": "broken"}}},
+                {"$group": {"_id": None, "datasets": {"$count": True},
+                            "classes": {"$sum": "$classes"}}},
+            ],
+        )
+        assert rows == [{"_id": None, "datasets": 4, "classes": 100}]
+
+    def test_pipeline_does_not_mutate_collection(self, endpoints):
+        aggregate(endpoints, [{"$project": {"_id": 0, "x": "$classes"}}])
+        assert endpoints.find_one({"url": "http://a/"})["classes"] == 12

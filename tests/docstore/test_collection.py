@@ -1,0 +1,235 @@
+"""Unit tests for the collection CRUD surface."""
+
+import pytest
+
+from repro.docstore import (
+    Collection,
+    DocumentError,
+    DuplicateKeyError,
+    ObjectId,
+    QuerySyntaxError,
+)
+
+
+@pytest.fixture()
+def endpoints() -> Collection:
+    collection = Collection("endpoints")
+    collection.insert_many(
+        [
+            {"url": "http://a/sparql", "status": "indexed", "classes": 12},
+            {"url": "http://b/sparql", "status": "broken", "classes": 0},
+            {"url": "http://c/sparql", "status": "indexed", "classes": 77},
+        ]
+    )
+    return collection
+
+
+class TestInsert:
+    def test_insert_assigns_object_id(self):
+        collection = Collection("x")
+        result = collection.insert_one({"k": 1})
+        assert isinstance(result.inserted_id, ObjectId)
+        assert len(collection) == 1
+
+    def test_caller_chosen_id(self):
+        collection = Collection("x")
+        collection.insert_one({"_id": "mine", "k": 1})
+        assert collection.find_one({"_id": "mine"})["k"] == 1
+
+    def test_duplicate_id_rejected(self):
+        collection = Collection("x")
+        collection.insert_one({"_id": "same"})
+        with pytest.raises(DuplicateKeyError):
+            collection.insert_one({"_id": "same"})
+
+    def test_insert_validates_document(self):
+        collection = Collection("x")
+        with pytest.raises(DocumentError):
+            collection.insert_one({"bad": object()})
+
+    def test_insert_copies_input(self):
+        collection = Collection("x")
+        source = {"k": [1, 2]}
+        collection.insert_one(source)
+        source["k"].append(3)
+        assert collection.find_one({})["k"] == [1, 2]
+
+    def test_find_returns_copies(self, endpoints):
+        doc = endpoints.find_one({"url": "http://a/sparql"})
+        doc["status"] = "mutated"
+        assert endpoints.find_one({"url": "http://a/sparql"})["status"] == "indexed"
+
+
+class TestFind:
+    def test_find_all(self, endpoints):
+        assert len(endpoints.find()) == 3
+
+    def test_find_filtered(self, endpoints):
+        assert len(endpoints.find({"status": "indexed"})) == 2
+
+    def test_find_one_miss(self, endpoints):
+        assert endpoints.find_one({"url": "http://nope/"}) is None
+
+    def test_sort_ascending_descending(self, endpoints):
+        ascending = endpoints.find(sort=[("classes", 1)])
+        assert [d["classes"] for d in ascending] == [0, 12, 77]
+        descending = endpoints.find(sort=[("classes", -1)])
+        assert [d["classes"] for d in descending] == [77, 12, 0]
+
+    def test_multi_key_sort(self, endpoints):
+        docs = endpoints.find(sort=[("status", 1), ("classes", -1)])
+        assert [d["url"] for d in docs] == [
+            "http://b/sparql",
+            "http://c/sparql",
+            "http://a/sparql",
+        ]
+
+    def test_limit_skip(self, endpoints):
+        docs = endpoints.find(sort=[("classes", 1)], skip=1, limit=1)
+        assert len(docs) == 1 and docs[0]["classes"] == 12
+
+    def test_projection_include(self, endpoints):
+        doc = endpoints.find_one({"url": "http://a/sparql"}, projection={"url": 1})
+        assert set(doc) == {"url", "_id"}
+
+    def test_projection_exclude(self, endpoints):
+        doc = endpoints.find_one({"url": "http://a/sparql"}, projection={"classes": 0})
+        assert "classes" not in doc and "status" in doc
+
+    def test_projection_mixed_rejected(self, endpoints):
+        with pytest.raises(QuerySyntaxError):
+            endpoints.find_one({}, projection={"url": 1, "classes": 0})
+
+    def test_bad_sort_direction(self, endpoints):
+        with pytest.raises(ValueError):
+            endpoints.find(sort=[("classes", 2)])
+
+    def test_count_documents(self, endpoints):
+        assert endpoints.count_documents() == 3
+        assert endpoints.count_documents({"classes": {"$gt": 10}}) == 2
+
+    def test_distinct(self, endpoints):
+        assert sorted(endpoints.distinct("status")) == ["broken", "indexed"]
+
+
+class TestUpdate:
+    def test_set(self, endpoints):
+        result = endpoints.update_one({"url": "http://b/sparql"}, {"$set": {"status": "stale"}})
+        assert result.matched_count == 1 and result.modified_count == 1
+        assert endpoints.find_one({"url": "http://b/sparql"})["status"] == "stale"
+
+    def test_set_noop_counts_zero_modified(self, endpoints):
+        result = endpoints.update_one(
+            {"url": "http://b/sparql"}, {"$set": {"status": "broken"}}
+        )
+        assert result.matched_count == 1 and result.modified_count == 0
+
+    def test_inc(self, endpoints):
+        endpoints.update_one({"url": "http://a/sparql"}, {"$inc": {"classes": 5}})
+        assert endpoints.find_one({"url": "http://a/sparql"})["classes"] == 17
+
+    def test_inc_creates_missing_field(self, endpoints):
+        endpoints.update_one({"url": "http://a/sparql"}, {"$inc": {"hits": 1}})
+        assert endpoints.find_one({"url": "http://a/sparql"})["hits"] == 1
+
+    def test_unset(self, endpoints):
+        endpoints.update_one({"url": "http://a/sparql"}, {"$unset": {"classes": ""}})
+        assert "classes" not in endpoints.find_one({"url": "http://a/sparql"})
+
+    def test_push(self, endpoints):
+        endpoints.update_one({"url": "http://a/sparql"}, {"$push": {"log": "day1"}})
+        endpoints.update_one({"url": "http://a/sparql"}, {"$push": {"log": "day2"}})
+        assert endpoints.find_one({"url": "http://a/sparql"})["log"] == ["day1", "day2"]
+
+    def test_update_many(self, endpoints):
+        result = endpoints.update_many({"status": "indexed"}, {"$set": {"checked": True}})
+        assert result.modified_count == 2
+
+    def test_update_requires_operators(self, endpoints):
+        with pytest.raises(QuerySyntaxError):
+            endpoints.update_one({"url": "http://a/sparql"}, {"status": "x"})
+
+    def test_upsert_inserts(self, endpoints):
+        result = endpoints.update_one(
+            {"url": "http://new/sparql"}, {"$set": {"status": "listed"}}, upsert=True
+        )
+        assert result.upserted_id is not None
+        assert endpoints.find_one({"url": "http://new/sparql"})["status"] == "listed"
+
+    def test_replace_one(self, endpoints):
+        endpoints.replace_one({"url": "http://a/sparql"}, {"url": "http://a/sparql", "fresh": 1})
+        doc = endpoints.find_one({"url": "http://a/sparql"})
+        assert doc["fresh"] == 1 and "status" not in doc
+
+    def test_replace_preserves_id(self, endpoints):
+        before = endpoints.find_one({"url": "http://a/sparql"})
+        endpoints.replace_one({"url": "http://a/sparql"}, {"url": "http://a/sparql"})
+        after = endpoints.find_one({"url": "http://a/sparql"})
+        assert before["_id"] == after["_id"]
+
+    def test_replace_upsert(self):
+        collection = Collection("x")
+        result = collection.replace_one({"k": 1}, {"k": 1, "v": 2}, upsert=True)
+        assert result.upserted_id is not None
+
+
+class TestDelete:
+    def test_delete_one(self, endpoints):
+        assert endpoints.delete_one({"status": "indexed"}).deleted_count == 1
+        assert endpoints.count_documents({"status": "indexed"}) == 1
+
+    def test_delete_many(self, endpoints):
+        assert endpoints.delete_many({"status": "indexed"}).deleted_count == 2
+        assert len(endpoints) == 1
+
+    def test_delete_all(self, endpoints):
+        assert endpoints.delete_many().deleted_count == 3
+        assert len(endpoints) == 0
+
+
+class TestIndexes:
+    def test_unique_index_blocks_duplicates(self):
+        collection = Collection("x")
+        collection.create_index("url", unique=True)
+        collection.insert_one({"url": "http://a/"})
+        with pytest.raises(DocumentError):
+            collection.insert_one({"url": "http://a/"})
+
+    def test_unique_index_applies_retroactively(self):
+        collection = Collection("x")
+        collection.insert_one({"url": "http://a/"})
+        collection.create_index("url", unique=True)
+        with pytest.raises(DocumentError):
+            collection.insert_one({"url": "http://a/"})
+
+    def test_unique_violation_via_update_is_rolled_back(self):
+        collection = Collection("x")
+        collection.create_index("url", unique=True)
+        collection.insert_one({"url": "http://a/"})
+        collection.insert_one({"url": "http://b/"})
+        with pytest.raises(DocumentError):
+            collection.update_one({"url": "http://b/"}, {"$set": {"url": "http://a/"}})
+        # the failed update must not have corrupted the index
+        assert collection.find_one({"url": "http://b/"}) is not None
+
+    def test_missing_values_do_not_collide(self):
+        collection = Collection("x")
+        collection.create_index("email", unique=True)
+        collection.insert_one({"k": 1})
+        collection.insert_one({"k": 2})  # both lack "email": allowed
+
+    def test_index_accelerated_find_equals_scan(self, endpoints):
+        expected = endpoints.find({"url": "http://b/sparql"})
+        endpoints.create_index("url")
+        assert endpoints.find({"url": "http://b/sparql"}) == expected
+
+    def test_index_stays_consistent_after_delete(self, endpoints):
+        endpoints.create_index("url")
+        endpoints.delete_one({"url": "http://b/sparql"})
+        assert endpoints.find({"url": "http://b/sparql"}) == []
+
+    def test_conflicting_uniqueness_redeclaration(self):
+        collection = Collection("x")
+        collection.create_index("k", unique=True)
+        with pytest.raises(ValueError):
+            collection.create_index("k", unique=False)

@@ -1,0 +1,130 @@
+"""Unit tests for documents, databases and JSON-lines persistence."""
+
+import os
+
+import pytest
+
+from repro.docstore import DocumentError, DocumentStore, ObjectId, PersistenceError
+from repro.docstore.documents import (
+    deep_copy_document,
+    dumps_document,
+    loads_document,
+    validate_document,
+)
+
+
+class TestObjectId:
+    def test_unique_and_ordered(self):
+        a, b = ObjectId(), ObjectId()
+        assert a != b
+        assert a < b  # counter-based ids are monotonic
+
+    def test_explicit_value_round_trip(self):
+        oid = ObjectId("00000000000000000000abcd")
+        assert str(oid) == "00000000000000000000abcd"
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(DocumentError):
+            ObjectId("short")
+        with pytest.raises(DocumentError):
+            ObjectId("zz" * 12)
+
+
+class TestValidation:
+    def test_accepts_json_types(self):
+        validate_document(
+            {"s": "x", "i": 1, "f": 1.5, "b": True, "n": None, "l": [1, {"k": 2}], "d": {}}
+        )
+
+    def test_rejects_non_string_key(self):
+        with pytest.raises(DocumentError, match="not a string"):
+            validate_document({1: "x"})
+
+    def test_rejects_dollar_key(self):
+        with pytest.raises(DocumentError, match=r"\$"):
+            validate_document({"$set": 1})
+
+    def test_rejects_exotic_value_with_path(self):
+        with pytest.raises(DocumentError, match="a.b"):
+            validate_document({"a": {"b": object()}})
+
+    def test_deep_copy_independent(self):
+        source = {"a": {"b": [1, 2]}}
+        copy = deep_copy_document(source)
+        copy["a"]["b"].append(3)
+        assert source["a"]["b"] == [1, 2]
+
+
+class TestDocumentEncoding:
+    def test_object_id_round_trip(self):
+        oid = ObjectId()
+        text = dumps_document({"_id": oid, "k": [1, {"n": None}]})
+        reloaded = loads_document(text)
+        assert reloaded["_id"] == oid
+        assert reloaded["k"] == [1, {"n": None}]
+
+
+class TestDocumentStore:
+    def test_auto_creates_databases_and_collections(self):
+        store = DocumentStore()
+        store["db1"]["col1"].insert_one({"k": 1})
+        assert store.database_names() == ["db1"]
+        assert store["db1"].collection_names() == ["col1"]
+
+    def test_drop(self):
+        store = DocumentStore()
+        store["db1"]["col1"].insert_one({"k": 1})
+        assert store["db1"].drop_collection("col1")
+        assert store.drop_database("db1")
+        assert not store.drop_database("db1")
+
+    def test_bad_names_rejected(self):
+        store = DocumentStore()
+        with pytest.raises(ValueError):
+            store.database("bad/name")
+
+
+class TestDiskPersistence:
+    def test_flush_and_reload(self, tmp_path):
+        root = str(tmp_path / "data")
+        store = DocumentStore(persist_dir=root)
+        store["hbold"]["endpoints"].insert_many(
+            [{"url": "http://a/", "n": 1}, {"url": "http://b/", "n": 2}]
+        )
+        store["hbold"]["summaries"].insert_one({"endpoint_url": "http://a/", "nodes": []})
+        store.flush()
+
+        reloaded = DocumentStore(persist_dir=root)
+        assert reloaded["hbold"]["endpoints"].count_documents() == 2
+        assert reloaded["hbold"]["summaries"].find_one({})["endpoint_url"] == "http://a/"
+
+    def test_flush_preserves_object_ids(self, tmp_path):
+        root = str(tmp_path / "data")
+        store = DocumentStore(persist_dir=root)
+        inserted = store["db"]["c"].insert_one({"k": 1}).inserted_id
+        store.flush()
+        reloaded = DocumentStore(persist_dir=root)
+        assert reloaded["db"]["c"].find_one({"k": 1})["_id"] == inserted
+
+    def test_corrupt_line_raises_with_location(self, tmp_path):
+        root = tmp_path / "data" / "db"
+        root.mkdir(parents=True)
+        bad = root / "c.jsonl"
+        bad.write_text('{"ok": 1}\nnot json at all\n', encoding="utf-8")
+        with pytest.raises(PersistenceError, match="c.jsonl:2"):
+            DocumentStore(persist_dir=str(tmp_path / "data"))
+
+    def test_missing_dir_is_empty_store(self, tmp_path):
+        store = DocumentStore(persist_dir=str(tmp_path / "nothing-here"))
+        assert store.database_names() == []
+
+    def test_flush_without_dir_is_noop(self):
+        DocumentStore().flush()  # must not raise
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        root = str(tmp_path / "data")
+        store = DocumentStore(persist_dir=root)
+        store["db"]["c"].insert_one({"k": 1})
+        store.flush()
+        files = os.listdir(os.path.join(root, "db"))
+        assert files == ["c.jsonl"]

@@ -1,0 +1,154 @@
+"""Unit tests for the Mongo-style query matcher."""
+
+import pytest
+
+from repro.docstore.query import QuerySyntaxError, matches
+
+DOC = {
+    "url": "http://lod.example.org/sparql",
+    "status": "indexed",
+    "classes": 42,
+    "score": 3.5,
+    "active": True,
+    "tags": ["gov", "mobility"],
+    "summary": {"nodes": 42, "edges": [{"p": "knows", "n": 7}]},
+    "optional": None,
+}
+
+
+class TestEquality:
+    def test_simple_match(self):
+        assert matches(DOC, {"status": "indexed"})
+
+    def test_simple_mismatch(self):
+        assert not matches(DOC, {"status": "broken"})
+
+    def test_multiple_keys_are_and(self):
+        assert matches(DOC, {"status": "indexed", "classes": 42})
+        assert not matches(DOC, {"status": "indexed", "classes": 41})
+
+    def test_numeric_cross_type_equality(self):
+        assert matches(DOC, {"classes": 42.0})
+
+    def test_bool_not_equal_to_one(self):
+        assert not matches(DOC, {"active": 1})
+        assert matches(DOC, {"active": True})
+
+    def test_null_matches_missing_field(self):
+        assert matches(DOC, {"nonexistent": None})
+        assert matches(DOC, {"optional": None})
+
+    def test_array_contains_value(self):
+        assert matches(DOC, {"tags": "gov"})
+        assert not matches(DOC, {"tags": "transport"})
+
+    def test_array_exact(self):
+        assert matches(DOC, {"tags": ["gov", "mobility"]})
+
+
+class TestDottedPaths:
+    def test_nested_dict(self):
+        assert matches(DOC, {"summary.nodes": 42})
+
+    def test_nested_array_index(self):
+        assert matches(DOC, {"summary.edges.0.n": 7})
+
+    def test_nested_array_field_any_element(self):
+        assert matches(DOC, {"summary.edges.p": "knows"})
+
+    def test_missing_path(self):
+        assert not matches(DOC, {"summary.missing.deep": 1})
+
+
+class TestComparisonOperators:
+    def test_gt_gte_lt_lte(self):
+        assert matches(DOC, {"classes": {"$gt": 41}})
+        assert matches(DOC, {"classes": {"$gte": 42}})
+        assert matches(DOC, {"classes": {"$lt": 43}})
+        assert matches(DOC, {"classes": {"$lte": 42}})
+        assert not matches(DOC, {"classes": {"$gt": 42}})
+
+    def test_range_combination(self):
+        assert matches(DOC, {"score": {"$gt": 3, "$lt": 4}})
+
+    def test_ne(self):
+        assert matches(DOC, {"status": {"$ne": "broken"}})
+        assert not matches(DOC, {"status": {"$ne": "indexed"}})
+
+    def test_gt_on_missing_field_is_false(self):
+        assert not matches(DOC, {"nonexistent": {"$gt": 0}})
+
+    def test_gt_across_types_is_false(self):
+        assert not matches(DOC, {"status": {"$gt": 5}})
+
+
+class TestMembershipAndExistence:
+    def test_in_nin(self):
+        assert matches(DOC, {"status": {"$in": ["indexed", "stale"]}})
+        assert matches(DOC, {"status": {"$nin": ["broken"]}})
+        assert not matches(DOC, {"status": {"$in": ["broken"]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(QuerySyntaxError):
+            matches(DOC, {"status": {"$in": "indexed"}})
+
+    def test_exists(self):
+        assert matches(DOC, {"url": {"$exists": True}})
+        assert matches(DOC, {"nonexistent": {"$exists": False}})
+        assert not matches(DOC, {"url": {"$exists": False}})
+
+
+class TestRegex:
+    def test_basic(self):
+        assert matches(DOC, {"url": {"$regex": "sparql$"}})
+
+    def test_options(self):
+        assert matches(DOC, {"url": {"$regex": "SPARQL", "$options": "i"}})
+
+    def test_non_string_value(self):
+        assert not matches(DOC, {"classes": {"$regex": "4"}})
+
+    def test_bad_pattern_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            matches(DOC, {"url": {"$regex": "("}})
+
+
+class TestBooleanComposition:
+    def test_and(self):
+        assert matches(DOC, {"$and": [{"status": "indexed"}, {"classes": {"$gt": 1}}]})
+
+    def test_or(self):
+        assert matches(DOC, {"$or": [{"status": "broken"}, {"classes": 42}]})
+        assert not matches(DOC, {"$or": [{"status": "broken"}, {"classes": 0}]})
+
+    def test_nor(self):
+        assert matches(DOC, {"$nor": [{"status": "broken"}, {"classes": 0}]})
+
+    def test_not(self):
+        assert matches(DOC, {"classes": {"$not": {"$gt": 100}}})
+
+    def test_empty_or_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            matches(DOC, {"$or": []})
+
+    def test_unknown_top_level_operator(self):
+        with pytest.raises(QuerySyntaxError):
+            matches(DOC, {"$xor": []})
+
+
+class TestArrayOperators:
+    def test_all(self):
+        assert matches(DOC, {"tags": {"$all": ["gov", "mobility"]}})
+        assert not matches(DOC, {"tags": {"$all": ["gov", "transport"]}})
+
+    def test_size(self):
+        assert matches(DOC, {"tags": {"$size": 2}})
+        assert not matches(DOC, {"tags": {"$size": 3}})
+
+    def test_elem_match_on_documents(self):
+        assert matches(DOC, {"summary.edges": {"$elemMatch": {"p": "knows", "n": {"$gt": 5}}}})
+        assert not matches(DOC, {"summary.edges": {"$elemMatch": {"n": {"$gt": 100}}}})
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            matches(DOC, {"classes": {"$near": 1}})

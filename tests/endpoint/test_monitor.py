@@ -1,0 +1,155 @@
+"""Unit tests for the SPARQLES-style availability monitor."""
+
+import pytest
+
+from repro.endpoint import (
+    AVAILABILITY_BUCKETS,
+    AlwaysAvailable,
+    AvailabilityMonitor,
+    EndpointNetwork,
+    MarkovAvailability,
+    SimulationClock,
+    SparqlEndpoint,
+)
+from repro.rdf import parse_turtle
+
+TTL = "@prefix ex: <http://example.org/> . ex:a a ex:T ."
+
+
+class _DownOn(AlwaysAvailable):
+    def __init__(self, down_days):
+        self.down_days = set(down_days)
+
+    def is_available(self, day):
+        return day not in self.down_days
+
+
+def build_network(availabilities):
+    clock = SimulationClock()
+    network = EndpointNetwork(clock=clock)
+    for name, availability in availabilities.items():
+        network.register(
+            SparqlEndpoint(
+                f"http://{name}/sparql",
+                parse_turtle(TTL),
+                clock,
+                availability=availability,
+            )
+        )
+    return network
+
+
+class TestProbing:
+    def test_probe_up_endpoint(self):
+        network = build_network({"up": AlwaysAvailable()})
+        monitor = AvailabilityMonitor(network)
+        record = monitor.probe("http://up/sparql")
+        assert record.alive
+        assert record.latency_ms > 0
+
+    def test_probe_down_endpoint(self):
+        network = build_network({"down": _DownOn(range(100))})
+        monitor = AvailabilityMonitor(network)
+        record = monitor.probe("http://down/sparql")
+        assert not record.alive
+
+    def test_probe_unknown_url_records_down(self):
+        network = build_network({"up": AlwaysAvailable()})
+        monitor = AvailabilityMonitor(network)
+        record = monitor.probe("http://ghost/sparql")
+        assert not record.alive
+
+    def test_run_days_accumulates_history(self):
+        network = build_network({"up": AlwaysAvailable()})
+        monitor = AvailabilityMonitor(network)
+        monitor.run_days(5)
+        history = monitor.history("http://up/sparql")
+        assert len(history) == 5
+        assert [record.day for record in history] == list(range(5))
+
+
+class TestStatistics:
+    def test_availability_ratio(self):
+        network = build_network({"flaky": _DownOn([1, 3])})
+        monitor = AvailabilityMonitor(network)
+        monitor.run_days(5)
+        assert monitor.availability("http://flaky/sparql") == pytest.approx(3 / 5)
+
+    def test_no_probes_means_optimistic(self):
+        network = build_network({"up": AlwaysAvailable()})
+        monitor = AvailabilityMonitor(network)
+        assert monitor.availability("http://up/sparql") == 1.0
+
+    def test_buckets_match_sparqles_classes(self):
+        labels = [label for label, _ in AVAILABILITY_BUCKETS]
+        assert labels == [">99%", "95-99%", "75-95%", "5-75%", "<5%"]
+
+    def test_bucket_assignment(self):
+        network = build_network(
+            {
+                "perfect": AlwaysAvailable(),
+                "mostly": _DownOn([7]),       # 29/30 ~ 96.7%
+                "half": _DownOn(range(0, 30, 2)),  # 50%
+                "dead": _DownOn(range(100)),
+            }
+        )
+        monitor = AvailabilityMonitor(network)
+        monitor.run_days(30)
+        assert monitor.bucket("http://perfect/sparql") == ">99%"
+        assert monitor.bucket("http://mostly/sparql") == "95-99%"
+        assert monitor.bucket("http://half/sparql") == "5-75%"
+        assert monitor.bucket("http://dead/sparql") == "<5%"
+
+    def test_bucket_census_sums_to_population(self):
+        network = build_network(
+            {"a": AlwaysAvailable(), "b": _DownOn(range(100)), "c": _DownOn([0])}
+        )
+        monitor = AvailabilityMonitor(network)
+        monitor.run_days(10)
+        census = monitor.bucket_census()
+        assert sum(census.values()) == 3
+
+    def test_mean_latency_only_on_alive_probes(self):
+        network = build_network({"flaky": _DownOn([0])})
+        monitor = AvailabilityMonitor(network)
+        monitor.run_days(3)
+        latency = monitor.mean_latency_ms("http://flaky/sparql")
+        assert latency is not None and latency > 0
+
+    def test_mean_latency_none_for_dead(self):
+        network = build_network({"dead": _DownOn(range(100))})
+        monitor = AvailabilityMonitor(network)
+        monitor.run_days(3)
+        assert monitor.mean_latency_ms("http://dead/sparql") is None
+
+    def test_flapping_detection(self):
+        network = build_network(
+            {
+                "flap": _DownOn([1, 3, 5, 7]),
+                "stable": AlwaysAvailable(),
+            }
+        )
+        monitor = AvailabilityMonitor(network)
+        monitor.run_days(9)
+        flapping = monitor.flapping_endpoints(min_transitions=4)
+        assert "http://flap/sparql" in flapping
+        assert "http://stable/sparql" not in flapping
+
+    def test_markov_endpoints_populate_realistic_census(self):
+        clock = SimulationClock()
+        network = EndpointNetwork(clock=clock)
+        for index in range(20):
+            url = f"http://m{index}/sparql"
+            network.register(
+                SparqlEndpoint(
+                    url,
+                    parse_turtle(TTL),
+                    clock,
+                    availability=MarkovAvailability(url, p_fail=0.1, p_recover=0.5, seed=4),
+                )
+            )
+        monitor = AvailabilityMonitor(network)
+        monitor.run_days(40)
+        census = monitor.bucket_census()
+        assert sum(census.values()) == 20
+        assert census["<5%"] < 20  # the population is not uniformly dead

@@ -1,0 +1,175 @@
+"""Integration tests: the full server pipeline, the portal-crawl workflow
+and failure injection across module boundaries."""
+
+import pytest
+
+from repro.core import HBold
+from repro.datagen import build_world, scholarly_graph
+from repro.docstore import DocumentStore
+from repro.endpoint import (
+    AlwaysAvailable,
+    EndpointNetwork,
+    SimulationClock,
+    SparqlEndpoint,
+)
+
+
+class TestFullPipeline:
+    """endpoint -> index extraction -> summary -> clusters -> store ->
+    explore -> render, on the Scholarly LD of Figures 2/7."""
+
+    @pytest.fixture(scope="class")
+    def app(self):
+        clock = SimulationClock()
+        network = EndpointNetwork(clock=clock)
+        network.register(
+            SparqlEndpoint(
+                "http://scholarly/sparql",
+                scholarly_graph(scale=0.08, seed=11),
+                clock,
+                availability=AlwaysAvailable(),
+            )
+        )
+        app = HBold(network)
+        app.bootstrap_registry(["http://scholarly/sparql"])
+        assert app.index_endpoint("http://scholarly/sparql")
+        return app
+
+    def test_summary_matches_source_graph(self, app):
+        summary = app.summary("http://scholarly/sparql")
+        graph = app.network.get("http://scholarly/sparql").graph
+        assert len(summary.nodes) == len(graph.classes())
+        # per-class instance counts agree with the raw data
+        for node in summary.nodes:
+            from repro.rdf import IRI
+
+            assert node.instance_count == graph.class_count(IRI(node.iri))
+
+    def test_total_instances_conserved(self, app):
+        summary = app.summary("http://scholarly/sparql")
+        assert summary.total_instances == sum(n.instance_count for n in summary.nodes)
+
+    def test_cluster_schema_covers_every_class(self, app):
+        summary = app.summary("http://scholarly/sparql")
+        schema = app.cluster_schema("http://scholarly/sparql")
+        assert schema.covers(summary.class_iris())
+        assert schema.cluster_count >= 2
+
+    def test_figure2_walkthrough(self, app):
+        """Reproduce the four steps of Figure 2 on the Scholarly LD."""
+        summary = app.summary("http://scholarly/sparql")
+        session = app.explore("http://scholarly/sparql")
+
+        step1 = session.start_from_cluster_schema()
+        assert step1.node_count == 0
+
+        event = next(n.iri for n in summary.nodes if n.label == "Event")
+        step2 = session.select_class(event)
+        assert step2.node_count > 1
+        assert 0 < step2.instance_coverage < 1
+
+        steps = session.expand_all()
+        assert session.is_complete()
+        assert steps[-1].instance_coverage == pytest.approx(1.0)
+
+    def test_figure7_event_neighbourhood(self, app):
+        """Figure 7: Situation is a range of Event; Vevent, SessionEvent,
+        ConferenceSeries and InformationObject are domains into Event."""
+        diagram = app.edge_bundling_diagram("http://scholarly/sparql", focus="Event")
+        assert diagram.roles["Event"] == "focus"
+        assert diagram.roles.get("Situation") in ("range", "both")
+        for domain_class in ("Vevent", "SessionEvent", "ConferenceSeries", "InformationObject"):
+            assert diagram.roles.get(domain_class) in ("domain", "both"), domain_class
+
+    def test_all_figures_render(self, app, tmp_path):
+        for name, method in (
+            ("fig4", app.render_treemap),
+            ("fig5", app.render_sunburst),
+            ("fig6", app.render_circlepack),
+        ):
+            doc = method("http://scholarly/sparql")
+            target = tmp_path / f"{name}.svg"
+            doc.save(str(target))
+            assert target.stat().st_size > 1000
+
+    def test_visual_query_returns_instance_data(self, app):
+        summary = app.summary("http://scholarly/sparql")
+        event = next(n.iri for n in summary.nodes if n.label == "Event")
+        query = app.visual_query("http://scholarly/sparql", event)
+        attrs = summary.node(event).datatype_properties
+        if attrs:
+            query.select_attribute(attrs[0])
+        result = app.run_visual_query("http://scholarly/sparql", query)
+        assert len(result) > 0
+
+
+class TestCrawlPipeline:
+    """§3.3 end to end: crawl the three portals, merge, re-index."""
+
+    def test_crawl_grows_registry(self, tiny_world):
+        app = HBold(tiny_world.network, store=DocumentStore())
+        app.bootstrap_registry(tiny_world.listed_urls)
+        before = app.counts()["listed"]
+
+        found = app.crawl_portals(tiny_world.portal_urls)
+        assert set(found) == {"edp", "euodp", "iodata", "new"}
+        assert found["new"] > 0
+        assert app.counts()["listed"] == before + found["new"]
+
+    def test_crawl_idempotent(self, tiny_world):
+        app = HBold(tiny_world.network, store=DocumentStore())
+        app.bootstrap_registry(tiny_world.listed_urls)
+        first = app.crawl_portals(tiny_world.portal_urls)
+        second = app.crawl_portals(tiny_world.portal_urls)
+        assert second["new"] == 0
+
+    def test_discovered_endpoints_become_indexable(self, tiny_world):
+        app = HBold(tiny_world.network, store=DocumentStore())
+        app.bootstrap_registry(tiny_world.listed_urls)
+        app.crawl_portals(tiny_world.portal_urls)
+        indexed_before = app.counts()["indexed"]
+        results = app.update_all(tiny_world.portal_new_indexable)
+        assert sum(results.values()) == len(tiny_world.portal_new_indexable)
+        assert app.counts()["indexed"] == indexed_before + len(
+            tiny_world.portal_new_indexable
+        )
+
+
+class TestFailureInjection:
+    def test_flaky_world_eventually_indexes(self):
+        """With flapping endpoints, the §3.1 retry policy converges."""
+        world = build_world(indexable=4, broken=2, portal_new_indexable=0,
+                            seed=13, flaky=True)
+        app = HBold(world.network)
+        app.bootstrap_registry(world.indexable_urls)
+        app.run_daily_update(days=12)
+        assert app.counts()["indexed"] >= 3  # nearly all recover within 12 days
+
+    def test_broken_endpoints_marked_broken(self, tiny_world):
+        app = HBold(tiny_world.network, store=DocumentStore())
+        app.bootstrap_registry(tiny_world.broken_urls)
+        app.update_all(tiny_world.broken_urls)
+        for url in tiny_world.broken_urls:
+            assert app.storage.endpoint_record(url)["status"] == "broken"
+
+    def test_reindexing_replaces_artifacts(self, tiny_world):
+        app = HBold(tiny_world.network, store=DocumentStore())
+        url = tiny_world.indexable_urls[0]
+        app.bootstrap_registry([url])
+        assert app.index_endpoint(url)
+        assert app.index_endpoint(url)  # second run must upsert, not duplicate
+        assert app.storage.summaries.count_documents() == 1
+        assert app.storage.clusters.count_documents() == 1
+
+    def test_store_survives_flush_reload_cycle(self, tmp_path, tiny_world):
+        persist = str(tmp_path / "hbold-store")
+        app = HBold(tiny_world.network, store=DocumentStore(persist_dir=persist))
+        url = tiny_world.indexable_urls[2]
+        app.bootstrap_registry([url])
+        app.index_endpoint(url)
+        app.storage.flush()
+
+        reopened = HBold(tiny_world.network, store=DocumentStore(persist_dir=persist))
+        summary = reopened.summary(url)
+        assert summary.endpoint_url == url
+        assert reopened.cluster_schema(url).covers(summary.class_iris())

@@ -1,0 +1,155 @@
+"""Unit tests for the indexed triple store."""
+
+import pytest
+
+from repro.rdf import RDF, Graph, IRI, Literal, Triple
+
+EX = "http://example.org/"
+
+
+def iri(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+def t(s: str, p: str, o) -> Triple:
+    obj = o if not isinstance(o, str) else iri(o)
+    return Triple(iri(s), iri(p), obj)
+
+
+@pytest.fixture()
+def graph() -> Graph:
+    g = Graph("test")
+    g.add(t("a", "knows", "b"))
+    g.add(t("a", "knows", "c"))
+    g.add(t("b", "knows", "c"))
+    g.add(t("a", "name", Literal("Anna")))
+    g.add(Triple(iri("a"), RDF.type, iri("Person")))
+    g.add(Triple(iri("b"), RDF.type, iri("Person")))
+    g.add(Triple(iri("c"), RDF.type, iri("Robot")))
+    return g
+
+
+class TestMutation:
+    def test_add_counts(self, graph):
+        assert len(graph) == 7
+
+    def test_add_duplicate_is_noop(self, graph):
+        assert graph.add(t("a", "knows", "b")) is False
+        assert len(graph) == 7
+
+    def test_remove(self, graph):
+        assert graph.remove(t("a", "knows", "b")) is True
+        assert len(graph) == 6
+        assert t("a", "knows", "b") not in graph
+
+    def test_remove_absent_returns_false(self, graph):
+        assert graph.remove(t("z", "knows", "a")) is False
+
+    def test_remove_cleans_all_indexes(self, graph):
+        graph.remove(t("a", "knows", "b"))
+        assert list(graph.triples(iri("a"), iri("knows"), iri("b"))) == []
+        assert iri("b") not in set(graph.objects(iri("a"), iri("knows")))
+        assert iri("a") not in set(graph.subjects(iri("knows"), iri("b")))
+
+    def test_remove_pattern(self, graph):
+        removed = graph.remove_pattern(subject=iri("a"))
+        assert removed == 4
+        assert graph.count(subject=iri("a")) == 0
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+        assert list(graph) == []
+
+    def test_update_returns_new_count(self, graph):
+        added = graph.update([t("a", "knows", "b"), t("x", "knows", "y")])
+        assert added == 1
+
+
+class TestPatternLookup:
+    def test_fully_bound_hit(self, graph):
+        assert t("a", "knows", "b") in graph
+
+    def test_wildcard_all(self, graph):
+        assert len(list(graph.triples())) == 7
+
+    def test_by_subject(self, graph):
+        assert len(list(graph.triples(subject=iri("a")))) == 4
+
+    def test_by_predicate(self, graph):
+        assert len(list(graph.triples(predicate=iri("knows")))) == 3
+
+    def test_by_object(self, graph):
+        assert len(list(graph.triples(obj=iri("c")))) == 2
+
+    def test_subject_predicate(self, graph):
+        assert len(list(graph.triples(iri("a"), iri("knows")))) == 2
+
+    def test_predicate_object(self, graph):
+        matches = list(graph.triples(None, RDF.type, iri("Person")))
+        assert {m.subject for m in matches} == {iri("a"), iri("b")}
+
+    def test_subject_object(self, graph):
+        matches = list(graph.triples(iri("a"), None, iri("b")))
+        assert len(matches) == 1
+
+    def test_miss_returns_empty(self, graph):
+        assert list(graph.triples(subject=iri("nobody"))) == []
+
+
+class TestCount:
+    def test_count_matches_iteration_for_every_pattern(self, graph):
+        patterns = [
+            (None, None, None),
+            (iri("a"), None, None),
+            (None, iri("knows"), None),
+            (None, None, iri("c")),
+            (iri("a"), iri("knows"), None),
+            (None, RDF.type, iri("Person")),
+            (iri("a"), None, iri("b")),
+            (iri("a"), iri("knows"), iri("b")),
+        ]
+        for s, p, o in patterns:
+            assert graph.count(s, p, o) == len(list(graph.triples(s, p, o)))
+
+
+class TestAccessors:
+    def test_objects(self, graph):
+        assert set(graph.objects(iri("a"), iri("knows"))) == {iri("b"), iri("c")}
+
+    def test_subjects(self, graph):
+        assert set(graph.subjects(RDF.type, iri("Person"))) == {iri("a"), iri("b")}
+
+    def test_predicates(self, graph):
+        predicates = set(graph.predicates(subject=iri("a")))
+        assert iri("knows") in predicates
+        assert RDF.type in predicates
+
+    def test_value_first_or_none(self, graph):
+        assert graph.value(iri("a"), iri("name")) == Literal("Anna")
+        assert graph.value(iri("a"), iri("missing")) is None
+
+
+class TestSchemaHelpers:
+    def test_classes(self, graph):
+        assert graph.classes() == {iri("Person"), iri("Robot")}
+
+    def test_instances_of(self, graph):
+        assert graph.instances_of(iri("Person")) == {iri("a"), iri("b")}
+
+    def test_class_count(self, graph):
+        assert graph.class_count(iri("Person")) == 2
+        assert graph.class_count(iri("Unknown")) == 0
+
+
+class TestCopySemantics:
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add(t("z", "knows", "a"))
+        assert len(clone) == len(graph) + 1
+
+    def test_iadd_merges(self, graph):
+        other = Graph()
+        other.add(t("z", "knows", "a"))
+        graph += other
+        assert t("z", "knows", "a") in graph

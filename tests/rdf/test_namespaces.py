@@ -1,0 +1,46 @@
+"""Unit tests for namespaces and CURIE handling."""
+
+import pytest
+
+from repro.rdf import DCAT, DCTERMS, RDF, RDFS, IRI, Namespace, curie, expand_curie
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ex = Namespace("http://example.org/")
+        assert ex.Person == IRI("http://example.org/Person")
+
+    def test_item_access_for_odd_names(self):
+        ex = Namespace("http://example.org/")
+        assert ex["has-part"] == IRI("http://example.org/has-part")
+
+    def test_contains(self):
+        assert RDF.type in RDF
+        assert RDF.type not in RDFS
+
+    def test_well_known_values(self):
+        assert RDF.type.value == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        assert DCAT.Dataset.value == "http://www.w3.org/ns/dcat#Dataset"
+        assert DCTERMS.title.value == "http://purl.org/dc/terms/title"
+
+
+class TestCurie:
+    def test_compacts_known_namespace(self):
+        assert curie(RDFS.label) == "rdfs:label"
+
+    def test_falls_back_to_n3(self):
+        assert curie(IRI("http://nowhere.example/x")) == "<http://nowhere.example/x>"
+
+    def test_expand(self):
+        assert expand_curie("rdf:type") == RDF.type
+
+    def test_expand_unknown_prefix_raises(self):
+        with pytest.raises(KeyError):
+            expand_curie("nope:thing")
+
+    def test_expand_non_curie_raises(self):
+        with pytest.raises(ValueError):
+            expand_curie("no-colon-here")
+
+    def test_round_trip(self):
+        assert expand_curie(curie(RDFS.label)) == RDFS.label

@@ -1,0 +1,100 @@
+"""Unit tests for the N-Triples reader/writer."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    NTriplesError,
+    Triple,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from repro.rdf.ntriples import graph_from_ntriples
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        triples = list(parse_ntriples('<http://x/s> <http://x/p> <http://x/o> .\n'))
+        assert triples == [Triple(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o"))]
+
+    def test_plain_literal(self):
+        (triple,) = parse_ntriples('<http://x/s> <http://x/p> "hello" .')
+        assert triple.object == Literal("hello")
+
+    def test_language_literal(self):
+        (triple,) = parse_ntriples('<http://x/s> <http://x/p> "ciao"@it .')
+        assert triple.object == Literal("ciao", language="it")
+
+    def test_typed_literal(self):
+        line = '<http://x/s> <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        (triple,) = parse_ntriples(line)
+        assert triple.object == Literal(5)
+
+    def test_bnode_subject_and_object(self):
+        (triple,) = parse_ntriples("_:a <http://x/p> _:b .")
+        assert triple.subject == BNode("a")
+        assert triple.object == BNode("b")
+
+    def test_escapes(self):
+        (triple,) = parse_ntriples('<http://x/s> <http://x/p> "a\\tb\\nc\\"d\\\\e" .')
+        assert triple.object.lexical == 'a\tb\nc"d\\e'
+
+    def test_unicode_escapes(self):
+        (triple,) = parse_ntriples('<http://x/s> <http://x/p> "\\u00e9\\U0001F600" .')
+        assert triple.object.lexical == "é\U0001F600"
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# a comment\n\n<http://x/s> <http://x/p> <http://x/o> .\n# another\n"
+        assert len(list(parse_ntriples(text))) == 1
+
+    def test_trailing_comment_after_dot(self):
+        (triple,) = parse_ntriples("<http://x/s> <http://x/p> <http://x/o> . # note")
+        assert triple.predicate == IRI("http://x/p")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NTriplesError) as info:
+            list(parse_ntriples("<http://x/s> <http://x/p> <http://x/o> .\njunk line\n"))
+        assert info.value.lineno == 2
+
+    def test_missing_dot_is_error(self):
+        with pytest.raises(NTriplesError):
+            list(parse_ntriples("<http://x/s> <http://x/p> <http://x/o>"))
+
+    def test_literal_subject_is_error(self):
+        with pytest.raises(NTriplesError):
+            list(parse_ntriples('"lit" <http://x/p> <http://x/o> .'))
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        triples = [
+            Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("x\ny", language="en")),
+            Triple(BNode("b0"), IRI("http://x/p"), Literal(5)),
+            Triple(IRI("http://x/s"), IRI("http://x/q"), IRI("http://x/o")),
+        ]
+        text = serialize_ntriples(triples)
+        assert sorted(parse_ntriples(text), key=lambda t: t.sort_key()) == sorted(
+            triples, key=lambda t: t.sort_key()
+        )
+
+    def test_sorted_output_is_deterministic(self):
+        triples = [
+            Triple(IRI("http://x/b"), IRI("http://x/p"), Literal(1)),
+            Triple(IRI("http://x/a"), IRI("http://x/p"), Literal(2)),
+        ]
+        text = serialize_ntriples(triples, sort=True)
+        first_line = text.splitlines()[0]
+        assert first_line.startswith("<http://x/a>")
+
+    def test_graph_round_trip(self):
+        graph = Graph()
+        graph.add(Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("v")))
+        graph.add(Triple(IRI("http://x/s"), IRI("http://x/q"), Literal(3.5)))
+        text = serialize_ntriples(graph)
+        reloaded = graph_from_ntriples(text)
+        assert len(reloaded) == len(graph)
+        for triple in graph:
+            assert triple in reloaded

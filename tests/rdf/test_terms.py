@@ -1,0 +1,201 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf.terms import (
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    BNode,
+    IRI,
+    Literal,
+    Triple,
+    Variable,
+)
+
+
+class TestIRI:
+    def test_value_round_trip(self):
+        iri = IRI("http://example.org/thing")
+        assert iri.value == "http://example.org/thing"
+        assert str(iri) == "http://example.org/thing"
+
+    def test_n3(self):
+        assert IRI("http://x.org/a").n3() == "<http://x.org/a>"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://x.org/a") == IRI("http://x.org/a")
+        assert IRI("http://x.org/a") != IRI("http://x.org/b")
+        assert hash(IRI("http://x.org/a")) == hash(IRI("http://x.org/a"))
+
+    def test_not_equal_to_literal_with_same_text(self):
+        assert IRI("http://x.org/a") != Literal("http://x.org/a")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_rejects_whitespace_and_angle_brackets(self):
+        for bad in ("http://x.org/a b", "http://x.org/<a>", 'http://x.org/"'):
+            with pytest.raises(ValueError):
+                IRI(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            IRI(42)
+
+    def test_immutable(self):
+        iri = IRI("http://x.org/a")
+        with pytest.raises(AttributeError):
+            iri.value = "other"
+
+    def test_local_name_from_fragment(self):
+        assert IRI("http://x.org/onto#Person").local_name() == "Person"
+
+    def test_local_name_from_path(self):
+        assert IRI("http://x.org/onto/Person").local_name() == "Person"
+
+    def test_namespace_is_prefix(self):
+        iri = IRI("http://x.org/onto#Person")
+        assert iri.namespace() + iri.local_name() == iri.value
+
+
+class TestBNode:
+    def test_label(self):
+        assert BNode("b1").label == "b1"
+
+    def test_fresh_labels_unique(self):
+        assert BNode().label != BNode().label
+
+    def test_n3(self):
+        assert BNode("x").n3() == "_:x"
+
+    def test_equality(self):
+        assert BNode("x") == BNode("x")
+        assert BNode("x") != BNode("y")
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ValueError):
+            BNode("has space")
+
+
+class TestLiteral:
+    def test_plain_string(self):
+        lit = Literal("hello")
+        assert lit.lexical == "hello"
+        assert lit.language is None
+        assert lit.datatype is None
+
+    def test_language_tag_normalized(self):
+        assert Literal("ciao", language="IT").language == "it"
+
+    def test_language_and_datatype_conflict(self):
+        with pytest.raises(ValueError):
+            Literal("x", language="en", datatype=XSD_INTEGER)
+
+    def test_int_maps_to_xsd_integer(self):
+        lit = Literal(42)
+        assert lit.datatype == XSD_INTEGER
+        assert lit.lexical == "42"
+
+    def test_float_maps_to_xsd_double(self):
+        assert Literal(2.5).datatype == XSD_DOUBLE
+
+    def test_bool_maps_to_xsd_boolean(self):
+        assert Literal(True).lexical == "true"
+        assert Literal(False).boolean_value() is False
+
+    def test_bool_checked_before_int(self):
+        # bool is a subclass of int; True must not become "1"^^xsd:integer
+        assert Literal(True).datatype == XSD_BOOLEAN
+
+    def test_xsd_string_collapses_to_plain(self):
+        assert Literal("x", datatype="http://www.w3.org/2001/XMLSchema#string").datatype is None
+
+    def test_numeric_value(self):
+        assert Literal(7).numeric_value() == 7
+        assert Literal("3.5", datatype=XSD_DECIMAL).numeric_value() == 3.5
+        assert Literal("abc").numeric_value() is None
+
+    def test_numeric_value_bad_lexical(self):
+        assert Literal("zz", datatype=XSD_INTEGER).numeric_value() is None
+
+    def test_n3_escaping(self):
+        lit = Literal('say "hi"\nnow')
+        assert lit.n3() == '"say \\"hi\\"\\nnow"'
+
+    def test_n3_language(self):
+        assert Literal("ciao", language="it").n3() == '"ciao"@it'
+
+    def test_n3_datatype(self):
+        assert Literal(5).n3() == f'"5"^^<{XSD_INTEGER}>'
+
+    def test_to_python(self):
+        assert Literal(5).to_python() == 5
+        assert Literal(2.5).to_python() == 2.5
+        assert Literal(True).to_python() is True
+        assert Literal("x").to_python() == "x"
+
+    def test_numeric_sort_order_is_by_value(self):
+        assert Literal(9) < Literal(10)
+        assert Literal("9") > Literal("10")  # plain strings sort lexically
+
+    def test_equality_distinguishes_datatype(self):
+        assert Literal("5") != Literal(5)
+
+
+class TestVariable:
+    def test_strips_question_mark(self):
+        assert Variable("?x").name == "x"
+        assert Variable("$x").name == "x"
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            Variable("9bad")
+
+    def test_n3(self):
+        assert Variable("x").n3() == "?x"
+
+
+class TestTriple:
+    def test_construction_and_iteration(self):
+        s, p, o = IRI("http://x/s"), IRI("http://x/p"), Literal("o")
+        triple = Triple(s, p, o)
+        assert list(triple) == [s, p, o]
+        assert triple[0] is s and triple[2] is o
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("s"), IRI("http://x/p"), Literal("o"))
+
+    def test_bnode_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("http://x/s"), BNode("p"), Literal("o"))
+
+    def test_variable_object_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("http://x/s"), IRI("http://x/p"), Variable("o"))
+
+    def test_n3_line(self):
+        triple = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        assert triple.n3() == '<http://x/s> <http://x/p> "o" .'
+
+    def test_equality_and_hash(self):
+        a = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        b = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestTermOrdering:
+    def test_kind_order_bnode_iri_literal(self):
+        bnode, iri, literal = BNode("b"), IRI("http://x/a"), Literal("a")
+        assert bnode < iri < literal
+
+    def test_sorting_mixed_terms_is_total(self):
+        terms = [Literal(5), IRI("http://x/a"), BNode("z"), Literal("a"), Literal(2)]
+        ordered = sorted(terms)
+        assert ordered[0] == BNode("z")
+        assert ordered[1] == IRI("http://x/a")
+        assert ordered.index(Literal(2)) < ordered.index(Literal(5))

@@ -1,0 +1,155 @@
+"""Unit tests for the Turtle subset reader/writer."""
+
+import pytest
+
+from repro.rdf import (
+    RDF,
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    Triple,
+    TurtleError,
+    parse_turtle,
+    serialize_turtle,
+)
+
+EX = "http://example.org/"
+
+
+class TestDirectives:
+    def test_prefix_and_use(self):
+        graph = parse_turtle("@prefix ex: <http://example.org/> . ex:a ex:p ex:b .")
+        assert Triple(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b")) in graph
+
+    def test_sparql_style_prefix(self):
+        graph = parse_turtle("PREFIX ex: <http://example.org/>\nex:a ex:p ex:b .")
+        assert len(graph) == 1
+
+    def test_base_resolves_relative(self):
+        graph = parse_turtle("@base <http://example.org/> . <a> <p> <b> .")
+        assert Triple(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b")) in graph
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(TurtleError):
+            parse_turtle("nope:a nope:b nope:c .")
+
+
+class TestAbbreviations:
+    def test_a_keyword(self):
+        graph = parse_turtle("@prefix ex: <http://example.org/> . ex:x a ex:T .")
+        assert Triple(IRI(EX + "x"), RDF.type, IRI(EX + "T")) in graph
+
+    def test_predicate_list(self):
+        graph = parse_turtle(
+            "@prefix ex: <http://example.org/> . ex:x ex:p ex:a ; ex:q ex:b ."
+        )
+        assert len(graph) == 2
+
+    def test_object_list(self):
+        graph = parse_turtle("@prefix ex: <http://example.org/> . ex:x ex:p ex:a, ex:b .")
+        assert len(graph) == 2
+
+    def test_trailing_semicolon_before_dot(self):
+        graph = parse_turtle("@prefix ex: <http://example.org/> . ex:x ex:p ex:a ; .")
+        assert len(graph) == 1
+
+
+class TestLiterals:
+    def test_integer_decimal_double_boolean(self):
+        graph = parse_turtle(
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:x ex:i 42 ; ex:d 3.25 ; ex:e 1.5e2 ; ex:b true ."
+        )
+        objects = {t.predicate.local_name(): t.object for t in graph}
+        assert objects["i"] == Literal(42)
+        assert objects["d"].datatype.endswith("decimal")
+        assert objects["e"] == Literal(150.0)
+        assert objects["b"] == Literal(True)
+
+    def test_lang_string(self):
+        graph = parse_turtle('@prefix ex: <http://example.org/> . ex:x ex:p "ciao"@it .')
+        (triple,) = graph
+        assert triple.object == Literal("ciao", language="it")
+
+    def test_datatyped_string_with_pname(self):
+        graph = parse_turtle(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            'ex:x ex:p "2020-01-03"^^xsd:date .'
+        )
+        (triple,) = graph
+        assert triple.object.datatype.endswith("#date")
+
+    def test_long_string_spans_lines(self):
+        graph = parse_turtle(
+            '@prefix ex: <http://example.org/> . ex:x ex:p """line1\nline2""" .'
+        )
+        (triple,) = graph
+        assert triple.object.lexical == "line1\nline2"
+
+    def test_escapes(self):
+        graph = parse_turtle('@prefix ex: <http://example.org/> . ex:x ex:p "a\\"b" .')
+        (triple,) = graph
+        assert triple.object.lexical == 'a"b'
+
+
+class TestBlankNodes:
+    def test_labelled(self):
+        graph = parse_turtle("@prefix ex: <http://example.org/> . _:x ex:p _:y .")
+        (triple,) = graph
+        assert triple.subject == BNode("x")
+
+    def test_anonymous_with_properties(self):
+        graph = parse_turtle(
+            "@prefix ex: <http://example.org/> . ex:x ex:p [ ex:q ex:y ] ."
+        )
+        assert len(graph) == 2
+        anon_triples = [t for t in graph if isinstance(t.subject, BNode)]
+        assert len(anon_triples) == 1
+
+    def test_empty_anonymous(self):
+        graph = parse_turtle("@prefix ex: <http://example.org/> . ex:x ex:p [] .")
+        assert len(graph) == 1
+
+
+class TestErrors:
+    def test_collections_unsupported(self):
+        with pytest.raises(TurtleError, match="not supported"):
+            parse_turtle("@prefix ex: <http://example.org/> . ex:x ex:p (1 2) .")
+
+    def test_error_has_position(self):
+        with pytest.raises(TurtleError) as info:
+            parse_turtle("@prefix ex: <http://example.org/> .\nex:x ex:p @@ .")
+        assert info.value.line == 2
+
+    def test_missing_dot(self):
+        with pytest.raises(TurtleError):
+            parse_turtle("@prefix ex: <http://example.org/> . ex:x ex:p ex:y")
+
+
+class TestSerialization:
+    def test_round_trip_preserves_triples(self):
+        source = parse_turtle(
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+            'ex:a a ex:T ; rdfs:label "A"@en ; ex:n 5 ; ex:knows ex:b, ex:c .\n'
+            'ex:b ex:score 2.5 .'
+        )
+        text = serialize_turtle(source, prefixes={"ex": EX})
+        reparsed = parse_turtle(text)
+        assert len(reparsed) == len(source)
+        for triple in source:
+            assert triple in reparsed
+
+    def test_uses_a_for_rdf_type(self):
+        graph = Graph()
+        graph.add(Triple(IRI(EX + "x"), RDF.type, IRI(EX + "T")))
+        assert " a " in serialize_turtle(graph, prefixes={"ex": EX})
+
+    def test_declares_only_used_prefixes(self):
+        graph = Graph()
+        graph.add(Triple(IRI(EX + "x"), IRI(EX + "p"), Literal("v")))
+        text = serialize_turtle(graph, prefixes={"ex": EX})
+        assert "@prefix ex:" in text
+        assert "@prefix foaf:" not in text

@@ -1,0 +1,261 @@
+"""Unit tests for SPARQL evaluation: BGPs, OPTIONAL, UNION, FILTER, VALUES,
+solution modifiers and ASK."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, parse_turtle
+from repro.sparql import AskResult, SelectResult, evaluate
+
+EX = "http://example.org/"
+
+GRAPH = parse_turtle(
+    """
+    @prefix ex: <http://example.org/> .
+    @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+    ex:alice a ex:Person ; ex:age 30 ; ex:knows ex:bob ; rdfs:label "Alice"@en .
+    ex:bob   a ex:Person ; ex:age 25 ; ex:knows ex:carol .
+    ex:carol a ex:Robot  ; ex:age 5 .
+    ex:dave  a ex:Person ; ex:age 41 .
+    """
+)
+
+
+def rows(query: str):
+    result = evaluate(GRAPH, query)
+    assert isinstance(result, SelectResult)
+    return result
+
+
+class TestBasicGraphPatterns:
+    def test_single_pattern(self):
+        result = rows("SELECT ?s WHERE { ?s a <http://example.org/Person> }")
+        assert len(result) == 3
+
+    def test_join_two_patterns(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s ?o WHERE { ?s a ex:Person . ?s ex:knows ?o }"
+        )
+        assert len(result) == 2
+
+    def test_join_respects_shared_variable(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?x WHERE { ?x ex:knows ?y . ?y ex:knows ?z }"
+        )
+        assert [str(r["x"]) for r in result] == [EX + "alice"]
+
+    def test_no_match_is_empty(self):
+        result = rows("SELECT ?s WHERE { ?s a <http://example.org/Unicorn> }")
+        assert len(result) == 0
+
+    def test_ground_triple_acts_as_existence_check(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ex:alice ex:knows ex:bob . ?s a ex:Robot }"
+        )
+        assert len(result) == 1
+
+    def test_variable_predicate(self):
+        result = rows("PREFIX ex: <http://example.org/> SELECT ?p WHERE { ex:carol ?p ?o }")
+        assert len(result) == 2  # rdf:type + ex:age
+
+
+class TestSelectModifiers:
+    def test_distinct(self):
+        result = rows("SELECT DISTINCT ?c WHERE { ?s a ?c }")
+        assert len(result) == 2
+
+    def test_order_by_numeric(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?age WHERE { ?s ex:age ?age } ORDER BY ?age"
+        )
+        ages = [int(r["age"].lexical) for r in result]
+        assert ages == sorted(ages)
+
+    def test_order_by_desc(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?age WHERE { ?s ex:age ?age } ORDER BY DESC(?age)"
+        )
+        ages = [int(r["age"].lexical) for r in result]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_limit_offset(self):
+        full = rows(
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:age ?a } ORDER BY ?a"
+        )
+        page = rows(
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:age ?a } "
+            "ORDER BY ?a LIMIT 2 OFFSET 1"
+        )
+        assert [r["s"] for r in page] == [r["s"] for r in full][1:3]
+
+    def test_limit_zero(self):
+        assert len(rows("SELECT ?s WHERE { ?s ?p ?o } LIMIT 0")) == 0
+
+    def test_select_star_variables_sorted(self):
+        result = rows("SELECT * WHERE { ?s a ?c }")
+        assert result.variables == ["c", "s"]
+
+
+class TestOptional:
+    def test_optional_keeps_unmatched(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+            "SELECT ?s ?label WHERE { ?s a ex:Person OPTIONAL { ?s rdfs:label ?label } }"
+        )
+        assert len(result) == 3
+        labels = {str(r["s"]): r["label"] for r in result}
+        assert labels[EX + "alice"] == Literal("Alice", language="en")
+        assert labels[EX + "bob"] is None
+
+    def test_optional_binding_constrains_inside(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s ?other WHERE { ?s a ex:Person OPTIONAL { ?s ex:knows ?other } }"
+        )
+        by_subject = {str(r["s"]): r["other"] for r in result}
+        assert by_subject[EX + "dave"] is None
+        assert str(by_subject[EX + "alice"]) == EX + "bob"
+
+
+class TestUnion:
+    def test_union_concatenates(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { { ?s a ex:Person } UNION { ?s a ex:Robot } }"
+        )
+        assert len(result) == 4
+
+    def test_union_with_different_variables(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?p ?r WHERE { { ?p a ex:Person } UNION { ?r a ex:Robot } }"
+        )
+        person_rows = [r for r in result if r["p"] is not None]
+        robot_rows = [r for r in result if r["r"] is not None]
+        assert len(person_rows) == 3 and len(robot_rows) == 1
+
+
+class TestFilter:
+    def test_numeric_comparison(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s ex:age ?age FILTER (?age > 26) }"
+        )
+        assert {str(r["s"]) for r in result} == {EX + "alice", EX + "dave"}
+
+    def test_inequality_on_iris(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s a ex:Person FILTER (?s != ex:bob) }"
+        )
+        assert len(result) == 2
+
+    def test_regex(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s a ?c FILTER regex(str(?s), 'ali') }"
+        )
+        assert [str(r["s"]) for r in result] == [EX + "alice"]
+
+    def test_regex_case_insensitive_flag(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s a ?c FILTER regex(str(?s), 'ALI', 'i') }"
+        )
+        assert len(result) == 1
+
+    def test_filter_error_means_false(self):
+        # ?label is unbound for bob/carol/dave: the filter errors -> row dropped.
+        result = rows(
+            "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+            "SELECT ?s WHERE { ?s a ?c OPTIONAL { ?s rdfs:label ?l } FILTER (?l = 'nope') }"
+        )
+        assert len(result) == 0
+
+    def test_bound(self):
+        result = rows(
+            "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s a ex:Person OPTIONAL { ?s rdfs:label ?l } "
+            "FILTER (!BOUND(?l)) }"
+        )
+        assert {str(r["s"]) for r in result} == {EX + "bob", EX + "dave"}
+
+    def test_exists(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s a ex:Person FILTER EXISTS { ?s ex:knows ?o } }"
+        )
+        assert len(result) == 2
+
+    def test_not_exists(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s a ex:Person FILTER NOT EXISTS { ?s ex:knows ?o } }"
+        )
+        assert [str(r["s"]) for r in result] == [EX + "dave"]
+
+    def test_in(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s ex:age ?age FILTER (?age IN (25, 30)) }"
+        )
+        assert len(result) == 2
+
+    def test_isliteral_isiri(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?o WHERE { ex:alice ?p ?o FILTER isLiteral(?o) }"
+        )
+        assert all(r["o"].n3().startswith('"') for r in result)
+
+
+class TestValues:
+    def test_values_restricts(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { VALUES ?s { ex:alice ex:carol } ?s ex:age ?age }"
+        )
+        assert {str(r["s"]) for r in result} == {EX + "alice", EX + "carol"}
+
+    def test_values_after_pattern(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s ex:age ?age VALUES ?age { 30 } }"
+        )
+        assert [str(r["s"]) for r in result] == [EX + "alice"]
+
+
+class TestAsk:
+    def test_true(self):
+        assert evaluate(GRAPH, "ASK { ?s a <http://example.org/Robot> }") == AskResult(True)
+
+    def test_false(self):
+        assert not evaluate(GRAPH, "ASK { ?s a <http://example.org/Unicorn> }")
+
+    def test_ask_with_filter(self):
+        assert evaluate(
+            GRAPH,
+            "PREFIX ex: <http://example.org/> ASK { ?s ex:age ?a FILTER (?a > 100) }",
+        ) == AskResult(False)
+
+
+class TestProjectionExpressions:
+    def test_arithmetic_projection(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s ((?age * 2) AS ?double) WHERE { ?s ex:age ?age } ORDER BY ?age"
+        )
+        assert int(result[0]["double"].lexical) == 10
+
+    def test_str_projection(self):
+        result = rows(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT (STR(?s) AS ?text) WHERE { ?s a ex:Robot }"
+        )
+        assert result[0]["text"] == Literal(EX + "carol")

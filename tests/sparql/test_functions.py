@@ -1,0 +1,214 @@
+"""Unit tests for expression evaluation: builtins, EBV, comparisons."""
+
+import pytest
+
+from repro.rdf.terms import BNode, IRI, Literal, Variable
+from repro.sparql.functions import (
+    ExpressionError,
+    compare_terms,
+    effective_boolean_value,
+    evaluate_expression,
+)
+from repro.sparql.nodes import (
+    FunctionCall,
+    TermExpression,
+    VariableExpression,
+)
+
+
+def call(name, *terms):
+    return evaluate_expression(
+        FunctionCall(name, [TermExpression(t) for t in terms]), {}
+    )
+
+
+class TestEffectiveBooleanValue:
+    def test_boolean_literal(self):
+        assert effective_boolean_value(Literal(True)) is True
+        assert effective_boolean_value(Literal(False)) is False
+
+    def test_numeric(self):
+        assert effective_boolean_value(Literal(3)) is True
+        assert effective_boolean_value(Literal(0)) is False
+        assert effective_boolean_value(Literal(0.0)) is False
+
+    def test_string(self):
+        assert effective_boolean_value(Literal("x")) is True
+        assert effective_boolean_value(Literal("")) is False
+
+    def test_iri_errors(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(IRI("http://x/a"))
+
+
+class TestComparisons:
+    def test_numeric_promotion(self):
+        assert compare_terms("=", Literal(5), Literal("5.0", datatype="http://www.w3.org/2001/XMLSchema#double"))
+
+    def test_string_order(self):
+        assert compare_terms("<", Literal("apple"), Literal("banana"))
+
+    def test_date_order(self):
+        d = "http://www.w3.org/2001/XMLSchema#date"
+        assert compare_terms("<", Literal("2019-01-01", datatype=d), Literal("2020-01-01", datatype=d))
+
+    def test_iri_equality_only(self):
+        assert compare_terms("=", IRI("http://x/a"), IRI("http://x/a"))
+        with pytest.raises(ExpressionError):
+            compare_terms("<", IRI("http://x/a"), IRI("http://x/b"))
+
+    def test_incomparable_ordering_errors(self):
+        with pytest.raises(ExpressionError):
+            compare_terms("<", BNode("a"), Literal(3))
+
+
+class TestStringFunctions:
+    def test_str_of_iri(self):
+        assert call("STR", IRI("http://x/a")) == Literal("http://x/a")
+
+    def test_str_of_bnode_errors(self):
+        with pytest.raises(ExpressionError):
+            call("STR", BNode("b"))
+
+    def test_contains_strstarts_strends(self):
+        assert call("CONTAINS", Literal("sparql endpoint"), Literal("sparql")) == Literal(True)
+        assert call("STRSTARTS", Literal("http://x"), Literal("http")) == Literal(True)
+        assert call("STRENDS", Literal("file.csv"), Literal(".csv")) == Literal(True)
+
+    def test_strlen_ucase_lcase(self):
+        assert call("STRLEN", Literal("abc")) == Literal(3)
+        assert call("UCASE", Literal("abc")) == Literal("ABC")
+        assert call("LCASE", Literal("ABC")) == Literal("abc")
+
+    def test_concat(self):
+        assert call("CONCAT", Literal("a"), Literal("b"), Literal("c")) == Literal("abc")
+
+    def test_strafter_strbefore(self):
+        assert call("STRAFTER", Literal("a#b"), Literal("#")) == Literal("b")
+        assert call("STRBEFORE", Literal("a#b"), Literal("#")) == Literal("a")
+        assert call("STRAFTER", Literal("ab"), Literal("#")) == Literal("")
+
+    def test_replace(self):
+        assert call("REPLACE", Literal("a-b-c"), Literal("-"), Literal("_")) == Literal("a_b_c")
+
+
+class TestRegex:
+    def test_match(self):
+        assert call("REGEX", Literal("http://x/sparql"), Literal("sparql")) == Literal(True)
+
+    def test_no_match(self):
+        assert call("REGEX", Literal("http://x/data.csv"), Literal("sparql")) == Literal(False)
+
+    def test_flags(self):
+        assert call("REGEX", Literal("SPARQL"), Literal("sparql"), Literal("i")) == Literal(True)
+
+    def test_invalid_pattern_errors(self):
+        with pytest.raises(ExpressionError):
+            call("REGEX", Literal("x"), Literal("("))
+
+    def test_works_on_iri_argument(self):
+        # H-BOLD's Listing 1 applies regex to ?url which binds to IRIs.
+        assert call("REGEX", IRI("http://x/sparql"), Literal("sparql")) == Literal(True)
+
+
+class TestTypeTests:
+    def test_isiri_isblank_isliteral(self):
+        assert call("ISIRI", IRI("http://x/a")) == Literal(True)
+        assert call("ISBLANK", BNode("b")) == Literal(True)
+        assert call("ISLITERAL", Literal("x")) == Literal(True)
+        assert call("ISLITERAL", IRI("http://x/a")) == Literal(False)
+
+    def test_isnumeric(self):
+        assert call("ISNUMERIC", Literal(5)) == Literal(True)
+        assert call("ISNUMERIC", Literal("5")) == Literal(False)
+
+    def test_lang_and_datatype(self):
+        assert call("LANG", Literal("ciao", language="it")) == Literal("it")
+        assert call("LANG", Literal("x")) == Literal("")
+        datatype = call("DATATYPE", Literal(5))
+        assert str(datatype).endswith("integer")
+
+    def test_langmatches(self):
+        assert call("LANGMATCHES", Literal("it"), Literal("*")) == Literal(True)
+        assert call("LANGMATCHES", Literal("en-gb"), Literal("en")) == Literal(True)
+        assert call("LANGMATCHES", Literal("it"), Literal("en")) == Literal(False)
+
+
+class TestNumericFunctions:
+    def test_abs_ceil_floor_round(self):
+        assert call("ABS", Literal(-3)) == Literal(3)
+        assert call("CEIL", Literal(2.1)) == Literal(3)
+        assert call("FLOOR", Literal(2.9)) == Literal(2)
+        assert call("ROUND", Literal(2.5)) == Literal(2)  # banker's rounding
+
+    def test_iri_cast(self):
+        assert call("IRI", Literal("http://x/a")) == IRI("http://x/a")
+
+
+class TestControlFunctions:
+    def test_coalesce_skips_errors(self):
+        expression = FunctionCall(
+            "COALESCE",
+            [VariableExpression(Variable("missing")), TermExpression(Literal("fallback"))],
+        )
+        assert evaluate_expression(expression, {}) == Literal("fallback")
+
+    def test_coalesce_all_fail(self):
+        expression = FunctionCall("COALESCE", [VariableExpression(Variable("m"))])
+        with pytest.raises(ExpressionError):
+            evaluate_expression(expression, {})
+
+    def test_if(self):
+        expression = FunctionCall(
+            "IF",
+            [
+                TermExpression(Literal(True)),
+                TermExpression(Literal("yes")),
+                TermExpression(Literal("no")),
+            ],
+        )
+        assert evaluate_expression(expression, {}) == Literal("yes")
+
+    def test_bound(self):
+        expression = FunctionCall("BOUND", [VariableExpression(Variable("x"))])
+        assert evaluate_expression(expression, {Variable("x"): Literal(1)}) == Literal(True)
+        assert evaluate_expression(expression, {}) == Literal(False)
+
+    def test_unbound_variable_errors(self):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(VariableExpression(Variable("nope")), {})
+
+
+class TestLogicErrorSemantics:
+    """SPARQL ternary logic: AND/OR recover from one errored branch."""
+
+    def _err(self):
+        return VariableExpression(Variable("unbound"))
+
+    def test_or_true_wins_over_error(self):
+        from repro.sparql.nodes import OrExpression
+
+        expression = OrExpression(self._err(), TermExpression(Literal(True)))
+        assert evaluate_expression(expression, {}) == Literal(True)
+
+    def test_or_error_with_false_propagates(self):
+        from repro.sparql.nodes import OrExpression
+
+        expression = OrExpression(self._err(), TermExpression(Literal(False)))
+        with pytest.raises(ExpressionError):
+            evaluate_expression(expression, {})
+
+    def test_and_false_wins_over_error(self):
+        from repro.sparql.nodes import AndExpression
+
+        expression = AndExpression(self._err(), TermExpression(Literal(False)))
+        assert evaluate_expression(expression, {}) == Literal(False)
+
+    def test_division_by_zero_errors(self):
+        from repro.sparql.nodes import ArithmeticExpression
+
+        expression = ArithmeticExpression(
+            "/", TermExpression(Literal(1)), TermExpression(Literal(0))
+        )
+        with pytest.raises(ExpressionError):
+            evaluate_expression(expression, {})

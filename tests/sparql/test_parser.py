@@ -1,0 +1,250 @@
+"""Unit tests for the SPARQL tokenizer and parser."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.sparql import (
+    SparqlSyntaxError,
+    UnsupportedSparqlError,
+    parse_query,
+)
+from repro.sparql.nodes import (
+    Aggregate,
+    AskQuery,
+    CompareExpression,
+    FilterPattern,
+    FunctionCall,
+    OptionalPattern,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    ValuesPattern,
+    VariableExpression,
+)
+from repro.sparql.tokenizer import tokenize
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select WHERE Filter")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "WHERE", "FILTER"]
+
+    def test_prefixed_name_not_split(self):
+        tokens = tokenize("dcat:Dataset")
+        assert tokens[0].kind == "PNAME"
+        assert tokens[0].text == "dcat:Dataset"
+
+    def test_a_token(self):
+        tokens = tokenize("?s a ?c")
+        assert tokens[1].kind == "A"
+
+    def test_var_dollar_and_question(self):
+        tokens = tokenize("?x $y")
+        assert tokens[0].kind == "VAR" and tokens[1].kind == "VAR"
+
+    def test_string_with_escapes(self):
+        tokens = tokenize('"a\\"b"')
+        assert tokens[0].kind == "STRING"
+
+    def test_unknown_char_raises_with_position(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("SELECT ~ WHERE")
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT # comment\n?x")
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD", "VAR"]
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        query = parse_query("SELECT ?s WHERE { ?s ?p ?o }")
+        assert isinstance(query, SelectQuery)
+        assert query.projections[0].variable == Variable("s")
+        assert len(query.where.elements) == 1
+
+    def test_select_star(self):
+        query = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert query.select_all
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o }").distinct
+
+    def test_where_keyword_optional(self):
+        query = parse_query("SELECT ?s { ?s ?p ?o }")
+        assert isinstance(query, SelectQuery)
+
+    def test_prefixes_expand(self):
+        query = parse_query(
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s a ex:T }"
+        )
+        pattern = query.where.elements[0]
+        assert pattern.object == IRI("http://example.org/T")
+
+    def test_default_prefixes_available(self):
+        query = parse_query("SELECT ?s WHERE { ?s a dcat:Dataset }")
+        assert query.where.elements[0].object.value.endswith("dcat#Dataset")
+
+    def test_predicate_object_lists(self):
+        query = parse_query("SELECT ?s WHERE { ?s a ?c ; ?p ?o , ?o2 . }")
+        patterns = [e for e in query.where.elements if isinstance(e, TriplePattern)]
+        assert len(patterns) == 3
+
+    def test_expression_projection(self):
+        query = parse_query("SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }")
+        projection = query.projections[0]
+        assert projection.alias == Variable("n")
+        assert isinstance(projection.expression, Aggregate)
+
+    def test_aggregate_distinct_star(self):
+        query = parse_query("SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?s ?p ?o }")
+        aggregate = query.projections[0].expression
+        assert aggregate.distinct and aggregate.expression is None
+
+    def test_group_by_having(self):
+        query = parse_query(
+            "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } "
+            "GROUP BY ?c HAVING (?n > 3)"
+        )
+        assert len(query.group_by) == 1
+        assert isinstance(query.having, CompareExpression)
+
+    def test_order_limit_offset(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) ?p LIMIT 5 OFFSET 2"
+        )
+        assert query.order_by[0].descending is True
+        assert query.order_by[1].descending is False
+        assert query.limit == 5 and query.offset == 2
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o } LIMIT -1")
+
+
+class TestPatterns:
+    def test_optional(self):
+        query = parse_query("SELECT ?s WHERE { ?s a ?c OPTIONAL { ?s ?p ?o } }")
+        assert any(isinstance(e, OptionalPattern) for e in query.where.elements)
+
+    def test_union(self):
+        query = parse_query("SELECT ?s WHERE { { ?s a ?c } UNION { ?s ?p ?o } }")
+        union = next(e for e in query.where.elements if isinstance(e, UnionPattern))
+        assert len(union.alternatives) == 2
+
+    def test_three_way_union(self):
+        query = parse_query(
+            "SELECT ?s WHERE { { ?s a ?a } UNION { ?s a ?b } UNION { ?s a ?c } }"
+        )
+        union = query.where.elements[0]
+        assert len(union.alternatives) == 3
+
+    def test_filter_regex_paper_listing_1(self):
+        # Verbatim from the paper (Listing 1), odd whitespace included.
+        query = parse_query(
+            "PREFIX dcat: <http://www.w3.org/ns/dcat#>\n"
+            "PREFIX dc: <http://purl.org/dc/terms/>\n"
+            "SELECT ?dataset ?title ?url\n"
+            "WHERE {\n"
+            "?dataset a dcat:Dataset .\n"
+            "?dataset dc:title ?title .\n"
+            "?dataset dcat:distribution ?distribution .\n"
+            "?distribution dcat:accessURL ?url .\n"
+            "filter ( regex ( ?url , 'sparql' ) ) .\n"
+            "}"
+        )
+        filters = [e for e in query.where.elements if isinstance(e, FilterPattern)]
+        assert len(filters) == 1
+        assert isinstance(filters[0].expression, FunctionCall)
+        assert filters[0].expression.name == "REGEX"
+
+    def test_values_single_var(self):
+        query = parse_query(
+            'SELECT ?s WHERE { VALUES ?s { <http://x/a> <http://x/b> } ?s ?p ?o }'
+        )
+        values = next(e for e in query.where.elements if isinstance(e, ValuesPattern))
+        assert len(values.rows) == 2
+
+    def test_values_multi_var_with_undef(self):
+        query = parse_query(
+            "SELECT ?a WHERE { VALUES (?a ?b) { (<http://x/1> UNDEF) (<http://x/2> 5) } }"
+        )
+        values = query.where.elements[0]
+        assert values.rows[0][1] is None
+        assert values.rows[1][1] == Literal(5)
+
+    def test_nested_group(self):
+        query = parse_query("SELECT ?s WHERE { { ?s a ?c . } ?s ?p ?o }")
+        assert isinstance(query, SelectQuery)
+
+    def test_unclosed_group_raises(self):
+        with pytest.raises(SparqlSyntaxError, match="unterminated|expected"):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o ")
+
+
+class TestAsk:
+    def test_ask(self):
+        query = parse_query("ASK { ?s ?p ?o }")
+        assert isinstance(query, AskQuery)
+
+    def test_ask_with_where(self):
+        assert isinstance(parse_query("ASK WHERE { ?s ?p ?o }"), AskQuery)
+
+
+class TestUnsupported:
+    def test_construct_raises(self):
+        with pytest.raises(UnsupportedSparqlError):
+            parse_query("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }")
+
+    def test_describe_raises(self):
+        with pytest.raises(UnsupportedSparqlError):
+            parse_query("DESCRIBE <http://x/a>")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o } bogus:rest")
+
+
+class TestExpressions:
+    def test_precedence_and_over_or(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x ?p ?o FILTER (?a || ?b && ?c) }"
+        )
+        from repro.sparql.nodes import AndExpression, OrExpression
+
+        expression = query.where.elements[-1].expression
+        assert isinstance(expression, OrExpression)
+        assert isinstance(expression.right, AndExpression)
+
+    def test_arithmetic_precedence(self):
+        query = parse_query("SELECT ?x WHERE { ?x ?p ?o FILTER (?a + ?b * ?c > 0) }")
+        from repro.sparql.nodes import ArithmeticExpression
+
+        comparison = query.where.elements[-1].expression
+        assert comparison.op == ">"
+        assert isinstance(comparison.left, ArithmeticExpression)
+        assert comparison.left.op == "+"
+
+    def test_not_in(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x ?p ?o FILTER (?x NOT IN (<http://x/a>)) }"
+        )
+        from repro.sparql.nodes import InExpression
+
+        expression = query.where.elements[-1].expression
+        assert isinstance(expression, InExpression) and expression.negated
+
+    def test_exists(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x a ?c FILTER EXISTS { ?x ?p ?o } }"
+        )
+        from repro.sparql.nodes import ExistsExpression
+
+        expression = query.where.elements[-1].expression
+        assert isinstance(expression, ExistsExpression) and not expression.negated
+
+    def test_not_exists(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x a ?c FILTER NOT EXISTS { ?x ?p ?o } }"
+        )
+        expression = query.where.elements[-1].expression
+        assert expression.negated

@@ -1,0 +1,205 @@
+"""Unit tests for SPARQL property paths."""
+
+import pytest
+
+from repro.rdf import IRI, parse_turtle
+from repro.sparql import evaluate, parse_query
+from repro.sparql.paths import (
+    AlternativePath,
+    ClosurePath,
+    InversePath,
+    SequencePath,
+)
+
+EX = "http://example.org/"
+
+GRAPH = parse_turtle(
+    """
+    @prefix ex: <http://example.org/> .
+    @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+    ex:Dog rdfs:subClassOf ex:Mammal .
+    ex:Cat rdfs:subClassOf ex:Mammal .
+    ex:Mammal rdfs:subClassOf ex:Animal .
+
+    ex:rex a ex:Dog ; ex:chases ex:tom ; ex:owner ex:ann .
+    ex:tom a ex:Cat .
+    ex:ann ex:friend ex:bob .
+    ex:bob ex:friend ex:cora .
+    ex:cora ex:friend ex:ann .
+    """
+)
+
+
+def values(query: str, var: str):
+    return sorted(str(row[var]) for row in evaluate(GRAPH, query))
+
+
+class TestParsing:
+    def test_plain_iri_predicate_unchanged(self):
+        query = parse_query("SELECT ?s WHERE { ?s <http://example.org/p> ?o }")
+        pattern = query.where.elements[0]
+        assert pattern.predicate == IRI(EX + "p")
+
+    def test_sequence(self):
+        query = parse_query(
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:a/ex:b ?o }"
+        )
+        assert isinstance(query.where.elements[0].predicate, SequencePath)
+
+    def test_alternative(self):
+        query = parse_query(
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:a|ex:b ?o }"
+        )
+        assert isinstance(query.where.elements[0].predicate, AlternativePath)
+
+    def test_closure_star_and_plus(self):
+        star = parse_query(
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:p* ?o }"
+        ).where.elements[0].predicate
+        plus = parse_query(
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:p+ ?o }"
+        ).where.elements[0].predicate
+        assert isinstance(star, ClosurePath) and star.include_zero
+        assert isinstance(plus, ClosurePath) and not plus.include_zero
+
+    def test_inverse(self):
+        query = parse_query(
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ^ex:p ?o }"
+        )
+        assert isinstance(query.where.elements[0].predicate, InversePath)
+
+    def test_grouping(self):
+        query = parse_query(
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s (ex:a|ex:b)/ex:c ?o }"
+        )
+        path = query.where.elements[0].predicate
+        assert isinstance(path, SequencePath)
+        assert isinstance(path.steps[0], AlternativePath)
+
+    def test_a_inside_path(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s a/rdfs:subClassOf* ?c }"
+        )
+        path = query.where.elements[0].predicate
+        assert isinstance(path, SequencePath)
+
+
+class TestEvaluation:
+    def test_sequence_hop(self):
+        result = values(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?o WHERE { ex:rex ex:chases/a ?o }",
+            "o",
+        )
+        assert result == [EX + "Cat"]
+
+    def test_inferred_types_via_closure(self):
+        result = values(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s a/rdfs:subClassOf* ex:Animal }",
+            "s",
+        )
+        assert result == [EX + "rex", EX + "tom"]
+
+    def test_star_includes_zero_hops(self):
+        result = values(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?c WHERE { ex:Dog rdfs:subClassOf* ?c }",
+            "c",
+        )
+        assert result == [EX + "Animal", EX + "Dog", EX + "Mammal"]
+
+    def test_plus_excludes_zero_hops(self):
+        result = values(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?c WHERE { ex:Dog rdfs:subClassOf+ ?c }",
+            "c",
+        )
+        assert result == [EX + "Animal", EX + "Mammal"]
+
+    def test_closure_handles_cycles(self):
+        result = values(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?x WHERE { ex:ann ex:friend+ ?x }",
+            "x",
+        )
+        assert result == [EX + "ann", EX + "bob", EX + "cora"]
+
+    def test_inverse_direction(self):
+        result = values(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?who WHERE { ex:tom ^ex:chases ?who }",
+            "who",
+        )
+        assert result == [EX + "rex"]
+
+    def test_alternative_union_of_links(self):
+        result = values(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?o WHERE { ex:rex ex:chases|ex:owner ?o }",
+            "o",
+        )
+        assert result == [EX + "ann", EX + "tom"]
+
+    def test_backward_closure_with_bound_object(self):
+        result = values(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?sub WHERE { ?sub rdfs:subClassOf+ ex:Animal }",
+            "sub",
+        )
+        assert result == [EX + "Cat", EX + "Dog", EX + "Mammal"]
+
+    def test_both_ends_unbound_closure(self):
+        rows = evaluate(
+            GRAPH,
+            "SELECT ?a ?b WHERE { ?a rdfs:subClassOf+ ?b }",
+        )
+        pairs = {(str(r["a"]), str(r["b"])) for r in rows}
+        assert (EX + "Dog", EX + "Animal") in pairs
+        assert len(pairs) == 5  # Dog>M, Dog>A, Cat>M, Cat>A, M>A
+
+    def test_path_joins_with_other_patterns(self):
+        result = values(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { ?s a/rdfs:subClassOf* ex:Mammal . ?s ex:owner ?o }",
+            "s",
+        )
+        assert result == [EX + "rex"]
+
+    def test_count_over_path(self):
+        result = evaluate(
+            GRAPH,
+            "PREFIX ex: <http://example.org/> "
+            "SELECT (COUNT(?s) AS ?n) WHERE { ?s a/rdfs:subClassOf* ex:Mammal }",
+        )
+        assert result.scalar_int() == 2
+
+
+class TestEndpointCapability:
+    def test_legacy_endpoint_rejects_paths(self):
+        from repro.endpoint import (
+            EndpointNetwork,
+            QueryRejected,
+            SimulationClock,
+            SparqlEndpoint,
+        )
+
+        clock = SimulationClock()
+        network = EndpointNetwork(clock=clock)
+        endpoint = SparqlEndpoint(
+            "http://old/sparql", GRAPH, clock, profile="legacy-sesame"
+        )
+        network.register(endpoint)
+        with pytest.raises(QueryRejected, match="property paths"):
+            endpoint.query("SELECT ?s WHERE { ?s a/rdfs:subClassOf* ?c }")
+
+    def test_modern_endpoint_accepts_paths(self):
+        from repro.endpoint import EndpointNetwork, SimulationClock, SparqlEndpoint
+
+        clock = SimulationClock()
+        network = EndpointNetwork(clock=clock)
+        endpoint = SparqlEndpoint("http://new/sparql", GRAPH, clock, profile="virtuoso")
+        network.register(endpoint)
+        result = endpoint.query("SELECT ?s WHERE { ?s a/rdfs:subClassOf* ?c }")
+        assert len(result) > 0

@@ -1,0 +1,92 @@
+"""Unit tests for result containers and their serializations."""
+
+import json
+
+import pytest
+
+from repro.rdf.terms import BNode, IRI, Literal
+from repro.sparql.results import AskResult, SelectResult, binding_to_json, term_from_json
+
+
+@pytest.fixture()
+def result() -> SelectResult:
+    return SelectResult(
+        ["s", "label"],
+        [
+            {"s": IRI("http://x/a"), "label": Literal("A", language="en")},
+            {"s": IRI("http://x/b"), "label": None},
+            {"s": BNode("n1"), "label": Literal(5)},
+        ],
+    )
+
+
+class TestSelectResult:
+    def test_len_iter_getitem(self, result):
+        assert len(result) == 3
+        assert list(result)[1]["s"] == IRI("http://x/b")
+        assert result[0]["label"].language == "en"
+
+    def test_column(self, result):
+        assert result.column("s")[0] == IRI("http://x/a")
+        assert result.column("label")[1] is None
+
+    def test_bool(self, result):
+        assert result
+        assert not SelectResult(["x"], [])
+
+    def test_scalar(self):
+        single = SelectResult(["n"], [{"n": Literal(42)}])
+        assert single.scalar() == Literal(42)
+        assert single.scalar_int() == 42
+
+    def test_scalar_rejects_multi(self, result):
+        with pytest.raises(ValueError):
+            result.scalar()
+
+    def test_scalar_int_default_for_unbound(self):
+        assert SelectResult(["n"], [{"n": None}]).scalar_int(default=7) == 7
+
+
+class TestJsonFormat:
+    def test_round_trip(self, result):
+        text = result.to_json()
+        reloaded = SelectResult.from_json(text)
+        assert reloaded.variables == result.variables
+        assert reloaded.rows == result.rows
+
+    def test_structure_follows_w3c_shape(self, result):
+        document = json.loads(result.to_json())
+        assert document["head"]["vars"] == ["s", "label"]
+        assert document["results"]["bindings"][0]["s"]["type"] == "uri"
+        assert document["results"]["bindings"][0]["label"]["xml:lang"] == "en"
+        # unbound variables are omitted from the binding object
+        assert "label" not in document["results"]["bindings"][1]
+
+    def test_binding_encoders(self):
+        assert binding_to_json(IRI("http://x/a")) == {"type": "uri", "value": "http://x/a"}
+        assert binding_to_json(BNode("z")) == {"type": "bnode", "value": "z"}
+        encoded = binding_to_json(Literal(5))
+        assert encoded["datatype"].endswith("integer")
+
+    def test_term_decoder_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            term_from_json({"type": "mystery", "value": "?"})
+
+
+class TestCsvFormat:
+    def test_header_and_rows(self, result):
+        lines = result.to_csv().splitlines()
+        assert lines[0] == "s,label"
+        assert lines[1] == "http://x/a,A"
+        assert lines[2] == "http://x/b,"  # unbound -> empty cell
+        assert lines[3] == "_:n1,5"
+
+
+class TestAskResult:
+    def test_bool_and_eq(self):
+        assert AskResult(True)
+        assert AskResult(True) == True  # noqa: E712 - intentional comparison
+        assert AskResult(False) == AskResult(False)
+
+    def test_json(self):
+        assert json.loads(AskResult(True).to_json()) == {"head": {}, "boolean": True}

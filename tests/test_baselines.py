@@ -1,0 +1,160 @@
+"""Unit + property tests for the rdf:SynopsViz HETree baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    HETreeNode,
+    build_hetree_c,
+    build_hetree_r,
+    fetch_property_values,
+    hetree_to_hierarchy,
+)
+
+VALUES = [1.0, 2.0, 2.5, 3.0, 10.0, 11.0, 12.0, 20.0, 21.0, 40.0, 41.0, 42.0]
+
+
+class TestHETreeR:
+    def test_leaf_count(self):
+        tree = build_hetree_r(VALUES, leaf_count=8, degree=3)
+        assert len(tree.leaves()) == 8
+
+    def test_counts_conserved(self):
+        tree = build_hetree_r(VALUES, leaf_count=8)
+        assert tree.count == len(VALUES)
+        assert sum(leaf.count for leaf in tree.leaves()) == len(VALUES)
+
+    def test_equal_width_leaves(self):
+        tree = build_hetree_r(VALUES, leaf_count=4)
+        widths = [leaf.high - leaf.low for leaf in tree.leaves()]
+        assert max(widths) - min(widths) < 1e-9
+
+    def test_leaves_tile_domain(self):
+        tree = build_hetree_r(VALUES, leaf_count=6)
+        leaves = tree.leaves()
+        assert leaves[0].low == min(VALUES)
+        assert leaves[-1].high == max(VALUES)
+        for left, right in zip(leaves, leaves[1:]):
+            assert right.low == pytest.approx(left.high)
+
+    def test_statistics(self):
+        tree = build_hetree_r(VALUES, leaf_count=4)
+        assert tree.minimum == 1.0
+        assert tree.maximum == 42.0
+        assert tree.mean == pytest.approx(sum(VALUES) / len(VALUES))
+
+    def test_root_interval_spans_everything(self):
+        tree = build_hetree_r(VALUES, leaf_count=8, degree=2)
+        assert tree.low == 1.0 and tree.high == 42.0
+
+    def test_empty_values(self):
+        tree = build_hetree_r([], leaf_count=4)
+        assert tree.count == 0 and tree.is_leaf()
+
+    def test_single_value_domain(self):
+        tree = build_hetree_r([5.0, 5.0, 5.0], leaf_count=4)
+        assert tree.count == 3
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            build_hetree_r(VALUES, leaf_count=0)
+        with pytest.raises(ValueError):
+            build_hetree_r(VALUES, degree=1)
+
+
+class TestHETreeC:
+    def test_equal_content_leaves(self):
+        tree = build_hetree_c(VALUES, leaf_count=4)
+        counts = [leaf.count for leaf in tree.leaves()]
+        assert max(counts) - min(counts) <= 1 or counts[-1] < max(counts)
+
+    def test_counts_conserved(self):
+        tree = build_hetree_c(VALUES, leaf_count=5)
+        assert sum(leaf.count for leaf in tree.leaves()) == len(VALUES)
+
+    def test_leaves_ordered_by_value(self):
+        tree = build_hetree_c(VALUES, leaf_count=4)
+        lows = [leaf.low for leaf in tree.leaves()]
+        assert lows == sorted(lows)
+
+    def test_skewed_data_gets_narrow_dense_bins(self):
+        # HETree-C adapts bin width to density (the mode's selling point)
+        skewed = [1.0] * 50 + [100.0]
+        tree = build_hetree_c(skewed, leaf_count=4)
+        leaves = tree.leaves()
+        assert leaves[0].count > leaves[-1].count
+
+
+class TestTreeShape:
+    def test_branching_degree_respected(self):
+        tree = build_hetree_r(VALUES, leaf_count=9, degree=3)
+        for node in [tree] + [c for c in tree.children]:
+            if not node.is_leaf():
+                assert len(node.children) <= 3
+
+    def test_depth_logarithmic(self):
+        tree = build_hetree_r(list(range(100)), leaf_count=27, degree=3)
+        assert tree.depth() == 3  # 27 -> 9 -> 3 -> 1
+
+    def test_hierarchy_conversion_feeds_layouts(self):
+        from repro.viz import sunburst_layout, treemap_layout
+
+        tree = build_hetree_r(VALUES, leaf_count=8, degree=2)
+        root = hetree_to_hierarchy(tree).sum_values()
+        assert root.value == len(VALUES)
+        treemap_layout(root, 300, 200)
+        root2 = hetree_to_hierarchy(tree).sum_values()
+        sunburst_layout(root2, 150)
+
+
+class TestEndpointAdapter:
+    def test_fetch_values_from_endpoint(self):
+        from repro.datagen import trafair_graph
+        from repro.endpoint import (
+            AlwaysAvailable,
+            EndpointNetwork,
+            SimulationClock,
+            SparqlClient,
+            SparqlEndpoint,
+        )
+
+        clock = SimulationClock()
+        network = EndpointNetwork(clock=clock)
+        url = "http://trafair/sparql"
+        network.register(
+            SparqlEndpoint(url, trafair_graph(scale=0.05, seed=2), clock,
+                           availability=AlwaysAvailable())
+        )
+        ns = "http://trafair.example.org/"
+        values = fetch_property_values(
+            SparqlClient(network), url, ns + "Observation", ns + "observedValue"
+        )
+        assert values
+        tree = build_hetree_r(values, leaf_count=8)
+        assert tree.count == len(values)
+
+
+class TestHETreeProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=16),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=60)
+    def test_r_mode_count_conservation(self, values, leaves, degree):
+        tree = build_hetree_r(values, leaf_count=leaves, degree=degree)
+        assert tree.count == len(values)
+        assert sum(leaf.count for leaf in tree.leaves()) == len(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60)
+    def test_c_mode_count_conservation(self, values, leaves):
+        tree = build_hetree_c(values, leaf_count=leaves)
+        assert sum(leaf.count for leaf in tree.leaves()) == len(values)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=100))
+    @settings(max_examples=40)
+    def test_mean_within_min_max(self, values):
+        tree = build_hetree_r(values, leaf_count=4)
+        if tree.mean is not None:
+            assert tree.minimum - 1e-9 <= tree.mean <= tree.maximum + 1e-9

@@ -1,0 +1,273 @@
+"""Edge-case tests across modules: the paths that only break in production."""
+
+import pytest
+
+from repro.rdf import (
+    RDFS,
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    Triple,
+    parse_turtle,
+    serialize_turtle,
+)
+
+
+class TestRdfEdgeCases:
+    def test_graph_label_helper(self):
+        graph = Graph()
+        subject = IRI("http://x/a")
+        graph.add_triple(subject, RDFS.label, Literal("A label"))
+        assert graph.label(subject) == "A label"
+        assert graph.label(IRI("http://x/unlabelled")) is None
+
+    def test_label_ignores_iri_objects(self):
+        graph = Graph()
+        subject = IRI("http://x/a")
+        graph.add_triple(subject, RDFS.label, IRI("http://x/not-a-literal"))
+        assert graph.label(subject) is None
+
+    def test_turtle_serializes_bnodes(self):
+        graph = Graph()
+        graph.add(Triple(BNode("x"), IRI("http://x/p"), Literal("v")))
+        text = serialize_turtle(graph)
+        reparsed = parse_turtle(text)
+        assert len(reparsed) == 1
+        (triple,) = reparsed
+        assert isinstance(triple.subject, BNode)
+
+    def test_iri_local_name_degenerate(self):
+        assert IRI("http://x/").local_name() == "x"  # falls back past the slash
+        assert IRI("urn:isbn:123").local_name() == "urn:isbn:123"
+
+    def test_empty_graph_round_trip(self):
+        assert len(parse_turtle(serialize_turtle(Graph()))) == 0
+
+    def test_subclasses_helper(self):
+        graph = parse_turtle(
+            "@prefix ex: <http://example.org/> . "
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> . "
+            "ex:Dog rdfs:subClassOf ex:Animal . ex:Cat rdfs:subClassOf ex:Animal ."
+        )
+        subs = graph.subclasses(IRI("http://example.org/Animal"))
+        assert {s.local_name() for s in subs} == {"Dog", "Cat"}
+
+
+class TestSparqlEdgeCases:
+    def test_empty_group_pattern(self):
+        from repro.sparql import evaluate
+
+        graph = Graph()
+        result = evaluate(graph, "SELECT ?s WHERE { }")
+        # one empty solution, projected to an unbound row
+        assert len(result) == 1
+
+    def test_ask_on_empty_graph(self):
+        from repro.sparql import evaluate
+
+        assert not evaluate(Graph(), "ASK { ?s ?p ?o }")
+
+    def test_select_star_with_no_solutions(self):
+        from repro.sparql import evaluate
+
+        result = evaluate(Graph(), "SELECT * WHERE { ?s ?p ?o }")
+        assert len(result) == 0 and result.variables == []
+
+    def test_result_json_round_trip_with_bnode(self):
+        from repro.sparql.results import SelectResult
+
+        original = SelectResult(["x"], [{"x": BNode("b7")}])
+        decoded = SelectResult.from_json(original.to_json())
+        assert decoded.rows == original.rows
+
+    def test_filter_referencing_later_pattern_variable(self):
+        """SPARQL scopes filters to the whole group, even textually early."""
+        from repro.sparql import evaluate
+
+        graph = parse_turtle(
+            "@prefix ex: <http://example.org/> . ex:a ex:v 5 . ex:b ex:v 50 ."
+        )
+        result = evaluate(
+            graph,
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s WHERE { FILTER(?v > 10) ?s ex:v ?v }",
+        )
+        assert [str(r["s"]) for r in result] == ["http://example.org/b"]
+
+    def test_nested_optional(self):
+        from repro.sparql import evaluate
+
+        graph = parse_turtle(
+            "@prefix ex: <http://example.org/> . "
+            "ex:a a ex:T ; ex:p ex:b . ex:b ex:q ex:c ."
+        )
+        result = evaluate(
+            graph,
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?s ?c WHERE { ?s a ex:T OPTIONAL { ?s ex:p ?m "
+            "OPTIONAL { ?m ex:q ?c } } }",
+        )
+        assert len(result) == 1
+        assert str(result[0]["c"]) == "http://example.org/c"
+
+    def test_distinct_on_expression_projection(self):
+        from repro.sparql import evaluate
+
+        graph = parse_turtle(
+            "@prefix ex: <http://example.org/> . ex:a ex:v 1 . ex:b ex:v 1 ."
+        )
+        result = evaluate(
+            graph,
+            "PREFIX ex: <http://example.org/> "
+            "SELECT DISTINCT ((?v * 10) AS ?scaled) WHERE { ?s ex:v ?v }",
+        )
+        assert len(result) == 1
+
+
+class TestEndpointEdgeCases:
+    def test_stats_accumulate(self):
+        from repro.endpoint import (
+            AlwaysAvailable,
+            EndpointNetwork,
+            SimulationClock,
+            SparqlEndpoint,
+        )
+
+        clock = SimulationClock()
+        network = EndpointNetwork(clock=clock)
+        endpoint = SparqlEndpoint(
+            "http://e/sparql",
+            parse_turtle("@prefix ex: <http://example.org/> . ex:a a ex:T ."),
+            clock,
+            availability=AlwaysAvailable(),
+        )
+        network.register(endpoint)
+        for _ in range(3):
+            endpoint.query("ASK { ?s ?p ?o }")
+        assert endpoint.stats.queries == 3
+        assert endpoint.stats.total_latency_ms > 0
+
+    def test_deregister(self):
+        from repro.endpoint import EndpointNetwork, SimulationClock, SparqlEndpoint
+
+        clock = SimulationClock()
+        network = EndpointNetwork(clock=clock)
+        endpoint = SparqlEndpoint("http://e/sparql", Graph(), clock)
+        network.register(endpoint)
+        assert network.deregister("http://e/sparql")
+        assert not network.deregister("http://e/sparql")
+        assert "http://e/sparql" not in network
+
+    def test_profile_repr_and_defaults(self):
+        from repro.endpoint import PROFILES
+
+        for profile in PROFILES.values():
+            assert profile.name in repr(profile)
+        assert PROFILES["virtuoso"].supports_property_paths
+        assert not PROFILES["4store"].supports_property_paths
+
+    def test_availability_ratio_zero_horizon(self):
+        from repro.endpoint import AlwaysAvailable, availability_ratio
+
+        assert availability_ratio(AlwaysAvailable(), 0) == 1.0
+
+
+class TestCoreEdgeCases:
+    def test_exploration_expand_is_idempotent(self, indexed_app, tiny_world):
+        url = tiny_world.indexable_urls[0]
+        session = indexed_app.explore(url)
+        summary = indexed_app.summary(url)
+        start = summary.class_iris()[0]
+        session.select_class(start)
+        first = set(session.expand(start).visible_classes)
+        second = set(session.expand(start).visible_classes)
+        assert first == second
+
+    def test_summary_neighbours_of_isolated_class(self):
+        from repro.core.models import SchemaNode, SchemaSummary
+
+        summary = SchemaSummary(
+            "http://e/", [SchemaNode("http://x/Lonely", 3)], [], 3
+        )
+        assert summary.neighbours("http://x/Lonely") == []
+        assert summary.degree("http://x/Lonely") == 0
+
+    def test_cluster_schema_on_isolated_classes(self):
+        from repro.core import build_cluster_schema
+        from repro.core.models import SchemaNode, SchemaSummary
+
+        nodes = [SchemaNode(f"http://x/C{i}", i + 1) for i in range(4)]
+        summary = SchemaSummary("http://e/", nodes, [], 10)
+        schema = build_cluster_schema(summary)
+        # four isolated classes -> four singleton clusters
+        assert schema.cluster_count == 4
+        assert all(c.size == 1 for c in schema.clusters)
+
+    def test_scheduler_empty_registry(self):
+        from repro.core import HboldStorage, IndexExtractor, UpdateScheduler
+        from repro.docstore import DocumentStore
+        from repro.endpoint import EndpointNetwork, SimulationClock, SparqlClient
+
+        network = EndpointNetwork(clock=SimulationClock())
+        scheduler = UpdateScheduler(
+            HboldStorage(DocumentStore()), IndexExtractor(SparqlClient(network))
+        )
+        report = scheduler.run_day()
+        assert report.attempted == [] and report.skipped_fresh == 0
+
+    def test_visual_query_limit_validation(self, indexed_app, tiny_world):
+        url = tiny_world.indexable_urls[0]
+        summary = indexed_app.summary(url)
+        query = indexed_app.visual_query(url, summary.class_iris()[0])
+        with pytest.raises(Exception):
+            query.set_limit(0)
+
+
+class TestVizEdgeCases:
+    def test_treemap_single_leaf(self):
+        from repro.viz import HierarchyNode, treemap_layout
+
+        root = HierarchyNode("r")
+        root.add_child(HierarchyNode("only", value=5.0))
+        root.sum_values()
+        treemap_layout(root, 100, 100, padding=0, inner_padding=0)
+        assert root.children[0].rect.area == pytest.approx(100 * 100)
+
+    def test_sunburst_zero_value_children(self):
+        from repro.viz import HierarchyNode, sunburst_layout
+
+        root = HierarchyNode("r")
+        cluster = root.add_child(HierarchyNode("c"))
+        cluster.add_child(HierarchyNode("zero", value=0.0))
+        cluster.add_child(HierarchyNode("nonzero", value=10.0))
+        root.sum_values()
+        sunburst_layout(root, 100)
+        zero = root.find("zero")
+        assert zero.arc.span == pytest.approx(0.0)
+
+    def test_circlepack_zero_value_leaf(self):
+        from repro.viz import HierarchyNode, circlepack_layout
+
+        root = HierarchyNode("r")
+        root.add_child(HierarchyNode("zero", value=0.0))
+        root.add_child(HierarchyNode("big", value=10.0))
+        root.sum_values()
+        circlepack_layout(root, 50)
+        assert root.find("zero").circle.r >= 0.0
+
+    def test_force_layout_single_node(self):
+        from repro.viz import force_layout
+
+        positions = force_layout(["only"], [], iterations=10)
+        assert "only" in positions
+
+    def test_edge_bundling_self_loop_edges_allowed(self):
+        from repro.viz import HierarchyNode, edge_bundling_layout
+
+        root = HierarchyNode("r")
+        cluster = root.add_child(HierarchyNode("c"))
+        cluster.add_child(HierarchyNode("a", value=1.0))
+        cluster.add_child(HierarchyNode("b", value=1.0))
+        diagram = edge_bundling_layout(root, [("a", "a"), ("a", "b")])
+        assert len(diagram.edges) == 2

@@ -1,0 +1,149 @@
+"""Unit tests for geometry primitives."""
+
+import math
+
+import pytest
+
+from repro.viz.geometry import (
+    Circle,
+    Point,
+    Rect,
+    bspline_points,
+    enclosing_circle,
+    polar_to_cartesian,
+)
+
+
+class TestPoint:
+    def test_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+        assert Point(1, 2) * 3 == Point(3, 6)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1
+
+
+class TestRect:
+    def test_properties(self):
+        rect = Rect(1, 2, 3, 4)
+        assert rect.area == 12
+        assert rect.right == 4 and rect.bottom == 6
+        assert rect.center() == Point(2.5, 4)
+
+    def test_contains(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.contains(Point(5, 5))
+        assert rect.contains(Point(10, 10))  # boundary inclusive
+        assert not rect.contains(Point(11, 5))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 3, 3))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(8, 8, 5, 5))
+
+    def test_intersects_interior_only(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersects(Rect(5, 5, 10, 10))
+        assert not a.intersects(Rect(10, 0, 5, 5))  # shared border only
+
+    def test_inset_clamps(self):
+        assert Rect(0, 0, 4, 4).inset(1) == Rect(1, 1, 2, 2)
+        assert Rect(0, 0, 1, 1).inset(3).area == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 5)
+
+
+class TestCircle:
+    def test_contains_circle(self):
+        big = Circle(0, 0, 10)
+        assert big.contains_circle(Circle(3, 0, 5))
+        assert not big.contains_circle(Circle(8, 0, 5))
+
+    def test_overlap_tangent_does_not_count(self):
+        a = Circle(0, 0, 5)
+        assert not a.overlaps(Circle(10, 0, 5))
+        assert a.overlaps(Circle(9, 0, 5))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(0, 0, -1)
+
+
+class TestPolar:
+    def test_twelve_oclock(self):
+        point = polar_to_cartesian(0, 0, 10, 0.0)
+        assert point.x == pytest.approx(0.0)
+        assert point.y == pytest.approx(-10.0)
+
+    def test_three_oclock(self):
+        point = polar_to_cartesian(0, 0, 10, math.pi / 2)
+        assert point.x == pytest.approx(10.0)
+        assert point.y == pytest.approx(0.0, abs=1e-9)
+
+
+class TestEnclosingCircle:
+    def test_single(self):
+        circle = Circle(3, 4, 2)
+        assert enclosing_circle([circle]) == circle
+
+    def test_two_disjoint(self):
+        result = enclosing_circle([Circle(-5, 0, 1), Circle(5, 0, 1)])
+        assert result.r == pytest.approx(6.0)
+        assert result.cx == pytest.approx(0.0)
+
+    def test_nested_returns_outer(self):
+        outer = Circle(0, 0, 10)
+        result = enclosing_circle([outer, Circle(1, 1, 2)])
+        assert result.r == pytest.approx(10.0)
+
+    def test_contains_all_inputs(self):
+        import random
+
+        rng = random.Random(42)
+        circles = [
+            Circle(rng.uniform(-50, 50), rng.uniform(-50, 50), rng.uniform(0.1, 8))
+            for _ in range(60)
+        ]
+        enclosure = enclosing_circle(circles)
+        for circle in circles:
+            assert enclosure.contains_circle(circle)
+
+    def test_is_reasonably_tight(self):
+        circles = [Circle(0, 0, 1), Circle(4, 0, 1), Circle(2, 3, 1)]
+        enclosure = enclosing_circle(circles)
+        # naive bound: max distance from centroid + max radius
+        assert enclosure.r < 4.0
+
+    def test_empty(self):
+        assert enclosing_circle([]).r == 0.0
+
+
+class TestBSpline:
+    def test_endpoints_clamped(self):
+        control = [Point(0, 0), Point(5, 10), Point(10, 0)]
+        curve = bspline_points(control)
+        assert curve[0] == control[0]
+        assert curve[-1] == control[-1]
+
+    def test_degenerate_inputs(self):
+        assert bspline_points([]) == []
+        assert bspline_points([Point(1, 1)]) == [Point(1, 1)]
+        assert bspline_points([Point(0, 0), Point(1, 1)]) == [Point(0, 0), Point(1, 1)]
+
+    def test_smooth_curve_stays_in_convex_hull_bbox(self):
+        control = [Point(0, 0), Point(0, 10), Point(10, 10), Point(10, 0)]
+        for point in bspline_points(control, samples_per_segment=16):
+            assert -1e-9 <= point.x <= 10 + 1e-9
+            assert -1e-9 <= point.y <= 10 + 1e-9
+
+    def test_sample_density(self):
+        control = [Point(0, 0), Point(5, 5), Point(10, 0)]
+        sparse = bspline_points(control, samples_per_segment=4)
+        dense = bspline_points(control, samples_per_segment=16)
+        assert len(dense) > len(sparse)
