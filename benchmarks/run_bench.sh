@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run the perf-tracked benchmark modules and write a timestamped
+# pytest-benchmark JSON plus the human-readable result tables.
+#
+#   benchmarks/run_bench.sh                 # the perf-trajectory trio
+#   benchmarks/run_bench.sh benchmarks/     # everything
+#
+# Compare the emitted JSON against the committed BENCH_PR<N>.json
+# snapshots to track the perf trajectory across PRs.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+TARGETS=("$@")
+if [ ${#TARGETS[@]} -eq 0 ]; then
+    TARGETS=(
+        benchmarks/bench_e1_cluster_precompute.py
+        benchmarks/bench_e4_index_extraction.py
+        benchmarks/bench_f2_exploration.py
+    )
+fi
+
+STAMP="$(date +%Y%m%d-%H%M%S)"
+OUT="benchmarks/results/bench-${STAMP}.json"
+mkdir -p benchmarks/results
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest "${TARGETS[@]}" \
+    -q -p no:cacheprovider --benchmark-json="$OUT"
+
+echo
+echo "benchmark JSON written to $OUT"
+echo "result tables under benchmarks/results/*.txt"

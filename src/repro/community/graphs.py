@@ -8,12 +8,52 @@ dropped, self-loops are kept (they matter in the modularity formula).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
-__all__ = ["UndirectedGraph"]
+__all__ = ["UndirectedGraph", "CompactGraph"]
 
 Node = Hashable
 Edge = Tuple[Node, Node, float]
+
+
+class CompactGraph:
+    """A dictionary-encoded projection of an :class:`UndirectedGraph`.
+
+    Nodes are interned to dense integers (insertion order), adjacency
+    becomes a list of ``(neighbour_index, weight)`` lists and weighted
+    degrees are precomputed -- the same encoding trick the RDF layer uses,
+    applied to community detection so the inner Louvain loops hash ints
+    instead of arbitrary node objects.  Instances are immutable snapshots;
+    the owning graph invalidates its cached snapshot on mutation.
+    """
+
+    __slots__ = ("nodes", "index", "neighbours", "degrees", "total_weight", "_repr_order")
+
+    def __init__(self, adjacency: Dict[Node, Dict[Node, float]], total_weight: float):
+        self._repr_order: Optional[List[int]] = None
+        self.nodes: List[Node] = list(adjacency)
+        self.index: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
+        index = self.index
+        self.neighbours: List[List[Tuple[int, float]]] = []
+        self.degrees: List[float] = []
+        for node in self.nodes:
+            items = adjacency[node]
+            self.neighbours.append([(index[other], w) for other, w in items.items()])
+            # Self-loops count twice, matching UndirectedGraph.degree().
+            self.degrees.append(sum(items.values()) + items.get(node, 0.0))
+        self.total_weight = total_weight
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def repr_order(self) -> List[int]:
+        """Node indexes sorted by ``repr`` of their node -- the deterministic
+        base visiting order community detection shuffles from.  Cached; a
+        fresh copy is returned because callers shuffle it in place."""
+        if self._repr_order is None:
+            nodes = self.nodes
+            self._repr_order = sorted(range(len(nodes)), key=lambda i: repr(nodes[i]))
+        return list(self._repr_order)
 
 
 class UndirectedGraph:
@@ -26,12 +66,14 @@ class UndirectedGraph:
     def __init__(self):
         self._adjacency: Dict[Node, Dict[Node, float]] = {}
         self._total_weight = 0.0  # sum of edge weights, self-loops counted once
+        self._compact: Optional[CompactGraph] = None
 
     # -- construction ----------------------------------------------------------
 
     def add_node(self, node: Node) -> None:
         if node not in self._adjacency:
             self._adjacency[node] = {}
+            self._compact = None
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
         if weight <= 0:
@@ -42,6 +84,7 @@ class UndirectedGraph:
         if u != v:
             self._adjacency[v][u] = self._adjacency[v].get(u, 0.0) + weight
         self._total_weight += weight
+        self._compact = None
 
     def remove_edge(self, u: Node, v: Node) -> float:
         """Remove the edge entirely; return its weight (0 if absent)."""
@@ -50,7 +93,16 @@ class UndirectedGraph:
             self._adjacency[v].pop(u, None)
         if weight:
             self._total_weight -= weight
+            self._compact = None
         return weight
+
+    # -- dictionary-encoded snapshot -------------------------------------------
+
+    def compact(self) -> CompactGraph:
+        """The cached :class:`CompactGraph` snapshot (rebuilt after mutation)."""
+        if self._compact is None:
+            self._compact = CompactGraph(self._adjacency, self._total_weight)
+        return self._compact
 
     @classmethod
     def from_edges(

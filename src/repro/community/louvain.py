@@ -11,14 +11,19 @@ Two-phase iteration:
 2. *Aggregation*: collapse each community into a super-node (intra-community
    weight becomes a self-loop) and repeat on the condensed graph.
 
-Determinism: node visiting order is shuffled with a seeded ``random.Random``
-so results are reproducible for a given seed.
+The whole run happens in the dictionary-encoded integer space of the
+graph's :class:`~repro.community.graphs.CompactGraph` snapshot: level-0
+nodes are interned once, aggregated levels are plain integer ranges, and
+the sweep loops index flat arrays.  Visiting order, community numbering and
+tie-breaking replicate the reference object-level formulation exactly, so
+results are reproducible for a given seed (node visiting order is shuffled
+with a seeded ``random.Random``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 from .graphs import UndirectedGraph
 from .partition import Partition
@@ -44,120 +49,164 @@ def louvain(
         return Partition({})
     rng = random.Random(seed)
 
-    # node -> community over the *original* nodes, refined level by level.
-    current_graph = graph
-    # Mapping from current_graph nodes to sets of original nodes.
-    contains: Dict[Node, List[Node]] = {node: [node] for node in graph.nodes()}
+    compact = graph.compact()
+    original_nodes = compact.nodes
+    # Per-level state, all in integer space.
+    count = len(original_nodes)
+    base_order = compact.repr_order()
+    neighbours = compact.neighbours
+    degrees = compact.degrees
+    m = graph.total_weight()
+    # contains[i]: the original node indexes folded into level node i.
+    contains: List[List[int]] = [[index] for index in range(count)]
 
-    final_assignment: Dict[Node, int] = {}
-    for node in graph.nodes():
-        final_assignment[node] = len(final_assignment)
+    final_assignment = list(range(count))
 
     for _level in range(max_levels):
-        assignment, improved = _one_level(current_graph, rng, resolution)
+        assignment, order, improved = _one_level(
+            base_order, neighbours, degrees, m, rng, resolution
+        )
         if not improved and _level > 0:
             break
 
-        # Fold this level's communities into the final assignment.
+        # Renumber communities first-seen in visiting order and fold this
+        # level into the final assignment (as the reference formulation
+        # does, iterating nodes in shuffled order).
         community_ids: Dict[int, int] = {}
-        for node, community in assignment.items():
-            community_ids.setdefault(community, len(community_ids))
-        for node, community in assignment.items():
-            cid = community_ids[community]
-            for original in contains[node]:
+        for node_index in order:
+            community = assignment[node_index]
+            if community not in community_ids:
+                community_ids[community] = len(community_ids)
+        for node_index in order:
+            cid = community_ids[assignment[node_index]]
+            for original in contains[node_index]:
                 final_assignment[original] = cid
 
         if not improved:
             break
 
-        # Build the aggregated graph for the next level.
-        aggregated = UndirectedGraph()
-        new_contains: Dict[Node, List[Node]] = {}
-        for node, community in assignment.items():
-            cid = community_ids[community]
-            aggregated.add_node(cid)
-            new_contains.setdefault(cid, []).extend(contains[node])
-        edge_accumulator: Dict[Tuple[int, int], float] = {}
-        for u, v, weight in current_graph.edges():
-            cu = community_ids[assignment[u]]
-            cv = community_ids[assignment[v]]
-            key = (min(cu, cv), max(cu, cv))
-            edge_accumulator[key] = edge_accumulator.get(key, 0.0) + weight
-        for (cu, cv), weight in edge_accumulator.items():
-            aggregated.add_edge(cu, cv, weight)
+        # Aggregate each community into a super-node; every undirected edge
+        # is visited once via the index ordering (self-loops included).
+        new_count = len(community_ids)
+        new_contains: List[List[int]] = [[] for _ in range(new_count)]
+        for node_index in order:
+            new_contains[community_ids[assignment[node_index]]].extend(
+                contains[node_index]
+            )
+        aggregated: List[Dict[int, float]] = [{} for _ in range(new_count)]
+        for u_index, neighbour_items in enumerate(neighbours):
+            cu = community_ids[assignment[u_index]]
+            row_u = aggregated[cu]
+            for v_index, weight in neighbour_items:
+                if v_index < u_index:
+                    continue
+                cv = community_ids[assignment[v_index]]
+                row_u[cv] = row_u.get(cv, 0.0) + weight
+                if cv != cu:
+                    aggregated[cv][cu] = aggregated[cv].get(cu, 0.0) + weight
 
-        if len(aggregated) == len(current_graph):
+        if new_count == count:
             break  # no contraction happened; a fixed point
-        current_graph = aggregated
+        count = new_count
+        base_order = _int_repr_order(new_count)
+        neighbours = [list(row.items()) for row in aggregated]
+        degrees = [
+            sum(row.values()) + row.get(index, 0.0)
+            for index, row in enumerate(aggregated)
+        ]
         contains = new_contains
 
-    return Partition(final_assignment)
+    return Partition(
+        {
+            node: final_assignment[index]
+            for index, node in enumerate(original_nodes)
+        }
+    )
+
+
+_INT_ORDER_CACHE: Dict[int, Tuple[int, ...]] = {}
+
+
+def _int_repr_order(count: int) -> List[int]:
+    """``range(count)`` sorted by repr (aggregated-level node labels are
+    plain ints and their deterministic base order is lexicographic)."""
+    cached = _INT_ORDER_CACHE.get(count)
+    if cached is None:
+        cached = _INT_ORDER_CACHE[count] = tuple(sorted(range(count), key=repr))
+    return list(cached)
 
 
 def _one_level(
-    graph: UndirectedGraph, rng: random.Random, resolution: float
-) -> Tuple[Dict[Node, int], bool]:
-    """Phase 1: local moving on one graph. Returns (assignment, improved)."""
-    nodes = sorted(graph.nodes(), key=repr)  # deterministic base order
-    rng.shuffle(nodes)
+    base_order: List[int],
+    neighbours: List[List[Tuple[int, float]]],
+    degrees: List[float],
+    m: float,
+    rng: random.Random,
+    resolution: float,
+) -> Tuple[List[int], List[int], bool]:
+    """Phase 1: local moving on one level.
 
-    community: Dict[Node, int] = {node: index for index, node in enumerate(nodes)}
-    m = graph.total_weight()
+    Returns ``(assignment, order, improved)`` where ``assignment[i]`` is the
+    community of level node ``i`` and ``order`` is the shuffled visiting
+    order (community numbering downstream depends on it).  ``base_order``
+    is the deterministic repr-sorted visiting order, consumed (shuffled in
+    place) by this call.
+    """
+    count = len(base_order)
+    # Deterministic base order (by repr, as the reference formulation sorts
+    # node objects), then a seeded shuffle.
+    order = base_order
+    rng.shuffle(order)
+
+    community = [0] * count
+    for position, node_index in enumerate(order):
+        community[node_index] = position
     if m <= 0:
-        return community, False
+        return community, order, False
 
     # Sigma_tot per community: sum of degrees of member nodes.
-    sigma_tot: Dict[int, float] = {}
-    degree: Dict[Node, float] = {}
-    for node in nodes:
-        degree[node] = graph.degree(node)
-        sigma_tot[community[node]] = sigma_tot.get(community[node], 0.0) + degree[node]
+    sigma_tot = [0.0] * count
+    for node_index in order:
+        sigma_tot[community[node_index]] = degrees[node_index]
 
+    two_m = 2.0 * m
     improved_any = False
     for _sweep in range(100):  # safety bound; converges in a handful of sweeps
         moves = 0
-        for node in nodes:
-            node_community = community[node]
-            k_i = degree[node]
+        for node_index in order:
+            node_community = community[node_index]
+            k_i = degrees[node_index]
 
             # Weight from node to each neighbouring community.
             weights_to: Dict[int, float] = {}
-            self_loop = 0.0
-            for neighbour, weight in graph.neighbours(node).items():
-                if neighbour == node:
-                    self_loop = weight
-                    continue
-                weights_to[community[neighbour]] = (
-                    weights_to.get(community[neighbour], 0.0) + weight
+            for neighbour, weight in neighbours[node_index]:
+                if neighbour == node_index:
+                    continue  # the self-loop moves with the node; it cancels
+                neighbour_community = community[neighbour]
+                weights_to[neighbour_community] = (
+                    weights_to.get(neighbour_community, 0.0) + weight
                 )
 
             # Remove node from its community for the gain computation.
             sigma_tot[node_community] -= k_i
             weight_own = weights_to.get(node_community, 0.0)
+            sigma_own = sigma_tot[node_community]
 
             best_community = node_community
             best_gain = 0.0
             # Consider neighbouring communities in deterministic order.
             for candidate in sorted(weights_to):
                 gain = weights_to[candidate] - weight_own
-                gain -= (
-                    resolution
-                    * k_i
-                    * (sigma_tot.get(candidate, 0.0) - sigma_tot.get(node_community, 0.0))
-                    / (2.0 * m)
-                )
+                gain -= resolution * k_i * (sigma_tot[candidate] - sigma_own) / two_m
                 if gain > best_gain + 1e-12:
                     best_gain = gain
                     best_community = candidate
 
-            sigma_tot[best_community] = sigma_tot.get(best_community, 0.0) + k_i
+            sigma_tot[best_community] += k_i
             if best_community != node_community:
-                community[node] = best_community
+                community[node_index] = best_community
                 moves += 1
                 improved_any = True
-            # self_loop intentionally unused beyond clarity: it cancels out
-            # of the move gain because it moves with the node.
-            del self_loop
         if moves == 0:
             break
-    return community, improved_any
+    return community, order, improved_any

@@ -124,14 +124,23 @@ def modularity(graph: UndirectedGraph, partition: Partition) -> float:
         return 0.0
     internal: Dict[int, float] = {}
     degree: Dict[int, float] = {}
-    for node in graph.nodes():
+    compact = graph.compact()
+    degrees = compact.degrees
+    communities: List[int] = []
+    for index, node in enumerate(compact.nodes):
         if node not in partition:
             raise ValueError(f"partition does not cover node {node!r}")
         community = partition[node]
-        degree[community] = degree.get(community, 0.0) + graph.degree(node)
-    for u, v, weight in graph.edges():
-        if partition[u] == partition[v]:
-            internal[partition[u]] = internal.get(partition[u], 0.0) + weight
+        communities.append(community)
+        degree[community] = degree.get(community, 0.0) + degrees[index]
+    # Each undirected edge once via the index ordering (self-loops kept).
+    for u, neighbour_items in enumerate(compact.neighbours):
+        cu = communities[u]
+        for v, weight in neighbour_items:
+            if v < u:
+                continue
+            if communities[v] == cu:
+                internal[cu] = internal.get(cu, 0.0) + weight
     q = 0.0
     for community, deg in degree.items():
         w_in = internal.get(community, 0.0)

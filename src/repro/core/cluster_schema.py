@@ -34,13 +34,20 @@ def summary_to_undirected(summary: SchemaSummary) -> UndirectedGraph:
     """Project the directed pseudograph onto a weighted undirected graph.
 
     Parallel property arcs between the same class pair accumulate weight;
-    direction is dropped; every class appears even if isolated.
+    direction is dropped; every class appears even if isolated.  The
+    projection is memoized on the summary (summaries are frozen after
+    construction, and the storage layer hands out stable objects), so
+    repeated displays share one graph and its compact snapshot.
     """
+    cached = getattr(summary, "_undirected_projection", None)
+    if cached is not None:
+        return cached
     graph = UndirectedGraph()
     for node in summary.nodes:
         graph.add_node(node.iri)
     for edge in summary.edges:
         graph.add_edge(edge.source, edge.target, 1.0)
+    summary._undirected_projection = graph
     return graph
 
 

@@ -95,12 +95,13 @@ class IndexExtractor:
 
             datatype_props: Dict[str, List[str]] = {}
             links: List[LinkIndex] = []
+            known_classes = set(class_counts)
             for class_iri in sorted(class_counts):
                 props, props_complete = self._datatype_properties(url, class_iri)
                 datatype_props[class_iri] = props
                 complete = complete and props_complete
                 class_links, links_strategy, links_complete = self._object_links(
-                    url, class_iri, set(class_counts)
+                    url, class_iri, known_classes
                 )
                 links.extend(class_links)
                 complete = complete and links_complete

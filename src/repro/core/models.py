@@ -126,8 +126,10 @@ class EndpointIndexes:
     ):
         self.endpoint_url = endpoint_url
         self.instance_count = int(instance_count)
-        self.classes = list(classes)
-        self.links = list(links)
+        # Tuples, not lists: loaded models are shared through the storage
+        # layer's read cache, so the sequences must be immutable.
+        self.classes = tuple(classes)
+        self.links = tuple(links)
         self.extracted_at_ms = float(extracted_at_ms)
         #: which pattern strategy produced the indexes ('aggregate' | 'scan')
         self.strategy = strategy
@@ -268,16 +270,24 @@ class SchemaSummary:
         computed_at_ms: float = 0.0,
     ):
         self.endpoint_url = endpoint_url
-        self.nodes = list(nodes)
-        self.edges = list(edges)
+        # Tuples, not lists: loaded summaries are shared through the
+        # storage layer's model cache, so the sequences must be immutable.
+        self.nodes = tuple(nodes)
+        self.edges = tuple(edges)
         self.total_instances = int(total_instances)
         self.computed_at_ms = float(computed_at_ms)
         self._by_iri = {node.iri: node for node in self.nodes}
         if len(self._by_iri) != len(self.nodes):
             raise ValueError("duplicate class IRI in schema summary")
+        # Degrees are read repeatedly by cluster labelling; precompute while
+        # validating (nodes/edges are frozen after construction).
+        degrees: Dict[str, int] = {}
         for edge in self.edges:
             if edge.source not in self._by_iri or edge.target not in self._by_iri:
                 raise ValueError(f"edge {edge!r} references unknown class")
+            degrees[edge.source] = degrees.get(edge.source, 0) + 1
+            degrees[edge.target] = degrees.get(edge.target, 0) + 1
+        self._degrees = degrees
 
     @classmethod
     def from_indexes(
@@ -319,9 +329,7 @@ class SchemaSummary:
 
     def degree(self, iri: str) -> int:
         """In-degree + out-degree counted over property arcs (§2.1 labels)."""
-        return sum(1 for e in self.edges if e.source == iri) + sum(
-            1 for e in self.edges if e.target == iri
-        )
+        return self._degrees.get(iri, 0)
 
     def neighbours(self, iri: str) -> List[str]:
         """Classes one property hop away (either direction), deduplicated."""
@@ -465,8 +473,10 @@ class ClusterSchema:
         computed_at_ms: float = 0.0,
     ):
         self.endpoint_url = endpoint_url
-        self.clusters = list(clusters)
-        self.edges = list(edges)
+        # Tuples, not lists: loaded models are shared through the storage
+        # layer's read cache, so the sequences must be immutable.
+        self.clusters = tuple(clusters)
+        self.edges = tuple(edges)
         self.algorithm = algorithm
         self.modularity = float(modularity)
         self.computed_at_ms = float(computed_at_ms)

@@ -37,6 +37,63 @@ class HboldStorage:
         for collection in (self.endpoints, self.indexes, self.summaries, self.clusters):
             collection.create_index("endpoint_url", unique=collection is not self.endpoints)
         self.endpoints.create_index("url", unique=True)
+        # Read-through model caches keyed by url.  Any mutation of the
+        # backing collection (including out-of-band writes straight to the
+        # docstore) fires its ``on_change`` hook and drops the whole cache
+        # for that collection; the typed save_* paths repopulate their key
+        # write-through.  The decoded models are frozen by convention, so
+        # handing out the same object is safe and skips the document
+        # deep-copy + decode on the presentation hot path.
+        self._model_cache: Dict[str, Dict[str, Any]] = {
+            "indexes": {},
+            "summaries": {},
+            "clusters": {},
+        }
+        #: set while one of this facade's typed save_* methods writes; this
+        #: facade then invalidates exactly its own key (write-through) while
+        #: other subscribers on the same collection still get notified.
+        self._own_write = False
+        self._subscribe(self.indexes, self._model_cache["indexes"])
+        self._subscribe(self.summaries, self._model_cache["summaries"])
+        self._subscribe(self.clusters, self._model_cache["clusters"])
+
+    def _subscribe(self, collection, cache: Dict[str, Any]) -> None:
+        """Chain a cache-clearing hook onto the collection's change hook.
+
+        Chaining (instead of assigning) keeps other facades over the same
+        DocumentStore working: every subscriber still hears every change.
+        """
+        previous = collection.on_change
+
+        def hook():
+            if not self._own_write:
+                cache.clear()
+            if previous is not None:
+                previous()
+
+        collection.on_change = hook
+
+    def _cached_model(self, cache_name: str, collection, url: str, decode):
+        cache = self._model_cache[cache_name]
+        if url in cache:
+            return cache[url]
+        doc = collection.find_one({"endpoint_url": url})
+        model = decode(doc) if doc else None
+        cache[url] = model
+        return model
+
+    def _replace_quietly(self, collection, url: str, doc: Dict[str, Any]) -> None:
+        """Replace *url*'s doc without clearing this facade's own cache.
+
+        The typed save path invalidates exactly its own cache key (the
+        write-through in each ``save_*``); other subscribers to the
+        collection's change hook are still notified.
+        """
+        self._own_write = True
+        try:
+            collection.replace_one({"endpoint_url": url}, doc, upsert=True)
+        finally:
+            self._own_write = False
 
     # -- registry records --------------------------------------------------------
 
@@ -78,31 +135,26 @@ class HboldStorage:
     # -- artifacts ----------------------------------------------------------------
 
     def save_indexes(self, indexes: EndpointIndexes) -> None:
-        self.indexes.replace_one(
-            {"endpoint_url": indexes.endpoint_url}, indexes.to_doc(), upsert=True
-        )
+        self._replace_quietly(self.indexes, indexes.endpoint_url, indexes.to_doc())
+        # Write-through: the saved model is what a load would decode.
+        self._model_cache["indexes"][indexes.endpoint_url] = indexes
 
     def load_indexes(self, url: str) -> Optional[EndpointIndexes]:
-        doc = self.indexes.find_one({"endpoint_url": url})
-        return EndpointIndexes.from_doc(doc) if doc else None
+        return self._cached_model("indexes", self.indexes, url, EndpointIndexes.from_doc)
 
     def save_summary(self, summary: SchemaSummary) -> None:
-        self.summaries.replace_one(
-            {"endpoint_url": summary.endpoint_url}, summary.to_doc(), upsert=True
-        )
+        self._replace_quietly(self.summaries, summary.endpoint_url, summary.to_doc())
+        self._model_cache["summaries"][summary.endpoint_url] = summary
 
     def load_summary(self, url: str) -> Optional[SchemaSummary]:
-        doc = self.summaries.find_one({"endpoint_url": url})
-        return SchemaSummary.from_doc(doc) if doc else None
+        return self._cached_model("summaries", self.summaries, url, SchemaSummary.from_doc)
 
     def save_cluster_schema(self, schema: ClusterSchema) -> None:
-        self.clusters.replace_one(
-            {"endpoint_url": schema.endpoint_url}, schema.to_doc(), upsert=True
-        )
+        self._replace_quietly(self.clusters, schema.endpoint_url, schema.to_doc())
+        self._model_cache["clusters"][schema.endpoint_url] = schema
 
     def load_cluster_schema(self, url: str) -> Optional[ClusterSchema]:
-        doc = self.clusters.find_one({"endpoint_url": url})
-        return ClusterSchema.from_doc(doc) if doc else None
+        return self._cached_model("clusters", self.clusters, url, ClusterSchema.from_doc)
 
     # -- bookkeeping ---------------------------------------------------------------
 

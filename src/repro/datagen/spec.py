@@ -115,25 +115,36 @@ class DatasetSpec:
 
 
 def instantiate(spec: DatasetSpec, seed: int = 0) -> Graph:
-    """Materialize *spec* into a graph (deterministic for a given seed)."""
+    """Materialize *spec* into a graph (deterministic for a given seed).
+
+    Triples stream through :meth:`Graph.add_many`, the dictionary-encoded
+    bulk-load path, instead of per-triple ``add_triple`` calls.
+    """
     digest = hashlib.sha256(f"{seed}:{spec.name}".encode("utf-8")).digest()
     rng = random.Random(int.from_bytes(digest[:8], "big"))
     graph = Graph(identifier=spec.name)
+    graph.add_many_terms(_spec_triples(spec, rng))
+    return graph
+
+
+def _spec_triples(spec: DatasetSpec, rng: random.Random):
+    """Yield the spec's (s, p, o) tuples in deterministic generation order."""
     ns = spec.namespace
 
     for sub, super_ in spec.subclass_axioms:
-        graph.add_triple(ns.term(sub), RDFS.subClassOf, ns.term(super_))
+        yield ns.term(sub), RDFS.subClassOf, ns.term(super_)
 
     instance_iris: Dict[str, List[IRI]] = {}
     for cls in spec.classes:
         class_iri = ns.term(cls.name)
-        graph.add_triple(class_iri, RDFS.label, Literal(cls.label))
+        yield class_iri, RDFS.label, Literal(cls.label)
         members: List[IRI] = []
+        rdf_type = RDF.type
         for index in range(cls.instances):
             instance = ns.term(f"{cls.name.lower()}/{index}")
-            graph.add_triple(instance, RDF.type, class_iri)
+            yield instance, rdf_type, class_iri
             for prop_name in cls.datatype_properties:
-                graph.add_triple(
+                yield (
                     instance,
                     ns.term(prop_name),
                     _literal_for(prop_name, cls.name, index, rng),
@@ -150,8 +161,7 @@ def instantiate(spec: DatasetSpec, seed: int = 0) -> Graph:
         for source in sources:
             links = _poisson_like(prop.density, rng)
             for _ in range(links):
-                graph.add_triple(source, prop_iri, rng.choice(targets))
-    return graph
+                yield source, prop_iri, rng.choice(targets)
 
 
 def _poisson_like(density: float, rng: random.Random) -> int:

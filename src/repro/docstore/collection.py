@@ -67,9 +67,18 @@ class Collection:
         self._indexes: Dict[str, Index] = {}
         #: bumped on every mutation; used by persistence for dirty tracking
         self.revision = 0
+        #: optional zero-argument callback invoked after every mutation
+        #: (read-through caches above the store subscribe to this)
+        self.on_change = None
 
     def __len__(self) -> int:
         return len(self._documents)
+
+    def _bump(self) -> None:
+        self.revision += 1
+        callback = self.on_change
+        if callback is not None:
+            callback()
 
     def __repr__(self) -> str:
         return f"<Collection {self.name!r} with {len(self)} documents>"
@@ -123,7 +132,7 @@ class Collection:
         self._insertion_order.append(oid)
         for index in self._indexes.values():
             index.add(oid, stored)
-        self.revision += 1
+        self._bump()
         return oid
 
     # -- queries ---------------------------------------------------------------
@@ -238,7 +247,7 @@ class Collection:
             stored["_id"] = document["_id"]
             self._reindex(oid, document, stored)
             self._documents[oid] = stored
-            self.revision += 1
+            self._bump()
             return UpdateResult(1, 1)
         if upsert:
             upserted = self._insert(replacement)
@@ -271,7 +280,7 @@ class Collection:
                 self._reindex(oid, document, updated)
                 self._documents[oid] = updated
                 modified += 1
-                self.revision += 1
+                self._bump()
             if not multi:
                 break
         if matched == 0 and upsert:
@@ -319,7 +328,7 @@ class Collection:
             for index in self._indexes.values():
                 index.remove(oid, document)
         if victims:
-            self.revision += 1
+            self._bump()
         return DeleteResult(len(victims))
 
     # -- bulk access for persistence -------------------------------------------

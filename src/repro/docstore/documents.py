@@ -106,6 +106,19 @@ def deep_copy_document(document: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def _copy_value(value: Any) -> Any:
+    # Exact-type checks first: document values are overwhelmingly plain
+    # atoms and plain containers, and `is` beats isinstance on this very
+    # hot path.
+    cls = value.__class__
+    if cls is str or cls is int or cls is float or cls is bool:
+        return value
+    if cls is dict:
+        return {key: _copy_value(item) for key, item in value.items()}
+    if cls is list or cls is tuple:
+        return [_copy_value(item) for item in value]
+    # Subclasses (OrderedDict, namedtuple, ...) pass validation via
+    # isinstance, so they must be copied here too or the isolation
+    # guarantee breaks.
     if isinstance(value, dict):
         return {key: _copy_value(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):

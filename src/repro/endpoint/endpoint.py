@@ -52,6 +52,7 @@ class SparqlEndpoint:
         availability: Optional[AvailabilityModel] = None,
         seed: int = 0,
         title: str = "",
+        strategy: str = "hash",
     ):
         if isinstance(profile, str):
             profile = PROFILES[profile]
@@ -61,7 +62,10 @@ class SparqlEndpoint:
         self.profile = profile
         self.availability = availability or AlwaysAvailable()
         self.title = title or url
-        self._engine = QueryEngine(graph)
+        #: BGP pipeline of the backing engine: "hash" (dictionary-encoded
+        #: hash joins, the default) or "scan" (legacy nested-loop joins).
+        self.strategy = strategy
+        self._engine = QueryEngine(graph, strategy=strategy)
         digest = hashlib.sha256(f"{seed}:{url}:latency".encode("utf-8")).digest()
         self._rng = random.Random(int.from_bytes(digest[:8], "big"))
         self.stats = EndpointStats()

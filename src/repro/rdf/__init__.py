@@ -6,6 +6,7 @@ triple store with SPO/POS/OSP indexes (``Graph``), and readers/writers for
 the two serializations the pipeline uses (N-Triples and a Turtle subset).
 """
 
+from .dictionary import TermDict
 from .graph import Graph
 from .namespaces import (
     DCAT,
@@ -44,6 +45,7 @@ __all__ = [
     "SCHEMA",
     "SWC",
     "Term",
+    "TermDict",
     "Triple",
     "TurtleError",
     "VOID",

@@ -1,0 +1,109 @@
+"""Dictionary encoding for RDF terms: a bidirectional Term <-> int table.
+
+Every term that enters a :class:`~repro.rdf.graph.Graph` is interned to a
+small integer ID; the permutation indexes, the SPARQL join pipeline and the
+property-path closures all operate on those integers and only decode back
+to :class:`~repro.rdf.terms.Term` objects at the result boundary.  Integers
+hash in a single machine op where IRIs and literals hash their full lexical
+forms, so this is the classic triple-store trick (RDF-3X, Virtuoso, and the
+"extensible database simulator" lineage) for making joins cheap.
+
+The table reference-counts term usage so that removing triples frees the
+IDs of terms that no longer occur anywhere -- the dictionary never holds
+stale entries, a property the graph test-suite checks after random
+add/remove sequences.  Freed IDs go onto a free list and are reused, which
+keeps the ID space dense under churn; callers must treat an ID as valid
+only while the term it encodes is still referenced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .terms import Term
+
+__all__ = ["TermDict"]
+
+
+class TermDict:
+    """A reference-counted, bidirectional ``Term <-> int`` intern table."""
+
+    __slots__ = ("_term_to_id", "_id_to_term", "_refcount", "_next_id", "_free")
+
+    def __init__(self):
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: Dict[int, Term] = {}
+        self._refcount: Dict[int, int] = {}
+        self._next_id = 0
+        self._free: List[int] = []
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(self, term: Term) -> int:
+        """Intern *term*, creating an ID (refcount 0) on first sight."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            if self._free:
+                term_id = self._free.pop()
+            else:
+                term_id = self._next_id
+                self._next_id += 1
+            self._term_to_id[term] = term_id
+            self._id_to_term[term_id] = term
+            self._refcount[term_id] = 0
+        return term_id
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """The ID of *term* if it is interned; never creates an entry."""
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """The term behind *term_id*; raises ``KeyError`` for freed IDs."""
+        return self._id_to_term[term_id]
+
+    # -- reference counting --------------------------------------------------
+
+    def incref(self, term_id: int, count: int = 1) -> None:
+        self._refcount[term_id] += count
+
+    def decref(self, term_id: int, count: int = 1) -> None:
+        """Drop *count* references; frees the entry when none remain."""
+        remaining = self._refcount[term_id] - count
+        if remaining > 0:
+            self._refcount[term_id] = remaining
+            return
+        if remaining < 0:  # pragma: no cover - internal invariant
+            raise ValueError(f"refcount underflow for id {term_id}")
+        del self._refcount[term_id]
+        term = self._id_to_term.pop(term_id)
+        del self._term_to_id[term]
+        self._free.append(term_id)
+
+    def refcount(self, term_id: int) -> int:
+        return self._refcount.get(term_id, 0)
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._term_to_id)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def items(self) -> Iterator[Tuple[Term, int]]:
+        return iter(self._term_to_id.items())
+
+    def terms(self) -> Iterator[Term]:
+        return iter(self._term_to_id)
+
+    def copy(self) -> "TermDict":
+        out = TermDict()
+        out._term_to_id = dict(self._term_to_id)
+        out._id_to_term = dict(self._id_to_term)
+        out._refcount = dict(self._refcount)
+        out._next_id = self._next_id
+        out._free = list(self._free)
+        return out
+
+    def __repr__(self) -> str:
+        return f"<TermDict {len(self)} terms>"

@@ -1,10 +1,23 @@
-"""An indexed, in-memory RDF triple store.
+"""An indexed, in-memory, dictionary-encoded RDF triple store.
 
-This is the storage substrate under every simulated SPARQL endpoint.  It
-maintains three permutation indexes (SPO, POS, OSP) so that any triple
-pattern with at least one bound position is answered without a full scan --
-the same design as classical hexastores reduced to the three orderings a
-single-variable-join workload actually needs.
+This is the storage substrate under every simulated SPARQL endpoint.  Every
+term is interned to an integer ID through a :class:`~repro.rdf.dictionary.TermDict`
+and the three permutation indexes (SPO, POS, OSP) are dict-of-dict-of-set
+structures over those integers, so that any triple pattern with at least one
+bound position is answered without a full scan and every hash operation on
+the hot path is an integer hash -- the same design as classical hexastores
+reduced to the three orderings a single-variable-join workload needs, plus
+the dictionary encoding production stores layer underneath.
+
+Two API surfaces coexist:
+
+* the **term-level** API (``add``, ``remove``, ``triples``, ``subjects``,
+  ...) speaks :class:`~repro.rdf.terms.Triple` objects and is what parsers,
+  generators and tests use;
+* the **ID-level** API (``lookup_id``, ``decode_id``, ``triples_ids``,
+  ``count_ids``, the ``*_ids`` index accessors) is consumed by the SPARQL
+  hash-join pipeline and the property-path closures, which decode back to
+  terms only at the result boundary.
 
 The store is deliberately *not* thread-safe: the simulation layers are
 single-threaded and the paper's server pipeline is batch-oriented.
@@ -12,20 +25,22 @@ single-threaded and the paper's server pipeline is batch-oriented.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
 
+from .dictionary import TermDict
 from .namespaces import RDF, RDFS
-from .terms import BNode, IRI, Literal, Term, Triple
+from .terms import BNode, IRI, Literal, Term, Triple, _unchecked_triple
 
 __all__ = ["Graph"]
 
 _SubjectLike = Union[IRI, BNode]
 TriplePattern = Tuple[Optional[Term], Optional[IRI], Optional[Term]]
 
+IdIndex = Dict[int, Dict[int, Set[int]]]
+
 
 class Graph:
-    """A set of triples with SPO/POS/OSP indexes and graph-level helpers.
+    """A set of triples with dictionary-encoded SPO/POS/OSP indexes.
 
     >>> g = Graph()
     >>> from repro.rdf.terms import IRI, Literal
@@ -37,22 +52,77 @@ class Graph:
 
     def __init__(self, identifier: Optional[str] = None):
         self.identifier = identifier
-        self._spo: Dict[Term, Dict[IRI, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._pos: Dict[IRI, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._osp: Dict[Term, Dict[Term, Set[IRI]]] = defaultdict(lambda: defaultdict(set))
+        self._dict = TermDict()
+        self._spo: IdIndex = {}
+        self._pos: IdIndex = {}
+        self._osp: IdIndex = {}
         self._size = 0
+
+    # -- dictionary access ---------------------------------------------------
+
+    @property
+    def dictionary(self) -> TermDict:
+        """The intern table.  Read-only from the caller's perspective."""
+        return self._dict
+
+    def lookup_id(self, term: Term) -> Optional[int]:
+        """The ID of *term*, or None when it occurs in no triple."""
+        return self._dict.lookup(term)
+
+    def decode_id(self, term_id: int) -> Term:
+        """The term behind *term_id* (KeyError for stale IDs)."""
+        return self._dict.decode(term_id)
+
+    def term_count(self) -> int:
+        """How many distinct terms the dictionary currently holds."""
+        return len(self._dict)
+
+    # -- ID-level index views (do not mutate) --------------------------------
+
+    def spo_ids(self) -> IdIndex:
+        return self._spo
+
+    def pos_ids(self) -> IdIndex:
+        return self._pos
+
+    def osp_ids(self) -> IdIndex:
+        return self._osp
+
+    def node_ids(self) -> Set[int]:
+        """IDs occurring as subject or object -- the property-path universe."""
+        return set(self._spo) | set(self._osp)
+
+    def is_node_id(self, term_id: int) -> bool:
+        """Does *term_id* occur as a subject or object (path universe)?"""
+        return term_id in self._spo or term_id in self._osp
+
+    def is_node_term(self, term: Term) -> bool:
+        """Does *term* occur as a subject or object (path universe)?"""
+        term_id = self._dict.lookup(term)
+        return term_id is not None and self.is_node_id(term_id)
 
     # -- mutation ------------------------------------------------------------
 
     def add(self, triple: Triple) -> bool:
         """Insert *triple*; return True if it was not already present."""
-        s, p, o = triple.subject, triple.predicate, triple.object
-        objects = self._spo[s][p]
+        d = self._dict
+        s = d.encode(triple.subject)
+        p = d.encode(triple.predicate)
+        o = d.encode(triple.object)
+        by_predicate = self._spo.get(s)
+        if by_predicate is None:
+            by_predicate = self._spo[s] = {}
+        objects = by_predicate.get(p)
+        if objects is None:
+            objects = by_predicate[p] = set()
         if o in objects:
             return False
         objects.add(o)
-        self._pos[p][o].add(s)
-        self._osp[o][s].add(p)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        d.incref(s)
+        d.incref(p)
+        d.incref(o)
         self._size += 1
         return True
 
@@ -60,35 +130,96 @@ class Graph:
         """Convenience: build and insert a :class:`Triple`."""
         return self.add(Triple(subject, predicate, obj))
 
+    def add_many(self, triples: Iterable[Triple]) -> int:
+        """Bulk-load *triples*; return how many were new."""
+        return self.add_many_terms(
+            (triple.subject, triple.predicate, triple.object) for triple in triples
+        )
+
+    def add_many_terms(self, spo_terms: Iterable[Tuple[Term, IRI, Term]]) -> int:
+        """Bulk-load ``(subject, predicate, object)`` term tuples.
+
+        The fast path for generators and graph copies: one tight loop with
+        the dictionary, indexes and refcounts bound to locals, no per-triple
+        method dispatch or :class:`Triple` wrappers.  Positions are not
+        type-checked; callers own the triple validity (generators and
+        parsers construct well-typed terms).
+        """
+        d = self._dict
+        encode = d.encode
+        refcount = d._refcount
+        spo, pos, osp = self._spo, self._pos, self._osp
+        added = 0
+        for s_term, p_term, o_term in spo_terms:
+            s = encode(s_term)
+            p = encode(p_term)
+            o = encode(o_term)
+            by_predicate = spo.get(s)
+            if by_predicate is None:
+                by_predicate = spo[s] = {}
+            objects = by_predicate.get(p)
+            if objects is None:
+                objects = by_predicate[p] = set()
+            if o in objects:
+                continue
+            objects.add(o)
+            by_object = pos.get(p)
+            if by_object is None:
+                by_object = pos[p] = {}
+            subjects = by_object.get(o)
+            if subjects is None:
+                subjects = by_object[o] = set()
+            subjects.add(s)
+            by_subject = osp.get(o)
+            if by_subject is None:
+                by_subject = osp[o] = {}
+            predicates = by_subject.get(s)
+            if predicates is None:
+                predicates = by_subject[s] = set()
+            predicates.add(p)
+            refcount[s] += 1
+            refcount[p] += 1
+            refcount[o] += 1
+            added += 1
+        self._size += added
+        return added
+
     def update(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; return how many were new."""
-        added = 0
-        for triple in triples:
-            if self.add(triple):
-                added += 1
-        return added
+        return self.add_many(triples)
 
     def remove(self, triple: Triple) -> bool:
         """Remove *triple*; return True if it was present."""
-        s, p, o = triple.subject, triple.predicate, triple.object
-        objects = self._spo.get(s, {}).get(p)
+        d = self._dict
+        s = d.lookup(triple.subject)
+        p = d.lookup(triple.predicate)
+        o = d.lookup(triple.object)
+        if s is None or p is None or o is None:
+            return False
+        by_predicate = self._spo.get(s)
+        objects = by_predicate.get(p) if by_predicate else None
         if not objects or o not in objects:
             return False
         objects.discard(o)
         if not objects:
-            del self._spo[s][p]
-            if not self._spo[s]:
+            del by_predicate[p]
+            if not by_predicate:
                 del self._spo[s]
-        self._pos[p][o].discard(s)
-        if not self._pos[p][o]:
-            del self._pos[p][o]
-            if not self._pos[p]:
+        by_object = self._pos[p]
+        by_object[o].discard(s)
+        if not by_object[o]:
+            del by_object[o]
+            if not by_object:
                 del self._pos[p]
-        self._osp[o][s].discard(p)
-        if not self._osp[o][s]:
-            del self._osp[o][s]
-            if not self._osp[o]:
+        by_subject = self._osp[o]
+        by_subject[s].discard(p)
+        if not by_subject[s]:
+            del by_subject[s]
+            if not by_subject:
                 del self._osp[o]
+        d.decref(s)
+        d.decref(p)
+        d.decref(o)
         self._size -= 1
         return True
 
@@ -100,9 +231,10 @@ class Graph:
         return len(victims)
 
     def clear(self) -> None:
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
+        self._dict = TermDict()
+        self._spo = {}
+        self._pos = {}
+        self._osp = {}
         self._size = 0
 
     # -- lookup --------------------------------------------------------------
@@ -111,12 +243,79 @@ class Graph:
         return self._size
 
     def __contains__(self, triple: Triple) -> bool:
-        return triple.object in self._spo.get(triple.subject, {}).get(
-            triple.predicate, ()
-        )
+        d = self._dict
+        s = d.lookup(triple.subject)
+        p = d.lookup(triple.predicate)
+        o = d.lookup(triple.object)
+        if s is None or p is None or o is None:
+            return False
+        return o in self._spo.get(s, {}).get(p, ())
 
     def __iter__(self) -> Iterator[Triple]:
         return self.triples()
+
+    def triples_ids(
+        self,
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Iterate ID triples matching the (possibly wildcard) ID pattern.
+
+        ``None`` in a position is a wildcard.  The most selective index for
+        the bound positions is used.  This is the scan primitive under the
+        SPARQL hash-join pipeline.
+        """
+        if s is not None:
+            by_predicate = self._spo.get(s)
+            if not by_predicate:
+                return
+            if p is not None:
+                objects = by_predicate.get(p)
+                if not objects:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
+                    return
+                for obj in objects:
+                    yield (s, p, obj)
+                return
+            for pred, objects in by_predicate.items():
+                if o is not None:
+                    if o in objects:
+                        yield (s, pred, o)
+                    continue
+                for obj in objects:
+                    yield (s, pred, obj)
+            return
+
+        if p is not None:
+            by_object = self._pos.get(p)
+            if not by_object:
+                return
+            if o is not None:
+                for subj in by_object.get(o, ()):
+                    yield (subj, p, o)
+                return
+            for obj, subjects in by_object.items():
+                for subj in subjects:
+                    yield (subj, p, obj)
+            return
+
+        if o is not None:
+            by_subject = self._osp.get(o)
+            if not by_subject:
+                return
+            for subj, predicates in by_subject.items():
+                for pred in predicates:
+                    yield (subj, pred, o)
+            return
+
+        for subj, by_predicate in self._spo.items():
+            for pred, objects in by_predicate.items():
+                for obj in objects:
+                    yield (subj, pred, obj)
 
     def triples(
         self,
@@ -126,59 +325,48 @@ class Graph:
     ) -> Iterator[Triple]:
         """Iterate triples matching the (possibly wildcard) pattern.
 
-        ``None`` in a position is a wildcard.  The most selective index for
-        the bound positions is used.
+        ``None`` in a position is a wildcard.  Terms not interned in the
+        dictionary cannot match anything, so those patterns return empty
+        without touching an index.
         """
+        lookup = self._dict.lookup
+        s = p = o = None
         if subject is not None:
-            by_predicate = self._spo.get(subject)
-            if not by_predicate:
+            s = lookup(subject)
+            if s is None:
                 return
-            if predicate is not None:
-                objects = by_predicate.get(predicate)
-                if not objects:
-                    return
-                if obj is not None:
-                    if obj in objects:
-                        yield Triple(subject, predicate, obj)
-                    return
-                for o in objects:
-                    yield Triple(subject, predicate, o)
-                return
-            for p, objects in by_predicate.items():
-                if obj is not None:
-                    if obj in objects:
-                        yield Triple(subject, p, obj)
-                    continue
-                for o in objects:
-                    yield Triple(subject, p, o)
-            return
-
         if predicate is not None:
-            by_object = self._pos.get(predicate)
-            if not by_object:
+            p = lookup(predicate)
+            if p is None:
                 return
-            if obj is not None:
-                for s in by_object.get(obj, ()):
-                    yield Triple(s, predicate, obj)
-                return
-            for o, subjects in by_object.items():
-                for s in subjects:
-                    yield Triple(s, predicate, o)
-            return
-
         if obj is not None:
-            by_subject = self._osp.get(obj)
-            if not by_subject:
+            o = lookup(obj)
+            if o is None:
                 return
-            for s, predicates in by_subject.items():
-                for p in predicates:
-                    yield Triple(s, p, obj)
-            return
+        decode = self._dict.decode
+        for s_id, p_id, o_id in self.triples_ids(s, p, o):
+            yield _unchecked_triple(decode(s_id), decode(p_id), decode(o_id))
 
-        for s, by_predicate in self._spo.items():
-            for p, objects in by_predicate.items():
-                for o in objects:
-                    yield Triple(s, p, o)
+    def count_ids(
+        self,
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> int:
+        """Count ID triples matching the pattern without materializing them."""
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if s is not None and p is None and o is None:
+            return sum(len(v) for v in self._spo.get(s, {}).values())
+        if p is not None and s is None and o is None:
+            return sum(len(v) for v in self._pos.get(p, {}).values())
+        if p is not None and o is not None and s is None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if o is not None and s is None and p is None:
+            return sum(len(v) for v in self._osp.get(o, {}).values())
+        return sum(1 for _ in self.triples_ids(s, p, o))
 
     def count(
         self,
@@ -187,26 +375,34 @@ class Graph:
         obj: Optional[Term] = None,
     ) -> int:
         """Count triples matching the pattern without materializing them."""
-        if subject is None and predicate is None and obj is None:
-            return self._size
-        if subject is not None and predicate is not None and obj is None:
-            return len(self._spo.get(subject, {}).get(predicate, ()))
-        if subject is not None and predicate is None and obj is None:
-            return sum(len(v) for v in self._spo.get(subject, {}).values())
-        if predicate is not None and subject is None and obj is None:
-            return sum(len(v) for v in self._pos.get(predicate, {}).values())
-        if predicate is not None and obj is not None and subject is None:
-            return len(self._pos.get(predicate, {}).get(obj, ()))
-        if obj is not None and subject is None and predicate is None:
-            return sum(len(v) for v in self._osp.get(obj, {}).values())
-        return sum(1 for _ in self.triples(subject, predicate, obj))
+        lookup = self._dict.lookup
+        s = p = o = None
+        if subject is not None:
+            s = lookup(subject)
+            if s is None:
+                return 0
+        if predicate is not None:
+            p = lookup(predicate)
+            if p is None:
+                return 0
+        if obj is not None:
+            o = lookup(obj)
+            if o is None:
+                return 0
+        return self.count_ids(s, p, o)
 
     # -- convenience accessors -------------------------------------------
 
     def subjects(self, predicate: Optional[IRI] = None, obj: Optional[Term] = None):
         """Distinct subjects of triples matching ``(?, predicate, obj)``."""
+        decode = self._dict.decode
         if predicate is not None and obj is not None:
-            yield from self._pos.get(predicate, {}).get(obj, ())
+            p = self._dict.lookup(predicate)
+            o = self._dict.lookup(obj)
+            if p is None or o is None:
+                return
+            for s in self._pos.get(p, {}).get(o, ()):
+                yield decode(s)
             return
         seen = set()
         for triple in self.triples(None, predicate, obj):
@@ -224,8 +420,14 @@ class Graph:
 
     def objects(self, subject: Optional[Term] = None, predicate: Optional[IRI] = None):
         """Distinct objects of triples matching ``(subject, predicate, ?)``."""
+        decode = self._dict.decode
         if subject is not None and predicate is not None:
-            yield from self._spo.get(subject, {}).get(predicate, ())
+            s = self._dict.lookup(subject)
+            p = self._dict.lookup(predicate)
+            if s is None or p is None:
+                return
+            for o in self._spo.get(s, {}).get(p, ()):
+                yield decode(o)
             return
         seen = set()
         for triple in self.triples(subject, predicate, None):
@@ -245,18 +447,36 @@ class Graph:
 
     def classes(self) -> Set[Term]:
         """Distinct instantiated classes (objects of ``rdf:type``)."""
-        return set(self._pos.get(RDF.type, {}).keys())
+        p = self._dict.lookup(RDF.type)
+        if p is None:
+            return set()
+        decode = self._dict.decode
+        return {decode(o) for o in self._pos.get(p, {})}
 
     def instances_of(self, cls: Term) -> Set[Term]:
         """Subjects typed as *cls*."""
-        return set(self._pos.get(RDF.type, {}).get(cls, ()))
+        p = self._dict.lookup(RDF.type)
+        o = self._dict.lookup(cls)
+        if p is None or o is None:
+            return set()
+        decode = self._dict.decode
+        return {decode(s) for s in self._pos.get(p, {}).get(o, ())}
 
     def class_count(self, cls: Term) -> int:
-        return len(self._pos.get(RDF.type, {}).get(cls, ()))
+        p = self._dict.lookup(RDF.type)
+        o = self._dict.lookup(cls)
+        if p is None or o is None:
+            return 0
+        return len(self._pos.get(p, {}).get(o, ()))
 
     def subclasses(self, cls: Term) -> Set[Term]:
         """Direct rdfs:subClassOf children of *cls*."""
-        return set(self._pos.get(RDFS.subClassOf, {}).get(cls, ()))
+        p = self._dict.lookup(RDFS.subClassOf)
+        o = self._dict.lookup(cls)
+        if p is None or o is None:
+            return set()
+        decode = self._dict.decode
+        return {decode(s) for s in self._pos.get(p, {}).get(o, ())}
 
     def label(self, subject: Term) -> Optional[str]:
         """The rdfs:label of *subject* if present, as a plain string."""
@@ -272,8 +492,13 @@ class Graph:
         return self
 
     def copy(self) -> "Graph":
+        """A structural clone sharing no mutable state with the original."""
         out = Graph(identifier=self.identifier)
-        out.update(self)
+        out._dict = self._dict.copy()
+        out._spo = {s: {p: set(o) for p, o in by_p.items()} for s, by_p in self._spo.items()}
+        out._pos = {p: {o: set(s) for o, s in by_o.items()} for p, by_o in self._pos.items()}
+        out._osp = {o: {s: set(p) for s, p in by_s.items()} for o, by_s in self._osp.items()}
+        out._size = self._size
         return out
 
     def __repr__(self) -> str:

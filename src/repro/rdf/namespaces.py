@@ -39,10 +39,11 @@ class Namespace:
     IRI('http://example.org/has-part')
     """
 
-    __slots__ = ("base",)
+    __slots__ = ("base", "_cache")
 
     def __init__(self, base: str):
         object.__setattr__(self, "base", base)
+        object.__setattr__(self, "_cache", {})
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Namespace is immutable")
@@ -50,10 +51,10 @@ class Namespace:
     def __getattr__(self, name: str) -> IRI:
         if name.startswith("__"):
             raise AttributeError(name)
-        return IRI(self.base + name)
+        return self.term(name)
 
     def __getitem__(self, name: str) -> IRI:
-        return IRI(self.base + name)
+        return self.term(name)
 
     def __contains__(self, iri: IRI) -> bool:
         return isinstance(iri, IRI) and iri.value.startswith(self.base)
@@ -68,7 +69,16 @@ class Namespace:
         return f"Namespace({self.base!r})"
 
     def term(self, name: str) -> IRI:
-        return IRI(self.base + name)
+        """Mint (and memoize) the IRI for *name* under this namespace.
+
+        Minting validates the IRI with a regex; the memo makes repeated
+        mints of hot vocabulary terms (``rdf:type`` on every triple of a
+        generator run) a dict hit instead.
+        """
+        cached = self._cache.get(name)
+        if cached is None:
+            cached = self._cache[name] = IRI(self.base + name)
+        return cached
 
 
 RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")

@@ -93,7 +93,7 @@ class Term:
 class IRI(Term):
     """An absolute (or at least opaque) IRI reference."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: str):
         if not isinstance(value, str):
@@ -103,6 +103,7 @@ class IRI(Term):
         if not _IRI_RE.match(value):
             raise ValueError(f"invalid IRI: {value!r}")
         object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash((IRI, value)))
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("IRI is immutable")
@@ -111,7 +112,7 @@ class IRI(Term):
         return isinstance(other, IRI) and other.value == self.value
 
     def __hash__(self) -> int:
-        return hash((IRI, self.value))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"IRI({self.value!r})"
@@ -146,7 +147,7 @@ class IRI(Term):
 class BNode(Term):
     """A blank node with an explicit label."""
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_hash")
 
     _counter = 0
 
@@ -159,6 +160,7 @@ class BNode(Term):
         if not _BNODE_LABEL_RE.match(label):
             raise ValueError(f"invalid blank node label: {label!r}")
         object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash((BNode, label)))
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("BNode is immutable")
@@ -167,7 +169,7 @@ class BNode(Term):
         return isinstance(other, BNode) and other.label == self.label
 
     def __hash__(self) -> int:
-        return hash((BNode, self.label))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"BNode({self.label!r})"
@@ -193,7 +195,7 @@ class Literal(Term):
         Literal("hi")    -> plain string literal (xsd:string)
     """
 
-    __slots__ = ("lexical", "language", "datatype")
+    __slots__ = ("lexical", "language", "datatype", "_hash")
 
     def __init__(
         self,
@@ -231,6 +233,7 @@ class Literal(Term):
         object.__setattr__(self, "lexical", lexical)
         object.__setattr__(self, "language", language)
         object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "_hash", hash((Literal, lexical, language, datatype)))
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Literal is immutable")
@@ -244,7 +247,7 @@ class Literal(Term):
         )
 
     def __hash__(self) -> int:
-        return hash((Literal, self.lexical, self.language, self.datatype))
+        return self._hash
 
     def __repr__(self) -> str:
         extra = ""
@@ -324,7 +327,7 @@ class Literal(Term):
 class Variable(Term):
     """A SPARQL variable (``?name``). Only valid inside query patterns."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name: str):
         if name.startswith("?") or name.startswith("$"):
@@ -332,6 +335,7 @@ class Variable(Term):
         if not _VAR_NAME_RE.match(name):
             raise ValueError(f"invalid variable name: {name!r}")
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash((Variable, name)))
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Variable is immutable")
@@ -340,7 +344,7 @@ class Variable(Term):
         return isinstance(other, Variable) and other.name == self.name
 
     def __hash__(self) -> int:
-        return hash((Variable, self.name))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
@@ -363,7 +367,7 @@ class Triple:
     SPARQL layer, not by this class.
     """
 
-    __slots__ = ("subject", "predicate", "object")
+    __slots__ = ("subject", "predicate", "object", "_hash")
 
     def __init__(self, subject: Term, predicate: IRI, object: Term):
         if not isinstance(subject, (IRI, BNode)):
@@ -396,7 +400,12 @@ class Triple:
         )
 
     def __hash__(self) -> int:
-        return hash((Triple, self.subject, self.predicate, self.object))
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((Triple, self.subject, self.predicate, self.object))
+            super().__setattr__("_hash", value)
+            return value
 
     def __repr__(self) -> str:
         return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
@@ -410,3 +419,19 @@ class Triple:
             self.predicate.sort_key(),
             self.object.sort_key(),
         )
+
+
+_object_setattr = object.__setattr__
+
+
+def _unchecked_triple(subject: Term, predicate: IRI, obj: Term) -> Triple:
+    """Build a :class:`Triple` skipping positional type validation.
+
+    Only for terms that already passed through a validated store boundary
+    (the dictionary-encoded graph decodes millions of these on hot paths).
+    """
+    triple = Triple.__new__(Triple)
+    _object_setattr(triple, "subject", subject)
+    _object_setattr(triple, "predicate", predicate)
+    _object_setattr(triple, "object", obj)
+    return triple

@@ -4,13 +4,23 @@ The evaluator walks the AST directly (no separate algebra IR -- the subset
 is small enough that the classic textbook pipeline would only add plumbing):
 
 1. group graph patterns produce streams of solutions (dicts Variable->Term),
-2. BGPs are answered by index nested-loop joins, most selective pattern
-   first,
+2. BGPs run through a dictionary-encoded join pipeline: every pattern is
+   compiled to integer IDs, patterns are ordered greedily by estimated
+   cardinality (exact index counts over the ID indexes), and each join step
+   picks between a hash join on the shared variables (scan once, build a
+   table, probe every intermediate row) and an index nested-loop join
+   (per-row index lookups) based on which side is smaller.  Intermediate
+   solutions are flat ID tuples; terms are decoded only when the BGP hands
+   its solutions back to the group pipeline,
 3. OPTIONAL is a left join, UNION a concatenation, FILTER a predicate with
    SPARQL error semantics, VALUES an inline join,
 4. aggregation groups solutions and folds aggregates,
 5. solution modifiers (ORDER/DISTINCT/OFFSET/LIMIT) apply last, in the order
    the SPARQL spec defines.
+
+The legacy substitute-and-scan BGP evaluator is kept behind
+``QueryEngine(graph, strategy="scan")``; the conformance suite runs every
+query through both pipelines and asserts identical solutions.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from .nodes import (
     ExistsExpression,
     Expression,
     FilterPattern,
+    FunctionCall,
     GroupPattern,
     OptionalPattern,
     Projection,
@@ -64,14 +75,152 @@ def _substitute(pattern: TriplePattern, solution: Solution) -> Tuple:
     return resolve(pattern.subject), resolve(pattern.predicate), resolve(pattern.object)
 
 
+#: Placeholder for a column a solution row does not bind (heterogeneous
+#: solution streams after OPTIONAL / UNION).  Distinct from None, which is a
+#: legal wildcard elsewhere.
+_UNBOUND = object()
+
+#: Term-kind tests the fast SELECT path can run without the expression
+#: interpreter.  Keys are upper-cased builtin names; each maps a ground term
+#: to the boolean the builtin (plus EBV) would produce.
+_TERM_TESTS = {
+    "ISLITERAL": lambda term: isinstance(term, Literal),
+    "ISIRI": lambda term: isinstance(term, IRI),
+    "ISURI": lambda term: isinstance(term, IRI),
+    "ISBLANK": lambda term: isinstance(term, BNode),
+    "BOUND": lambda term: True,
+}
+
+
+def _triples_to_scan_rows(triples, positions):
+    """ID triples -> scan rows, one value per pattern variable.
+
+    ``positions`` holds each variable's triple positions; variables that
+    occur at several positions must match the same ID or the triple is
+    dropped.  Shared by the full-scan and per-row lookup paths so repeated
+    -variable semantics cannot diverge between them.
+    """
+    for triple in triples:
+        srow = []
+        for var_positions in positions:
+            value = triple[var_positions[0]]
+            if len(var_positions) > 1 and any(
+                triple[extra] != value for extra in var_positions[1:]
+            ):
+                srow = None
+                break
+            srow.append(value)
+        if srow is not None:
+            yield tuple(srow)
+
+
+#: Extractors for the INLJ fast path: new-variable positions (ascending) ->
+#: a function picking those positions out of a matched (s, p, o) ID triple.
+_ROW_EXTRACTORS = {
+    (): lambda s, p, o: (),
+    (0,): lambda s, p, o: (s,),
+    (1,): lambda s, p, o: (p,),
+    (2,): lambda s, p, o: (o,),
+    (0, 1): lambda s, p, o: (s, p),
+    (0, 2): lambda s, p, o: (s, o),
+    (1, 2): lambda s, p, o: (p, o),
+    (0, 1, 2): lambda s, p, o: (s, p, o),
+}
+
+
+def _simple_filter(expression: Expression):
+    """``(test, variable)`` for one-variable term-test filters, else None."""
+    if (
+        isinstance(expression, FunctionCall)
+        and len(expression.args) == 1
+        and isinstance(expression.args[0], VariableExpression)
+    ):
+        test = _TERM_TESTS.get(expression.name)
+        if test is not None:
+            return test, expression.args[0].variable
+    return None
+
+
+class _EncodedPattern:
+    """One triple pattern compiled to dictionary-ID space.
+
+    ``spec`` holds one entry per position (subject, predicate, object):
+
+    * ``int``          -- a ground term's dictionary ID,
+    * :class:`Variable`-- a query variable,
+    * ``None``         -- a wildcard (blank node in the pattern, or the
+      predicate slot of a property-path pattern),
+    * :class:`Term`    -- a ground term that is *not* interned; impossible
+      for plain patterns, but a path endpoint can still satisfy zero-length
+      closure semantics, so path patterns keep the raw term for the
+      term-level fallback.
+    """
+
+    __slots__ = ("index", "path", "spec", "variables", "var_positions", "impossible", "est")
+
+    def __init__(self, index: int, pattern: TriplePattern, graph: Graph):
+        from .paths import is_path
+
+        self.index = index
+        self.path = pattern.predicate if is_path(pattern.predicate) else None
+        self.impossible = False
+        self.variables: List[Variable] = []
+        self.var_positions: Dict[Variable, List[int]] = {}
+        spec: List = []
+        positions = (pattern.subject, pattern.predicate, pattern.object)
+        for position, term in enumerate(positions):
+            if position == 1 and self.path is not None:
+                spec.append(None)
+                continue
+            if isinstance(term, Variable):
+                spec.append(term)
+                if term not in self.var_positions:
+                    self.var_positions[term] = []
+                    self.variables.append(term)
+                self.var_positions[term].append(position)
+            elif isinstance(term, BNode):
+                spec.append(None)
+            else:
+                term_id = graph.lookup_id(term)
+                if term_id is None:
+                    if self.path is None:
+                        self.impossible = True
+                    spec.append(term)
+                else:
+                    spec.append(term_id)
+        self.spec = tuple(spec)
+        self.est = self._estimate(graph)
+
+    def _estimate(self, graph: Graph) -> float:
+        """Scan cardinality with only the ground positions bound."""
+        if self.path is not None:
+            s_bound = not isinstance(self.spec[0], Variable) and self.spec[0] is not None
+            o_bound = not isinstance(self.spec[2], Variable) and self.spec[2] is not None
+            if s_bound and o_bound:
+                return 1.0
+            if s_bound or o_bound:
+                return 64.0
+            return 4.0 * len(graph) + 64.0
+        if self.impossible:
+            return 0.0
+        s, p, o = (v if type(v) is int else None for v in self.spec)
+        return float(graph.count_ids(s, p, o))
+
+
 class QueryEngine:
     """Evaluates parsed queries against one graph.
 
     Instances are cheap; hold one per graph or just use :func:`evaluate`.
+    ``strategy`` selects the BGP pipeline: ``"hash"`` (default) is the
+    dictionary-encoded hash-join pipeline, ``"scan"`` the legacy
+    substitute-and-scan nested-loop join kept for conformance A/B runs.
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph, strategy: str = "hash"):
+        if strategy not in ("hash", "scan"):
+            raise ValueError(f"unknown BGP strategy {strategy!r}")
         self.graph = graph
+        self.strategy = strategy
 
     # -- public API -----------------------------------------------------------
 
@@ -135,6 +284,432 @@ class QueryEngine:
     def _evaluate_bgp(
         self, patterns: List[TriplePattern], solutions: List[Solution]
     ) -> List[Solution]:
+        if self.strategy == "hash":
+            return self._evaluate_bgp_hash(patterns, solutions)
+        return self._evaluate_bgp_scan(patterns, solutions)
+
+    # -- the dictionary-encoded hash-join pipeline -----------------------------
+
+    def _evaluate_bgp_hash(
+        self, patterns: List[TriplePattern], solutions: List[Solution]
+    ) -> List[Solution]:
+        """Greedy selectivity-ordered joins over ID-tuple solution rows."""
+        if not patterns or not solutions:
+            return solutions
+        joined = self._bgp_id_rows(patterns, solutions)
+        if joined is None:
+            return []
+        rows, col_of = joined
+        if not rows:
+            return []
+
+        decode = self.graph.decode_id
+        out: List[Solution] = []
+        layout = list(col_of.items())
+        for row in rows:
+            solution = {}
+            for variable, column in layout:
+                value = row[column]
+                if value is _UNBOUND:
+                    continue
+                solution[variable] = decode(value) if type(value) is int else value
+            out.append(solution)
+        return out
+
+    def _bgp_id_rows(
+        self, patterns: List[TriplePattern], solutions: List[Solution]
+    ) -> Optional[Tuple[List[Tuple], Dict[Variable, int]]]:
+        """The BGP join pipeline in ID space.
+
+        Returns ``(rows, column_of)`` where each row is a tuple of
+        dictionary IDs (or raw non-interned terms carried through from the
+        input solutions), or ``None`` when a pattern can match nothing.
+        """
+        graph = self.graph
+        encoded = []
+        for index, pattern in enumerate(patterns):
+            compiled = _EncodedPattern(index, pattern, graph)
+            if compiled.impossible:
+                return None
+            encoded.append(compiled)
+
+        # Column layout: one slot per variable ever bound; rows are tuples.
+        columns: List[Variable] = []
+        col_of: Dict[Variable, int] = {}
+        for solution in solutions:
+            for variable in solution:
+                if variable not in col_of:
+                    col_of[variable] = len(columns)
+                    columns.append(variable)
+        lookup = graph.lookup_id
+        width = len(columns)
+        rows: List[Tuple] = []
+        for solution in solutions:
+            row = [_UNBOUND] * width
+            for variable, term in solution.items():
+                term_id = lookup(term)
+                # Terms outside the dictionary stay as raw terms: they hash
+                # fine and can never equal a scanned ID, which is exactly
+                # the join semantics they need.
+                row[col_of[variable]] = term_id if term_id is not None else term
+            rows.append(tuple(row))
+
+        remaining = list(encoded)
+        while remaining and rows:
+            chosen = min(
+                remaining,
+                key=lambda ep: (ep.est / (16.0 ** sum(1 for v in ep.variables if v in col_of)), ep.index),
+            )
+            remaining.remove(chosen)
+            rows, columns, col_of = self._join_pattern(chosen, rows, columns, col_of)
+        return rows, col_of
+
+    def _join_pattern(
+        self,
+        ep: _EncodedPattern,
+        rows: List[Tuple],
+        columns: List[Variable],
+        col_of: Dict[Variable, int],
+    ) -> Tuple[List[Tuple], List[Variable], Dict[Variable, int]]:
+        """Join one pattern into the current solution rows."""
+        shared = [v for v in ep.variables if v in col_of]
+        new_vars = [v for v in ep.variables if v not in col_of]
+        new_columns = columns + new_vars
+        new_col_of = dict(col_of)
+        for variable in new_vars:
+            new_col_of[variable] = len(col_of) + new_vars.index(variable)
+
+        if not shared:
+            # Cartesian extension; scan once.  new_vars == ep.variables here.
+            scan = list(self._scan_pattern(ep))
+            if not scan:
+                return [], new_columns, new_col_of
+            return [row + srow for row in rows for srow in scan], new_columns, new_col_of
+
+        if ep.path is not None or ep.est > 4.0 * len(rows):
+            out = self._index_join(ep, rows, col_of, new_col_of, len(new_vars))
+            return out, new_columns, new_col_of
+
+        # Hash join: scan once, key the scan rows on the shared variables,
+        # probe with every intermediate row.  The single shared variable
+        # case (the overwhelmingly common join shape) keys on the bare
+        # value instead of a 1-tuple.
+        var_index = {v: i for i, v in enumerate(ep.variables)}
+        key_positions = [var_index[v] for v in shared]
+        new_positions = [var_index[v] for v in new_vars]
+        table: Dict = {}
+        setdefault = table.setdefault
+        out: List[Tuple] = []
+        fallback: List[Tuple] = []
+        if len(key_positions) == 1:
+            key_position = key_positions[0]
+            if len(new_positions) == 1:
+                new_position = new_positions[0]
+                for srow in self._scan_pattern(ep):
+                    setdefault(srow[key_position], []).append((srow[new_position],))
+            else:
+                for srow in self._scan_pattern(ep):
+                    setdefault(srow[key_position], []).append(
+                        tuple(srow[i] for i in new_positions)
+                    )
+            shared_col = col_of[shared[0]]
+            get = table.get
+            for row in rows:
+                key = row[shared_col]
+                if key is _UNBOUND:
+                    fallback.append(row)
+                    continue
+                bucket = get(key)
+                if bucket:
+                    for extra in bucket:
+                        out.append(row + extra)
+        else:
+            for srow in self._scan_pattern(ep):
+                key = tuple(srow[i] for i in key_positions)
+                setdefault(key, []).append(tuple(srow[i] for i in new_positions))
+            shared_cols = [col_of[v] for v in shared]
+            get = table.get
+            for row in rows:
+                key = tuple(row[c] for c in shared_cols)
+                if _UNBOUND in key:
+                    fallback.append(row)  # heterogeneous row; handle per-row below
+                    continue
+                bucket = get(key)
+                if bucket:
+                    for extra in bucket:
+                        out.append(row + extra)
+        if fallback:
+            out.extend(self._index_join(ep, fallback, col_of, new_col_of, len(new_vars)))
+        return out, new_columns, new_col_of
+
+    def _scan_pattern(self, ep: _EncodedPattern) -> Iterator[Tuple]:
+        """Scan *ep* with only its ground positions bound.
+
+        Yields one ID tuple per match, ordered like ``ep.variables``.
+        """
+        if ep.path is not None:
+            yield from self._scan_path(ep, ep.spec[0], ep.spec[2])
+            return
+        spec = ep.spec
+        s, p, o = (v if type(v) is int else None for v in spec)
+        positions = [ep.var_positions[v] for v in ep.variables]
+        yield from _triples_to_scan_rows(self.graph.triples_ids(s, p, o), positions)
+
+    def _scan_path(self, ep: _EncodedPattern, s_spec, o_spec) -> Iterator[Tuple]:
+        """Path-pattern scan; spec entries as in :class:`_EncodedPattern`."""
+        from .paths import evaluate_path, evaluate_path_ids
+
+        graph = self.graph
+        if isinstance(s_spec, Term) and not isinstance(s_spec, Variable) or (
+            isinstance(o_spec, Term) and not isinstance(o_spec, Variable)
+        ):
+            # A non-interned ground endpoint: only zero-length closure
+            # semantics can satisfy it -- delegate to the term level.
+            s_term = self._path_endpoint_term(s_spec)
+            o_term = self._path_endpoint_term(o_spec)
+            pairs = self._encode_pairs(evaluate_path(graph, ep.path, s_term, o_term))
+        else:
+            s = s_spec if type(s_spec) is int else None
+            o = o_spec if type(o_spec) is int else None
+            pairs = evaluate_path_ids(graph, ep.path, s, o)
+        yield from self._pairs_to_rows(ep, pairs)
+
+    def _path_endpoint_term(self, spec) -> Optional[Term]:
+        if type(spec) is int:
+            return self.graph.decode_id(spec)
+        if isinstance(spec, Term) and not isinstance(spec, Variable):
+            return spec
+        return None
+
+    def _encode_pairs(self, pairs) -> Iterator[Tuple]:
+        """Map term pairs back into hybrid ID space (raw terms survive)."""
+        lookup = self.graph.lookup_id
+        for s_term, o_term in pairs:
+            s = lookup(s_term)
+            o = lookup(o_term)
+            yield (s if s is not None else s_term, o if o is not None else o_term)
+
+    def _pairs_to_rows(self, ep: _EncodedPattern, pairs) -> Iterator[Tuple]:
+        """Turn path (s, o) pairs into scan rows over ``ep.variables``."""
+        s_spec, o_spec = ep.spec[0], ep.spec[2]
+        s_var = s_spec if isinstance(s_spec, Variable) else None
+        o_var = o_spec if isinstance(o_spec, Variable) else None
+        # Compare by equality: the parser mints distinct-but-equal Variable
+        # objects for the two positions of ``?x path ?x``.
+        if s_var is not None and s_var == o_var:
+            for s, o in pairs:
+                if s == o:
+                    yield (s,)
+            return
+        if s_var is not None and o_var is not None:
+            yield from pairs
+            return
+        if s_var is not None:
+            for s, _ in pairs:
+                yield (s,)
+            return
+        if o_var is not None:
+            for _, o in pairs:
+                yield (o,)
+            return
+        for _ in pairs:
+            yield ()
+            return  # ground-ground path: one witness is enough
+
+    def _index_join(
+        self,
+        ep: _EncodedPattern,
+        rows: List[Tuple],
+        col_of: Dict[Variable, int],
+        new_col_of: Dict[Variable, int],
+        extra_width: int,
+    ) -> List[Tuple]:
+        """Per-row index lookups (the INLJ side of the pipeline)."""
+        if ep.path is None and all(
+            len(positions) == 1 for positions in ep.var_positions.values()
+        ):
+            bound_columns = [col_of[v] for v in ep.variables if v in col_of]
+            homogeneous = not any(
+                row[column] is _UNBOUND for column in bound_columns for row in rows
+            )
+            if homogeneous:
+                return self._index_join_plain(ep, rows, col_of)
+        return self._index_join_general(ep, rows, col_of, new_col_of, extra_width)
+
+    def _index_join_plain(
+        self, ep: _EncodedPattern, rows: List[Tuple], col_of: Dict[Variable, int]
+    ) -> List[Tuple]:
+        """INLJ fast path: no repeated variables, every row binds the shared
+        columns.  Bound positions are per-row constants, so matches append
+        straight onto the row -- no merge bookkeeping -- and the index dicts
+        are walked directly."""
+        graph = self.graph
+        spo, pos, osp = graph.spo_ids(), graph.pos_ids(), graph.osp_ids()
+
+        resolved = []
+        for spec in ep.spec:
+            if isinstance(spec, Variable):
+                column = col_of.get(spec)
+                resolved.append(("col", column) if column is not None else ("free", None))
+            elif type(spec) is int:
+                resolved.append(("const", spec))
+            else:  # wildcard (blank node); raw terms are impossible here
+                resolved.append(("free", None))
+        (s_kind, s_val), (p_kind, p_val), (o_kind, o_val) = resolved
+        # New variables appear in ascending position order (no repeats), so
+        # the extractor table below covers every combination.
+        extra_positions = tuple(
+            ep.var_positions[v][0] for v in ep.variables if v not in col_of
+        )
+        make = _ROW_EXTRACTORS[extra_positions]
+
+        out: List[Tuple] = []
+        append = out.append
+        for row in rows:
+            s = s_val if s_kind == "const" else (row[s_val] if s_kind == "col" else None)
+            p = p_val if p_kind == "const" else (row[p_val] if p_kind == "col" else None)
+            o = o_val if o_kind == "const" else (row[o_val] if o_kind == "col" else None)
+            if (
+                (s is not None and type(s) is not int)
+                or (p is not None and type(p) is not int)
+                or (o is not None and type(o) is not int)
+            ):
+                continue  # a raw non-interned term matches no triple
+            if s is not None:
+                by_predicate = spo.get(s)
+                if not by_predicate:
+                    continue
+                if p is not None:
+                    objects = by_predicate.get(p)
+                    if not objects:
+                        continue
+                    if o is not None:
+                        if o in objects:
+                            append(row + make(s, p, o))
+                        continue
+                    for obj in objects:
+                        append(row + make(s, p, obj))
+                    continue
+                if o is not None:
+                    predicates = osp.get(o, {}).get(s)
+                    if predicates:
+                        for pred in predicates:
+                            append(row + make(s, pred, o))
+                    continue
+                for pred, objects in by_predicate.items():
+                    for obj in objects:
+                        append(row + make(s, pred, obj))
+                continue
+            if p is not None:
+                by_object = pos.get(p)
+                if not by_object:
+                    continue
+                if o is not None:
+                    for subj in by_object.get(o, ()):
+                        append(row + make(subj, p, o))
+                    continue
+                for obj, subjects in by_object.items():
+                    for subj in subjects:
+                        append(row + make(subj, p, obj))
+                continue
+            if o is not None:
+                for subj, predicates in osp.get(o, {}).items():
+                    for pred in predicates:
+                        append(row + make(subj, pred, o))
+                continue
+            for triple in graph.triples_ids(None, None, None):
+                append(row + make(*triple))
+        return out
+
+    def _index_join_general(
+        self,
+        ep: _EncodedPattern,
+        rows: List[Tuple],
+        col_of: Dict[Variable, int],
+        new_col_of: Dict[Variable, int],
+        extra_width: int,
+    ) -> List[Tuple]:
+        """Per-row index lookups: the fully general merge (repeated
+        variables, heterogeneous rows, property paths)."""
+        graph = self.graph
+        out: List[Tuple] = []
+        width = len(col_of)
+        is_node_id = graph.is_node_id
+        for row in rows:
+            # Resolve each position against this row.
+            resolved: List = []
+            dead = False
+            for position, spec in enumerate(ep.spec):
+                if isinstance(spec, Variable):
+                    column = col_of.get(spec)
+                    value = row[column] if column is not None else _UNBOUND
+                    if value is _UNBOUND:
+                        resolved.append(None)
+                    elif type(value) is int:
+                        if (
+                            ep.path is not None
+                            and position != 1
+                            and not is_node_id(value)
+                        ):
+                            # A variable path endpoint ranges over the node
+                            # universe only (join-order independence; the
+                            # scan pipeline enforces the same rule).
+                            dead = True
+                            break
+                        resolved.append(value)
+                    else:
+                        dead = True  # non-interned term can match no triple
+                        break
+                else:
+                    resolved.append(spec)
+            if dead:
+                continue
+
+            if ep.path is not None:
+                matches = self._row_path_matches(ep, resolved[0], resolved[2])
+            else:
+                matches = self._row_plain_matches(ep, resolved)
+
+            for bound in matches:  # bound: value per ep.variables
+                merged = None
+                extra = [_UNBOUND] * extra_width
+                for variable, value in zip(ep.variables, bound):
+                    column = col_of.get(variable)
+                    if column is None:
+                        extra[new_col_of[variable] - width] = value
+                    elif row[column] is _UNBOUND:
+                        if merged is None:
+                            merged = list(row)
+                        merged[column] = value
+                base = tuple(merged) if merged is not None else row
+                out.append(base + tuple(extra))
+        return out
+
+    def _row_plain_matches(self, ep: _EncodedPattern, resolved: List) -> Iterator[Tuple]:
+        """Matches for a plain pattern with per-row constants substituted."""
+        s, p, o = resolved
+        positions = [ep.var_positions[v] for v in ep.variables]
+        yield from _triples_to_scan_rows(self.graph.triples_ids(s, p, o), positions)
+
+    def _row_path_matches(
+        self, ep: _EncodedPattern, s_value: Optional[int], o_value: Optional[int]
+    ) -> Iterator[Tuple]:
+        """Matches for a path pattern with per-row endpoint bindings.
+
+        Endpoints are node IDs or None by this point: the resolution step
+        already rejected rows binding a path-endpoint variable to a raw or
+        non-node term.
+        """
+        from .paths import evaluate_path_ids
+
+        pairs = evaluate_path_ids(self.graph, ep.path, s_value, o_value)
+        yield from self._pairs_to_rows(ep, pairs)
+
+    # -- the legacy substitute-and-scan pipeline -------------------------------
+
+    def _evaluate_bgp_scan(
+        self, patterns: List[TriplePattern], solutions: List[Solution]
+    ) -> List[Solution]:
         """Index nested-loop join, re-picking the most selective pattern."""
         if not patterns:
             return solutions
@@ -184,6 +759,24 @@ class QueryEngine:
         from .paths import evaluate_path, is_path
 
         if is_path(pattern.predicate):
+            # Variable endpoints range over the node universe only.  A
+            # binding carried in from elsewhere that names a non-node term
+            # could only be satisfied by zero-length closure, which a
+            # variable endpoint does not admit; enforcing it here keeps
+            # path evaluation independent of join order (and in agreement
+            # with the hash pipeline).
+            if (
+                isinstance(pattern.subject, Variable)
+                and s is not None
+                and not self.graph.is_node_term(s)
+            ):
+                return
+            if (
+                isinstance(pattern.object, Variable)
+                and o is not None
+                and not self.graph.is_node_term(o)
+            ):
+                return
             for subject, obj in evaluate_path(self.graph, pattern.predicate, s, o):
                 out = dict(solution)
                 compatible = True
@@ -266,6 +859,20 @@ class QueryEngine:
         return False
 
     def _any_solution(self, group: GroupPattern) -> bool:
+        # Fast path for the ubiquitous liveness probe ``ASK { ?s ?p ?o }``
+        # (and any single plain pattern): probe the ID indexes directly
+        # instead of materializing the full scan.
+        if self.strategy == "hash" and len(group.elements) == 1:
+            element = group.elements[0]
+            from .paths import is_path
+
+            if isinstance(element, TriplePattern) and not is_path(element.predicate):
+                compiled = _EncodedPattern(0, element, self.graph)
+                if compiled.impossible:
+                    return False
+                for row in self._scan_pattern(compiled):
+                    return True
+                return False
         for _ in self._evaluate_group(group, [{}]):
             return True
         return False
@@ -273,6 +880,233 @@ class QueryEngine:
     # -- SELECT pipeline -----------------------------------------------------
 
     def _run_select(self, query: SelectQuery) -> SelectResult:
+        if self.strategy == "hash":
+            fast = self._try_select_fast(query)
+            if fast is not None:
+                return fast
+        return self._run_select_general(query)
+
+    # -- the ID-space SELECT fast path ----------------------------------------
+
+    def _try_select_fast(self, query: SelectQuery) -> Optional[SelectResult]:
+        """Execute BGP(+simple FILTER) SELECTs without decoding intermediates.
+
+        Covers the whole index-extraction workload: plain triple patterns,
+        one-variable term-test filters, bare-variable projections, bare
+        GROUP BY / aggregates, DISTINCT and OFFSET/LIMIT.  Rows stay ID
+        tuples until projection/fold time, so DISTINCT and grouping hash
+        machine integers and pagination decodes only the surviving page.
+        Returns None when the query needs the general pipeline.
+        """
+        if query.order_by or query.having is not None:
+            return None
+        from .paths import is_path
+
+        patterns: List[TriplePattern] = []
+        simple_filters = []
+        for element in query.where.elements:
+            if isinstance(element, TriplePattern):
+                if is_path(element.predicate):
+                    return None  # path rows can carry raw terms; keep general
+                patterns.append(element)
+            elif isinstance(element, FilterPattern):
+                compiled = _simple_filter(element.expression)
+                if compiled is None:
+                    return None
+                simple_filters.append(compiled)
+            else:
+                return None
+        if not patterns:
+            return None
+
+        plan = None
+        if query.has_aggregates():
+            plan = self._fast_aggregate_plan(query)
+            if plan is None:
+                return None
+        elif not query.select_all:
+            for projection in query.projections:
+                if projection.alias is not None or not isinstance(
+                    projection.expression, VariableExpression
+                ):
+                    return None
+
+        joined = self._bgp_id_rows(patterns, [{}])
+        if joined is None:
+            rows: List[Tuple] = []
+            col_of: Dict[Variable, int] = {}
+        else:
+            rows, col_of = joined
+
+        if rows and simple_filters:
+            decode = self.graph.decode_id
+            for test, variable in simple_filters:
+                column = col_of.get(variable)
+                if column is None:
+                    # Filter over an unbound variable drops every row (the
+                    # general pipeline raises-and-rejects per row).
+                    rows = []
+                    break
+                kept = []
+                for row in rows:
+                    value = row[column]
+                    if value is _UNBOUND:
+                        continue
+                    if test(decode(value) if type(value) is int else value):
+                        kept.append(row)
+                rows = kept
+                if not rows:
+                    break
+
+        if plan is not None:
+            return self._fast_aggregate_result(query, plan, rows, col_of)
+
+        decode = self.graph.decode_id
+        if query.select_all:
+            # The general pipeline derives the header from the solutions, so
+            # zero solutions mean an empty header.
+            if not rows:
+                return SelectResult([], [])
+            names = sorted(variable.name for variable in col_of)
+            by_name = {variable.name: column for variable, column in col_of.items()}
+            columns = [by_name[name] for name in names]
+        else:
+            names = [p.expression.variable.name for p in query.projections]
+            columns = [col_of.get(p.expression.variable) for p in query.projections]
+
+        if query.distinct:
+            seen = set()
+            deduped = []
+            for row in rows:
+                key = tuple(
+                    row[column] if column is not None else None for column in columns
+                )
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            rows = deduped
+        if query.offset:
+            rows = rows[query.offset:]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+
+        out_rows: List[Row] = []
+        for row in rows:
+            projected: Row = {}
+            for name, column in zip(names, columns):
+                if column is None:
+                    projected[name] = None
+                    continue
+                value = row[column]
+                if value is _UNBOUND:
+                    projected[name] = None
+                else:
+                    projected[name] = decode(value) if type(value) is int else value
+            out_rows.append(projected)
+        return SelectResult(names, out_rows)
+
+    def _fast_aggregate_plan(self, query: SelectQuery):
+        """(group_vars, items) when grouping/aggregation is bare-variable
+        shaped; items are ("var", Variable, name) / ("agg", Aggregate, name)."""
+        group_vars: List[Variable] = []
+        for expression in query.group_by:
+            if not isinstance(expression, VariableExpression):
+                return None
+            group_vars.append(expression.variable)
+        items = []
+        for projection in query.projections:
+            variable = projection.variable
+            if variable is None:
+                return None
+            expression = projection.expression
+            if isinstance(expression, VariableExpression):
+                items.append(("var", expression.variable, variable.name))
+            elif isinstance(expression, Aggregate):
+                if expression.expression is not None and not isinstance(
+                    expression.expression, VariableExpression
+                ):
+                    return None
+                items.append(("agg", expression, variable.name))
+            else:
+                return None
+        return group_vars, items
+
+    def _fast_aggregate_result(
+        self,
+        query: SelectQuery,
+        plan,
+        rows: List[Tuple],
+        col_of: Dict[Variable, int],
+    ) -> SelectResult:
+        group_vars, items = plan
+        decode = self.graph.decode_id
+
+        if group_vars:
+            group_columns = [col_of.get(variable) for variable in group_vars]
+            groups: Dict[Tuple, List[Tuple]] = {}
+            for row in rows:
+                key = tuple(
+                    row[column] if column is not None else None
+                    for column in group_columns
+                )
+                groups.setdefault(key, []).append(row)
+        else:
+            # Implicit single group; aggregates over an empty pattern still
+            # produce one row (COUNT(*) = 0) per the spec.
+            groups = {(): rows}
+
+        names = [name for _, _, name in items]
+        out_rows: List[Row] = []
+        for members in groups.values():
+            projected: Row = {}
+            for kind, payload, name in items:
+                if kind == "var":
+                    column = col_of.get(payload)
+                    if column is None or not members:
+                        projected[name] = None
+                        continue
+                    value = members[0][column]
+                    if value is _UNBOUND:
+                        projected[name] = None
+                    else:
+                        projected[name] = decode(value) if type(value) is int else value
+                    continue
+                aggregate = payload
+                if aggregate.expression is None:  # COUNT(*)
+                    count = len(set(members)) if aggregate.distinct else len(members)
+                    projected[name] = Literal(count)
+                    continue
+                column = col_of.get(aggregate.expression.variable)
+                if column is None:
+                    values_encoded: List = []
+                else:
+                    values_encoded = [
+                        row[column] for row in members if row[column] is not _UNBOUND
+                    ]
+                if aggregate.distinct:
+                    seen = set()
+                    deduped = []
+                    for value in values_encoded:
+                        if value not in seen:
+                            seen.add(value)
+                            deduped.append(value)
+                    values_encoded = deduped
+                values = [
+                    decode(value) if type(value) is int else value
+                    for value in values_encoded
+                ]
+                projected[name] = self._fold_values(aggregate, values)
+            out_rows.append(projected)
+
+        if query.distinct:
+            out_rows = self._distinct(out_rows, names)
+        if query.offset:
+            out_rows = out_rows[query.offset:]
+        if query.limit is not None:
+            out_rows = out_rows[: query.limit]
+        return SelectResult(names, out_rows)
+
+    def _run_select_general(self, query: SelectQuery) -> SelectResult:
         solutions = list(self._evaluate_group(query.where, [{}]))
 
         if query.has_aggregates():
@@ -482,7 +1316,11 @@ class QueryEngine:
                 if value not in seen:
                     seen.append(value)
             values = seen
+        return self._fold_values(aggregate, values)
 
+    @staticmethod
+    def _fold_values(aggregate: Aggregate, values: List[Term]) -> Optional[Term]:
+        """Fold already-extracted (and deduplicated) values per the spec."""
         function = aggregate.function
         if function == "COUNT":
             return Literal(len(values))
@@ -562,6 +1400,8 @@ class QueryEngine:
         return out
 
 
-def evaluate(graph: Graph, query: Union[str, Query]) -> Union[SelectResult, AskResult]:
+def evaluate(
+    graph: Graph, query: Union[str, Query], strategy: str = "hash"
+) -> Union[SelectResult, AskResult]:
     """Evaluate *query* (text or AST) against *graph*."""
-    return QueryEngine(graph).run(query)
+    return QueryEngine(graph, strategy=strategy).run(query)

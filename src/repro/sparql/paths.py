@@ -33,6 +33,7 @@ __all__ = [
     "AlternativePath",
     "ClosurePath",
     "evaluate_path",
+    "evaluate_path_ids",
     "is_path",
 ]
 
@@ -225,3 +226,129 @@ def evaluate_path(
 ) -> Iterator[Tuple[Term, Term]]:
     """All (subject, object) pairs connected by *path* under the bindings."""
     yield from _step_pairs(graph, path, subject, obj)
+
+
+# --------------------------------------------------------------------------
+# ID-level fast path
+#
+# Mirrors of the term-level functions above operating on dictionary IDs
+# (ints) from the graph's intern table.  The hash-join evaluator uses these
+# so closures and sequences never hash term objects; pairs decode back to
+# terms only at the result boundary.  Semantics are identical to the
+# term-level code for endpoints that are interned; callers handle
+# non-interned endpoint terms (only reachable through zero-length closure
+# semantics) at the term level.
+# --------------------------------------------------------------------------
+
+
+def _step_pairs_ids(
+    graph: Graph, path: PathLike, subject: Optional[int], obj: Optional[int]
+) -> Iterator[Tuple[int, int]]:
+    """(s, o) ID pairs for a single-step path with optional ID bindings."""
+    if isinstance(path, IRI):
+        predicate = graph.lookup_id(path)
+        if predicate is None:
+            return
+        for s, _, o in graph.triples_ids(subject, predicate, obj):
+            yield s, o
+        return
+    if isinstance(path, LinkPath):
+        yield from _step_pairs_ids(graph, path.iri, subject, obj)
+        return
+    if isinstance(path, InversePath):
+        for o, s in _step_pairs_ids(graph, path.inner, obj, subject):
+            yield s, o
+        return
+    if isinstance(path, AlternativePath):
+        seen: Set[Tuple[int, int]] = set()
+        for choice in path.choices:
+            for pair in _step_pairs_ids(graph, choice, subject, obj):
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+        return
+    if isinstance(path, SequencePath):
+        yield from _sequence_pairs_ids(graph, path.steps, subject, obj)
+        return
+    if isinstance(path, ClosurePath):
+        yield from _closure_pairs_ids(graph, path, subject, obj)
+        return
+    raise TypeError(f"not a path: {path!r}")
+
+
+def _sequence_pairs_ids(
+    graph: Graph, steps, subject: Optional[int], obj: Optional[int]
+) -> Iterator[Tuple[int, int]]:
+    first, rest = steps[0], steps[1:]
+    if not rest:
+        yield from _step_pairs_ids(graph, first, subject, obj)
+        return
+    seen: Set[Tuple[int, int]] = set()
+    for s, middle in _step_pairs_ids(graph, first, subject, None):
+        for _, o in _sequence_pairs_ids(graph, rest, middle, obj):
+            if (s, o) not in seen:
+                seen.add((s, o))
+                yield s, o
+
+
+def _closure_pairs_ids(
+    graph: Graph, path: ClosurePath, subject: Optional[int], obj: Optional[int]
+) -> Iterator[Tuple[int, int]]:
+    inner = path.inner
+
+    def forward_reachable(start: int) -> Set[int]:
+        reached: Set[int] = set()
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for _, target in _step_pairs_ids(graph, inner, node, None):
+                if target not in reached:
+                    reached.add(target)
+                    queue.append(target)
+        return reached
+
+    def backward_reachable(end: int) -> Set[int]:
+        reached: Set[int] = set()
+        queue = deque([end])
+        while queue:
+            node = queue.popleft()
+            for source, _ in _step_pairs_ids(graph, inner, None, node):
+                if source not in reached:
+                    reached.add(source)
+                    queue.append(source)
+        return reached
+
+    if subject is not None:
+        targets = forward_reachable(subject)
+        if path.include_zero:
+            targets = targets | {subject}
+        for target in targets:
+            if obj is None or obj == target:
+                yield subject, target
+        return
+
+    if obj is not None:
+        sources = backward_reachable(obj)
+        if path.include_zero:
+            sources = sources | {obj}
+        for source in sources:
+            yield source, obj
+        return
+
+    universe = graph.node_ids()
+    seen: Set[Tuple[int, int]] = set()
+    for node in universe:
+        targets = forward_reachable(node)
+        if path.include_zero:
+            targets = targets | {node}
+        for target in targets:
+            if (node, target) not in seen:
+                seen.add((node, target))
+                yield node, target
+
+
+def evaluate_path_ids(
+    graph: Graph, path: PathLike, subject: Optional[int], obj: Optional[int]
+) -> Iterator[Tuple[int, int]]:
+    """All (subject, object) ID pairs connected by *path* under ID bindings."""
+    yield from _step_pairs_ids(graph, path, subject, obj)

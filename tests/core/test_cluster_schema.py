@@ -102,7 +102,7 @@ class TestBuild:
         everything_one = lambda graph: Partition({n: 0 for n in graph.nodes()})
         schema = build_cluster_schema(summary, detector=everything_one)
         assert schema.cluster_count == 1
-        assert schema.edges == []
+        assert list(schema.edges) == []
 
     def test_empty_summary(self):
         summary = SchemaSummary("http://e/", [], [], 0)

@@ -64,7 +64,8 @@ class TestSchemaSummary:
 
     def test_from_indexes_drops_dangling_links(self):
         indexes = sample_indexes()
-        indexes.links.append(LinkIndex(NS + "A", NS + "p", NS + "Ghost", 1))
+        # model sequences are immutable tuples; build an extended copy
+        indexes.links = indexes.links + (LinkIndex(NS + "A", NS + "p", NS + "Ghost", 1),)
         summary = SchemaSummary.from_indexes(indexes)
         assert all(edge.target != NS + "Ghost" for edge in summary.edges)
 

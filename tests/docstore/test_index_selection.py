@@ -1,0 +1,165 @@
+"""Index-selection coverage for the document store's thinnest modules.
+
+Exercises :mod:`repro.docstore.indexes` directly (add/remove/lookup, the
+canonical-JSON keying of unhashable values, unique enforcement) and the
+:meth:`Collection._candidates` plan choice, asserting that indexed and
+unindexed executions of the same query return identical documents for
+every operator family the planner must route around.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docstore.collection import Collection
+from repro.docstore.documents import ObjectId
+from repro.docstore.indexes import Index, _index_key
+from repro.docstore.query import _MISSING, matches, resolve_path
+
+
+def _dataset():
+    return [
+        {"_id": f"d{i}", "url": f"http://e{i}.org", "status": s, "rank": i,
+         "tags": [f"t{i % 3}", "common"], "nested": {"k": i % 4}}
+        for i, s in enumerate(
+            ["indexed", "listed", "indexed", "broken", "listed", "indexed",
+             "stale", "indexed", "listed", "broken"]
+        )
+    ]
+
+
+QUERIES = [
+    {"status": "indexed"},
+    {"status": "missing-status"},
+    {"url": "http://e3.org"},
+    {"status": "indexed", "rank": {"$gte": 5}},
+    {"rank": {"$lt": 4}},
+    {"status": {"$in": ["listed", "stale"]}},
+    {"$or": [{"status": "broken"}, {"rank": 0}]},
+    {"tags": "common"},
+    {"nested.k": 2},
+    {"status": {"$ne": "indexed"}},
+    {},
+]
+
+
+class TestIndexedVersusUnindexedPlans:
+    @pytest.mark.parametrize("query", QUERIES, ids=[str(q) for q in QUERIES])
+    def test_plans_return_identical_documents(self, query):
+        plain = Collection("plain")
+        indexed = Collection("indexed")
+        indexed.create_index("status")
+        indexed.create_index("url", unique=True)
+        for doc in _dataset():
+            plain.insert_one(doc)
+            indexed.insert_one(doc)
+        unindexed_result = plain.find(query, sort=[("_id", 1)])
+        indexed_result = indexed.find(query, sort=[("_id", 1)])
+        assert unindexed_result == indexed_result
+        assert plain.count_documents(query) == indexed.count_documents(query)
+
+    def test_candidates_uses_equality_index_only(self):
+        collection = Collection("c")
+        collection.create_index("status")
+        for doc in _dataset():
+            collection.insert_one(doc)
+        # Equality on the indexed field narrows the candidate set...
+        narrowed = collection._candidates({"status": "indexed"})
+        assert set(narrowed) < set(collection._candidates({}))
+        # ...but operator documents and $-prefixed keys must NOT use the
+        # equality index (a {$ne: ...} lookup through it would be wrong).
+        assert list(collection._candidates({"status": {"$ne": "indexed"}})) == list(
+            collection._candidates({})
+        )
+        assert list(collection._candidates({"$or": [{"status": "x"}]})) == list(
+            collection._candidates({})
+        )
+
+    def test_index_created_after_inserts_backfills(self):
+        collection = Collection("late")
+        for doc in _dataset():
+            collection.insert_one(doc)
+        collection.create_index("status")
+        assert collection.find({"status": "indexed"}) == sorted(
+            (d for d in _dataset() if d["status"] == "indexed"),
+            key=lambda d: d["_id"],
+        )
+
+    def test_index_tracks_updates_and_deletes(self):
+        collection = Collection("mut")
+        collection.create_index("status")
+        for doc in _dataset():
+            collection.insert_one(doc)
+        collection.update_one({"_id": "d1"}, {"$set": {"status": "indexed"}})
+        assert {d["_id"] for d in collection.find({"status": "indexed"})} == {
+            "d0", "d1", "d2", "d5", "d7"
+        }
+        collection.delete_many({"status": "indexed"})
+        assert collection.find({"status": "indexed"}) == []
+        assert collection.count_documents() == 5
+
+
+class TestIndexUnit:
+    def test_add_lookup_remove(self):
+        index = Index("field")
+        a, b = ObjectId(), ObjectId()
+        index.add(a, {"field": "x"})
+        index.add(b, {"field": "x"})
+        assert set(index.lookup("x")) == {a, b}
+        index.remove(a, {"field": "x"})
+        assert index.lookup("x") == [b]
+        index.remove(b, {"field": "x"})
+        assert index.lookup("x") == []
+
+    def test_missing_values_are_sparse(self):
+        index = Index("field", unique=True)
+        a, b = ObjectId(), ObjectId()
+        index.add(a, {"other": 1})
+        index.add(b, {"other": 2})
+        # Documents without the field never collide nor appear in lookups.
+        index.check_unique(ObjectId(), {"other": 3})
+        assert index.lookup("anything") == []
+
+    def test_unique_violation_raises(self):
+        from repro.docstore.documents import DocumentError
+
+        collection = Collection("uniq")
+        collection.create_index("url", unique=True)
+        collection.insert_one({"url": "http://a"})
+        with pytest.raises(DocumentError):
+            collection.insert_one({"url": "http://a"})
+        # Same value through an update path must also be rejected.
+        collection.insert_one({"url": "http://b"})
+        with pytest.raises(DocumentError):
+            collection.update_one({"url": "http://b"}, {"$set": {"url": "http://a"}})
+
+    def test_unhashable_values_index_by_canonical_json(self):
+        index = Index("field")
+        a, b = ObjectId(), ObjectId()
+        index.add(a, {"field": {"y": 1, "x": 2}})
+        index.add(b, {"field": {"x": 2, "y": 1}})  # same value, other key order
+        assert set(index.lookup({"x": 2, "y": 1})) == {a, b}
+        assert _index_key({"y": 1, "x": 2}) == _index_key({"x": 2, "y": 1})
+        assert index.lookup([1, 2]) == []
+
+    def test_lookup_consistent_with_matches(self):
+        documents = _dataset()
+        index = Index("nested.k")
+        oids = {}
+        for doc in documents:
+            oid = ObjectId()
+            oids[oid] = doc
+            index.add(oid, doc)
+        for value in range(4):
+            via_index = {oids[o]["_id"] for o in index.lookup(value)}
+            via_scan = {
+                d["_id"] for d in documents if matches(d, {"nested.k": value})
+            }
+            assert via_index == via_scan
+
+    def test_resolve_path_array_semantics(self):
+        doc = {"items": [{"v": 1}, {"v": 2}], "plain": 3}
+        assert resolve_path(doc, "items.0.v") == 1
+        assert resolve_path(doc, "items.v") == [1, 2]
+        assert resolve_path(doc, "items.9.v") is _MISSING
+        assert resolve_path(doc, "plain.sub") is _MISSING

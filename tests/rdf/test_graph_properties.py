@@ -1,0 +1,182 @@
+"""Property-style tests for the dictionary-encoded triple store.
+
+Random add/remove/bulk-load sequences must keep the three permutation
+indexes (SPO, POS, OSP) mutually consistent, ``len(g)`` exact, and the
+intern table free of stale entries: after any sequence of mutations the
+dictionary holds exactly the terms occurring in the current triple set,
+with refcounts equal to each term's occurrence count.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Triple
+
+EX = "http://example.org/"
+
+
+def _term_pool(rng: random.Random):
+    subjects = [IRI(f"{EX}s/{i}") for i in range(12)]
+    predicates = [IRI(f"{EX}p/{i}") for i in range(5)]
+    objects = (
+        subjects[:6]
+        + [Literal(i) for i in range(8)]
+        + [Literal(f"txt-{i}") for i in range(4)]
+    )
+    return subjects, predicates, objects
+
+
+def _random_triple(rng: random.Random, pool) -> Triple:
+    subjects, predicates, objects = pool
+    return Triple(rng.choice(subjects), rng.choice(predicates), rng.choice(objects))
+
+
+def _assert_invariants(graph: Graph, reference: set):
+    """The graph must agree with the *reference* set of triples exactly."""
+    # 1. Size and membership.
+    assert len(graph) == len(reference)
+    stored = set(graph.triples())
+    assert stored == reference
+    for triple in reference:
+        assert triple in graph
+
+    # 2. The three permutation indexes answer every single-position pattern
+    #    identically (mutual consistency: each uses a different index).
+    subjects = {t.subject for t in reference}
+    predicates = {t.predicate for t in reference}
+    objects = {t.object for t in reference}
+    for subject in subjects:
+        expected = {t for t in reference if t.subject == subject}
+        assert set(graph.triples(subject=subject)) == expected
+    for predicate in predicates:
+        expected = {t for t in reference if t.predicate == predicate}
+        assert set(graph.triples(predicate=predicate)) == expected
+    for obj in objects:
+        expected = {t for t in reference if t.object == obj}
+        assert set(graph.triples(obj=obj)) == expected
+
+    # 3. ID-level views reconstruct the same triple set.
+    decode = graph.decode_id
+    from_ids = {
+        Triple(decode(s), decode(p), decode(o)) for s, p, o in graph.triples_ids()
+    }
+    assert from_ids == reference
+
+    # 4. The intern table holds exactly the live terms, refcounted by
+    #    occurrence (no stale IDs survive a remove).
+    occurrences = {}
+    for triple in reference:
+        for term in (triple.subject, triple.predicate, triple.object):
+            occurrences[term] = occurrences.get(term, 0) + 1
+    dictionary = graph.dictionary
+    assert graph.term_count() == len(occurrences)
+    for term, count in occurrences.items():
+        term_id = graph.lookup_id(term)
+        assert term_id is not None
+        assert dictionary.refcount(term_id) == count
+        assert dictionary.decode(term_id) == term
+
+    # 5. Counts agree with the reference for every pattern arity.
+    assert graph.count() == len(reference)
+    for subject in subjects:
+        assert graph.count(subject=subject) == sum(
+            1 for t in reference if t.subject == subject
+        )
+    for predicate in predicates:
+        for obj in objects:
+            assert graph.count(predicate=predicate, obj=obj) == sum(
+                1 for t in reference if t.predicate == predicate and t.object == obj
+            )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_add_remove_sequences(seed):
+    rng = random.Random(seed)
+    pool = _term_pool(rng)
+    graph = Graph()
+    reference = set()
+    for _step in range(300):
+        action = rng.random()
+        triple = _random_triple(rng, pool)
+        if action < 0.55:
+            assert graph.add(triple) == (triple not in reference)
+            reference.add(triple)
+        elif action < 0.85:
+            assert graph.remove(triple) == (triple in reference)
+            reference.discard(triple)
+        else:
+            batch = [_random_triple(rng, pool) for _ in range(rng.randint(1, 12))]
+            # add_many counts only genuinely new triples (batch may repeat).
+            unique_new = {t for t in batch if t not in reference}
+            assert graph.add_many(batch) == len(unique_new)
+            reference.update(batch)
+    _assert_invariants(graph, reference)
+
+
+@pytest.mark.parametrize("seed", (11, 23))
+def test_remove_everything_leaves_empty_dictionary(seed):
+    rng = random.Random(seed)
+    pool = _term_pool(rng)
+    graph = Graph()
+    triples = {_random_triple(rng, pool) for _ in range(120)}
+    graph.add_many(triples)
+    _assert_invariants(graph, set(triples))
+    order = list(triples)
+    rng.shuffle(order)
+    for triple in order:
+        assert graph.remove(triple)
+    assert len(graph) == 0
+    assert graph.term_count() == 0
+    assert list(graph.triples()) == []
+    # IDs were all freed; re-adding reuses the dictionary cleanly.
+    graph.add_many(order[:10])
+    _assert_invariants(graph, set(order[:10]))
+
+
+def test_bulk_load_equals_incremental():
+    rng = random.Random(7)
+    pool = _term_pool(rng)
+    triples = [_random_triple(rng, pool) for _ in range(200)]
+    one = Graph()
+    for triple in triples:
+        one.add(triple)
+    bulk = Graph()
+    bulk.add_many(triples)
+    assert set(one.triples()) == set(bulk.triples())
+    assert len(one) == len(bulk)
+    assert one.term_count() == bulk.term_count()
+
+
+def test_copy_shares_nothing():
+    rng = random.Random(3)
+    pool = _term_pool(rng)
+    graph = Graph(identifier="orig")
+    triples = [_random_triple(rng, pool) for _ in range(60)]
+    graph.add_many(triples)
+    clone = graph.copy()
+    reference = set(graph.triples())
+    victims = list(reference)[:20]
+    for triple in victims:
+        clone.remove(triple)
+    # The original is untouched; the clone's dictionary shed its terms.
+    _assert_invariants(graph, reference)
+    _assert_invariants(clone, reference - set(victims))
+
+
+def test_remove_pattern_and_clear_reset_dictionary():
+    rng = random.Random(5)
+    pool = _term_pool(rng)
+    graph = Graph()
+    graph.add_many(_random_triple(rng, pool) for _ in range(150))
+    reference = set(graph.triples())
+    predicate = next(iter(reference)).predicate
+    removed = graph.remove_pattern(predicate=predicate)
+    survivors = {t for t in reference if t.predicate != predicate}
+    assert removed == len(reference) - len(survivors)
+    assert graph.lookup_id(predicate) is None  # the predicate's ID was freed
+    _assert_invariants(graph, survivors)
+    graph.clear()
+    assert len(graph) == 0 and graph.term_count() == 0
