@@ -93,3 +93,89 @@ def test_e2_bench_listing1_crawl(benchmark, census_world):
 
     discovered = benchmark(crawl)
     assert sum(len(v) for v in discovered.values()) == 89  # 65 + 9 + 15
+
+
+# -- parallel fleet extraction ---------------------------------------------
+#
+# The multi-endpoint hot path of the daily-update loop.  Latency in this
+# reproduction is simulated-clock time (the same metric E3/E4 report), so
+# the worker pool's win shows up as the batch's simulated makespan
+# shrinking while the stored artifacts stay byte-identical.
+
+PARALLELISMS = (1, 2, 4, 8)
+
+
+def _update_all_run(parallelism: int):
+    from repro.datagen import build_world
+    from repro.docstore import DocumentStore
+
+    world = build_world(indexable=24, broken=6, portal_new_indexable=0,
+                        seed=13, flaky=False)
+    app = HBold(world.network, store=DocumentStore())
+    app.bootstrap_registry(world.listed_urls)
+    clock = world.network.clock
+    start_ms = clock.now_ms
+    results = app.update_all(parallelism=parallelism)
+    return sum(results.values()), clock.now_ms - start_ms
+
+
+def test_e2_bench_parallel_update_all(benchmark, record_table):
+    """update_all over 30 endpoints: simulated time vs parallelism."""
+    timings = {}
+    indexed = {}
+    for parallelism in PARALLELISMS:
+        indexed[parallelism], timings[parallelism] = _update_all_run(parallelism)
+    benchmark.pedantic(_update_all_run, args=(4,), iterations=1, rounds=1)
+
+    base = timings[1]
+    lines = [
+        "E2+ (PR2): parallel multi-endpoint extraction (update_all)",
+        "24 indexable + 6 dead endpoints, simulated worker pool",
+        "",
+        f"{'parallelism':>12} {'sim time':>12} {'speedup':>9} {'indexed':>8}",
+    ]
+    for parallelism in PARALLELISMS:
+        lines.append(
+            f"{parallelism:>12} {timings[parallelism] / 1000:>10.1f}s "
+            f"{base / timings[parallelism]:>8.2f}x {indexed[parallelism]:>8}"
+        )
+    record_table("e2_parallel_update_all", "\n".join(lines))
+
+    # every parallelism level indexes the same endpoints...
+    assert len(set(indexed.values())) == 1
+    assert indexed[1] == 24
+    # ...and >1 workers must overlap endpoint latency by >= 1.5x
+    assert base / timings[4] >= 1.5
+    # dead-endpoint retries overlap too: more workers never slower
+    assert timings[8] <= timings[4] <= timings[2] <= timings[1]
+
+
+def test_e2_bench_parallel_crawl(benchmark, record_table):
+    """The three-portal Listing 1 crawl with portals fanned out."""
+    from repro.datagen import build_world
+
+    def crawl_run(parallelism: int):
+        world = build_world(flaky=False, seed=2020)
+        app = HBold(world.network, store=DocumentStore())
+        app.bootstrap_registry(world.listed_urls)
+        clock = world.network.clock
+        start_ms = clock.now_ms
+        found = app.crawl_portals(world.portal_urls, parallelism=parallelism)
+        return found, clock.now_ms - start_ms
+
+    found_1, elapsed_1 = crawl_run(1)
+    found_3, elapsed_3 = crawl_run(3)
+    benchmark.pedantic(crawl_run, args=(3,), iterations=1, rounds=1)
+
+    lines = [
+        "E2+ (PR2): parallel portal crawling",
+        "",
+        f"{'parallelism':>12} {'sim time':>12} {'speedup':>9}",
+        f"{1:>12} {elapsed_1 / 1000:>10.2f}s {1.0:>8.2f}x",
+        f"{3:>12} {elapsed_3 / 1000:>10.2f}s {elapsed_1 / elapsed_3:>8.2f}x",
+    ]
+    record_table("e2_parallel_crawl", "\n".join(lines))
+
+    assert found_1 == found_3  # deterministic merge, §3.3 numbers intact
+    assert found_1["new"] == PAPER["new"]
+    assert elapsed_3 < elapsed_1

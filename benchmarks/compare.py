@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Diff two benchmark JSON files and print per-test speedups.
+
+Accepts either format the repo produces:
+
+* raw pytest-benchmark output (``--benchmark-json``): has a top-level
+  ``benchmarks`` list with per-test ``stats.mean``;
+* committed ``BENCH_PR<N>.json`` snapshots: per-test
+  ``mean_s_best_of_3`` under ``before``/``after`` blocks (``after`` is
+  used unless ``--side before``).
+
+Usage::
+
+    python benchmarks/compare.py BENCH_PR1.json BENCH_PR2.json
+    python benchmarks/compare.py old-run.json new-run.json --threshold 1.10
+
+The first file is the baseline: speedup = baseline_mean / new_mean, so
+numbers > 1 mean the second file is faster.  With ``--threshold`` the
+exit code is 1 when any shared test regressed by more than the factor
+(e.g. ``--threshold 1.10`` fails on a >10% slowdown).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_means(path: str, side: str = "after") -> Dict[str, float]:
+    """``{test name: mean seconds}`` from either supported format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document.get("benchmarks"), list) and document["benchmarks"] and (
+        isinstance(document["benchmarks"][0], dict)
+    ):
+        means = {}
+        for entry in document["benchmarks"]:
+            means[entry["name"]] = entry["stats"]["mean"]
+        if means:
+            return means
+    block = document.get(side) or {}
+    means = {
+        name: stats["mean_s_best_of_3"]
+        for name, stats in block.items()
+        if isinstance(stats, dict) and "mean_s_best_of_3" in stats
+    }
+    if not means:
+        raise SystemExit(f"{path}: no benchmark means found (side={side!r})")
+    return means
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("new", help="new benchmark JSON")
+    parser.add_argument(
+        "--side",
+        choices=("before", "after"),
+        default="after",
+        help="which block to read from BENCH_PR snapshots (default: after)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="exit 1 if any shared test is slower than baseline*FACTOR",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_means(args.baseline, args.side)
+    new = load_means(args.new, args.side)
+    shared = sorted(set(baseline) & set(new))
+    if not shared:
+        print("no shared tests between the two files", file=sys.stderr)
+        return 2
+
+    width = max(len(name) for name in shared)
+    print(f"{'test':<{width}} {'baseline':>12} {'new':>12} {'speedup':>9}")
+    regressions = []
+    for name in shared:
+        old_mean, new_mean = baseline[name], new[name]
+        speedup = old_mean / new_mean if new_mean else float("inf")
+        marker = ""
+        if args.threshold is not None and new_mean > old_mean * args.threshold:
+            marker = "  <-- regression"
+            regressions.append(name)
+        print(
+            f"{name:<{width}} {old_mean * 1000:>10.3f}ms {new_mean * 1000:>10.3f}ms "
+            f"{speedup:>8.2f}x{marker}"
+        )
+
+    only_old = sorted(set(baseline) - set(new))
+    only_new = sorted(set(new) - set(baseline))
+    if only_old:
+        print(f"\nonly in {args.baseline}: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in {args.new}: {', '.join(only_new)}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) past threshold "
+            f"{args.threshold}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,31 +2,64 @@
 # Run the perf-tracked benchmark modules and write a timestamped
 # pytest-benchmark JSON plus the human-readable result tables.
 #
-#   benchmarks/run_bench.sh                 # the perf-trajectory trio
+#   benchmarks/run_bench.sh                 # the perf-trajectory modules
 #   benchmarks/run_bench.sh benchmarks/     # everything
+#   benchmarks/run_bench.sh --emit-pr2      # 3 runs -> BENCH_PR2.json
 #
 # Compare the emitted JSON against the committed BENCH_PR<N>.json
-# snapshots to track the perf trajectory across PRs.
+# snapshots to track the perf trajectory across PRs:
+#
+#   python benchmarks/compare.py BENCH_PR1.json BENCH_PR2.json --threshold 1.10
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
+# the perf-trajectory modules (PR1 trio + the PR2 streaming/parallel benches)
+TRACKED=(
+    benchmarks/bench_e1_cluster_precompute.py
+    benchmarks/bench_e4_index_extraction.py
+    benchmarks/bench_f2_exploration.py
+    benchmarks/bench_e2_portal_crawl.py
+    benchmarks/bench_q1_streaming.py
+)
+
+run_once() {
+    local out="$1"; shift
+    PYTHONPATH="${ROOT}/src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest "$@" \
+        -q -p no:cacheprovider --benchmark-json="$out"
+}
+
+mkdir -p benchmarks/results
+
+if [ "${1:-}" == "--emit-pr2" ]; then
+    # Three full runs of the tracked modules, reduced to best-of-3 means in
+    # the committed snapshot schema.  The "before" side (the PR1 tree via
+    # git worktree) is attached separately with benchmarks/snapshot.py's
+    # --before flag when producing the A/B snapshot for the PR.
+    RUNS=()
+    for i in 1 2 3; do
+        OUT="benchmarks/results/pr2-run${i}.json"
+        run_once "$OUT" "${TRACKED[@]}"
+        RUNS+=("$OUT")
+    done
+    python benchmarks/snapshot.py --pr 2 \
+        --title "Streaming volcano SPARQL pipeline + plan cache + parallel extraction" \
+        --method "3 pytest-benchmark runs of this tree; per-test best-of-3 mean (the committed BENCH_PR2.json uses the interleaved A/B variant, see its 'method')" \
+        --out BENCH_PR2.json --after "${RUNS[@]}"
+    echo "snapshot written to BENCH_PR2.json"
+    exit 0
+fi
+
 TARGETS=("$@")
 if [ ${#TARGETS[@]} -eq 0 ]; then
-    TARGETS=(
-        benchmarks/bench_e1_cluster_precompute.py
-        benchmarks/bench_e4_index_extraction.py
-        benchmarks/bench_f2_exploration.py
-    )
+    TARGETS=("${TRACKED[@]}")
 fi
 
 STAMP="$(date +%Y%m%d-%H%M%S)"
 OUT="benchmarks/results/bench-${STAMP}.json"
-mkdir -p benchmarks/results
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest "${TARGETS[@]}" \
-    -q -p no:cacheprovider --benchmark-json="$OUT"
+run_once "$OUT" "${TARGETS[@]}"
 
 echo
 echo "benchmark JSON written to $OUT"

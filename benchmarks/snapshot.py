@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Assemble a committed ``BENCH_PR<N>.json`` snapshot from benchmark runs.
+
+Takes the pytest-benchmark JSONs of repeated runs of this tree (the
+"after" side) and, optionally, of a baseline tree (the "before" side --
+e.g. the previous PR checked out via ``git worktree``), reduces each
+test to its best-of-N mean, and writes the snapshot schema BENCH_PR1.json
+established: ``{pr, title, benchmarks, method, headline_speedups,
+before, after}``.
+
+Usage::
+
+    python benchmarks/snapshot.py --pr 2 --title "..." --out BENCH_PR2.json \
+        --after run1.json run2.json run3.json \
+        --before base1.json base2.json base3.json \
+        --extra-headline parallel_update_all_sim_time=3.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List
+
+
+def _collect(paths: List[str], modules=None) -> Dict[str, Dict]:
+    """test name -> {mean_s_best_of_3, mean_s_runs} across run files."""
+    runs: Dict[str, List[float]] = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        for entry in document.get("benchmarks", ()):
+            runs.setdefault(entry["name"], []).append(entry["stats"]["mean"])
+            if modules is not None:
+                module = entry.get("fullname", entry["name"]).split("::")[0]
+                modules.add(module.rsplit("/", 1)[-1].replace(".py", ""))
+    return {
+        name: {
+            "mean_s_best_of_3": round(min(means), 6),
+            "mean_s_runs": [round(mean, 6) for mean in means],
+        }
+        for name, means in sorted(runs.items())
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pr", type=int, required=True)
+    parser.add_argument("--title", default="")
+    parser.add_argument("--method", default="")
+    parser.add_argument("--out", required=True)
+    parser.add_argument("--after", nargs="+", required=True,
+                        help="pytest-benchmark JSONs of this tree's runs")
+    parser.add_argument("--before", nargs="*", default=(),
+                        help="pytest-benchmark JSONs of the baseline tree's runs")
+    parser.add_argument(
+        "--extra-headline", nargs="*", default=(), metavar="NAME=SPEEDUP",
+        help="extra headline entries (e.g. simulated-time speedups asserted "
+        "in benchmark tables rather than measured wall-clock)",
+    )
+    args = parser.parse_args(argv)
+
+    modules = set()
+    after = _collect(args.after, modules)
+    before = _collect(args.before) if args.before else {}
+
+    headline: Dict[str, float] = {}
+    for name, stats in after.items():
+        if name in before:
+            speedup = before[name]["mean_s_best_of_3"] / max(
+                stats["mean_s_best_of_3"], 1e-9
+            )
+            headline[name] = round(speedup, 2)
+    for item in args.extra_headline:
+        name, _, value = item.partition("=")
+        headline[name] = float(value)
+
+    snapshot = {
+        "pr": args.pr,
+        "title": args.title,
+        "benchmarks": sorted(modules),
+        "method": args.method,
+        "headline_speedups": headline,
+        "before": before,
+        "after": after,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}: {len(after)} tests, {len(headline)} headline entries")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,13 @@ from .docstore import DocumentStore
 __all__ = ["main", "build_cli_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_cli_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -40,6 +47,10 @@ def build_cli_parser() -> argparse.ArgumentParser:
                         help="dead endpoints in the world (default 5)")
     parser.add_argument("--flaky", action="store_true",
                         help="give endpoints Markov availability")
+    parser.add_argument("--parallelism", type=_positive_int, default=1, metavar="N",
+                        help="worker-pool width for index/crawl/schedule "
+                        "(default 1; stored artifacts are identical at "
+                        "every width, only simulated batch latency changes)")
     parser.add_argument("--store", metavar="DIR", default=None,
                         help="persist the server store under DIR")
 
@@ -120,7 +131,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "index":
             targets = [args.url] if args.url else world.indexable_urls
-            results = app.update_all(targets)
+            results = app.update_all(targets, parallelism=args.parallelism)
             for url, ok in results.items():
                 print(f"{'OK ' if ok else 'FAIL'} {url}")
             print(f"indexed {sum(results.values())}/{len(results)}")
@@ -181,7 +192,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"{step.instance_coverage:.0%} of instances")
 
         elif args.command == "crawl":
-            found = app.crawl_portals(world.portal_urls)
+            found = app.crawl_portals(world.portal_urls,
+                                      parallelism=args.parallelism)
             for key in ("edp", "euodp", "iodata"):
                 print(f"{key}: {found[key]} endpoints discovered")
             print(f"net new: {found['new']}")
@@ -199,7 +211,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 from .core import UpdateScheduler
 
                 scheduler = UpdateScheduler(app.storage, app.extractor, policy=args.policy)
-            for report in scheduler.run_days(args.days):
+            for report in scheduler.run_days(args.days,
+                                             parallelism=args.parallelism):
                 print(f"day {report.day}: attempted {len(report.attempted)}, "
                       f"ok {len(report.succeeded)}, failed {len(report.failed)}, "
                       f"fresh-skipped {report.skipped_fresh}")

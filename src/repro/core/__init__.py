@@ -39,6 +39,7 @@ from .models import (
     SchemaSummary,
 )
 from .notifications import EmailMessage, EmailOutbox
+from .parallel import TaskOutcome, makespan_ms, run_parallel
 from .persistence import HboldStorage
 from .presentation import DisplayTiming, PresentationLayer
 from .registry import EndpointRegistry, SubmissionResult
@@ -87,8 +88,11 @@ __all__ = [
     "SchemaSummary",
     "SubmissionResult",
     "SummaryDiff",
+    "TaskOutcome",
     "UpdateScheduler",
     "diff_summaries",
+    "makespan_ms",
+    "run_parallel",
     "VisualQuery",
     "build_cluster_schema",
     "summary_to_undirected",

@@ -21,6 +21,7 @@ from .cluster_schema import build_cluster_schema
 from .diff import diff_summaries
 from .index_extraction import ExtractionFailed, IndexExtractor
 from .models import SchemaSummary
+from .parallel import run_parallel
 from .persistence import HboldStorage
 
 __all__ = ["UpdateScheduler", "DailyReport", "POLICIES"]
@@ -118,8 +119,17 @@ class UpdateScheduler:
         self.cluster_algorithm = cluster_algorithm
         self.reports: List[DailyReport] = []
 
-    def run_day(self, urls: Optional[List[str]] = None) -> DailyReport:
-        """Execute one scheduler day over *urls* (default: whole registry)."""
+    def run_day(
+        self, urls: Optional[List[str]] = None, parallelism: int = 1
+    ) -> DailyReport:
+        """Execute one scheduler day over *urls* (default: whole registry).
+
+        The policy pass is sequential (it only reads registry records);
+        the due endpoints then fan out across the simulated worker pool,
+        so the day's elapsed time is the ``parallelism``-worker makespan
+        of the extraction batch and a flapping endpoint's retries no
+        longer delay everyone behind it in the registry.
+        """
         clock = self.extractor.client.network.clock
         today = clock.today
         report = DailyReport(today)
@@ -130,31 +140,53 @@ class UpdateScheduler:
             wanted = set(urls)
             records = [record for record in records if record["url"] in wanted]
 
+        due: List[str] = []
         for record in records:
-            url = record["url"]
             if not self.policy(record, today):
                 report.skipped_fresh += 1
                 continue
-            report.attempted.append(url)
-            try:
-                indexes = self.extractor.extract(url)
-            except ExtractionFailed as exc:
-                self.storage.record_extraction_failure(url, today, exc.reason)
-                report.failed.append(url)
-                continue
+            due.append(record["url"])
+
+        tasks = [
+            (url, lambda url=url: self._update_endpoint(url, today)) for url in due
+        ]
+        outcomes, _ = run_parallel(clock, tasks, parallelism)
+        for outcome in outcomes:
+            report.attempted.append(outcome.key)
+            status = outcome.value if outcome.error is None else "failed"
+            if status == "ok":
+                report.succeeded.append(outcome.key)
+            elif status == "ok-recluster-skipped":
+                report.succeeded.append(outcome.key)
+                report.reclusters_skipped += 1
+            else:
+                report.failed.append(outcome.key)
+
+        report.elapsed_ms = clock.now_ms - start_ms
+        self.reports.append(report)
+        return report
+
+    def _update_endpoint(self, url: str, today: int) -> str:
+        """One pool task: the full extract-summarize-cluster-store pipeline
+        for *url*.  Returns a status string; never raises for a failed
+        endpoint (failures are recorded and isolated to this task)."""
+        clock = self.extractor.client.network.clock
+        try:
+            indexes = self.extractor.extract(url)
             summary = SchemaSummary.from_indexes(indexes, computed_at_ms=clock.now_ms)
             self.storage.save_indexes(indexes)
 
             # "if the Schema Summary does not change then the Cluster Schema
             # will not change neither" (§3.2) -- reuse the stored clusters
             # when the summary is structurally identical.
+            status = "ok"
             previous = self.storage.load_summary(url)
             if (
                 previous is not None
                 and diff_summaries(previous, summary).is_unchanged()
                 and self.storage.load_cluster_schema(url) is not None
             ):
-                report.reclusters_skipped += 1
+                status = "ok-recluster-skipped"
             else:
                 cluster_schema = build_cluster_schema(
                     summary,
@@ -163,19 +195,31 @@ class UpdateScheduler:
                 )
                 self.storage.save_cluster_schema(cluster_schema)
             self.storage.save_summary(summary)
-            self.storage.record_extraction_success(url, today)
-            report.succeeded.append(url)
+        except ExtractionFailed as exc:
+            self.storage.record_extraction_failure(url, today, exc.reason)
+            return "failed"
+        except Exception as exc:
+            # A bug anywhere in this endpoint's pipeline (summarize,
+            # cluster, store -- not just extraction) must not kill the
+            # batch, but it must leave a diagnostic trail on the record.
+            self.storage.record_extraction_failure(
+                url, today, f"{type(exc).__name__}: {exc}"
+            )
+            return "failed"
+        self.storage.record_extraction_success(url, today)
+        return status
 
-        report.elapsed_ms = clock.now_ms - start_ms
-        self.reports.append(report)
-        return report
-
-    def run_days(self, days: int, urls: Optional[List[str]] = None) -> List[DailyReport]:
+    def run_days(
+        self,
+        days: int,
+        urls: Optional[List[str]] = None,
+        parallelism: int = 1,
+    ) -> List[DailyReport]:
         """Run the scheduler for *days* consecutive simulated days."""
         clock = self.extractor.client.network.clock
         out: List[DailyReport] = []
         for _ in range(days):
-            out.append(self.run_day(urls))
+            out.append(self.run_day(urls, parallelism=parallelism))
             clock.sleep_until_day(clock.today + 1)
         return out
 

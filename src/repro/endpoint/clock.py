@@ -46,6 +46,29 @@ class SimulationClock:
         if target > self._now_ms:
             self._now_ms = target
 
+    # -- batch isolation (the simulated worker pool) ----------------------
+
+    def checkpoint(self) -> float:
+        """The current time, to hand back to :meth:`restore` later."""
+        return self._now_ms
+
+    def restore(self, checkpoint_ms: float) -> None:
+        """Rewind to a previously taken :meth:`checkpoint`.
+
+        This is the one sanctioned way time moves backwards, and it exists
+        for exactly one caller: the simulated worker pool
+        (:mod:`repro.core.parallel`), which runs each task of a batch
+        against the batch-start clock, measures the task's elapsed
+        simulated time, rewinds, and finally advances once by the parallel
+        schedule's makespan.  Observers outside a batch still only ever
+        see time move forward.
+        """
+        if checkpoint_ms > self._now_ms:
+            raise ValueError(
+                f"checkpoint {checkpoint_ms} is in the future of {self._now_ms}"
+            )
+        self._now_ms = checkpoint_ms
+
     def __repr__(self) -> str:
         return f"<SimulationClock day={self.today} t={self._now_ms:.1f}ms>"
 

@@ -57,6 +57,18 @@ class Graph:
         self._pos: IdIndex = {}
         self._osp: IdIndex = {}
         self._size = 0
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumps on any write, even a no-op insert.
+
+        Cache keys derived from this graph's content (compiled query plans,
+        cardinality estimates) embed the generation and compare it on reuse;
+        a bump invalidates every derived artifact at once without the graph
+        having to know who is caching what.
+        """
+        return self._generation
 
     # -- dictionary access ---------------------------------------------------
 
@@ -105,6 +117,7 @@ class Graph:
 
     def add(self, triple: Triple) -> bool:
         """Insert *triple*; return True if it was not already present."""
+        self._generation += 1
         d = self._dict
         s = d.encode(triple.subject)
         p = d.encode(triple.predicate)
@@ -145,6 +158,7 @@ class Graph:
         type-checked; callers own the triple validity (generators and
         parsers construct well-typed terms).
         """
+        self._generation += 1
         d = self._dict
         encode = d.encode
         refcount = d._refcount
@@ -190,6 +204,7 @@ class Graph:
 
     def remove(self, triple: Triple) -> bool:
         """Remove *triple*; return True if it was present."""
+        self._generation += 1
         d = self._dict
         s = d.lookup(triple.subject)
         p = d.lookup(triple.predicate)
@@ -231,6 +246,7 @@ class Graph:
         return len(victims)
 
     def clear(self) -> None:
+        self._generation += 1
         self._dict = TermDict()
         self._spo = {}
         self._pos = {}

@@ -18,13 +18,30 @@ is small enough that the classic textbook pipeline would only add plumbing):
 5. solution modifiers (ORDER/DISTINCT/OFFSET/LIMIT) apply last, in the order
    the SPARQL spec defines.
 
-The legacy substitute-and-scan BGP evaluator is kept behind
-``QueryEngine(graph, strategy="scan")``; the conformance suite runs every
-query through both pipelines and asserts identical solutions.
+Three BGP pipelines coexist behind ``QueryEngine(graph, strategy=...)``:
+
+* ``"hash"`` (default) -- the eager dictionary-encoded hash-join pipeline
+  above, plus an ID-space SELECT fast path.  LIMIT-bounded general queries
+  delegate to the streaming operators so pagination stops early.
+* ``"stream"`` -- a volcano-style pipeline: every operator (pattern scan,
+  hash/index join, FILTER, OPTIONAL, UNION, VALUES, projection, DISTINCT,
+  OFFSET/LIMIT) is a generator over ID-tuple rows, so ``LIMIT k`` pulls
+  exactly as much of the join as k rows require.
+* ``"scan"`` -- the legacy substitute-and-scan nested-loop join kept as
+  the conformance oracle; the suite runs every query through all three
+  pipelines and asserts identical solutions.
+
+Compiled plans (encoded patterns + cardinality estimates) are cached per
+engine keyed by AST node identity and validated against the graph's
+mutation ``generation``; together with the parser's AST LRU this means a
+repeated query string skips tokenizing, parsing, pattern encoding and
+estimation entirely.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from itertools import chain as _chain
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..rdf.graph import Graph
@@ -212,15 +229,75 @@ class QueryEngine:
 
     Instances are cheap; hold one per graph or just use :func:`evaluate`.
     ``strategy`` selects the BGP pipeline: ``"hash"`` (default) is the
-    dictionary-encoded hash-join pipeline, ``"scan"`` the legacy
-    substitute-and-scan nested-loop join kept for conformance A/B runs.
+    eager dictionary-encoded hash-join pipeline, ``"stream"`` the lazy
+    volcano-style generator pipeline with OFFSET/LIMIT pushdown, and
+    ``"scan"`` the legacy substitute-and-scan nested-loop join kept for
+    conformance A/B runs.
+
+    Long-lived engines (one per endpoint) amortize planning: compiled
+    patterns are cached keyed on AST identity and invalidated when
+    ``graph.generation`` moves.
     """
 
+    #: entries kept in the per-engine compiled-plan cache
+    PLAN_CACHE_SIZE = 256
+
     def __init__(self, graph: Graph, strategy: str = "hash"):
-        if strategy not in ("hash", "scan"):
+        if strategy not in ("hash", "stream", "scan"):
             raise ValueError(f"unknown BGP strategy {strategy!r}")
         self.graph = graph
         self.strategy = strategy
+        # plan cache: tuple(id(pattern), ...) -> (patterns, [_EncodedPattern]).
+        # Keys are object identities, safe because the value holds a strong
+        # reference to the very pattern objects the ids name -- a live id
+        # can never be reused by a different object.
+        self._plans: "OrderedDict[Tuple[int, ...], Tuple[Tuple[TriplePattern, ...], List[_EncodedPattern]]]" = OrderedDict()
+        self._plans_generation = graph.generation
+        self._plan_hits = 0
+        self._plan_misses = 0
+
+    # -- compiled-plan cache ---------------------------------------------------
+
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the compiled-plan cache."""
+        return {
+            "hits": self._plan_hits,
+            "misses": self._plan_misses,
+            "size": len(self._plans),
+            "generation": self._plans_generation,
+        }
+
+    def _compile_patterns(
+        self, patterns: Sequence[TriplePattern]
+    ) -> List[_EncodedPattern]:
+        """Encode *patterns* to ID space, memoized until the graph mutates.
+
+        Pattern encoding walks the dictionary for every ground term and
+        estimates scan cardinality from the indexes; both depend only on
+        (pattern, graph content), so the result is reusable until
+        ``graph.generation`` changes -- the cheap invalidation rule that
+        makes it safe to hold plans across the fleet's repeated templated
+        queries.
+        """
+        generation = self.graph.generation
+        if generation != self._plans_generation:
+            self._plans.clear()
+            self._plans_generation = generation
+        key = tuple(map(id, patterns))
+        hit = self._plans.get(key)
+        if hit is not None:
+            self._plans.move_to_end(key)
+            self._plan_hits += 1
+            return hit[1]
+        self._plan_misses += 1
+        encoded = [
+            _EncodedPattern(index, pattern, self.graph)
+            for index, pattern in enumerate(patterns)
+        ]
+        self._plans[key] = (tuple(patterns), encoded)
+        if len(self._plans) > self.PLAN_CACHE_SIZE:
+            self._plans.popitem(last=False)
+        return encoded
 
     # -- public API -----------------------------------------------------------
 
@@ -239,6 +316,14 @@ class QueryEngine:
         self, group: GroupPattern, bindings: Iterable[Solution]
     ) -> Iterator[Solution]:
         """Evaluate a group pattern given an input solution stream."""
+        if self.strategy == "stream":
+            return self._evaluate_group_stream(group, iter(bindings))
+        return self._evaluate_group_eager(group, bindings)
+
+    def _evaluate_group_eager(
+        self, group: GroupPattern, bindings: Iterable[Solution]
+    ) -> Iterator[Solution]:
+        """The materializing group pipeline (hash and scan strategies)."""
         solutions = list(bindings)
         filters: List[FilterPattern] = []
         pending_bgp: List[TriplePattern] = []
@@ -326,12 +411,10 @@ class QueryEngine:
         input solutions), or ``None`` when a pattern can match nothing.
         """
         graph = self.graph
-        encoded = []
-        for index, pattern in enumerate(patterns):
-            compiled = _EncodedPattern(index, pattern, graph)
+        encoded = self._compile_patterns(patterns)
+        for compiled in encoded:
             if compiled.impossible:
                 return None
-            encoded.append(compiled)
 
         # Column layout: one slot per variable ever bound; rows are tuples.
         columns: List[Variable] = []
@@ -391,29 +474,13 @@ class QueryEngine:
             return out, new_columns, new_col_of
 
         # Hash join: scan once, key the scan rows on the shared variables,
-        # probe with every intermediate row.  The single shared variable
-        # case (the overwhelmingly common join shape) keys on the bare
-        # value instead of a 1-tuple.
-        var_index = {v: i for i, v in enumerate(ep.variables)}
-        key_positions = [var_index[v] for v in shared]
-        new_positions = [var_index[v] for v in new_vars]
-        table: Dict = {}
-        setdefault = table.setdefault
+        # probe with every intermediate row.
+        table = self._build_probe_table(ep, shared, new_vars)
         out: List[Tuple] = []
         fallback: List[Tuple] = []
-        if len(key_positions) == 1:
-            key_position = key_positions[0]
-            if len(new_positions) == 1:
-                new_position = new_positions[0]
-                for srow in self._scan_pattern(ep):
-                    setdefault(srow[key_position], []).append((srow[new_position],))
-            else:
-                for srow in self._scan_pattern(ep):
-                    setdefault(srow[key_position], []).append(
-                        tuple(srow[i] for i in new_positions)
-                    )
+        get = table.get
+        if len(shared) == 1:
             shared_col = col_of[shared[0]]
-            get = table.get
             for row in rows:
                 key = row[shared_col]
                 if key is _UNBOUND:
@@ -424,11 +491,7 @@ class QueryEngine:
                     for extra in bucket:
                         out.append(row + extra)
         else:
-            for srow in self._scan_pattern(ep):
-                key = tuple(srow[i] for i in key_positions)
-                setdefault(key, []).append(tuple(srow[i] for i in new_positions))
             shared_cols = [col_of[v] for v in shared]
-            get = table.get
             for row in rows:
                 key = tuple(row[c] for c in shared_cols)
                 if _UNBOUND in key:
@@ -441,6 +504,41 @@ class QueryEngine:
         if fallback:
             out.extend(self._index_join(ep, fallback, col_of, new_col_of, len(new_vars)))
         return out, new_columns, new_col_of
+
+    def _build_probe_table(
+        self,
+        ep: _EncodedPattern,
+        shared: Sequence[Variable],
+        new_vars: Sequence[Variable],
+    ) -> Dict:
+        """Scan *ep* once into ``{shared key: [new-variable tuples]}``.
+
+        The build side of both hash joins (eager and streaming).  A single
+        shared variable (the overwhelmingly common join shape) keys on the
+        bare value instead of a 1-tuple.
+        """
+        var_index = {v: i for i, v in enumerate(ep.variables)}
+        key_positions = [var_index[v] for v in shared]
+        new_positions = [var_index[v] for v in new_vars]
+        table: Dict = {}
+        setdefault = table.setdefault
+        if len(key_positions) == 1:
+            key_position = key_positions[0]
+            if len(new_positions) == 1:
+                new_position = new_positions[0]
+                for srow in self._scan_pattern(ep):
+                    setdefault(srow[key_position], []).append((srow[new_position],))
+            else:
+                for srow in self._scan_pattern(ep):
+                    setdefault(srow[key_position], []).append(
+                        tuple(srow[i] for i in new_positions)
+                    )
+        else:
+            for srow in self._scan_pattern(ep):
+                setdefault(tuple(srow[i] for i in key_positions), []).append(
+                    tuple(srow[i] for i in new_positions)
+                )
+        return table
 
     def _scan_pattern(self, ep: _EncodedPattern) -> Iterator[Tuple]:
         """Scan *ep* with only its ground positions bound.
@@ -705,6 +803,247 @@ class QueryEngine:
         pairs = evaluate_path_ids(self.graph, ep.path, s_value, o_value)
         yield from self._pairs_to_rows(ep, pairs)
 
+    # -- the streaming (volcano-style) pipeline --------------------------------
+    #
+    # Every operator is a generator over ID-tuple rows; a row is pulled
+    # through the whole chain before the next one is produced, so a bounded
+    # consumer (LIMIT, ASK, EXISTS) stops the scans underneath it early.
+    # Physical operators are shared with the hash pipeline (_scan_pattern,
+    # _index_join); what changes is the control flow around them.
+
+    def _evaluate_group_stream(
+        self, group: GroupPattern, solutions: Iterator[Solution]
+    ) -> Iterator[Solution]:
+        """Lazy group pipeline: compose generators element by element."""
+        stream = solutions
+        filters: List[FilterPattern] = []
+        pending: List[TriplePattern] = []
+        for element in group.elements:
+            if isinstance(element, TriplePattern):
+                pending.append(element)
+                continue
+            if isinstance(element, FilterPattern):
+                filters.append(element)
+                continue
+            if pending:
+                stream = self._stream_bgp(tuple(pending), stream)
+                pending = []
+            if isinstance(element, OptionalPattern):
+                stream = self._stream_optional(element, stream)
+            elif isinstance(element, UnionPattern):
+                stream = self._stream_union(element, stream)
+            elif isinstance(element, GroupPattern):
+                stream = self._evaluate_group_stream(element, stream)
+            elif isinstance(element, ValuesPattern):
+                stream = self._stream_values(element, stream)
+            else:  # pragma: no cover - parser prevents this
+                raise SparqlEvaluationError(f"unknown pattern element {element!r}")
+        if pending:
+            stream = self._stream_bgp(tuple(pending), stream)
+        for filter_pattern in filters:
+            stream = self._stream_filter(filter_pattern.expression, stream)
+        return stream
+
+    def _stream_filter(
+        self, expression: Expression, stream: Iterator[Solution]
+    ) -> Iterator[Solution]:
+        for solution in stream:
+            if self._filter_passes(expression, solution):
+                yield solution
+
+    def _stream_optional(
+        self, element: OptionalPattern, stream: Iterator[Solution]
+    ) -> Iterator[Solution]:
+        for solution in stream:
+            extended = self._evaluate_group_stream(element.group, iter((solution,)))
+            first = next(extended, _UNBOUND)
+            if first is _UNBOUND:
+                yield solution
+            else:
+                yield first
+                yield from extended
+
+    def _stream_union(
+        self, element: UnionPattern, stream: Iterator[Solution]
+    ) -> Iterator[Solution]:
+        # UNION replays its input once per alternative, so the input is the
+        # one place the stream pipeline has to buffer.  Alternatives still
+        # evaluate lazily, alternative-major like the eager pipeline.
+        buffered = list(stream)
+        for alternative in element.alternatives:
+            yield from self._evaluate_group_stream(alternative, iter(buffered))
+
+    def _stream_values(
+        self, element: ValuesPattern, stream: Iterator[Solution]
+    ) -> Iterator[Solution]:
+        for solution in stream:
+            for row in element.rows:
+                candidate = dict(solution)
+                compatible = True
+                for variable, value in zip(element.variables, row):
+                    if value is None:
+                        continue  # UNDEF leaves the variable unconstrained
+                    existing = candidate.get(variable)
+                    if existing is None:
+                        candidate[variable] = value
+                    elif existing != value:
+                        compatible = False
+                        break
+                if compatible:
+                    yield candidate
+
+    def _stream_bgp(
+        self, patterns: Sequence[TriplePattern], solutions: Iterator[Solution]
+    ) -> Iterator[Solution]:
+        """The BGP join chain as a per-input-solution volcano pipeline.
+
+        Each input solution seeds a single ID row; one generator per
+        pattern extends rows lazily.  Operator state that is worth sharing
+        across input solutions (hash-join build tables, cartesian scan
+        buffers) lives in ``state`` keyed by pattern, so heterogeneous
+        input headers each get a layout but the expensive scans run once.
+        """
+        encoded = self._compile_patterns(patterns)
+        if any(ep.impossible for ep in encoded):
+            return
+        graph = self.graph
+        lookup = graph.lookup_id
+        decode = graph.decode_id
+        plans: Dict[frozenset, Tuple] = {}
+        state: Dict = {}
+        for solution in solutions:
+            header = frozenset(solution)
+            plan = plans.get(header)
+            if plan is None:
+                plan = plans[header] = self._stream_plan(encoded, solution)
+            columns, steps, out_layout = plan
+            row: List = []
+            for variable in columns:
+                term = solution[variable]
+                term_id = lookup(term)
+                # Non-interned terms ride along raw; they can never equal a
+                # scanned ID, which is the join semantics they need.
+                row.append(term_id if term_id is not None else term)
+            source: Iterator[Tuple] = iter((tuple(row),))
+            for step in steps:
+                source = self._stream_step(step, source, state)
+            for out_row in source:
+                out: Solution = {}
+                for variable, column in out_layout:
+                    value = out_row[column]
+                    if value is _UNBOUND:
+                        continue
+                    out[variable] = decode(value) if type(value) is int else value
+                yield out
+
+    def _stream_plan(
+        self, encoded: List[_EncodedPattern], solution: Solution
+    ) -> Tuple[List[Variable], List[Tuple], List[Tuple[Variable, int]]]:
+        """Join order + per-step column layouts for one input header.
+
+        Greedy selectivity order, same scoring as the hash pipeline; the
+        layouts are precomputed here so each solution only pays tuple
+        construction at run time.
+        """
+        columns = sorted(solution, key=lambda variable: variable.name)
+        col_of: Dict[Variable, int] = {v: i for i, v in enumerate(columns)}
+        steps: List[Tuple] = []
+        remaining = list(encoded)
+        while remaining:
+            bound = col_of
+            chosen = min(
+                remaining,
+                key=lambda ep: (
+                    ep.est / (16.0 ** sum(1 for v in ep.variables if v in bound)),
+                    ep.index,
+                ),
+            )
+            remaining.remove(chosen)
+            shared = tuple(v for v in chosen.variables if v in col_of)
+            new_vars = tuple(v for v in chosen.variables if v not in col_of)
+            new_col_of = dict(col_of)
+            for variable in new_vars:
+                new_col_of[variable] = len(new_col_of)
+            steps.append((chosen, col_of, new_col_of, new_vars, shared))
+            col_of = new_col_of
+        return columns, steps, list(col_of.items())
+
+    #: hash-join build tables above this estimated cardinality would scan
+    #: the pattern eagerly and defeat LIMIT pushdown, so anything larger
+    #: joins by per-row index lookups instead.  Kept deliberately small:
+    #: the build is the one eager scan the streaming pipeline allows
+    #: itself, and a bounded consumer must stay O(limit + constant).
+    STREAM_HASH_BUILD_MAX = 64.0
+
+    def _stream_step(
+        self, step: Tuple, upstream: Iterator[Tuple], state: Dict
+    ) -> Iterator[Tuple]:
+        """Extend each upstream row with one pattern's matches, lazily."""
+        ep, col_of, new_col_of, new_vars, shared = step
+        extra_width = len(new_vars)
+
+        if not shared and ep.path is None:
+            # Cartesian extension.  The single-upstream-row case (every
+            # BGP's first pattern) streams straight off the index scan; a
+            # multi-row upstream needs the scan replayed, so it buffers.
+            first = next(upstream, _UNBOUND)
+            if first is _UNBOUND:
+                return
+            second = next(upstream, _UNBOUND)
+            if second is _UNBOUND:
+                for srow in self._scan_pattern(ep):
+                    yield first + srow
+                return
+            key = (ep.index, "scan")
+            scan = state.get(key)
+            if scan is None:
+                scan = state[key] = list(self._scan_pattern(ep))
+            for row in _chain((first, second), upstream):
+                for srow in scan:
+                    yield row + srow
+            return
+
+        if shared and ep.path is None and ep.est <= self.STREAM_HASH_BUILD_MAX:
+            # Hash join against a small pattern: build the table once per
+            # BGP (shared across input solutions), probe row by row.
+            key = (ep.index, tuple(v.name for v in shared))
+            table = state.get(key)
+            if table is None:
+                table = state[key] = self._build_probe_table(ep, shared, new_vars)
+            shared_cols = [col_of[v] for v in shared]
+            get = table.get
+            if len(shared_cols) == 1:
+                shared_col = shared_cols[0]
+                for row in upstream:
+                    probe = row[shared_col]
+                    if probe is _UNBOUND:
+                        yield from self._index_join(
+                            ep, [row], col_of, new_col_of, extra_width
+                        )
+                        continue
+                    bucket = get(probe)
+                    if bucket:
+                        for extra in bucket:
+                            yield row + extra
+            else:
+                for row in upstream:
+                    probe = tuple(row[c] for c in shared_cols)
+                    if _UNBOUND in probe:
+                        yield from self._index_join(
+                            ep, [row], col_of, new_col_of, extra_width
+                        )
+                        continue
+                    bucket = get(probe)
+                    if bucket:
+                        for extra in bucket:
+                            yield row + extra
+            return
+
+        # Index nested-loop join: per-row index lookups, no upfront scan.
+        # Covers property paths, repeated variables and large patterns.
+        for row in upstream:
+            yield from self._index_join(ep, [row], col_of, new_col_of, extra_width)
+
     # -- the legacy substitute-and-scan pipeline -------------------------------
 
     def _evaluate_bgp_scan(
@@ -862,29 +1201,106 @@ class QueryEngine:
         # Fast path for the ubiquitous liveness probe ``ASK { ?s ?p ?o }``
         # (and any single plain pattern): probe the ID indexes directly
         # instead of materializing the full scan.
-        if self.strategy == "hash" and len(group.elements) == 1:
+        if self.strategy in ("hash", "stream") and len(group.elements) == 1:
             element = group.elements[0]
             from .paths import is_path
 
             if isinstance(element, TriplePattern) and not is_path(element.predicate):
-                compiled = _EncodedPattern(0, element, self.graph)
+                compiled = self._compile_patterns((element,))[0]
                 if compiled.impossible:
                     return False
                 for row in self._scan_pattern(compiled):
                     return True
                 return False
-        for _ in self._evaluate_group(group, [{}]):
+        if self.strategy == "scan":
+            for _ in self._evaluate_group(group, [{}]):
+                return True
+            return False
+        # ASK needs exactly one witness: the streaming pipeline stops the
+        # underlying scans as soon as it surfaces (the eager pipeline would
+        # materialize the complete join first).
+        for _ in self._evaluate_group_stream(group, iter(({},))):
             return True
         return False
 
     # -- SELECT pipeline -----------------------------------------------------
 
+    #: the eager engine hands a SELECT to the streaming operators only when
+    #: LIMIT is at most this.  Small limits are where pushdown pays by
+    #: construction; large limits are usually pagination pages, where the
+    #: limit rarely binds and the eager ID-space batch path is faster.
+    STREAM_DELEGATE_LIMIT = 64
+
     def _run_select(self, query: SelectQuery) -> SelectResult:
         if self.strategy == "hash":
+            # Small-LIMIT queries pay for every row an eager pipeline
+            # materializes and then throws away; route them through the
+            # streaming operators instead.  DISTINCT stays on the eager
+            # fast path, which deduplicates in ID space before decoding.
+            # The gate must not involve OFFSET: all pages of one paginated
+            # query then land on the same pipeline, keeping row order
+            # stable across pages.
+            if (
+                query.limit is not None
+                and query.limit <= self.STREAM_DELEGATE_LIMIT
+                and not query.distinct
+                and self._streamable(query)
+            ):
+                return self._run_select_streaming(query)
             fast = self._try_select_fast(query)
             if fast is not None:
                 return fast
+        elif self.strategy == "stream" and self._streamable(query):
+            return self._run_select_streaming(query)
         return self._run_select_general(query)
+
+    @staticmethod
+    def _streamable(query: SelectQuery) -> bool:
+        """Can SELECT evaluation run without a pipeline breaker?
+
+        ORDER BY, grouping/aggregation and HAVING need the full solution
+        multiset before the first output row; ``SELECT *`` derives its
+        header from the solutions, which would make a truncated stream
+        observable.  Everything else keeps row-at-a-time semantics.
+        """
+        return (
+            not query.order_by
+            and query.having is None
+            and not query.select_all
+            and not query.has_aggregates()
+        )
+
+    def _run_select_streaming(self, query: SelectQuery) -> SelectResult:
+        """Row-at-a-time SELECT: project, deduplicate and paginate while
+        pulling, so OFFSET/LIMIT bound the work the joins underneath do."""
+        names: List[str] = []
+        for projection in query.projections:
+            variable = projection.variable
+            if variable is None:
+                raise SparqlEvaluationError("projection without output variable")
+            names.append(variable.name)
+        if query.limit == 0:
+            return SelectResult(names, [])
+
+        solutions = self._evaluate_group_stream(query.where, iter(({},)))
+        rows: List[Row] = []
+        seen = set() if query.distinct else None
+        skip = query.offset or 0
+        limit = query.limit
+        for solution in solutions:
+            row = self._project_row(query, names, solution)
+            if seen is not None:
+                dedup_key = tuple(row.get(name) for name in names)
+                if dedup_key in seen:
+                    continue
+                seen.add(dedup_key)
+            if skip:
+                skip -= 1
+                continue
+            rows.append(row)
+            if limit is not None and len(rows) >= limit:
+                break
+        return SelectResult(names, rows)
 
     # -- the ID-space SELECT fast path ----------------------------------------
 
@@ -1163,23 +1579,26 @@ class QueryEngine:
                 raise SparqlEvaluationError("projection without output variable")
             names.append(variable.name)
 
-        rows = []
-        for solution in solutions:
-            row: Row = {}
-            for projection, name in zip(query.projections, names):
-                if isinstance(projection.expression, VariableExpression) and (
-                    projection.alias is None
-                ):
-                    row[name] = solution.get(projection.expression.variable)
-                else:
-                    try:
-                        row[name] = evaluate_expression(
-                            projection.expression, solution, self._evaluate_exists
-                        )
-                    except ExpressionError:
-                        row[name] = None
-            rows.append(row)
+        rows = [self._project_row(query, names, solution) for solution in solutions]
         return rows, names
+
+    def _project_row(
+        self, query: SelectQuery, names: List[str], solution: Solution
+    ) -> Row:
+        row: Row = {}
+        for projection, name in zip(query.projections, names):
+            if isinstance(projection.expression, VariableExpression) and (
+                projection.alias is None
+            ):
+                row[name] = solution.get(projection.expression.variable)
+            else:
+                try:
+                    row[name] = evaluate_expression(
+                        projection.expression, solution, self._evaluate_exists
+                    )
+                except ExpressionError:
+                    row[name] = None
+        return row
 
     # -- aggregation -----------------------------------------------------------
 
@@ -1403,5 +1822,9 @@ class QueryEngine:
 def evaluate(
     graph: Graph, query: Union[str, Query], strategy: str = "hash"
 ) -> Union[SelectResult, AskResult]:
-    """Evaluate *query* (text or AST) against *graph*."""
+    """Evaluate *query* (text or AST) against *graph*.
+
+    ``strategy`` is ``"hash"`` (eager, default), ``"stream"`` (lazy
+    volcano pipeline) or ``"scan"`` (legacy oracle).
+    """
     return QueryEngine(graph, strategy=strategy).run(query)

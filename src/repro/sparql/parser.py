@@ -18,6 +18,7 @@ token's position, which is what a user of a subset engine actually needs.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from ..rdf.namespaces import PREFIXES as DEFAULT_PREFIXES
@@ -50,7 +51,7 @@ from .nodes import (
 )
 from .tokenizer import Token, tokenize
 
-__all__ = ["parse_query"]
+__all__ = ["parse_query", "parse_cache_info", "parse_cache_clear"]
 
 _AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT")
 _BUILTINS = (
@@ -693,10 +694,33 @@ class _Parser:
         return Aggregate(function, expression, distinct=distinct, separator=separator)
 
 
+@lru_cache(maxsize=256)
+def _parse_cached(query: str) -> Query:
+    return _Parser(query).parse()
+
+
 def parse_query(query: str) -> Query:
     """Parse SPARQL *query* text into an AST.
 
     Raises :class:`SparqlSyntaxError` on malformed input and
     :class:`UnsupportedSparqlError` for syntax outside the subset.
+
+    Repeated identical query strings return the *same* AST object from a
+    small LRU: the fleet workloads (extraction templates, liveness probes,
+    the Listing 1 crawl) re-issue a handful of fixed strings against
+    hundreds of endpoints, so tokenizing and parsing each time was pure
+    overhead.  Caching is sound because the AST is never mutated after
+    parse -- the evaluator copies nodes before any substitution -- and it
+    is what lets the evaluator key compiled plans by AST identity.
     """
-    return _Parser(query).parse()
+    return _parse_cached(query)
+
+
+def parse_cache_info():
+    """Hit/miss statistics of the parse LRU (for benchmarks and tests)."""
+    return _parse_cached.cache_info()
+
+
+def parse_cache_clear() -> None:
+    """Drop every cached AST (for benchmarks and tests)."""
+    _parse_cached.cache_clear()

@@ -1,14 +1,16 @@
-"""Conformance suite: the hash-join pipeline against the legacy scan pipeline.
+"""Conformance suite: the modern pipelines against the legacy scan oracle.
 
 Every case runs the same query text through ``QueryEngine(graph,
 strategy="scan")`` (the seed's substitute-and-scan nested-loop evaluator)
-and ``QueryEngine(graph, strategy="hash")`` (the dictionary-encoded
-hash-join pipeline plus its ID-space SELECT fast path) and asserts the two
-return identical solutions.  Queries without ORDER BY compare as multisets
-(neither engine promises an order); ORDER BY queries compare row-for-row.
+and each modern pipeline -- ``"hash"`` (the eager dictionary-encoded
+hash-join pipeline plus its ID-space SELECT fast path) and ``"stream"``
+(the volcano-style generator pipeline with OFFSET/LIMIT pushdown) -- and
+asserts they return identical solutions.  Queries without ORDER BY
+compare as multisets (no engine promises an order); ORDER BY queries
+compare row-for-row.
 
 Each case also pins the expected row count so a regression that breaks
-*both* engines the same way still fails.
+*every* engine the same way still fails.
 """
 
 from __future__ import annotations
@@ -305,13 +307,18 @@ def _canonical_rows(result: SelectResult):
     return sorted(row_key(row) for row in result.rows)
 
 
+#: the modern pipelines checked against the scan oracle
+STRATEGIES = ("hash", "stream")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
 @pytest.mark.parametrize("case_id,query,expected", CASES, ids=[c[0] for c in CASES])
-def test_hash_join_matches_scan(graph, case_id, query, expected):
+def test_pipeline_matches_scan(graph, strategy, case_id, query, expected):
     scan = QueryEngine(graph, strategy="scan").run(query)
-    hashed = QueryEngine(graph, strategy="hash").run(query)
-    assert isinstance(scan, SelectResult) and isinstance(hashed, SelectResult)
-    assert sorted(scan.variables) == sorted(hashed.variables)
-    assert len(hashed.rows) == expected
+    modern = QueryEngine(graph, strategy=strategy).run(query)
+    assert isinstance(scan, SelectResult) and isinstance(modern, SelectResult)
+    assert sorted(scan.variables) == sorted(modern.variables)
+    assert len(modern.rows) == expected
     if "ORDER BY" in query:
         # Ordered comparison: the ordering contract must agree too.
         assert [
@@ -319,18 +326,19 @@ def test_hash_join_matches_scan(graph, case_id, query, expected):
             for row in scan.rows
         ] == [
             {name: term.n3() if term else None for name, term in row.items()}
-            for row in hashed.rows
+            for row in modern.rows
         ]
     else:
-        assert _canonical_rows(scan) == _canonical_rows(hashed)
+        assert _canonical_rows(scan) == _canonical_rows(modern)
 
 
+@pytest.mark.parametrize("strategy", STRATEGIES)
 @pytest.mark.parametrize("case_id,query,expected", ASK_CASES, ids=[c[0] for c in ASK_CASES])
-def test_ask_matches_scan(graph, case_id, query, expected):
+def test_ask_matches_scan(graph, strategy, case_id, query, expected):
     scan = QueryEngine(graph, strategy="scan").run(query)
-    hashed = QueryEngine(graph, strategy="hash").run(query)
-    assert isinstance(scan, AskResult) and isinstance(hashed, AskResult)
-    assert bool(scan) == bool(hashed) == expected
+    modern = QueryEngine(graph, strategy=strategy).run(query)
+    assert isinstance(scan, AskResult) and isinstance(modern, AskResult)
+    assert bool(scan) == bool(modern) == expected
 
 
 def test_strategy_validation(graph):
