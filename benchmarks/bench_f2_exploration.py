@@ -22,7 +22,9 @@ def test_f2_exploration_steps(benchmark, scholarly_app, record_table):
     summary = app.summary(url)
     schema = app.cluster_schema(url)
 
-    session = benchmark.pedantic(app.explore, args=(url,), iterations=1, rounds=1)
+    # rounds>1: a one-shot microsecond sample is pure timer jitter and made
+    # the >10% regression gate flap; the mean of 10 calls is stable.
+    session = benchmark.pedantic(app.explore, args=(url,), iterations=1, rounds=10)
     lines = [
         "F2 (Figure 2): step-by-step visualization of the Scholarly LD",
         f"dataset: {len(summary.nodes)} classes, {summary.total_instances} instances, "

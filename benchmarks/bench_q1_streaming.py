@@ -96,13 +96,21 @@ def test_q1_bench_full_join_materialized(benchmark, graph):
     assert len(result.rows) > 10_000
 
 
-def test_q1_parse_cache_drops_parse_cost(benchmark, record_table):
-    """The parser LRU: repeated identical strings return the cached AST."""
-    benchmark.pedantic(parse_query, args=(PARSE_QUERY,), iterations=1, rounds=1)
+def test_q1_parse_cache_cold_vs_warm(benchmark, record_table):
+    """The parser LRU: repeated identical strings return the cached AST.
+
+    (Renamed from ``test_q1_parse_cache_drops_parse_cost`` when the
+    recorded quantity changed: the old record was a one-shot, sometimes
+    cache-hitting ``parse_query`` sample whose microsecond jitter made
+    the >10% regression gate flap; the record is now the mean of 10
+    guaranteed-cold parses, a different and stable measurement.)
+    """
 
     def parse_cold():
         parse_cache_clear()
         return parse_query(PARSE_QUERY)
+
+    benchmark.pedantic(parse_cold, iterations=1, rounds=10)
 
     def parse_warm():
         return parse_query(PARSE_QUERY)

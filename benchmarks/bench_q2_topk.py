@@ -1,0 +1,201 @@
+"""Q2 (PR3): bounded top-k ORDER BY and streaming aggregation.
+
+The perf claims of the PR, measured on the same >=10k-row join the Q1
+streaming benchmarks use:
+
+* ``ORDER BY ... LIMIT k`` through the bounded heap is >= 5x faster than
+  PR 2's materialize-everything-then-sort for small k, because only
+  ``offset + k`` rows are ever kept, decoded or sorted;
+* streaming GROUP BY/aggregation tracks O(groups) accumulator rows, not
+  O(rows) materialized solutions (asserted via ``QueryEngine.exec_stats``,
+  the engine's own memory-contract counters);
+* "top-k entities by count" -- the paper's exploratory shape -- composes
+  both operators.
+
+The ``test_q2_bench_*`` functions carry the pytest-benchmark fixtures the
+committed ``BENCH_PR<N>.json`` snapshots track across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datagen import government_graph
+from repro.sparql import QueryEngine, evaluate
+from repro.sparql.parser import parse_query
+
+LIMIT_K = 10
+
+#: the paper-workload join (same as Q1), with a total sort order so every
+#: pipeline returns identical rows
+TOPK_QUERY = (
+    "SELECT ?s ?p ?o WHERE { ?s a ?c . ?s ?p ?o } "
+    f"ORDER BY ?o ?s ?p LIMIT {LIMIT_K}"
+)
+
+#: top-k entities by degree: streaming GROUP BY feeding the ordered tail
+GROUP_TOPK_QUERY = (
+    "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s a ?c . ?s ?p ?o } "
+    f"GROUP BY ?s ORDER BY DESC(?n) ?s LIMIT {LIMIT_K}"
+)
+
+#: plain aggregation over the same join (no ORDER BY): guards the eager
+#: ID-space fast path the extraction workload lives on
+GROUP_QUERY = (
+    "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c . ?s ?p ?o } GROUP BY ?c"
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return government_graph(scale=1.0, seed=7)
+
+
+def _best_of(runs, fn, *args):
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_q2_topk_beats_materialize_sort(benchmark, graph, record_table):
+    """Bounded heap vs PR 2's materialize-and-sort, identical rows."""
+    parsed = parse_query(TOPK_QUERY)
+    benchmark.pedantic(evaluate, args=(graph, TOPK_QUERY, "hash"),
+                       iterations=1, rounds=1)
+
+    def run_topk():
+        # the default engine's delegated bounded top-k
+        return evaluate(graph, TOPK_QUERY, strategy="hash")
+
+    def run_materialized():
+        # PR 2's path for this query: materialize every solution, build
+        # sort scopes, sort the lot, slice k.
+        return QueryEngine(graph)._run_select_general(parsed)
+
+    topk_rows = [tuple(sorted((k, str(v)) for k, v in row.items()))
+                 for row in run_topk().rows]
+    full_rows = [tuple(sorted((k, str(v)) for k, v in row.items()))
+                 for row in run_materialized().rows]
+    assert topk_rows == full_rows and len(topk_rows) == LIMIT_K
+    # the lazy variant returns the same rows and keeps the memory bound
+    stream_engine = QueryEngine(graph, strategy="stream")
+    stream_rows = [tuple(sorted((k, str(v)) for k, v in row.items()))
+                   for row in stream_engine.run(TOPK_QUERY).rows]
+    assert stream_rows == full_rows
+    stream_stats = stream_engine.exec_stats
+    assert stream_stats["input_rows"] >= 10_000
+    assert stream_stats["tracked_rows"] <= LIMIT_K
+
+    topk = _best_of(5, run_topk)
+    topk_stream = _best_of(5, lambda: evaluate(graph, TOPK_QUERY, "stream"))
+    materialized = _best_of(3, run_materialized)
+    speedup = materialized / topk
+
+    record_table(
+        "q2_topk",
+        "\n".join(
+            [
+                f"Q2 (PR3): ORDER BY ... LIMIT {LIMIT_K} over a "
+                f"{stream_stats['input_rows']}-row join ({len(graph)} triples)",
+                "",
+                f"{'pipeline':<26} {'best time':>12} {'peak rows':>10}",
+                f"{'topk heap (hash)':<26} {topk * 1000:>10.2f}ms "
+                f"{LIMIT_K:>10}",
+                f"{'topk heap (stream)':<26} {topk_stream * 1000:>10.2f}ms "
+                f"{stream_stats['tracked_rows']:>10}",
+                f"{'materialize + sort (PR2)':<26} {materialized * 1000:>10.2f}ms "
+                f"{stream_stats['input_rows']:>10}",
+                f"{'speedup (hash vs PR2)':<26} {speedup:>10.1f}x",
+            ]
+        ),
+    )
+    assert speedup >= 5.0
+
+
+def test_q2_streaming_aggregation_tracks_groups(benchmark, graph, record_table):
+    """GROUP BY folds into O(groups) accumulators, not O(rows) solutions."""
+    parsed = parse_query(GROUP_TOPK_QUERY)
+    benchmark.pedantic(evaluate, args=(graph, GROUP_TOPK_QUERY, "stream"),
+                       iterations=1, rounds=1)
+
+    engine = QueryEngine(graph, strategy="stream")
+    result = engine.run(GROUP_TOPK_QUERY)
+    stats = engine.exec_stats
+    assert stats["operator"] == "stream-aggregate"
+    assert len(result.rows) == LIMIT_K
+    # the memory contract: tracked state is exactly the group table (one
+    # accumulator row per distinct subject), never the row count ...
+    group_count = len(
+        evaluate(graph, GROUP_TOPK_QUERY.split(" ORDER BY")[0], "hash").rows
+    )
+    assert stats["tracked_rows"] == group_count < stats["input_rows"]
+    # ... and for coarse groupings it is orders of magnitude below it
+    class_engine = QueryEngine(graph, strategy="stream")
+    class_engine.run(GROUP_QUERY)
+    class_stats = class_engine.exec_stats
+    assert class_stats["tracked_rows"] * 100 <= class_stats["input_rows"]
+
+    def run_streamed():
+        return evaluate(graph, GROUP_TOPK_QUERY, strategy="hash")
+
+    def run_materialized():
+        return QueryEngine(graph)._run_select_general(parsed)
+
+    assert [
+        (str(row["s"]), str(row["n"])) for row in run_streamed().rows
+    ] == [(str(row["s"]), str(row["n"])) for row in run_materialized().rows]
+
+    streamed = _best_of(5, run_streamed)
+    materialized = _best_of(5, run_materialized)
+    speedup = materialized / streamed
+
+    record_table(
+        "q2_group_topk",
+        "\n".join(
+            [
+                f"Q2 (PR3): top-{LIMIT_K} entities by count over "
+                f"{stats['input_rows']} join rows",
+                "",
+                f"{'pipeline':<26} {'best time':>12} {'peak rows':>10}",
+                f"{'incremental fold (hash)':<26} {streamed * 1000:>10.2f}ms "
+                f"{stats['tracked_rows']:>10}",
+                f"{'materialized groups':<26} {materialized * 1000:>10.2f}ms "
+                f"{stats['input_rows']:>10}",
+                f"{'speedup':<26} {speedup:>10.1f}x",
+            ]
+        ),
+    )
+    # The headline claim here is the O(groups) memory contract asserted
+    # above; time-wise the fold must simply never lose to the
+    # materialized group machinery (typically 1.5-1.8x on this box, but
+    # the 1-CPU container's scheduling jitter makes a tight bound flaky).
+    assert speedup >= 1.0
+
+
+def test_q2_bench_order_limit_hash(benchmark, graph):
+    """The default engine on ORDER BY+LIMIT (PR2: general; PR3: top-k)."""
+    result = benchmark(evaluate, graph, TOPK_QUERY, "hash")
+    assert len(result.rows) == LIMIT_K
+
+
+def test_q2_bench_order_limit_stream(benchmark, graph):
+    result = benchmark(evaluate, graph, TOPK_QUERY, "stream")
+    assert len(result.rows) == LIMIT_K
+
+
+def test_q2_bench_group_topk_hash(benchmark, graph):
+    """Top-k entities by count on the default engine."""
+    result = benchmark(evaluate, graph, GROUP_TOPK_QUERY, "hash")
+    assert len(result.rows) == LIMIT_K
+
+
+def test_q2_bench_group_fastpath(benchmark, graph):
+    """Plain GROUP BY on the eager ID-space fast path (extraction shape):
+    pinned so the accumulator rewrite cannot regress the e4 workload."""
+    result = benchmark(evaluate, graph, GROUP_QUERY, "hash")
+    assert len(result.rows) > 0

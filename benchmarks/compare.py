@@ -13,11 +13,16 @@ Usage::
 
     python benchmarks/compare.py BENCH_PR1.json BENCH_PR2.json
     python benchmarks/compare.py old-run.json new-run.json --threshold 1.10
+    python benchmarks/compare.py BENCH_PR2.json new-run.json --gate
 
 The first file is the baseline: speedup = baseline_mean / new_mean, so
 numbers > 1 mean the second file is faster.  With ``--threshold`` the
 exit code is 1 when any shared test regressed by more than the factor
-(e.g. ``--threshold 1.10`` fails on a >10% slowdown).
+(e.g. ``--threshold 1.10`` fails on a >10% slowdown).  ``--gate`` is the
+pre-merge shorthand: threshold 1.10 unless one is given explicitly, and
+a non-zero exit additionally when the two files share no tests (a gate
+that compares nothing must not pass silently).  ``run_bench.sh --gate``
+wires this against the latest committed snapshot.
 """
 
 from __future__ import annotations
@@ -68,7 +73,26 @@ def main(argv=None) -> int:
         metavar="FACTOR",
         help="exit 1 if any shared test is slower than baseline*FACTOR",
     )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="pre-merge mode: default the threshold to 1.10 (>10%% "
+        "regression fails) and treat an empty comparison as failure",
+    )
+    parser.add_argument(
+        "--min-time",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="noise floor: tests whose means are both below this are "
+        "reported but never gated (timer jitter at microsecond scale "
+        "exceeds any sane threshold).  --gate defaults it to 50e-6.",
+    )
     args = parser.parse_args(argv)
+    if args.gate and args.threshold is None:
+        args.threshold = 1.10
+    if args.gate and args.min_time is None:
+        args.min_time = 50e-6
 
     baseline = load_means(args.baseline, args.side)
     new = load_means(args.new, args.side)
@@ -85,8 +109,11 @@ def main(argv=None) -> int:
         speedup = old_mean / new_mean if new_mean else float("inf")
         marker = ""
         if args.threshold is not None and new_mean > old_mean * args.threshold:
-            marker = "  <-- regression"
-            regressions.append(name)
+            if args.min_time is not None and max(old_mean, new_mean) < args.min_time:
+                marker = "  (below noise floor; not gated)"
+            else:
+                marker = "  <-- regression"
+                regressions.append(name)
         print(
             f"{name:<{width}} {old_mean * 1000:>10.3f}ms {new_mean * 1000:>10.3f}ms "
             f"{speedup:>8.2f}x{marker}"

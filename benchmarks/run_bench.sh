@@ -4,24 +4,28 @@
 #
 #   benchmarks/run_bench.sh                 # the perf-trajectory modules
 #   benchmarks/run_bench.sh benchmarks/     # everything
-#   benchmarks/run_bench.sh --emit-pr2      # 3 runs -> BENCH_PR2.json
+#   benchmarks/run_bench.sh --emit-pr3      # 3 runs -> BENCH_PR3.json
+#   benchmarks/run_bench.sh --gate          # pre-merge gate: one run,
+#                                           # fail on >10% regression vs
+#                                           # the latest BENCH_PR<N>.json
 #
 # Compare the emitted JSON against the committed BENCH_PR<N>.json
 # snapshots to track the perf trajectory across PRs:
 #
-#   python benchmarks/compare.py BENCH_PR1.json BENCH_PR2.json --threshold 1.10
+#   python benchmarks/compare.py BENCH_PR2.json BENCH_PR3.json --threshold 1.10
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
-# the perf-trajectory modules (PR1 trio + the PR2 streaming/parallel benches)
+# the perf-trajectory modules (PR1 trio + PR2 streaming/parallel + PR3 top-k)
 TRACKED=(
     benchmarks/bench_e1_cluster_precompute.py
     benchmarks/bench_e4_index_extraction.py
     benchmarks/bench_f2_exploration.py
     benchmarks/bench_e2_portal_crawl.py
     benchmarks/bench_q1_streaming.py
+    benchmarks/bench_q2_topk.py
 )
 
 run_once() {
@@ -32,23 +36,42 @@ run_once() {
 
 mkdir -p benchmarks/results
 
-if [ "${1:-}" == "--emit-pr2" ]; then
+if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ]; then
     # Three full runs of the tracked modules, reduced to best-of-3 means in
-    # the committed snapshot schema.  The "before" side (the PR1 tree via
-    # git worktree) is attached separately with benchmarks/snapshot.py's
-    # --before flag when producing the A/B snapshot for the PR.
+    # the committed snapshot schema.  The "before" side (the previous PR's
+    # tree via git worktree) is attached separately with
+    # benchmarks/snapshot.py's --before flag when producing the A/B
+    # snapshot for the PR.
+    PR=${1#--emit-pr}
     RUNS=()
     for i in 1 2 3; do
-        OUT="benchmarks/results/pr2-run${i}.json"
+        OUT="benchmarks/results/pr${PR}-run${i}.json"
         run_once "$OUT" "${TRACKED[@]}"
         RUNS+=("$OUT")
     done
-    python benchmarks/snapshot.py --pr 2 \
-        --title "Streaming volcano SPARQL pipeline + plan cache + parallel extraction" \
-        --method "3 pytest-benchmark runs of this tree; per-test best-of-3 mean (the committed BENCH_PR2.json uses the interleaved A/B variant, see its 'method')" \
-        --out BENCH_PR2.json --after "${RUNS[@]}"
-    echo "snapshot written to BENCH_PR2.json"
+    if [ "$PR" == "2" ]; then
+        TITLE="Streaming volcano SPARQL pipeline + plan cache + parallel extraction"
+    else
+        TITLE="Bounded top-k ORDER BY + streaming aggregation + shared per-graph plan cache"
+    fi
+    python benchmarks/snapshot.py --pr "$PR" \
+        --title "$TITLE" \
+        --method "3 pytest-benchmark runs of this tree; per-test best-of-3 mean (committed snapshots attach the previous PR's tree as the 'before' side via git worktree)" \
+        --out "BENCH_PR${PR}.json" --after "${RUNS[@]}"
+    echo "snapshot written to BENCH_PR${PR}.json"
     exit 0
+fi
+
+if [ "${1:-}" == "--gate" ]; then
+    # Pre-merge gate: one run of the tracked modules, compared against the
+    # newest committed snapshot; exits non-zero on any >10% regression.
+    BASELINE="$(ls BENCH_PR*.json | sort -V | tail -1)"
+    OUT="benchmarks/results/gate-$(date +%Y%m%d-%H%M%S).json"
+    run_once "$OUT" "${TRACKED[@]}"
+    echo
+    echo "gating $OUT against $BASELINE (threshold 1.10)"
+    python benchmarks/compare.py "$BASELINE" "$OUT" --gate
+    exit $?
 fi
 
 TARGETS=("$@")

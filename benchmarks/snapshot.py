@@ -36,8 +36,10 @@ def _collect(paths: List[str], modules=None) -> Dict[str, Dict]:
                 modules.add(module.rsplit("/", 1)[-1].replace(".py", ""))
     return {
         name: {
-            "mean_s_best_of_3": round(min(means), 6),
-            "mean_s_runs": [round(mean, 6) for mean in means],
+            # nanosecond precision: microsecond-scale tests lose ~10% to
+            # rounding at 1e-6, which is exactly the regression threshold
+            "mean_s_best_of_3": round(min(means), 9),
+            "mean_s_runs": [round(mean, 9) for mean in means],
         }
         for name, means in sorted(runs.items())
     }

@@ -14,7 +14,7 @@ A session walks the presentation-layer states:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .models import ClusterSchema, SchemaEdge, SchemaSummary
 
@@ -56,13 +56,29 @@ class ExplorationStep:
 
 
 class ExplorationSession:
-    """Stateful exploration over one dataset's summary + cluster schema."""
+    """Stateful exploration over one dataset's summary + cluster schema.
 
-    def __init__(self, summary: SchemaSummary, cluster_schema: ClusterSchema):
+    ``spotlight`` is an optional live-query hook ``(class_iri) ->
+    [(entity_iri, degree), ...]`` -- typically
+    :meth:`~repro.core.index_extraction.IndexExtractor.top_entities`
+    bound to the session's endpoint.  When present, the class-detail
+    panel includes the class's dominant entities; the underlying
+    aggregate + ``ORDER BY ... LIMIT k`` query rides the engine's
+    streaming top-k path (and the endpoint's shared plan cache, so the
+    repeated per-class template re-plans nothing).
+    """
+
+    def __init__(
+        self,
+        summary: SchemaSummary,
+        cluster_schema: ClusterSchema,
+        spotlight: Optional[Callable[[str], List[Tuple[str, int]]]] = None,
+    ):
         if cluster_schema.endpoint_url != summary.endpoint_url:
             raise ValueError("summary and cluster schema belong to different endpoints")
         self.summary = summary
         self.cluster_schema = cluster_schema
+        self._spotlight = spotlight
         self._visible: Set[str] = set()
         self._focus: Optional[str] = None
         self.history: List[ExplorationStep] = []
@@ -149,7 +165,7 @@ class ExplorationSession:
         node = self.summary.node(class_iri)
         incoming = [e for e in self.summary.edges if e.target == class_iri]
         outgoing = [e for e in self.summary.edges if e.source == class_iri]
-        return {
+        details = {
             "iri": node.iri,
             "label": node.label,
             "instance_count": node.instance_count,
@@ -162,6 +178,9 @@ class ExplorationSession:
                 else None
             ),
         }
+        if self._spotlight is not None:
+            details["top_entities"] = self._spotlight(class_iri)
+        return details
 
     # -- internals -----------------------------------------------------------------
 

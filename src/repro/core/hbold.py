@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..docstore.database import DocumentStore
+from ..endpoint.errors import EndpointError
 from ..endpoint.network import EndpointNetwork, SparqlClient
 from ..viz.edge_bundling import EdgeBundlingDiagram, edge_bundling_layout
 from ..viz.hierarchy import HierarchyNode
@@ -71,6 +72,9 @@ class HBold:
             self.storage, network.clock, cluster_algorithm=cluster_algorithm
         )
         self.cluster_algorithm = cluster_algorithm
+        #: per-endpoint spotlight closures for exploration sessions (built
+        #: once per url; sessions are created on every exploration click)
+        self._spotlights: Dict[str, object] = {}
 
     # -- registry bootstrap -----------------------------------------------------
 
@@ -176,7 +180,21 @@ class HBold:
         return schema
 
     def explore(self, url: str) -> ExplorationSession:
-        return ExplorationSession(self.summary(url), self.cluster_schema(url))
+        """An exploration session whose class-detail panel can spotlight
+        a class's dominant entities with a live top-k degree query."""
+        spotlight = self._spotlights.get(url)
+        if spotlight is None:
+
+            def spotlight(class_iri: str, k: int = 5, url: str = url):
+                try:
+                    return self.extractor.top_entities(url, class_iri, k=k)
+                except EndpointError:
+                    return []  # panel stays usable when the endpoint is down
+
+            self._spotlights[url] = spotlight
+        return ExplorationSession(
+            self.summary(url), self.cluster_schema(url), spotlight=spotlight
+        )
 
     def visual_query(self, url: str, focus_class: str) -> VisualQuery:
         return VisualQuery(self.summary(url), focus_class)

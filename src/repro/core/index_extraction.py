@@ -166,6 +166,53 @@ class IndexExtractor:
                 )
         return results
 
+    # -- exploration probe: top-k entities of a class -------------------------------
+
+    def top_entities(
+        self, url: str, class_iri: str, k: int = 10
+    ) -> List[Tuple[str, int]]:
+        """The *k* instances of *class_iri* with the most asserted triples.
+
+        The paper's common exploratory shape -- "which entities dominate
+        this class?" -- issued as one aggregate + ``ORDER BY DESC ...
+        LIMIT k`` round trip.  On our simulated endpoints that lands on
+        the engine's streaming GROUP BY fold and bounded top-k operator,
+        so the endpoint tracks O(classes' subjects) accumulator state and
+        returns k rows instead of materializing the whole degree table.
+        Ties break on the subject IRI so both strategies agree.
+
+        Endpoints that reject aggregates or ORDER BY fall back to the
+        scan strategy: page the class's triples and count client-side.
+        Returns ``[(iri, degree), ...]`` best-first.
+        """
+        query = (
+            f"SELECT ?s (COUNT(?o) AS ?n) WHERE {{ "
+            f"?s a <{class_iri}> . ?s ?p ?o }} "
+            f"GROUP BY ?s ORDER BY DESC(?n) ?s LIMIT {k}"
+        )
+        try:
+            result = self.client.select(url, query)
+            if not result.truncated:
+                out: List[Tuple[str, int]] = []
+                for row in result:
+                    subject, count = row.get("s"), row.get("n")
+                    if subject is None or count is None:
+                        continue
+                    out.append((str(subject), int(float(count.lexical))))
+                return out
+        except (QueryRejected, EndpointTimeout):
+            pass
+        counts: Dict[str, int] = {}
+        for page in self._paged(
+            url, f"SELECT ?s ?p ?o WHERE {{ ?s a <{class_iri}> . ?s ?p ?o }}"
+        ):
+            for row in page:
+                subject = row.get("s")
+                if subject is not None:
+                    counts[str(subject)] = counts.get(str(subject), 0) + 1
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
     # -- index 1+2: classes and their instance counts ------------------------------
 
     def _class_counts(self, url: str) -> Tuple[Dict[str, int], str]:

@@ -58,6 +58,29 @@ class Graph:
         self._osp: IdIndex = {}
         self._size = 0
         self._generation = 0
+        self._derived: Dict[str, object] = {}
+
+    def derived_cache(self, name: str, factory):
+        """Home for caches *derived* from this graph's content.
+
+        Consumers (e.g. the SPARQL compiled-plan cache) call this with a
+        stable *name* and a zero-argument *factory*; the first call creates
+        the cache, every later call — from any consumer naming the same
+        key — returns the same object, so transient consumers (short-lived
+        query engines, exploration sessions) share one cache per graph
+        instead of each warming their own.
+
+        The graph never invalidates these caches itself: consumers embed
+        ``generation`` in their entries and validate on lookup (see the
+        property below), which keeps this layer free of any knowledge
+        about what is being cached.  ``copy()`` does not carry caches over
+        (the clone is independently mutable) and ``clear()`` relies on the
+        generation bump.
+        """
+        cache = self._derived.get(name)
+        if cache is None:
+            cache = self._derived[name] = factory()
+        return cache
 
     @property
     def generation(self) -> int:

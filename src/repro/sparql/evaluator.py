@@ -22,24 +22,33 @@ Three BGP pipelines coexist behind ``QueryEngine(graph, strategy=...)``:
 
 * ``"hash"`` (default) -- the eager dictionary-encoded hash-join pipeline
   above, plus an ID-space SELECT fast path.  LIMIT-bounded general queries
-  delegate to the streaming operators so pagination stops early.
+  delegate to the streaming operators so pagination stops early, and
+  ``ORDER BY ... LIMIT k`` delegates to the bounded top-k operator.
 * ``"stream"`` -- a volcano-style pipeline: every operator (pattern scan,
   hash/index join, FILTER, OPTIONAL, UNION, VALUES, projection, DISTINCT,
   OFFSET/LIMIT) is a generator over ID-tuple rows, so ``LIMIT k`` pulls
-  exactly as much of the join as k rows require.
+  exactly as much of the join as k rows require.  The two former pipeline
+  breakers stream too: ``ORDER BY ... LIMIT k`` runs through a bounded
+  ``heapq`` top-k (at most ``offset + k`` rows kept, stable tie-break on
+  input order so the result equals sort-then-slice), and column-shaped
+  GROUP BY/aggregation folds incrementally into per-group
+  :class:`_AggFold` accumulators (O(groups) state; COUNT DISTINCT via
+  per-group seen-sets of encoded values).
 * ``"scan"`` -- the legacy substitute-and-scan nested-loop join kept as
   the conformance oracle; the suite runs every query through all three
   pipelines and asserts identical solutions.
 
-Compiled plans (encoded patterns + cardinality estimates) are cached per
-engine keyed by AST node identity and validated against the graph's
-mutation ``generation``; together with the parser's AST LRU this means a
-repeated query string skips tokenizing, parsing, pattern encoding and
-estimation entirely.
+Compiled plans (encoded patterns + cardinality estimates) live in a
+:class:`_SharedPlanCache` attached to the *graph* (one per graph, shared
+by every engine over it, however short-lived), keyed by AST node identity
+and validated against the graph's mutation ``generation``; together with
+the parser's AST LRU this means a repeated query string skips tokenizing,
+parsing, pattern encoding and estimation entirely -- on any engine.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from itertools import chain as _chain
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
@@ -158,6 +167,185 @@ def _simple_filter(expression: Expression):
     return None
 
 
+def _concat_part(value: Term) -> str:
+    """One GROUP_CONCAT fragment, per the fold the spec describes."""
+    if isinstance(value, Literal):
+        return value.lexical
+    if isinstance(value, IRI):
+        return value.value
+    return str(value)
+
+
+class _AggFold:
+    """Incremental fold of ONE aggregate inside ONE group.
+
+    This is the single aggregation implementation behind every pipeline:
+    the eager ID-space fast path, the streaming GROUP BY operator and the
+    general ``_aggregate`` fold all feed values into instances of this
+    class, so COUNT/SUM/MIN/MAX/AVG/SAMPLE/GROUP_CONCAT (and their
+    DISTINCT variants) cannot diverge between strategies.
+
+    Values arrive one at a time in solution order, either as dictionary
+    IDs (with a ``decode`` callable; the fast path) or as ground terms
+    (the term-level pipelines).  DISTINCT deduplicates on the *encoded*
+    value -- IDs biject terms, so an ID seen-set equals a term seen-set
+    without decoding, which is what keeps COUNT(DISTINCT ?v) from ever
+    materializing member lists.  State is O(1) per group for the plain
+    folds, O(distinct values) for DISTINCT and O(output) for
+    GROUP_CONCAT.
+    """
+
+    __slots__ = (
+        "function",
+        "distinct",
+        "separator",
+        "seen",
+        "count",
+        "total",
+        "numbers",
+        "best",
+        "best_key",
+        "sample",
+        "parts",
+    )
+
+    def __init__(self, aggregate: Aggregate, distinct: Optional[bool] = None):
+        self.function = aggregate.function
+        self.distinct = aggregate.distinct if distinct is None else distinct
+        self.separator = aggregate.separator
+        self.seen = set() if self.distinct else None
+        self.count = 0  # COUNT result / COUNT(*) rows
+        self.total = 0  # SUM/AVG running total (left fold, like sum())
+        self.numbers = 0  # how many values were numeric (AVG divisor)
+        self.best: Optional[Term] = None  # MIN/MAX champion
+        self.best_key: Tuple = ()
+        self.sample: Optional[Term] = None
+        self.parts: Optional[List[str]] = (
+            [] if aggregate.function == "GROUP_CONCAT" else None
+        )
+
+    def add_star(self, row_key=None) -> None:
+        """Fold one group member into COUNT(*); *row_key* is the row's
+        dedup identity, only consulted for COUNT(DISTINCT *)."""
+        if self.seen is not None:
+            if row_key in self.seen:
+                return
+            self.seen.add(row_key)
+        self.count += 1
+
+    def add(self, value, decode=None) -> None:
+        """Fold one bound value (an ID when *decode* is given, else a term)."""
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        function = self.function
+        if function == "COUNT":
+            self.count += 1
+            return
+        term = decode(value) if decode is not None and type(value) is int else value
+        if function in ("SUM", "AVG"):
+            if isinstance(term, Literal):
+                number = term.numeric_value()
+                if number is None:
+                    try:
+                        number = float(term.lexical)
+                    except ValueError:
+                        return
+                self.total = self.total + number
+                self.numbers += 1
+            return
+        if function in ("MIN", "MAX"):
+            key = term.sort_key()
+            if self.best is None:
+                self.best, self.best_key = term, key
+            elif function == "MIN":
+                if key < self.best_key:
+                    self.best, self.best_key = term, key
+            elif key >= self.best_key:
+                # >= : among equal keys the *last* wins, matching the
+                # stable sort-then-take-last the materialized fold used.
+                self.best, self.best_key = term, key
+            return
+        if function == "SAMPLE":
+            if self.sample is None:
+                self.sample = term
+            return
+        self.parts.append(_concat_part(term))
+
+    def result(self) -> Optional[Term]:
+        function = self.function
+        if function == "COUNT":
+            return Literal(self.count)
+        if function == "SUM":
+            total = self.total
+            return Literal(int(total)) if total == int(total) else Literal(float(total))
+        if function == "AVG":
+            if not self.numbers:
+                return None
+            mean = self.total / self.numbers
+            return Literal(int(mean)) if mean == int(mean) else Literal(float(mean))
+        if function in ("MIN", "MAX"):
+            return self.best
+        if function == "SAMPLE":
+            return self.sample
+        if function == "GROUP_CONCAT":
+            return Literal(self.separator.join(self.parts))
+        raise SparqlEvaluationError(f"unhandled aggregate {function}")
+
+
+class _TopKEntry:
+    """One kept row of the bounded ORDER BY heap.
+
+    ``__lt__`` means "sorts *later* in the final output than *other*", so
+    under :mod:`heapq`'s min-heap discipline the root is always the worst
+    row currently kept -- exactly the eviction candidate a bounded top-k
+    needs.  ``keys`` holds one sort key per ORDER BY condition (built by
+    the same key function the materialized sort uses), ``flags`` the
+    per-condition descending markers, and ``seq`` the input sequence
+    number: carrying it makes the order total, which is what pins the
+    heap's output to sort-then-slice of the same input stream (stable
+    tie-break on input order).
+    """
+
+    __slots__ = ("keys", "flags", "seq", "payload")
+
+    def __init__(self, keys: Tuple, flags: Tuple[bool, ...], seq: int, payload):
+        self.keys = keys
+        self.flags = flags
+        self.seq = seq
+        self.payload = payload
+
+    def __lt__(self, other: "_TopKEntry") -> bool:
+        for mine, theirs, descending in zip(self.keys, other.keys, self.flags):
+            if mine != theirs:
+                return (mine > theirs) != descending
+        return self.seq > other.seq
+
+
+def _topk_fold(entries: Iterator[_TopKEntry], keep: int) -> List[_TopKEntry]:
+    """The k first-in-sort-order entries of a stream, in output order.
+
+    Holds at most *keep* entries at any point.  Equivalent to sorting the
+    whole stream and slicing ``[:keep]`` because the entry order is total
+    (``seq`` breaks every tie).
+    """
+    if keep <= 0:
+        for _ in entries:
+            pass  # callers may collect headers/stats while streaming
+        return []
+    heap: List[_TopKEntry] = []
+    push, replace = heapq.heappush, heapq.heapreplace
+    for entry in entries:
+        if len(heap) < keep:
+            push(heap, entry)
+        elif heap[0] < entry:
+            # the root sorts later than the candidate -> candidate is
+            # among the best `keep` seen so far; evict the root.
+            replace(heap, entry)
+    return sorted(heap, reverse=True)
+
+
 class _EncodedPattern:
     """One triple pattern compiled to dictionary-ID space.
 
@@ -224,51 +412,48 @@ class _EncodedPattern:
         return float(graph.count_ids(s, p, o))
 
 
-class QueryEngine:
-    """Evaluates parsed queries against one graph.
+class _SharedPlanCache:
+    """The compiled-plan cache shared by every engine of one graph.
 
-    Instances are cheap; hold one per graph or just use :func:`evaluate`.
-    ``strategy`` selects the BGP pipeline: ``"hash"`` (default) is the
-    eager dictionary-encoded hash-join pipeline, ``"stream"`` the lazy
-    volcano-style generator pipeline with OFFSET/LIMIT pushdown, and
-    ``"scan"`` the legacy substitute-and-scan nested-loop join kept for
-    conformance A/B runs.
+    Lives on the graph (``Graph.derived_cache("sparql/plans", ...)``), so
+    transient engines -- :func:`evaluate` one-shots, fresh endpoints
+    wrapping an existing graph, exploration helpers -- reuse the plans a
+    long-lived engine already paid for.  A repeated query *text* lands on
+    the same entry regardless of which engine runs it: the parser AST LRU
+    maps the text to one AST object and the cache keys on the identity of
+    that AST's pattern nodes.  Pattern encoding is strategy-independent
+    (every pipeline consumes the same :class:`_EncodedPattern`), so the
+    ``hash``/``stream``/``scan`` engines of one graph share entries too.
 
-    Long-lived engines (one per endpoint) amortize planning: compiled
-    patterns are cached keyed on AST identity and invalidated when
-    ``graph.generation`` moves.
+    Keys are object identities, safe because the value holds a strong
+    reference to the very pattern objects the ids name -- a live id can
+    never be reused by a different object.  Entries embed the graph
+    ``generation`` they were compiled against; any mutation bumps the
+    generation and the next lookup drops every plan at once.
     """
 
-    #: entries kept in the per-engine compiled-plan cache
+    #: entries kept per graph
     PLAN_CACHE_SIZE = 256
 
-    def __init__(self, graph: Graph, strategy: str = "hash"):
-        if strategy not in ("hash", "stream", "scan"):
-            raise ValueError(f"unknown BGP strategy {strategy!r}")
-        self.graph = graph
-        self.strategy = strategy
-        # plan cache: tuple(id(pattern), ...) -> (patterns, [_EncodedPattern]).
-        # Keys are object identities, safe because the value holds a strong
-        # reference to the very pattern objects the ids name -- a live id
-        # can never be reused by a different object.
+    __slots__ = ("_plans", "_generation", "hits", "misses")
+
+    def __init__(self):
         self._plans: "OrderedDict[Tuple[int, ...], Tuple[Tuple[TriplePattern, ...], List[_EncodedPattern]]]" = OrderedDict()
-        self._plans_generation = graph.generation
-        self._plan_hits = 0
-        self._plan_misses = 0
+        self._generation: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
 
-    # -- compiled-plan cache ---------------------------------------------------
-
-    def plan_cache_info(self) -> Dict[str, int]:
+    def info(self) -> Dict[str, int]:
         """Hit/miss/size counters of the compiled-plan cache."""
         return {
-            "hits": self._plan_hits,
-            "misses": self._plan_misses,
+            "hits": self.hits,
+            "misses": self.misses,
             "size": len(self._plans),
-            "generation": self._plans_generation,
+            "generation": self._generation if self._generation is not None else -1,
         }
 
-    def _compile_patterns(
-        self, patterns: Sequence[TriplePattern]
+    def compile(
+        self, graph: Graph, patterns: Sequence[TriplePattern]
     ) -> List[_EncodedPattern]:
         """Encode *patterns* to ID space, memoized until the graph mutates.
 
@@ -279,19 +464,19 @@ class QueryEngine:
         makes it safe to hold plans across the fleet's repeated templated
         queries.
         """
-        generation = self.graph.generation
-        if generation != self._plans_generation:
+        generation = graph.generation
+        if generation != self._generation:
             self._plans.clear()
-            self._plans_generation = generation
+            self._generation = generation
         key = tuple(map(id, patterns))
         hit = self._plans.get(key)
         if hit is not None:
             self._plans.move_to_end(key)
-            self._plan_hits += 1
+            self.hits += 1
             return hit[1]
-        self._plan_misses += 1
+        self.misses += 1
         encoded = [
-            _EncodedPattern(index, pattern, self.graph)
+            _EncodedPattern(index, pattern, graph)
             for index, pattern in enumerate(patterns)
         ]
         self._plans[key] = (tuple(patterns), encoded)
@@ -299,9 +484,54 @@ class QueryEngine:
             self._plans.popitem(last=False)
         return encoded
 
+
+class QueryEngine:
+    """Evaluates parsed queries against one graph.
+
+    Instances are cheap; hold one per graph or just use :func:`evaluate`.
+    ``strategy`` selects the BGP pipeline: ``"hash"`` (default) is the
+    eager dictionary-encoded hash-join pipeline, ``"stream"`` the lazy
+    volcano-style generator pipeline with OFFSET/LIMIT pushdown, and
+    ``"scan"`` the legacy substitute-and-scan nested-loop join kept for
+    conformance A/B runs.
+
+    Planning is amortized across *all* engines of a graph: compiled
+    patterns live in a :class:`_SharedPlanCache` attached to the graph,
+    keyed on AST identity and invalidated when ``graph.generation``
+    moves, so even transient engines start warm.
+    """
+
+    def __init__(self, graph: Graph, strategy: str = "hash"):
+        if strategy not in ("hash", "stream", "scan"):
+            raise ValueError(f"unknown BGP strategy {strategy!r}")
+        self.graph = graph
+        self.strategy = strategy
+        self._plans: _SharedPlanCache = graph.derived_cache(
+            "sparql/plans", _SharedPlanCache
+        )
+        #: observability for the bounded operators: the last top-k /
+        #: streaming-aggregation run records how many rows it consumed and
+        #: how many it ever held (benchmarks assert the O(k) / O(groups)
+        #: memory contract through this).
+        self.exec_stats: Dict[str, int] = {}
+
+    # -- compiled-plan cache ---------------------------------------------------
+
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the graph's shared plan cache."""
+        return self._plans.info()
+
+    def _compile_patterns(
+        self, patterns: Sequence[TriplePattern]
+    ) -> List[_EncodedPattern]:
+        return self._plans.compile(self.graph, patterns)
+
     # -- public API -----------------------------------------------------------
 
     def run(self, query: Union[str, Query]) -> Union[SelectResult, AskResult]:
+        # Reset per query: paths that don't track counters must not leave
+        # a previous query's stats behind for a caller to misread.
+        self.exec_stats = {}
         if isinstance(query, str):
             query = parse_query(query)
         if isinstance(query, SelectQuery):
@@ -1244,14 +1474,33 @@ class QueryEngine:
                 query.limit is not None
                 and query.limit <= self.STREAM_DELEGATE_LIMIT
                 and not query.distinct
-                and self._streamable(query)
             ):
-                return self._run_select_streaming(query)
+                if self._streamable(query):
+                    return self._run_select_streaming(query)
+                if self._topk_shape(query):
+                    # ORDER BY ... LIMIT k: the bounded top-k operator.
+                    # On this eager engine the join itself still
+                    # materializes (same batch ID-join as the general
+                    # path), but only offset+k rows are ever decoded,
+                    # scoped or sorted; the O(offset+k) peak-row bound
+                    # holds on the stream engine's lazy variant only.
+                    return self._run_select_topk(query)
             fast = self._try_select_fast(query)
             if fast is not None:
                 return fast
-        elif self.strategy == "stream" and self._streamable(query):
-            return self._run_select_streaming(query)
+            if self._stream_aggregate_shape(query):
+                # Column-shaped aggregation the ID-space fast path could
+                # not take (OPTIONAL/UNION/paths in the WHERE clause):
+                # fold incrementally instead of materializing group
+                # member lists.
+                return self._run_select_aggregate_stream(query)
+        elif self.strategy == "stream":
+            if self._streamable(query):
+                return self._run_select_streaming(query)
+            if self._topk_shape(query):
+                return self._run_select_topk(query)
+            if self._stream_aggregate_shape(query):
+                return self._run_select_aggregate_stream(query)
         return self._run_select_general(query)
 
     @staticmethod
@@ -1268,6 +1517,39 @@ class QueryEngine:
             and query.having is None
             and not query.select_all
             and not query.has_aggregates()
+        )
+
+    @staticmethod
+    def _topk_shape(query: SelectQuery) -> bool:
+        """Is this ``ORDER BY ... LIMIT k`` the bounded heap can run?
+
+        DISTINCT is excluded: dedup-then-slice under a bounded heap would
+        need a per-key champion table, and the eager paths already handle
+        it.  Aggregation routes through the streaming GROUP BY fold
+        instead (its O(groups) output is then ordered whole).
+        """
+        return (
+            bool(query.order_by)
+            and query.limit is not None
+            and not query.distinct
+            and query.having is None
+            and not query.has_aggregates()
+        )
+
+    @staticmethod
+    def _stream_aggregate_shape(query: SelectQuery) -> bool:
+        """Can grouping/aggregation fold incrementally (O(groups) state)?
+
+        HAVING stays on the materialized path (it re-evaluates arbitrary
+        expressions over the member list), as do expression-valued group
+        keys, aggregate arguments and projections -- ``aggregate_plan``
+        is the same column-shape probe the ID-space fast path uses.
+        """
+        return (
+            query.has_aggregates()
+            and query.having is None
+            and not query.select_all
+            and query.aggregate_plan() is not None
         )
 
     def _run_select_streaming(self, query: SelectQuery) -> SelectResult:
@@ -1302,20 +1584,322 @@ class QueryEngine:
                 break
         return SelectResult(names, rows)
 
+    # -- bounded top-k ORDER BY -------------------------------------------------
+
+    def _run_select_topk(self, query: SelectQuery) -> SelectResult:
+        """``ORDER BY ... LIMIT k`` as a streaming operator.
+
+        The full join still has to be consumed (ordering admits no early
+        exit), but only ``offset + k`` rows are ever *kept*: a bounded
+        heap replaces materialize-everything-then-sort.  Two variants
+        share the heap: an ID-space one for pure BGP(+simple FILTER)
+        queries with bare-variable sort keys, which keeps raw ID rows and
+        decodes only the survivors, and a term-space one that runs the
+        same scopes as the materialized path (sort keys may reference
+        unprojected WHERE variables and projection aliases; unbound keys
+        sort first, stably).
+        """
+        fast = self._try_topk_fast(query)
+        if fast is not None:
+            return fast
+        return self._run_select_topk_general(query)
+
+    def _try_topk_fast(self, query: SelectQuery) -> Optional[SelectResult]:
+        """The ID-space top-k: heap over raw ID rows, decode k survivors."""
+        order_vars = query.order_variables()
+        if order_vars is None:
+            return None
+        shape = self._simple_where_shape(query)
+        if shape is None:
+            return None
+        patterns, simple_filters = shape
+        if not query.select_all:
+            for projection in query.projections:
+                if projection.alias is not None or not isinstance(
+                    projection.expression, VariableExpression
+                ):
+                    return None
+            if query.limit == 0:
+                # Nothing can survive the slice and the header is known
+                # without consuming the join (SELECT * must still drain
+                # it for header derivation, so only this branch returns).
+                names = [p.expression.variable.name for p in query.projections]
+                self.exec_stats = {
+                    "operator": "topk-id",
+                    "input_rows": 0,
+                    "tracked_rows": 0,
+                }
+                return SelectResult(names, [])
+
+        decode = self.graph.decode_id
+        col_of: Dict[Variable, int] = {}
+        rows_iter: Iterator[Tuple] = iter(())
+        if self.strategy == "hash":
+            # The heap has to consume the whole join either way, so the
+            # delegating eager engine feeds it from its batch ID-join --
+            # same row production (and tie order) as its materialized
+            # path, minus the decode/sort of everything beyond k.
+            joined = self._bgp_id_rows(patterns, [{}])
+            if joined is not None:
+                rows, col_of = joined
+                rows_iter = iter(rows)
+        else:
+            # The stream engine keeps the memory contract too: rows come
+            # off the lazy volcano chain, so peak state is offset+k ID
+            # rows plus the operator chain's own bounded buffers.
+            encoded = self._compile_patterns(patterns)
+            if not any(ep.impossible for ep in encoded):
+                _columns, steps, out_layout = self._stream_plan(encoded, {})
+                col_of = dict(out_layout)
+                state: Dict = {}
+                source: Iterator[Tuple] = iter(((),))
+                for step in steps:
+                    source = self._stream_step(step, source, state)
+                rows_iter = source
+
+        filter_specs = []
+        for test, variable in simple_filters:
+            column = col_of.get(variable)
+            if column is None:
+                # Filter over an unbound variable drops every row (the
+                # general pipeline raises-and-rejects per row).
+                rows_iter = iter(())
+                filter_specs = []
+                break
+            filter_specs.append((test, column, {}))
+
+        key_columns = [col_of.get(variable) for variable in order_vars]
+        flags = tuple(condition.descending for condition in query.order_by)
+        keep = (query.offset or 0) + query.limit
+        unbound_key = (0, ())
+        key_memo: Dict[int, Tuple] = {}
+        stats = {"operator": "topk-id", "input_rows": 0, "survivors": 0}
+
+        def entries() -> Iterator[_TopKEntry]:
+            for row in rows_iter:
+                stats["input_rows"] += 1
+                passed = True
+                for test, column, memo in filter_specs:
+                    value = row[column]
+                    verdict = memo.get(value)
+                    if verdict is None:
+                        verdict = memo[value] = test(
+                            decode(value) if type(value) is int else value
+                        )
+                    if not verdict:
+                        passed = False
+                        break
+                if not passed:
+                    continue
+                keys = []
+                for column in key_columns:
+                    if column is None:
+                        keys.append(unbound_key)
+                        continue
+                    value = row[column]
+                    if type(value) is int:
+                        key = key_memo.get(value)
+                        if key is None:
+                            key = key_memo[value] = (1, decode(value).sort_key())
+                    else:  # raw non-interned term carried through a seed row
+                        key = (1, value.sort_key())
+                    keys.append(key)
+                yield _TopKEntry(tuple(keys), flags, stats["survivors"], row)
+                stats["survivors"] += 1
+
+        kept_all = _topk_fold(entries(), keep)
+        kept = kept_all[query.offset or 0 :]
+
+        names, columns = self._id_projection_layout(
+            query, col_of, stats["survivors"] > 0
+        )
+        out_rows = self._decode_id_rows(
+            (entry.payload for entry in kept), names, columns
+        )
+        self.exec_stats = {
+            "operator": "topk-id",
+            "input_rows": stats["input_rows"],
+            "tracked_rows": len(kept_all),
+        }
+        return SelectResult(names, out_rows)
+
+    def _run_select_topk_general(self, query: SelectQuery) -> SelectResult:
+        """Term-space bounded ORDER BY: the materialized path's scopes
+        (solution + projected row), a heap instead of a full sort."""
+        conditions = query.order_by
+        flags = tuple(condition.descending for condition in conditions)
+        keep = (query.offset or 0) + query.limit
+        stats = {"operator": "topk", "input_rows": 0, "tracked_rows": 0}
+
+        if not query.select_all:
+            names: List[str] = []
+            for projection in query.projections:
+                variable = projection.variable
+                if variable is None:
+                    raise SparqlEvaluationError("projection without output variable")
+                names.append(variable.name)
+            if query.limit == 0:
+                self.exec_stats = stats
+                return SelectResult(names, [])
+
+        solutions = self._evaluate_group_stream(query.where, iter(({},)))
+
+        if query.select_all:
+            seen_names = set()
+
+            def entries() -> Iterator[_TopKEntry]:
+                for seq, solution in enumerate(solutions):
+                    stats["input_rows"] += 1
+                    for variable in solution:
+                        seen_names.add(variable.name)
+                    keys = tuple(
+                        self._order_key(condition, solution)
+                        for condition in conditions
+                    )
+                    yield _TopKEntry(keys, flags, seq, solution)
+
+            kept = _topk_fold(entries(), keep)
+            names = sorted(seen_names)
+            rows = [
+                {name: entry.payload.get(Variable(name)) for name in names}
+                for entry in kept[query.offset or 0 :]
+            ]
+        else:
+            # Sort keys need the projected row in scope only when a
+            # condition could see an alias-bound value: a non-variable
+            # condition (its expression may name any alias) or a bare
+            # sort variable that an ``(expr AS ?alias)`` projection
+            # rebinds.  Bare projections bind the same value the
+            # solution already holds, so they never change a key.
+            alias_names = {
+                projection.alias.name
+                for projection in query.projections
+                if projection.alias is not None
+            }
+            keys_need_row = any(
+                condition.variable is None or condition.variable.name in alias_names
+                for condition in conditions
+            )
+
+            if keys_need_row:
+
+                def entries() -> Iterator[_TopKEntry]:
+                    for seq, solution in enumerate(solutions):
+                        stats["input_rows"] += 1
+                        row = self._project_row(query, names, solution)
+                        # ORDER BY may reference WHERE variables that were
+                        # not projected (ordering happens before projection
+                        # in the spec) and the projection aliases -- same
+                        # scope the materialized path sorts with.
+                        scope = dict(solution)
+                        for name, term in row.items():
+                            if term is not None:
+                                scope[Variable(name)] = term
+                        keys = tuple(
+                            self._order_key(condition, scope)
+                            for condition in conditions
+                        )
+                        yield _TopKEntry(keys, flags, seq, row)
+
+                kept = _topk_fold(entries(), keep)
+                rows = [entry.payload for entry in kept[query.offset or 0 :]]
+            else:
+                # Keys read straight off the solutions; project only the
+                # offset+k survivors instead of every input row.
+                def entries() -> Iterator[_TopKEntry]:
+                    for seq, solution in enumerate(solutions):
+                        stats["input_rows"] += 1
+                        keys = tuple(
+                            self._order_key(condition, solution)
+                            for condition in conditions
+                        )
+                        yield _TopKEntry(keys, flags, seq, solution)
+
+                kept = _topk_fold(entries(), keep)
+                rows = [
+                    self._project_row(query, names, entry.payload)
+                    for entry in kept[query.offset or 0 :]
+                ]
+
+        stats["tracked_rows"] = len(kept)
+        self.exec_stats = stats
+        return SelectResult(names, rows)
+
+    # -- streaming (incremental) aggregation ------------------------------------
+
+    def _run_select_aggregate_stream(self, query: SelectQuery) -> SelectResult:
+        """GROUP BY/aggregation as an incremental fold: one pass over the
+        solution stream, O(groups) tracked state, never a member list.
+
+        Under ``strategy="stream"`` the input is the lazy volcano
+        pipeline, so peak memory really is the accumulator table; under
+        the eager strategies the same fold replaces the materialized
+        group-then-rescan machinery.  ORDER BY / DISTINCT / OFFSET /
+        LIMIT then apply to the O(groups) output rows in spec order --
+        which is what makes "top-k entities by count" queries cheap.
+        """
+        group_vars, items = query.aggregate_plan()
+        agg_specs = [
+            (index, payload)
+            for index, (kind, payload, _name) in enumerate(items)
+            if kind == "agg"
+        ]
+
+        def fresh_folds() -> Dict[int, _AggFold]:
+            return {index: _AggFold(aggregate) for index, aggregate in agg_specs}
+
+        solutions = self._evaluate_group(query.where, [{}])
+        groups: Dict[Tuple, Tuple[Solution, Dict[int, _AggFold]]] = {}
+        input_rows = 0
+        for solution in solutions:
+            input_rows += 1
+            key = tuple(solution.get(variable) for variable in group_vars)
+            state = groups.get(key)
+            if state is None:
+                state = groups[key] = (solution, fresh_folds())
+            folds = state[1]
+            for index, aggregate in agg_specs:
+                fold = folds[index]
+                if aggregate.expression is None:  # COUNT(*)
+                    if aggregate.distinct:
+                        fold.add_star(
+                            tuple(sorted((v.name, t) for v, t in solution.items()))
+                        )
+                    else:
+                        fold.add_star()
+                    continue
+                value = solution.get(aggregate.expression.variable)
+                if value is not None:
+                    fold.add(value)
+        if not group_vars and not groups:
+            # Implicit single group; aggregates over an empty pattern still
+            # produce one row (COUNT(*) = 0) per the spec.
+            groups[()] = ({}, fresh_folds())
+
+        names = [name for _kind, _payload, name in items]
+        rows: List[Row] = []
+        for first_solution, folds in groups.values():
+            row: Row = {}
+            for index, (kind, payload, name) in enumerate(items):
+                if kind == "var":
+                    row[name] = first_solution.get(payload)
+                else:
+                    row[name] = folds[index].result()
+            rows.append(row)
+        self.exec_stats = {
+            "operator": "stream-aggregate",
+            "input_rows": input_rows,
+            "tracked_rows": len(groups),
+        }
+        return SelectResult(names, self._apply_modifiers(query, rows, names))
+
     # -- the ID-space SELECT fast path ----------------------------------------
 
-    def _try_select_fast(self, query: SelectQuery) -> Optional[SelectResult]:
-        """Execute BGP(+simple FILTER) SELECTs without decoding intermediates.
-
-        Covers the whole index-extraction workload: plain triple patterns,
-        one-variable term-test filters, bare-variable projections, bare
-        GROUP BY / aggregates, DISTINCT and OFFSET/LIMIT.  Rows stay ID
-        tuples until projection/fold time, so DISTINCT and grouping hash
-        machine integers and pagination decodes only the surviving page.
-        Returns None when the query needs the general pipeline.
-        """
-        if query.order_by or query.having is not None:
-            return None
+    @staticmethod
+    def _simple_where_shape(query: SelectQuery):
+        """``(patterns, simple_filters)`` when the WHERE clause is plain
+        triple patterns plus one-variable term-test filters, else None --
+        the shape whose rows are guaranteed pure ID tuples."""
         from .paths import is_path
 
         patterns: List[TriplePattern] = []
@@ -1334,10 +1918,34 @@ class QueryEngine:
                 return None
         if not patterns:
             return None
+        return patterns, simple_filters
+
+    def _try_select_fast(self, query: SelectQuery) -> Optional[SelectResult]:
+        """Execute BGP(+simple FILTER) SELECTs without decoding intermediates.
+
+        Covers the whole index-extraction workload: plain triple patterns,
+        one-variable term-test filters, bare-variable projections, bare
+        GROUP BY / aggregates, DISTINCT and OFFSET/LIMIT -- plus ORDER BY
+        over aggregate output (top-k-entities queries order the O(groups)
+        fold result, not the join).  Rows stay ID tuples until
+        projection/fold time, so DISTINCT and grouping hash machine
+        integers and pagination decodes only the surviving page.
+        Returns None when the query needs the general pipeline.
+        """
+        if query.having is not None:
+            return None
+        if query.order_by and not query.has_aggregates():
+            # plain ORDER BY belongs to the bounded top-k operator (when
+            # delegated) or the general sort, not this batch path
+            return None
+        shape = self._simple_where_shape(query)
+        if shape is None:
+            return None
+        patterns, simple_filters = shape
 
         plan = None
         if query.has_aggregates():
-            plan = self._fast_aggregate_plan(query)
+            plan = query.aggregate_plan()
             if plan is None:
                 return None
         elif not query.select_all:
@@ -1377,19 +1985,7 @@ class QueryEngine:
         if plan is not None:
             return self._fast_aggregate_result(query, plan, rows, col_of)
 
-        decode = self.graph.decode_id
-        if query.select_all:
-            # The general pipeline derives the header from the solutions, so
-            # zero solutions mean an empty header.
-            if not rows:
-                return SelectResult([], [])
-            names = sorted(variable.name for variable in col_of)
-            by_name = {variable.name: column for variable, column in col_of.items()}
-            columns = [by_name[name] for name in names]
-        else:
-            names = [p.expression.variable.name for p in query.projections]
-            columns = [col_of.get(p.expression.variable) for p in query.projections]
-
+        names, columns = self._id_projection_layout(query, col_of, bool(rows))
         if query.distinct:
             seen = set()
             deduped = []
@@ -1405,7 +2001,31 @@ class QueryEngine:
             rows = rows[query.offset:]
         if query.limit is not None:
             rows = rows[: query.limit]
+        return SelectResult(names, self._decode_id_rows(rows, names, columns))
 
+    def _id_projection_layout(
+        self, query: SelectQuery, col_of: Dict[Variable, int], any_solutions: bool
+    ) -> Tuple[List[str], List[Optional[int]]]:
+        """``(names, columns)`` for projecting ID rows.
+
+        Shared by the eager fast path and the ID-space top-k so the
+        ``SELECT *`` header rule stays in one place: the header comes from
+        the (complete) solution multiset -- zero solutions, empty header.
+        """
+        if query.select_all:
+            if not any_solutions:
+                return [], []
+            names = sorted(variable.name for variable in col_of)
+            by_name = {variable.name: column for variable, column in col_of.items()}
+            return names, [by_name[name] for name in names]
+        names = [p.expression.variable.name for p in query.projections]
+        return names, [col_of.get(p.expression.variable) for p in query.projections]
+
+    def _decode_id_rows(
+        self, rows: Iterable[Tuple], names: List[str], columns: List[Optional[int]]
+    ) -> List[Row]:
+        """Decode + project ID rows into result rows (the one decode loop)."""
+        decode = self.graph.decode_id
         out_rows: List[Row] = []
         for row in rows:
             projected: Row = {}
@@ -1419,33 +2039,7 @@ class QueryEngine:
                 else:
                     projected[name] = decode(value) if type(value) is int else value
             out_rows.append(projected)
-        return SelectResult(names, out_rows)
-
-    def _fast_aggregate_plan(self, query: SelectQuery):
-        """(group_vars, items) when grouping/aggregation is bare-variable
-        shaped; items are ("var", Variable, name) / ("agg", Aggregate, name)."""
-        group_vars: List[Variable] = []
-        for expression in query.group_by:
-            if not isinstance(expression, VariableExpression):
-                return None
-            group_vars.append(expression.variable)
-        items = []
-        for projection in query.projections:
-            variable = projection.variable
-            if variable is None:
-                return None
-            expression = projection.expression
-            if isinstance(expression, VariableExpression):
-                items.append(("var", expression.variable, variable.name))
-            elif isinstance(expression, Aggregate):
-                if expression.expression is not None and not isinstance(
-                    expression.expression, VariableExpression
-                ):
-                    return None
-                items.append(("agg", expression, variable.name))
-            else:
-                return None
-        return group_vars, items
+        return out_rows
 
     def _fast_aggregate_result(
         self,
@@ -1454,83 +2048,88 @@ class QueryEngine:
         rows: List[Tuple],
         col_of: Dict[Variable, int],
     ) -> SelectResult:
+        """Fold ID rows group by group without materializing member lists.
+
+        One pass: each row lands in its group's :class:`_AggFold`
+        accumulators (per projected aggregate) and is forgotten -- state
+        is O(groups), or O(distinct values) for DISTINCT folds, never
+        O(rows).  Values stay encoded until a fold actually needs the
+        term (COUNT and COUNT DISTINCT never decode at all).
+        """
         group_vars, items = plan
         decode = self.graph.decode_id
 
-        if group_vars:
-            group_columns = [col_of.get(variable) for variable in group_vars]
-            groups: Dict[Tuple, List[Tuple]] = {}
-            for row in rows:
-                key = tuple(
-                    row[column] if column is not None else None
-                    for column in group_columns
+        group_columns = [col_of.get(variable) for variable in group_vars]
+        agg_specs = []  # (item index, aggregate, value column or None)
+        for index, (kind, payload, _name) in enumerate(items):
+            if kind == "agg":
+                column = (
+                    col_of.get(payload.expression.variable)
+                    if payload.expression is not None
+                    else None
                 )
-                groups.setdefault(key, []).append(row)
-        else:
+                agg_specs.append((index, payload, column))
+
+        # key -> (first member row, {item index: fold})
+        groups: Dict[Tuple, Tuple[Optional[Tuple], Dict[int, _AggFold]]] = {}
+        for row in rows:
+            key = tuple(
+                row[column] if column is not None else None
+                for column in group_columns
+            )
+            state = groups.get(key)
+            if state is None:
+                state = groups[key] = (
+                    row,
+                    {index: _AggFold(agg) for index, agg, _ in agg_specs},
+                )
+            folds = state[1]
+            for index, aggregate, column in agg_specs:
+                if aggregate.expression is None:  # COUNT(*)
+                    folds[index].add_star(row if aggregate.distinct else None)
+                    continue
+                if column is None:
+                    continue
+                value = row[column]
+                if value is not _UNBOUND:
+                    folds[index].add(value, decode)
+        if not group_vars and not groups:
             # Implicit single group; aggregates over an empty pattern still
             # produce one row (COUNT(*) = 0) per the spec.
-            groups = {(): rows}
+            groups[()] = (None, {index: _AggFold(agg) for index, agg, _ in agg_specs})
 
         names = [name for _, _, name in items]
         out_rows: List[Row] = []
-        for members in groups.values():
+        for first_row, folds in groups.values():
             projected: Row = {}
-            for kind, payload, name in items:
+            for index, (kind, payload, name) in enumerate(items):
                 if kind == "var":
                     column = col_of.get(payload)
-                    if column is None or not members:
+                    if column is None or first_row is None:
                         projected[name] = None
                         continue
-                    value = members[0][column]
+                    value = first_row[column]
                     if value is _UNBOUND:
                         projected[name] = None
                     else:
                         projected[name] = decode(value) if type(value) is int else value
                     continue
-                aggregate = payload
-                if aggregate.expression is None:  # COUNT(*)
-                    count = len(set(members)) if aggregate.distinct else len(members)
-                    projected[name] = Literal(count)
-                    continue
-                column = col_of.get(aggregate.expression.variable)
-                if column is None:
-                    values_encoded: List = []
-                else:
-                    values_encoded = [
-                        row[column] for row in members if row[column] is not _UNBOUND
-                    ]
-                if aggregate.distinct:
-                    seen = set()
-                    deduped = []
-                    for value in values_encoded:
-                        if value not in seen:
-                            seen.add(value)
-                            deduped.append(value)
-                    values_encoded = deduped
-                values = [
-                    decode(value) if type(value) is int else value
-                    for value in values_encoded
-                ]
-                projected[name] = self._fold_values(aggregate, values)
+                projected[name] = folds[index].result()
             out_rows.append(projected)
 
-        if query.distinct:
-            out_rows = self._distinct(out_rows, names)
-        if query.offset:
-            out_rows = out_rows[query.offset:]
-        if query.limit is not None:
-            out_rows = out_rows[: query.limit]
-        return SelectResult(names, out_rows)
+        self.exec_stats = {
+            "operator": "fast-aggregate",
+            "input_rows": len(rows),
+            "tracked_rows": len(groups),
+        }
+        return SelectResult(names, self._apply_modifiers(query, out_rows, names))
 
     def _run_select_general(self, query: SelectQuery) -> SelectResult:
         solutions = list(self._evaluate_group(query.where, [{}]))
 
         if query.has_aggregates():
             rows, variables = self._aggregate(query, solutions)
-            scopes: List[Solution] = [
-                {Variable(name): term for name, term in row.items() if term is not None}
-                for row in rows
-            ]
+            scopes: Optional[List[Solution]] = None  # rebuilt from the rows
         else:
             rows, variables = self._project(query, solutions)
             # ORDER BY may reference WHERE variables that were not projected
@@ -1544,14 +2143,7 @@ class QueryEngine:
                         scope[Variable(name)] = term
                 scopes.append(scope)
 
-        if query.order_by:
-            rows = self._order(query, rows, scopes)
-        if query.distinct:
-            rows = self._distinct(rows, variables)
-        if query.offset:
-            rows = rows[query.offset:]
-        if query.limit is not None:
-            rows = rows[: query.limit]
+        rows = self._apply_modifiers(query, rows, variables, scopes=scopes)
         return SelectResult(variables, rows)
 
     def _project(
@@ -1739,65 +2331,78 @@ class QueryEngine:
 
     @staticmethod
     def _fold_values(aggregate: Aggregate, values: List[Term]) -> Optional[Term]:
-        """Fold already-extracted (and deduplicated) values per the spec."""
-        function = aggregate.function
-        if function == "COUNT":
-            return Literal(len(values))
-        if function == "SAMPLE":
-            return values[0] if values else None
-        if function == "GROUP_CONCAT":
-            parts = []
-            for value in values:
-                if isinstance(value, Literal):
-                    parts.append(value.lexical)
-                elif isinstance(value, IRI):
-                    parts.append(value.value)
-                else:
-                    parts.append(str(value))
-            return Literal(aggregate.separator.join(parts))
-        if function in ("MIN", "MAX"):
-            if not values:
-                return None
-            ordered = sorted(values, key=lambda t: t.sort_key())
-            return ordered[0] if function == "MIN" else ordered[-1]
+        """Fold already-extracted (and deduplicated) values per the spec.
 
-        numbers: List[float] = []
+        Thin wrapper over :class:`_AggFold` (distinct handling disabled --
+        callers dedupe before extraction), so the materialized path and
+        the incremental paths share one fold.
+        """
+        fold = _AggFold(aggregate, distinct=False)
         for value in values:
-            if isinstance(value, Literal):
-                number = value.numeric_value()
-                if number is None:
-                    try:
-                        number = float(value.lexical)
-                    except ValueError:
-                        continue
-                numbers.append(number)
-        if function == "SUM":
-            total = sum(numbers)
-            return Literal(int(total)) if total == int(total) else Literal(float(total))
-        if function == "AVG":
-            if not numbers:
-                return None
-            mean = sum(numbers) / len(numbers)
-            return Literal(int(mean)) if mean == int(mean) else Literal(float(mean))
-        raise SparqlEvaluationError(f"unhandled aggregate {function}")
+            fold.add(value)
+        return fold.result()
 
     # -- ordering / distinct -----------------------------------------------------
+
+    def _apply_modifiers(
+        self,
+        query: SelectQuery,
+        rows: List[Row],
+        names: List[str],
+        scopes: Optional[List[Solution]] = None,
+    ) -> List[Row]:
+        """The solution-modifier tail in spec order: ORDER BY, DISTINCT,
+        OFFSET, LIMIT.
+
+        ``scopes`` are the per-row sort scopes; when omitted they are
+        rebuilt from the rows themselves (correct whenever the rows carry
+        every variable ORDER BY may name, i.e. aggregate output).  Every
+        pipeline ends in this one tail so the modifier order cannot
+        diverge between paths.
+        """
+        if query.order_by:
+            if scopes is None:
+                scopes = [
+                    {
+                        Variable(name): term
+                        for name, term in row.items()
+                        if term is not None
+                    }
+                    for row in rows
+                ]
+            rows = self._order(query, rows, scopes)
+        if query.distinct:
+            rows = self._distinct(rows, names)
+        if query.offset:
+            rows = rows[query.offset :]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return rows
+
+    def _order_key(self, condition, scope: Solution) -> Tuple:
+        """One condition's sort key for one scope: ``(1, term key)`` or
+        ``(0, ())`` when the key is unbound/errors (unbound sorts first).
+
+        Shared by the materialized sort and the bounded top-k heap so the
+        two orderings cannot diverge.
+        """
+        expression = condition.expression
+        if isinstance(expression, VariableExpression):
+            value = scope.get(expression.variable)
+            return (1, value.sort_key()) if value is not None else (0, ())
+        try:
+            value = evaluate_expression(expression, scope, self._evaluate_exists)
+            return (1, value.sort_key())
+        except ExpressionError:
+            return (0, ())
 
     def _order(
         self, query: SelectQuery, rows: List[Row], scopes: List[Solution]
     ) -> List[Row]:
         def sort_key(scope: Solution):
-            keys = []
-            for condition in query.order_by:
-                try:
-                    value = evaluate_expression(
-                        condition.expression, scope, self._evaluate_exists
-                    )
-                    key = (1, value.sort_key())
-                except ExpressionError:
-                    key = (0, ())  # unbound sorts lowest
-                keys.append(key)
-            return keys
+            return [
+                self._order_key(condition, scope) for condition in query.order_by
+            ]
 
         # Stable multi-key sort: sort by the last condition first; Python's
         # sort keeps equal elements in place even with reverse=True.

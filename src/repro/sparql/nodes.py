@@ -306,6 +306,19 @@ class OrderCondition(_Node):
         self.expression = expression
         self.descending = descending
 
+    @property
+    def variable(self) -> Optional[Variable]:
+        """The bare sort variable, or None for expression conditions.
+
+        ``ORDER BY ?x``, ``ORDER BY ASC(?x)`` and ``ORDER BY (?x)`` all
+        parse to a :class:`VariableExpression` condition, so this is the
+        planner's one test for "can the sort key be read straight off a
+        solution column".
+        """
+        if isinstance(self.expression, VariableExpression):
+            return self.expression.variable
+        return None
+
 
 class SelectQuery(_Node):
     """A parsed SELECT query."""
@@ -361,6 +374,58 @@ class SelectQuery(_Node):
         return bool(self.group_by) or any(
             _contains_aggregate(p.expression) for p in self.projections
         )
+
+    # -- planner shape probes ------------------------------------------------
+    #
+    # The evaluator's streaming operators (bounded top-k ORDER BY, the
+    # incremental GROUP BY fold) only cover queries whose sort keys and
+    # aggregates are column-shaped.  The probes live here, next to the
+    # grammar that produces the nodes, so every pipeline asks the same
+    # question the same way.
+
+    def order_variables(self) -> Optional[List[Variable]]:
+        """The sort columns when every ORDER BY condition is a bare
+        variable (in condition order), else None."""
+        variables: List[Variable] = []
+        for condition in self.order_by:
+            variable = condition.variable
+            if variable is None:
+                return None
+            variables.append(variable)
+        return variables
+
+    def aggregate_plan(self):
+        """``(group_vars, items)`` when grouping/aggregation is bare-variable
+        shaped, else None.
+
+        ``items`` holds one entry per projection: ``("var", Variable, name)``
+        for a bare grouped variable, ``("agg", Aggregate, name)`` for an
+        aggregate whose argument is ``*`` or a bare variable.  This is the
+        shape both the ID-space fast path and the streaming fold can
+        execute without the expression interpreter.
+        """
+        group_vars: List[Variable] = []
+        for expression in self.group_by:
+            if not isinstance(expression, VariableExpression):
+                return None
+            group_vars.append(expression.variable)
+        items = []
+        for projection in self.projections:
+            variable = projection.variable
+            if variable is None:
+                return None
+            expression = projection.expression
+            if isinstance(expression, VariableExpression):
+                items.append(("var", expression.variable, variable.name))
+            elif isinstance(expression, Aggregate):
+                if expression.expression is not None and not isinstance(
+                    expression.expression, VariableExpression
+                ):
+                    return None
+                items.append(("agg", expression, variable.name))
+            else:
+                return None
+        return group_vars, items
 
 
 class AskQuery(_Node):

@@ -9,8 +9,15 @@ Grammar coverage (see package docstring for the rationale):
   ``OPTIONAL``, ``UNION``, ``FILTER``, ``VALUES`` and nested groups
 * expressions: ``|| && ! = != < <= > >= + - * /``, ``IN`` / ``NOT IN``,
   ``EXISTS`` / ``NOT EXISTS``, builtin functions, aggregates
-* solution modifiers: ``GROUP BY``, ``HAVING``, ``ORDER BY [ASC|DESC]``,
-  ``LIMIT``, ``OFFSET``
+* solution modifiers: ``GROUP BY``, ``HAVING``, ``ORDER BY [ASC|DESC]``
+  (bare variables, bracketed expressions or builtin calls), ``LIMIT``,
+  ``OFFSET``
+
+The parsed AST exposes its *shape* to the planner: bare-variable sort
+keys and bare-variable/COUNT(*) aggregates normalize to forms the
+evaluator's streaming operators (bounded top-k, incremental GROUP BY
+folds) can detect via :meth:`SelectQuery.order_variables` and
+:meth:`SelectQuery.aggregate_plan` without re-walking expressions.
 
 Anything else raises :class:`UnsupportedSparqlError` with the offending
 token's position, which is what a user of a subset engine actually needs.
@@ -283,6 +290,11 @@ class _Parser:
                         expression = self._parse_expression()
                         self.expect("PUNCT", ")")
                         order_by.append(OrderCondition(expression))
+                    elif token.is_keyword(*_BUILTINS):
+                        # Constraint-shaped condition, e.g. ORDER BY STRLEN(?l)
+                        self.advance()
+                        args = self._parse_expression_list()
+                        order_by.append(OrderCondition(FunctionCall(token.text, args)))
                     else:
                         break
                 if not order_by:

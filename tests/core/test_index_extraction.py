@@ -129,6 +129,37 @@ class TestScanFallback:
         assert indexes.strategy == "scan"
 
 
+class TestTopEntities:
+    """The top-k-by-degree exploration probe (PR 3's ORDER BY+LIMIT shape)."""
+
+    #: out-degrees in TTL: a2 has 4 triples (type, name, rel x2), a1 has 3,
+    #: a3 has 2; b2 has 3, b1 has 2; c1 has 1.
+    EXPECTED_A = [(EX + "a2", 4), (EX + "a1", 3), (EX + "a3", 2)]
+
+    def test_aggregate_strategy(self):
+        extractor, _ = build()
+        top = extractor.top_entities("http://e/sparql", EX + "A", k=3)
+        assert top == self.EXPECTED_A
+
+    def test_k_truncates(self):
+        extractor, _ = build()
+        top = extractor.top_entities("http://e/sparql", EX + "A", k=1)
+        assert top == self.EXPECTED_A[:1]
+
+    def test_scan_fallback_matches_aggregate(self):
+        """Endpoints rejecting aggregates/ORDER BY get the paged fallback."""
+        via_aggregate, _ = build(profile="virtuoso")
+        for fallback_profile in ("legacy-sesame", "4store"):
+            via_scan, _ = build(profile=fallback_profile)
+            assert via_scan.top_entities(
+                "http://e/sparql", EX + "A", k=3
+            ) == via_aggregate.top_entities("http://e/sparql", EX + "A", k=3)
+
+    def test_unknown_class_is_empty(self):
+        extractor, _ = build()
+        assert extractor.top_entities("http://e/sparql", EX + "Ghost", k=3) == []
+
+
 class TestFailureModes:
     def test_unavailable_endpoint(self):
         class Down(AlwaysAvailable):

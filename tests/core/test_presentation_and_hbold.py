@@ -70,6 +70,20 @@ class TestHBoldFacade:
         session.expand_all()
         assert session.is_complete()
 
+    def test_explore_spotlights_top_entities(self, indexed_app, tiny_world):
+        """The class-detail panel surfaces the class's dominant entities
+        via the live top-k degree query (streaming ORDER BY+LIMIT)."""
+        url = tiny_world.indexable_urls[0]
+        session = indexed_app.explore(url)
+        first_class = indexed_app.summary(url).class_iris()[0]
+        session.select_class(first_class)
+        details = session.class_details(first_class)
+        spotlight = details["top_entities"]
+        assert 0 < len(spotlight) <= 5
+        degrees = [count for _iri, count in spotlight]
+        assert degrees == sorted(degrees, reverse=True)
+        assert all(count >= 1 for count in degrees)
+
     def test_index_endpoint_failure_returns_false(self, indexed_app, tiny_world):
         assert indexed_app.index_endpoint(tiny_world.broken_urls[0]) is False
 

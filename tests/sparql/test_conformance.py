@@ -287,6 +287,75 @@ CASES = [
         PREFIX + "SELECT * WHERE { ?c rdfs:subClassOf* ?z . ?a ?c ?b }",
         0,
     ),
+    # -- top-k ORDER BY + streaming aggregation (PR 3's bounded operators).
+    # Sort keys are total orders (unique values or a tie-breaking
+    # condition) so the row-for-row comparison is engine-independent.
+    (
+        "order-limit-unprojected",
+        PREFIX + "SELECT ?s WHERE { ?s ex:age ?n } ORDER BY DESC(?n) LIMIT 3",
+        3,
+    ),
+    (
+        "order-offset-page",
+        PREFIX + "SELECT ?s ?n WHERE { ?s ex:age ?n } ORDER BY ?n OFFSET 2 LIMIT 2",
+        2,
+    ),
+    (
+        "order-optional-unbound-first",
+        PREFIX
+        + "SELECT ?s ?l WHERE { ?s ex:age ?n OPTIONAL { ?s rdfs:label ?l } } "
+        + "ORDER BY ?l ?n LIMIT 4",
+        4,
+    ),
+    (
+        "order-two-keys",
+        PREFIX + "SELECT ?s ?o WHERE { ?s ex:knows ?o } ORDER BY ?s DESC(?o) LIMIT 3",
+        3,
+    ),
+    (
+        "order-builtin-condition",
+        PREFIX
+        + "SELECT ?s WHERE { ?s rdfs:label ?l } ORDER BY STRLEN(?l) ?s LIMIT 3",
+        3,
+    ),
+    (
+        "order-select-star-limit",
+        PREFIX + "SELECT * WHERE { ?s ex:age ?n } ORDER BY DESC(?n) LIMIT 2",
+        2,
+    ),
+    (
+        "group-order-topk",
+        PREFIX
+        + "SELECT ?s (COUNT(?o) AS ?k) WHERE { ?s ex:knows ?o } "
+        + "GROUP BY ?s ORDER BY DESC(?k) ?s LIMIT 2",
+        2,
+    ),
+    (
+        "count-distinct-group",
+        PREFIX
+        + "SELECT ?c (COUNT(DISTINCT ?o) AS ?n) WHERE { ?s a ?c . ?s ex:knows ?o } "
+        + "GROUP BY ?c",
+        2,
+    ),
+    (
+        "agg-over-optional",
+        PREFIX
+        + "SELECT (AVG(?n) AS ?mean) WHERE { ?s a ex:Person "
+        + "OPTIONAL { ?s ex:age ?n } }",
+        1,
+    ),
+    (
+        "agg-over-union",
+        PREFIX
+        + "SELECT (MIN(?n) AS ?lo) (MAX(?n) AS ?hi) WHERE { "
+        + "{ ?s a ex:Person . ?s ex:age ?n } UNION { ?s a ex:Robot . ?s ex:age ?n } }",
+        1,
+    ),
+    (
+        "group-by-only-projection",
+        PREFIX + "SELECT ?c WHERE { ?s a ?c } GROUP BY ?c",
+        5,
+    ),
 ]
 
 ASK_CASES = [

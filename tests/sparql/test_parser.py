@@ -120,6 +120,36 @@ class TestSelectParsing:
         with pytest.raises(SparqlSyntaxError):
             parse_query("SELECT ?s WHERE { ?s ?p ?o } LIMIT -1")
 
+    def test_order_by_builtin_condition(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s ?p ?l } ORDER BY STRLEN(?l) ?s LIMIT 3"
+        )
+        assert len(query.order_by) == 2
+        assert query.order_by[0].variable is None  # expression condition
+        assert query.order_by[1].variable is not None
+
+    def test_order_shape_probes(self):
+        bare = parse_query("SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?o DESC(?s)")
+        variables = bare.order_variables()
+        assert [v.name for v in variables] == ["o", "s"]
+        mixed = parse_query("SELECT ?s WHERE { ?s ?p ?o } ORDER BY (?o + 1)")
+        assert mixed.order_variables() is None
+
+    def test_aggregate_plan_probe(self):
+        shaped = parse_query(
+            "SELECT ?c (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c"
+        )
+        group_vars, items = shaped.aggregate_plan()
+        assert [v.name for v in group_vars] == ["c"]
+        assert [(kind, name) for kind, _payload, name in items] == [
+            ("var", "c"),
+            ("agg", "n"),
+        ]
+        unshaped = parse_query(
+            "SELECT (SUM(?a + ?b) AS ?n) WHERE { ?s ?p ?a . ?s ?q ?b }"
+        )
+        assert unshaped.aggregate_plan() is None
+
 
 class TestPatterns:
     def test_optional(self):
