@@ -1,0 +1,152 @@
+"""Q3 (PR4): partition-parallel SPARQL over a sharded triple store.
+
+The sharding subsystem's claims, on the same >=10k-row scan+join the
+Q1/Q2 benchmarks use:
+
+* **sim-time scaling curve** -- a shard-spanning scan+join charges the
+  pool makespan instead of the sequential scan sum; at 4 shards the
+  simulated scan/join time improves >= 2x (the acceptance bound; the
+  balanced-partition ideal is ~4x minus dispatch overhead).  Measured
+  straight off ``QueryEngine.exec_stats`` (``shard_sequential_ms`` /
+  ``shard_parallel_ms``), the engine's own accounting.
+* **byte-identical results at every shard count** -- the merge
+  determinism rule, asserted here on the benchmark workload too.
+* **endpoint latency** -- a sharded endpoint answers the same query in
+  less simulated time than a plain one (the latency model scales its
+  dataset-size execution term by the measured pool speedup).
+
+The ``test_q3_bench_*`` functions carry the pytest-benchmark records the
+committed ``BENCH_PR<N>.json`` snapshots track across PRs; the sharded
+variant also pins the wall-clock overhead of the partition-parallel path
+(sorted runs + merge bookkeeping) against the plain store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import government_graph
+from repro.endpoint import SimulationClock, SparqlEndpoint
+from repro.rdf import ShardedTripleStore
+from repro.sparql import QueryEngine, evaluate
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: the paper-workload scan+join+aggregate (same family as Q1/Q2)
+Q3_QUERY = "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c . ?s ?p ?o } GROUP BY ?c"
+
+
+@pytest.fixture(scope="module")
+def plain_graph():
+    return government_graph(scale=1.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def stores(plain_graph):
+    return {
+        shards: ShardedTripleStore.from_graph(plain_graph, shards)
+        for shards in SHARD_COUNTS
+    }
+
+
+def _canonical(result):
+    return [tuple(sorted((k, str(v)) for k, v in row.items())) for row in result.rows]
+
+
+def test_q3_sim_time_scaling_curve(benchmark, stores, record_table):
+    """>=2x simulated scan/join improvement at 4 shards, identical rows."""
+    benchmark.pedantic(
+        evaluate, args=(stores[4], Q3_QUERY, "hash"), iterations=1, rounds=10
+    )
+    rows_by_count = {}
+    curve = {}
+    for shards, store in stores.items():
+        engine = QueryEngine(store)
+        result = engine.run(Q3_QUERY)
+        stats = engine.exec_stats
+        sequential = stats["shard_sequential_ms"]
+        parallel = stats["shard_parallel_ms"]
+        assert sequential > 0.0 and parallel > 0.0
+        curve[shards] = (sequential, parallel, sequential / parallel)
+        rows_by_count[shards] = _canonical(result)
+
+    # merge determinism: the workload answers byte-identically everywhere
+    baseline = rows_by_count[SHARD_COUNTS[0]]
+    for shards in SHARD_COUNTS[1:]:
+        assert rows_by_count[shards] == baseline
+
+    # one shard degenerates to the sequential sum (speedup 1.0)...
+    assert curve[1][2] == pytest.approx(1.0)
+    # ...more shards only add dispatch overhead to the sequential sum
+    # (the per-row work is fixed), never more than the dispatch constants...
+    for shards in SHARD_COUNTS[1:]:
+        assert curve[1][0] <= curve[shards][0] <= curve[1][0] * 1.5
+    # ...and the makespan shrinks monotonically with the shard count
+    assert curve[2][1] < curve[1][1]
+    assert curve[4][1] < curve[2][1]
+
+    # the scaling claim is against the single-shard (sequential) runtime
+    speedups = {shards: curve[1][1] / curve[shards][1] for shards in SHARD_COUNTS}
+
+    lines = [
+        f"Q3 (PR4): partition-parallel scan+join sim time, "
+        f"{len(stores[1])} triples, query: {Q3_QUERY}",
+        "",
+        f"{'shards':>6} {'sequential':>12} {'makespan':>12} {'vs 1 shard':>12}",
+    ]
+    for shards in SHARD_COUNTS:
+        sequential, parallel, _ = curve[shards]
+        lines.append(
+            f"{shards:>6} {sequential:>10.2f}ms {parallel:>10.2f}ms "
+            f"{speedups[shards]:>11.2f}x"
+        )
+    record_table("q3_sharded_scaling", "\n".join(lines))
+
+    # the acceptance bound: >=2x simulated scan/join time at 4 shards
+    assert speedups[4] >= 2.0
+
+
+def test_q3_endpoint_latency_drops(benchmark, plain_graph, stores, record_table):
+    """The endpoint-level win: same query, less simulated latency."""
+    url = "http://q3.example.org/sparql"
+    plain = SparqlEndpoint(url, plain_graph, SimulationClock(), profile="virtuoso", seed=4)
+    sharded = SparqlEndpoint(
+        url, stores[4], SimulationClock(), profile="virtuoso", seed=4
+    )
+    # wall-clock record: the full endpoint query path on the sharded store
+    # (separate endpoint so its stats do not pollute the A/B below)
+    bench_endpoint = SparqlEndpoint(
+        url, stores[4], SimulationClock(), profile="virtuoso", seed=4
+    )
+    benchmark.pedantic(bench_endpoint.query, args=(Q3_QUERY,), iterations=1, rounds=10)
+    plain.query(Q3_QUERY)
+    sharded.query(Q3_QUERY)
+    saving = 1.0 - sharded.stats.total_latency_ms / plain.stats.total_latency_ms
+    record_table(
+        "q3_sharded_endpoint",
+        "\n".join(
+            [
+                "Q3 (PR4): endpoint query latency, plain vs 4-shard store",
+                "",
+                f"{'store':<14} {'sim latency':>14}",
+                f"{'plain':<14} {plain.stats.total_latency_ms:>12.2f}ms",
+                f"{'4 shards':<14} {sharded.stats.total_latency_ms:>12.2f}ms",
+                f"{'saving':<14} {saving:>13.1%}",
+            ]
+        ),
+    )
+    assert sharded.stats.total_latency_ms < plain.stats.total_latency_ms
+
+
+def test_q3_bench_group_join_plain(benchmark, plain_graph):
+    """Wall-clock reference: the scan+join+fold on the plain store."""
+    result = benchmark(evaluate, plain_graph, Q3_QUERY, "hash")
+    assert len(result.rows) > 0
+
+
+def test_q3_bench_group_join_sharded4(benchmark, stores):
+    """Wall-clock cost of the partition-parallel path (sorted runs +
+    merge + pool accounting) on this 1-CPU simulator: tracked so the
+    sharded path's overhead stays visible across PRs."""
+    result = benchmark(evaluate, stores[4], Q3_QUERY, "hash")
+    assert len(result.rows) > 0

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+set -uo pipefail
+ROOT=/root/repo
+NEW_TRACKED="benchmarks/bench_e1_cluster_precompute.py benchmarks/bench_e4_index_extraction.py benchmarks/bench_f2_exploration.py benchmarks/bench_e2_portal_crawl.py benchmarks/bench_q1_streaming.py benchmarks/bench_q2_topk.py benchmarks/bench_q3_sharded.py"
+OLD_TRACKED="benchmarks/bench_e1_cluster_precompute.py benchmarks/bench_e4_index_extraction.py benchmarks/bench_f2_exploration.py benchmarks/bench_e2_portal_crawl.py benchmarks/bench_q1_streaming.py benchmarks/bench_q2_topk.py"
+for i in 1 2 3; do
+  echo "=== after run $i ==="
+  (cd "$ROOT" && PYTHONPATH="$ROOT/src" python -m pytest $NEW_TRACKED -q -p no:cacheprovider \
+      --benchmark-json="$ROOT/benchmarks/results/pr4-run$i.json") || exit 1
+  echo "=== before run $i (PR3 worktree) ==="
+  (cd "$ROOT/.bench_pr3" && PYTHONPATH="$ROOT/.bench_pr3/src" python -m pytest $OLD_TRACKED -q -p no:cacheprovider \
+      --benchmark-json="$ROOT/benchmarks/results/pr4-before-run$i.json") || exit 1
+done
+echo "ALL RUNS DONE"

@@ -4,7 +4,7 @@
 #
 #   benchmarks/run_bench.sh                 # the perf-trajectory modules
 #   benchmarks/run_bench.sh benchmarks/     # everything
-#   benchmarks/run_bench.sh --emit-pr3      # 3 runs -> BENCH_PR3.json
+#   benchmarks/run_bench.sh --emit-pr4      # 3 runs -> BENCH_PR4.json
 #   benchmarks/run_bench.sh --gate          # pre-merge gate: one run,
 #                                           # fail on >10% regression vs
 #                                           # the latest BENCH_PR<N>.json
@@ -18,7 +18,8 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
-# the perf-trajectory modules (PR1 trio + PR2 streaming/parallel + PR3 top-k)
+# the perf-trajectory modules (PR1 trio + PR2 streaming/parallel + PR3
+# top-k + PR4 sharding)
 TRACKED=(
     benchmarks/bench_e1_cluster_precompute.py
     benchmarks/bench_e4_index_extraction.py
@@ -26,6 +27,7 @@ TRACKED=(
     benchmarks/bench_e2_portal_crawl.py
     benchmarks/bench_q1_streaming.py
     benchmarks/bench_q2_topk.py
+    benchmarks/bench_q3_sharded.py
 )
 
 run_once() {
@@ -36,7 +38,7 @@ run_once() {
 
 mkdir -p benchmarks/results
 
-if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ]; then
+if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ]; then
     # Three full runs of the tracked modules, reduced to best-of-3 means in
     # the committed snapshot schema.  The "before" side (the previous PR's
     # tree via git worktree) is attached separately with
@@ -51,8 +53,10 @@ if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ]; then
     done
     if [ "$PR" == "2" ]; then
         TITLE="Streaming volcano SPARQL pipeline + plan cache + parallel extraction"
-    else
+    elif [ "$PR" == "3" ]; then
         TITLE="Bounded top-k ORDER BY + streaming aggregation + shared per-graph plan cache"
+    else
+        TITLE="Sharded triple store + partition-parallel SPARQL execution"
     fi
     python benchmarks/snapshot.py --pr "$PR" \
         --title "$TITLE" \

@@ -179,14 +179,48 @@ class HBold:
             raise LookupError(f"{url} has no stored cluster schema; index it first")
         return schema
 
+    #: per-class entities the spotlight batch keeps per endpoint
+    SPOTLIGHT_K = 5
+
+    def _spotlight_batch(self, url: str, k: int):
+        """The endpoint's batched per-class spotlight, cached on its graph.
+
+        One ``GROUP BY (class, entity)`` round trip covers every class a
+        full exploration walk will open, replacing the per-class probes.
+        The result lives in the endpoint graph's ``derived_cache`` keyed
+        by *k* and stamped with the graph ``generation``, so any dataset
+        mutation invalidates it on the next lookup and transient
+        sessions over the same endpoint share one batch.  Returns None
+        (also cached) when the endpoint cannot answer the batched query;
+        callers fall back to the per-class path.
+        """
+        try:
+            graph = self.network.get(url).graph
+        except EndpointError:
+            return self.extractor.top_entities_all(url, k=k)  # uncacheable
+        cache = graph.derived_cache("exploration/spotlight", dict)
+        entry = cache.get(k)
+        if entry is not None and entry[0] == graph.generation:
+            return entry[1]
+        batch = self.extractor.top_entities_all(url, k=k)
+        cache[k] = (graph.generation, batch)
+        return batch
+
     def explore(self, url: str) -> ExplorationSession:
         """An exploration session whose class-detail panel can spotlight
-        a class's dominant entities with a live top-k degree query."""
+        a class's dominant entities with a live top-k degree query.
+
+        Spotlights are served from one cached GROUP BY batch per
+        endpoint (:meth:`_spotlight_batch`); endpoints that reject or
+        truncate the batch keep the per-class probe behaviour."""
         spotlight = self._spotlights.get(url)
         if spotlight is None:
 
-            def spotlight(class_iri: str, k: int = 5, url: str = url):
+            def spotlight(class_iri: str, k: int = self.SPOTLIGHT_K, url: str = url):
                 try:
+                    batch = self._spotlight_batch(url, k)
+                    if batch is not None:
+                        return batch.get(class_iri, [])
                     return self.extractor.top_entities(url, class_iri, k=k)
                 except EndpointError:
                     return []  # panel stays usable when the endpoint is down

@@ -213,6 +213,47 @@ class IndexExtractor:
         ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
         return ranked[:k]
 
+    def top_entities_all(
+        self, url: str, k: int = 10
+    ) -> Optional[Dict[str, List[Tuple[str, int]]]]:
+        """Per-class top-*k* entity degrees, in ONE round trip.
+
+        The batched form of :meth:`top_entities` for full exploration
+        walks: instead of one aggregate + ORDER BY query per class (one
+        round trip per ``class_details`` panel), issue a single GROUP BY
+        over ``(class, entity)`` and fold the per-class top-k client
+        side, with the same ``(-degree, iri)`` ranking rule, so each
+        class's list is exactly what :meth:`top_entities` would return.
+
+        Returns ``{class_iri: [(entity_iri, degree), ...]}`` best-first,
+        or None when the endpoint rejects aggregates or caps the grouped
+        result (callers then fall back to the per-class probes, which
+        are smaller and may still succeed).
+        """
+        query = (
+            "SELECT ?c ?s (COUNT(?o) AS ?n) WHERE { "
+            "?s a ?c . ?s ?p ?o } GROUP BY ?c ?s"
+        )
+        try:
+            result = self.client.select(url, query)
+        except (QueryRejected, EndpointTimeout):
+            return None
+        if result.truncated:
+            return None
+        degrees: Dict[str, List[Tuple[int, str]]] = {}
+        for row in result:
+            class_term, subject, count = row.get("c"), row.get("s"), row.get("n")
+            if class_term is None or subject is None or count is None:
+                continue
+            degrees.setdefault(str(class_term), []).append(
+                (int(float(count.lexical)), str(subject))
+            )
+        spotlight: Dict[str, List[Tuple[str, int]]] = {}
+        for class_iri, entries in degrees.items():
+            entries.sort(key=lambda item: (-item[0], item[1]))
+            spotlight[class_iri] = [(iri, degree) for degree, iri in entries[:k]]
+        return spotlight
+
     # -- index 1+2: classes and their instance counts ------------------------------
 
     def _class_counts(self, url: str) -> Tuple[Dict[str, int], str]:

@@ -53,9 +53,18 @@ class SparqlEndpoint:
         seed: int = 0,
         title: str = "",
         strategy: str = "hash",
+        shards: Optional[int] = None,
     ):
         if isinstance(profile, str):
             profile = PROFILES[profile]
+        if shards is not None and not getattr(graph, "is_sharded", False):
+            # The intra-endpoint parallelism knob: host this endpoint's
+            # dataset on a subject-hash-sharded store so spanning scans
+            # run partition-parallel (and the latency model below charges
+            # the per-shard makespan instead of the sequential scan).
+            from ..rdf.sharding import ShardedTripleStore
+
+            graph = ShardedTripleStore.from_graph(graph, shards)
         self.url = url
         self.graph = graph
         self.clock = clock
@@ -145,7 +154,19 @@ class SparqlEndpoint:
         latency += pattern_count * profile.per_pattern_ms
         # Execution cost grows with dataset size (index lookups aren't free)
         # and with the result cardinality.
-        latency += len(self.graph) * 0.0004
+        execution = len(self.graph) * 0.0004
+        if getattr(self.graph, "is_sharded", False):
+            # Partition-parallel execution: scale the dataset-size term by
+            # what this query actually measured on the shard pool (makespan
+            # over sequential sum); a query that ran no spanning scan pays
+            # the static max-shard-share bound instead.
+            stats = self._engine.exec_stats
+            sequential = stats.get("shard_sequential_ms", 0.0)
+            if sequential > 0.0:
+                execution *= stats.get("shard_parallel_ms", sequential) / sequential
+            else:
+                execution *= self.graph.parallel_factor()
+        latency += execution
         if isinstance(result, SelectResult):
             latency += len(result.rows) * profile.per_solution_ms
         if isinstance(parsed, SelectQuery) and parsed.has_aggregates():

@@ -25,6 +25,7 @@ from .namespaces import (
     expand_curie,
 )
 from .ntriples import NTriplesError, graph_from_ntriples, parse_ntriples, serialize_ntriples
+from .sharding import Shard, ShardedTripleStore
 from .terms import BNode, IRI, Literal, Term, Triple, Variable
 from .turtle import TurtleError, parse_turtle, serialize_turtle
 
@@ -44,6 +45,8 @@ __all__ = [
     "RDFS",
     "SCHEMA",
     "SWC",
+    "Shard",
+    "ShardedTripleStore",
     "Term",
     "TermDict",
     "Triple",

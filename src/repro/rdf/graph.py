@@ -48,9 +48,27 @@ class Graph:
     >>> _ = g.add(Triple(s, p, Literal("x")))
     >>> len(g)
     1
+
+    ``Graph(shards=N)`` is the sharding facade: it constructs a
+    :class:`~repro.rdf.sharding.ShardedTripleStore` (a Graph subclass)
+    whose triples are additionally partitioned into N subject-hash
+    shards for the partition-parallel SPARQL scan path.  Every call
+    site that takes a ``Graph`` accepts either.
     """
 
-    def __init__(self, identifier: Optional[str] = None):
+    #: overridden by :class:`~repro.rdf.sharding.ShardedTripleStore`;
+    #: the SPARQL layer dispatches on this without importing it
+    is_sharded = False
+
+    def __new__(cls, identifier: Optional[str] = None, shards: Optional[int] = None, **kwargs):
+        if cls is Graph and shards is not None:
+            from .sharding import ShardedTripleStore
+
+            # type(obj).__init__ runs next, so the subclass sees `shards`.
+            return super().__new__(ShardedTripleStore)
+        return super().__new__(cls)
+
+    def __init__(self, identifier: Optional[str] = None, shards: Optional[int] = None):
         self.identifier = identifier
         self._dict = TermDict()
         self._spo: IdIndex = {}

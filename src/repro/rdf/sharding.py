@@ -1,0 +1,349 @@
+"""Subject-hash-partitioned storage: N shards under one :class:`Graph` facade.
+
+A :class:`ShardedTripleStore` is a :class:`~repro.rdf.graph.Graph` whose
+triples are additionally partitioned into ``N`` shards by **subject ID
+modulo N** over the single shared :class:`~repro.rdf.dictionary.TermDict`.
+Each shard owns its own ID-space SPO/POS/OSP permutation indexes holding
+exactly the triples whose subject hashes to it, which is the classic
+subject-partitioning rule: a subject's whole forward star lives in one
+shard, so subject-bound lookups never fan out while predicate/object
+scans split ``1/N`` per shard.
+
+The facade keeps the inherited *global* indexes fully populated too --
+every write lands in both -- so the entire existing read surface
+(term-level API, point lookups, property paths, per-row index joins,
+community detection) works unchanged on a sharded graph.  What the
+shards buy is the **partition-parallel scan path** in
+:mod:`repro.sparql.parallel_exec`: pattern scans that span subjects (and
+the first hash-join build of a BGP) run shard-by-shard through the
+deterministic worker pool of :mod:`repro.core.parallel`, charging only
+the *makespan* of the per-shard work to simulated time instead of the
+sequential sum.
+
+**Merge determinism rule.**  Each shard task returns its matches as a
+run sorted by the ``(s, p, o)`` ID triple; the merged stream is the
+ordered merge of those runs, i.e. ascending ``(s, p, o)`` order overall.
+Subjects partition disjointly, so this canonical order is *independent
+of the shard count*: ``Graph(shards=1)`` and ``Graph(shards=8)`` feed
+the SPARQL pipelines byte-identical row streams, which is what pins
+query results (including row order) across shard counts.  A plain
+``Graph()`` scans in index-dict order instead, so sharded and unsharded
+stores agree on result *multisets* but not necessarily on the order of
+unordered queries.
+
+The pool timebase is a private :class:`SimulationClock` per store --
+shard makespans accumulate in :attr:`ShardedTripleStore.shard_stats`
+(and in the engine's ``exec_stats``), and the simulated *endpoint*
+latency model reads the parallel/sequential ratio from there rather
+than having scans advance the shared network clock directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+from .graph import Graph, IdIndex
+from .terms import IRI, Term, Triple
+
+__all__ = ["ShardedTripleStore", "Shard"]
+
+
+class Shard:
+    """One partition: its own SPO/POS/OSP indexes over shared term IDs."""
+
+    __slots__ = ("spo", "pos", "osp", "size")
+
+    def __init__(self):
+        self.spo: IdIndex = {}
+        self.pos: IdIndex = {}
+        self.osp: IdIndex = {}
+        self.size = 0
+
+    def insert(self, s: int, p: int, o: int) -> None:
+        """Insert an ID triple the owning store already deduplicated."""
+        self.spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self.pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self.osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self.size += 1
+
+    def discard(self, s: int, p: int, o: int) -> None:
+        """Remove an ID triple the owning store verified was present."""
+        by_predicate = self.spo[s]
+        by_predicate[p].discard(o)
+        if not by_predicate[p]:
+            del by_predicate[p]
+            if not by_predicate:
+                del self.spo[s]
+        by_object = self.pos[p]
+        by_object[o].discard(s)
+        if not by_object[o]:
+            del by_object[o]
+            if not by_object:
+                del self.pos[p]
+        by_subject = self.osp[o]
+        by_subject[s].discard(p)
+        if not by_subject[s]:
+            del by_subject[s]
+            if not by_subject:
+                del self.osp[o]
+        self.size -= 1
+
+    def triples_ids(
+        self,
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """This shard's ID triples matching the (wildcard) pattern.
+
+        Same index-selection logic as :meth:`Graph.triples_ids`, over the
+        shard-local indexes only.  The partition-parallel scan path sorts
+        each shard's output into a run before merging, so iteration order
+        here is irrelevant to query semantics.
+        """
+        if s is not None:
+            by_predicate = self.spo.get(s)
+            if not by_predicate:
+                return
+            if p is not None:
+                objects = by_predicate.get(p)
+                if not objects:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
+                    return
+                for obj in objects:
+                    yield (s, p, obj)
+                return
+            for pred, objects in by_predicate.items():
+                if o is not None:
+                    if o in objects:
+                        yield (s, pred, o)
+                    continue
+                for obj in objects:
+                    yield (s, pred, obj)
+            return
+
+        if p is not None:
+            by_object = self.pos.get(p)
+            if not by_object:
+                return
+            if o is not None:
+                for subj in by_object.get(o, ()):
+                    yield (subj, p, o)
+                return
+            for obj, subjects in by_object.items():
+                for subj in subjects:
+                    yield (subj, p, obj)
+            return
+
+        if o is not None:
+            by_subject = self.osp.get(o)
+            if not by_subject:
+                return
+            for subj, predicates in by_subject.items():
+                for pred in predicates:
+                    yield (subj, pred, o)
+            return
+
+        for subj, by_predicate in self.spo.items():
+            for pred, objects in by_predicate.items():
+                for obj in objects:
+                    yield (subj, pred, obj)
+
+    def copy(self) -> "Shard":
+        out = Shard()
+        out.spo = {s: {p: set(o) for p, o in by_p.items()} for s, by_p in self.spo.items()}
+        out.pos = {p: {o: set(s) for o, s in by_o.items()} for p, by_o in self.pos.items()}
+        out.osp = {o: {s: set(p) for s, p in by_s.items()} for o, by_s in self.osp.items()}
+        out.size = self.size
+        return out
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"<Shard {self.size} triples, {len(self.spo)} subjects>"
+
+
+class ShardedTripleStore(Graph):
+    """A :class:`Graph` partitioned into subject-hash shards.
+
+    Constructed directly or through the facade ``Graph(shards=N)``.  The
+    full :class:`Graph` API behaves identically (the global indexes stay
+    authoritative); the shards feed the partition-parallel SPARQL scan
+    path and the endpoint latency model.
+    """
+
+    #: duck-typing flag the SPARQL layer dispatches on (no import cycle)
+    is_sharded = True
+
+    def __init__(
+        self,
+        identifier: Optional[str] = None,
+        shards: int = 4,
+        clock=None,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        super().__init__(identifier)
+        self._shards = tuple(Shard() for _ in range(shards))
+        if clock is None:
+            # Private pool timebase (lazy import: repro.endpoint imports the
+            # SPARQL evaluator, which reads graphs -- keep rdf leaf-free).
+            from ..endpoint.clock import SimulationClock
+
+            clock = SimulationClock()
+        #: the deterministic pool's timebase for shard-local work; private
+        #: by default so scans never advance the shared network clock
+        self.clock = clock
+        #: cumulative partition-parallel accounting: ``batches`` pool
+        #: dispatches, ``parallel_ms`` the sum of batch makespans,
+        #: ``sequential_ms`` what a single worker would have paid,
+        #: ``rows`` total rows produced by shard tasks
+        self.shard_stats = {
+            "batches": 0,
+            "parallel_ms": 0.0,
+            "sequential_ms": 0.0,
+            "rows": 0,
+        }
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls, graph: Graph, shards: int, clock=None, identifier: Optional[str] = None
+    ) -> "ShardedTripleStore":
+        """A sharded copy of *graph* (re-encoded, so shard assignment is a
+        pure function of the source's triple iteration order -- identical
+        for every shard count)."""
+        out = cls(identifier=identifier or graph.identifier, shards=shards, clock=clock)
+        out.add_many_terms(
+            (triple.subject, triple.predicate, triple.object)
+            for triple in graph.triples()
+        )
+        return out
+
+    # -- shard topology -------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[Shard, ...]:
+        return self._shards
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_index(self, subject_id: int) -> int:
+        """The shard owning *subject_id* (subject-hash partition rule)."""
+        return subject_id % len(self._shards)
+
+    def shard_of(self, subject_id: int) -> Shard:
+        return self._shards[subject_id % len(self._shards)]
+
+    def shard_sizes(self) -> Tuple[int, ...]:
+        return tuple(shard.size for shard in self._shards)
+
+    def parallel_factor(self) -> float:
+        """Max shard share of the triples: the scan-makespan bound.
+
+        ``1/N`` for perfectly balanced shards, ``1.0`` for one shard (or
+        an empty store); the endpoint latency model uses this as the
+        static execution-cost scaling when a query ran no shard batch.
+        """
+        if not self._size:
+            return 1.0
+        return max(shard.size for shard in self._shards) / float(self._size)
+
+    # -- mutation (global indexes via the base class, plus shard routing) -----
+
+    def add(self, triple: Triple) -> bool:
+        added = super().add(triple)
+        if added:
+            d = self._dict
+            s = d.lookup(triple.subject)
+            p = d.lookup(triple.predicate)
+            o = d.lookup(triple.object)
+            self._shards[s % len(self._shards)].insert(s, p, o)
+        return added
+
+    def add_many_terms(self, spo_terms: Iterable[Tuple[Term, IRI, Term]]) -> int:
+        """Bulk load with shard routing fused into the tight loop."""
+        self._generation += 1
+        d = self._dict
+        encode = d.encode
+        refcount = d._refcount
+        spo, pos, osp = self._spo, self._pos, self._osp
+        shards = self._shards
+        n_shards = len(shards)
+        added = 0
+        for s_term, p_term, o_term in spo_terms:
+            s = encode(s_term)
+            p = encode(p_term)
+            o = encode(o_term)
+            by_predicate = spo.get(s)
+            if by_predicate is None:
+                by_predicate = spo[s] = {}
+            objects = by_predicate.get(p)
+            if objects is None:
+                objects = by_predicate[p] = set()
+            if o in objects:
+                continue
+            objects.add(o)
+            by_object = pos.get(p)
+            if by_object is None:
+                by_object = pos[p] = {}
+            subjects = by_object.get(o)
+            if subjects is None:
+                subjects = by_object[o] = set()
+            subjects.add(s)
+            by_subject = osp.get(o)
+            if by_subject is None:
+                by_subject = osp[o] = {}
+            predicates = by_subject.get(s)
+            if predicates is None:
+                predicates = by_subject[s] = set()
+            predicates.add(p)
+            refcount[s] += 1
+            refcount[p] += 1
+            refcount[o] += 1
+            shards[s % n_shards].insert(s, p, o)
+            added += 1
+        self._size += added
+        return added
+
+    def remove(self, triple: Triple) -> bool:
+        # Capture the IDs before the base removal decrefs (and possibly
+        # frees) them.
+        d = self._dict
+        s = d.lookup(triple.subject)
+        p = d.lookup(triple.predicate)
+        o = d.lookup(triple.object)
+        removed = super().remove(triple)
+        if removed:
+            self._shards[s % len(self._shards)].discard(s, p, o)
+        return removed
+
+    def clear(self) -> None:
+        super().clear()
+        self._shards = tuple(Shard() for _ in range(len(self._shards)))
+
+    def copy(self) -> "ShardedTripleStore":
+        out = ShardedTripleStore(
+            identifier=self.identifier, shards=len(self._shards)
+        )
+        out._dict = self._dict.copy()
+        out._spo = {s: {p: set(o) for p, o in by_p.items()} for s, by_p in self._spo.items()}
+        out._pos = {p: {o: set(s) for o, s in by_o.items()} for p, by_o in self._pos.items()}
+        out._osp = {o: {s: set(p) for s, p in by_s.items()} for o, by_s in self._osp.items()}
+        out._size = self._size
+        out._shards = tuple(shard.copy() for shard in self._shards)
+        return out
+
+    def __repr__(self) -> str:
+        name = self.identifier or "anonymous"
+        return (
+            f"<ShardedTripleStore {name!r} with {self._size} triples "
+            f"over {len(self._shards)} shards>"
+        )

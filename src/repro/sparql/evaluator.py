@@ -66,6 +66,7 @@ from .functions import (
 from .nodes import (
     Aggregate,
     AskQuery,
+    CompareExpression,
     ExistsExpression,
     Expression,
     FilterPattern,
@@ -75,6 +76,7 @@ from .nodes import (
     Projection,
     Query,
     SelectQuery,
+    TermExpression,
     TriplePattern,
     UnionPattern,
     ValuesPattern,
@@ -506,6 +508,9 @@ class QueryEngine:
             raise ValueError(f"unknown BGP strategy {strategy!r}")
         self.graph = graph
         self.strategy = strategy
+        #: the partition-parallel scan target when the graph is a
+        #: ShardedTripleStore (duck-typed: rdf must not import sparql)
+        self._sharded = graph if getattr(graph, "is_sharded", False) else None
         self._plans: _SharedPlanCache = graph.derived_cache(
             "sparql/plans", _SharedPlanCache
         )
@@ -746,10 +751,29 @@ class QueryEngine:
         The build side of both hash joins (eager and streaming).  A single
         shared variable (the overwhelmingly common join shape) keys on the
         bare value instead of a 1-tuple.
+
+        On a sharded graph a shard-spanning build (subject unbound) runs
+        partition-parallel: per-shard tables merge rank-ordered into the
+        same table this sequential fold would produce.
         """
         var_index = {v: i for i, v in enumerate(ep.variables)}
         key_positions = [var_index[v] for v in shared]
         new_positions = [var_index[v] for v in new_vars]
+        if self._sharded is not None and ep.path is None:
+            s, p, o = (v if type(v) is int else None for v in ep.spec)
+            if s is None:
+                from .parallel_exec import parallel_probe_table
+
+                return parallel_probe_table(
+                    self._sharded,
+                    s,
+                    p,
+                    o,
+                    [ep.var_positions[v] for v in ep.variables],
+                    key_positions,
+                    new_positions,
+                    stats=self.exec_stats,
+                )
         table: Dict = {}
         setdefault = table.setdefault
         if len(key_positions) == 1:
@@ -781,6 +805,16 @@ class QueryEngine:
         spec = ep.spec
         s, p, o = (v if type(v) is int else None for v in spec)
         positions = [ep.var_positions[v] for v in ep.variables]
+        if self._sharded is not None and s is None:
+            # Subject unbound -> the scan spans shards: run it partition-
+            # parallel and consume the canonical (shard-count-invariant)
+            # merged stream.  Subject-bound scans stay on the global
+            # indexes -- the whole forward star lives in one shard anyway.
+            from .parallel_exec import parallel_scan_ids
+
+            triples = parallel_scan_ids(self._sharded, s, p, o, stats=self.exec_stats)
+            yield from _triples_to_scan_rows(triples, positions)
+            return
         yield from _triples_to_scan_rows(self.graph.triples_ids(s, p, o), positions)
 
     def _scan_path(self, ep: _EncodedPattern, s_spec, o_spec) -> Iterator[Tuple]:
@@ -1485,6 +1519,13 @@ class QueryEngine:
                     # scoped or sorted; the O(offset+k) peak-row bound
                     # holds on the stream engine's lazy variant only.
                     return self._run_select_topk(query)
+            if query.order_by and not query.has_aggregates():
+                # ORDER BY that the bounded top-k did not take (no LIMIT,
+                # a large LIMIT, or DISTINCT): sort raw ID rows, decode
+                # only the emitted page.
+                ordered = self._try_order_fast(query)
+                if ordered is not None:
+                    return ordered
             fast = self._try_select_fast(query)
             if fast is not None:
                 return fast
@@ -1540,14 +1581,20 @@ class QueryEngine:
     def _stream_aggregate_shape(query: SelectQuery) -> bool:
         """Can grouping/aggregation fold incrementally (O(groups) state)?
 
-        HAVING stays on the materialized path (it re-evaluates arbitrary
-        expressions over the member list), as do expression-valued group
-        keys, aggregate arguments and projections -- ``aggregate_plan``
-        is the same column-shape probe the ID-space fast path uses.
+        Expression-valued group keys, aggregate arguments and projections
+        stay on the materialized path -- ``aggregate_plan`` is the same
+        column-shape probe the ID-space fast path uses.  HAVING rides
+        along when it is a conjunction of aggregate-vs-constant
+        comparisons (``having_aggregate_conjuncts``): those gate groups
+        at fold-result time; any other HAVING still re-evaluates over
+        materialized member lists.
         """
         return (
             query.has_aggregates()
-            and query.having is None
+            and (
+                query.having is None
+                or query.having_aggregate_conjuncts() is not None
+            )
             and not query.select_all
             and query.aggregate_plan() is not None
         )
@@ -1624,11 +1671,9 @@ class QueryEngine:
                 # without consuming the join (SELECT * must still drain
                 # it for header derivation, so only this branch returns).
                 names = [p.expression.variable.name for p in query.projections]
-                self.exec_stats = {
-                    "operator": "topk-id",
-                    "input_rows": 0,
-                    "tracked_rows": 0,
-                }
+                self.exec_stats.update(
+                    operator="topk-id", input_rows=0, tracked_rows=0
+                )
                 return SelectResult(names, [])
 
         decode = self.graph.decode_id
@@ -1716,11 +1761,11 @@ class QueryEngine:
         out_rows = self._decode_id_rows(
             (entry.payload for entry in kept), names, columns
         )
-        self.exec_stats = {
-            "operator": "topk-id",
-            "input_rows": stats["input_rows"],
-            "tracked_rows": len(kept_all),
-        }
+        self.exec_stats.update(
+            operator="topk-id",
+            input_rows=stats["input_rows"],
+            tracked_rows=len(kept_all),
+        )
         return SelectResult(names, out_rows)
 
     def _run_select_topk_general(self, query: SelectQuery) -> SelectResult:
@@ -1739,7 +1784,7 @@ class QueryEngine:
                     raise SparqlEvaluationError("projection without output variable")
                 names.append(variable.name)
             if query.limit == 0:
-                self.exec_stats = stats
+                self.exec_stats.update(stats)
                 return SelectResult(names, [])
 
         solutions = self._evaluate_group_stream(query.where, iter(({},)))
@@ -1822,10 +1867,32 @@ class QueryEngine:
                 ]
 
         stats["tracked_rows"] = len(kept)
-        self.exec_stats = stats
+        self.exec_stats.update(stats)
         return SelectResult(names, rows)
 
     # -- streaming (incremental) aggregation ------------------------------------
+
+    @staticmethod
+    def _having_fold_passes(value: Optional[Term], op: str, constant: Term) -> bool:
+        """One pushed-down HAVING conjunct, evaluated on a fold result.
+
+        Runs the real expression interpreter on ``value op constant`` so
+        numeric promotion and error semantics cannot diverge from the
+        materialized path (which substitutes the same fold result into
+        the original expression); a None fold result (e.g. AVG over no
+        numerics) is an expression error there, so it gates here.
+        """
+        if value is None:
+            return False
+        try:
+            result = evaluate_expression(
+                CompareExpression(op, TermExpression(value), TermExpression(constant)),
+                {},
+                None,
+            )
+            return effective_boolean_value(result)
+        except ExpressionError:
+            return False
 
     def _run_select_aggregate_stream(self, query: SelectQuery) -> SelectResult:
         """GROUP BY/aggregation as an incremental fold: one pass over the
@@ -1844,9 +1911,22 @@ class QueryEngine:
             for index, (kind, payload, _name) in enumerate(items)
             if kind == "agg"
         ]
+        # Pushed-down HAVING conjuncts fold alongside the projected
+        # aggregates (negative slots so they never collide with item
+        # indexes) and gate each group when its row is emitted.
+        having = (
+            query.having_aggregate_conjuncts() if query.having is not None else None
+        )
+        having_specs = [
+            (-(position + 1), aggregate, op, constant)
+            for position, (aggregate, op, constant) in enumerate(having or ())
+        ]
+        fold_specs = agg_specs + [
+            (slot, aggregate) for slot, aggregate, _op, _constant in having_specs
+        ]
 
         def fresh_folds() -> Dict[int, _AggFold]:
-            return {index: _AggFold(aggregate) for index, aggregate in agg_specs}
+            return {index: _AggFold(aggregate) for index, aggregate in fold_specs}
 
         solutions = self._evaluate_group(query.where, [{}])
         groups: Dict[Tuple, Tuple[Solution, Dict[int, _AggFold]]] = {}
@@ -1858,7 +1938,7 @@ class QueryEngine:
             if state is None:
                 state = groups[key] = (solution, fresh_folds())
             folds = state[1]
-            for index, aggregate in agg_specs:
+            for index, aggregate in fold_specs:
                 fold = folds[index]
                 if aggregate.expression is None:  # COUNT(*)
                     if aggregate.distinct:
@@ -1878,7 +1958,14 @@ class QueryEngine:
 
         names = [name for _kind, _payload, name in items]
         rows: List[Row] = []
+        having_pruned = 0
         for first_solution, folds in groups.values():
+            if having_specs and not all(
+                self._having_fold_passes(folds[slot].result(), op, constant)
+                for slot, _aggregate, op, constant in having_specs
+            ):
+                having_pruned += 1
+                continue
             row: Row = {}
             for index, (kind, payload, name) in enumerate(items):
                 if kind == "var":
@@ -1886,11 +1973,13 @@ class QueryEngine:
                 else:
                     row[name] = folds[index].result()
             rows.append(row)
-        self.exec_stats = {
-            "operator": "stream-aggregate",
-            "input_rows": input_rows,
-            "tracked_rows": len(groups),
-        }
+        self.exec_stats.update(
+            operator="stream-aggregate",
+            input_rows=input_rows,
+            tracked_rows=len(groups),
+        )
+        if having_specs:
+            self.exec_stats["having_pruned"] = having_pruned
         return SelectResult(names, self._apply_modifiers(query, rows, names))
 
     # -- the ID-space SELECT fast path ----------------------------------------
@@ -1932,11 +2021,15 @@ class QueryEngine:
         integers and pagination decodes only the surviving page.
         Returns None when the query needs the general pipeline.
         """
-        if query.having is not None:
+        if query.having is not None and (
+            not query.has_aggregates()
+            or query.having_aggregate_conjuncts() is None
+        ):
             return None
         if query.order_by and not query.has_aggregates():
             # plain ORDER BY belongs to the bounded top-k operator (when
-            # delegated) or the general sort, not this batch path
+            # delegated), the ID-space sorter (_try_order_fast) or the
+            # general sort, not this batch path
             return None
         shape = self._simple_where_shape(query)
         if shape is None:
@@ -1962,25 +2055,7 @@ class QueryEngine:
         else:
             rows, col_of = joined
 
-        if rows and simple_filters:
-            decode = self.graph.decode_id
-            for test, variable in simple_filters:
-                column = col_of.get(variable)
-                if column is None:
-                    # Filter over an unbound variable drops every row (the
-                    # general pipeline raises-and-rejects per row).
-                    rows = []
-                    break
-                kept = []
-                for row in rows:
-                    value = row[column]
-                    if value is _UNBOUND:
-                        continue
-                    if test(decode(value) if type(value) is int else value):
-                        kept.append(row)
-                rows = kept
-                if not rows:
-                    break
+        rows = self._filter_id_rows(rows, col_of, simple_filters)
 
         if plan is not None:
             return self._fast_aggregate_result(query, plan, rows, col_of)
@@ -2001,6 +2076,120 @@ class QueryEngine:
             rows = rows[query.offset:]
         if query.limit is not None:
             rows = rows[: query.limit]
+        return SelectResult(names, self._decode_id_rows(rows, names, columns))
+
+    def _filter_id_rows(
+        self, rows: List[Tuple], col_of: Dict[Variable, int], simple_filters
+    ) -> List[Tuple]:
+        """Apply one-variable term-test filters to ID rows (memo-free: the
+        term-kind tests are cheap, the decode dominates and is per-row).
+        A filter over an unbound variable drops every row, matching the
+        general pipeline's raise-and-reject."""
+        if not rows or not simple_filters:
+            return rows
+        decode = self.graph.decode_id
+        for test, variable in simple_filters:
+            column = col_of.get(variable)
+            if column is None:
+                return []
+            kept = []
+            for row in rows:
+                value = row[column]
+                if value is _UNBOUND:
+                    continue
+                if test(decode(value) if type(value) is int else value):
+                    kept.append(row)
+            rows = kept
+            if not rows:
+                break
+        return rows
+
+    def _try_order_fast(self, query: SelectQuery) -> Optional[SelectResult]:
+        """ORDER BY *without* a delegated LIMIT, kept in ID space.
+
+        The former remaining materializer: plain ``ORDER BY`` (no LIMIT,
+        or a LIMIT past the top-k delegation bound, or DISTINCT) used to
+        decode every solution into term dicts, build per-row sort scopes
+        and sort those.  For the simple shape (plain BGP + term-test
+        filters, bare-variable projections and sort keys) the rows are
+        pure ID tuples: sort them directly -- each distinct ID decodes to
+        its sort key exactly once via a memo -- then dedupe/slice in ID
+        space and decode only the emitted page.  Tie-breaks match the
+        materialized sort because both consume the same ``_bgp_id_rows``
+        order with the same stable per-condition passes.
+        """
+        order_vars = query.order_variables()
+        if order_vars is None or query.having is not None:
+            return None
+        shape = self._simple_where_shape(query)
+        if shape is None:
+            return None
+        patterns, simple_filters = shape
+        if not query.select_all:
+            for projection in query.projections:
+                if projection.alias is not None or not isinstance(
+                    projection.expression, VariableExpression
+                ):
+                    return None
+
+        joined = self._bgp_id_rows(patterns, [{}])
+        if joined is None:
+            rows: List[Tuple] = []
+            col_of: Dict[Variable, int] = {}
+        else:
+            rows, col_of = joined
+        rows = self._filter_id_rows(rows, col_of, simple_filters)
+        input_rows = len(rows)
+
+        if rows:
+            decode = self.graph.decode_id
+            unbound_key = (0, ())
+            key_memo: Dict[int, Tuple] = {}
+            key_columns = [col_of.get(variable) for variable in order_vars]
+            decorated = []
+            for row in rows:
+                keys = []
+                for column in key_columns:
+                    if column is None:
+                        keys.append(unbound_key)
+                        continue
+                    value = row[column]
+                    if value is _UNBOUND:
+                        keys.append(unbound_key)
+                    elif type(value) is int:
+                        key = key_memo.get(value)
+                        if key is None:
+                            key = key_memo[value] = (1, decode(value).sort_key())
+                        keys.append(key)
+                    else:  # raw non-interned term carried through a seed row
+                        keys.append((1, value.sort_key()))
+                decorated.append((keys, row))
+            # Stable multi-key sort, same discipline as _order: sort by the
+            # last condition first; equal keys keep input order.
+            for position in range(len(query.order_by) - 1, -1, -1):
+                reverse = query.order_by[position].descending
+                decorated.sort(key=lambda item: item[0][position], reverse=reverse)
+            rows = [row for _keys, row in decorated]
+
+        names, columns = self._id_projection_layout(query, col_of, bool(rows))
+        if query.distinct:
+            seen = set()
+            deduped = []
+            for row in rows:
+                key = tuple(
+                    row[column] if column is not None else None for column in columns
+                )
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            rows = deduped
+        if query.offset:
+            rows = rows[query.offset :]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        self.exec_stats.update(
+            operator="order-id", input_rows=input_rows, decoded_rows=len(rows)
+        )
         return SelectResult(names, self._decode_id_rows(rows, names, columns))
 
     def _id_projection_layout(
@@ -2069,6 +2258,24 @@ class QueryEngine:
                     else None
                 )
                 agg_specs.append((index, payload, column))
+        # Pushed-down HAVING conjuncts: extra folds on negative slots,
+        # gating groups at result time instead of falling back to the
+        # materialized member-list path.
+        having = (
+            query.having_aggregate_conjuncts() if query.having is not None else None
+        )
+        having_specs = []  # (slot, aggregate, value column, op, constant)
+        for position, (aggregate, op, constant) in enumerate(having or ()):
+            column = (
+                col_of.get(aggregate.expression.variable)
+                if aggregate.expression is not None
+                else None
+            )
+            having_specs.append((-(position + 1), aggregate, column, op, constant))
+        fold_specs = agg_specs + [
+            (slot, aggregate, column)
+            for slot, aggregate, column, _op, _constant in having_specs
+        ]
 
         # key -> (first member row, {item index: fold})
         groups: Dict[Tuple, Tuple[Optional[Tuple], Dict[int, _AggFold]]] = {}
@@ -2081,10 +2288,10 @@ class QueryEngine:
             if state is None:
                 state = groups[key] = (
                     row,
-                    {index: _AggFold(agg) for index, agg, _ in agg_specs},
+                    {index: _AggFold(agg) for index, agg, _ in fold_specs},
                 )
             folds = state[1]
-            for index, aggregate, column in agg_specs:
+            for index, aggregate, column in fold_specs:
                 if aggregate.expression is None:  # COUNT(*)
                     folds[index].add_star(row if aggregate.distinct else None)
                     continue
@@ -2096,11 +2303,18 @@ class QueryEngine:
         if not group_vars and not groups:
             # Implicit single group; aggregates over an empty pattern still
             # produce one row (COUNT(*) = 0) per the spec.
-            groups[()] = (None, {index: _AggFold(agg) for index, agg, _ in agg_specs})
+            groups[()] = (None, {index: _AggFold(agg) for index, agg, _ in fold_specs})
 
         names = [name for _, _, name in items]
         out_rows: List[Row] = []
+        having_pruned = 0
         for first_row, folds in groups.values():
+            if having_specs and not all(
+                self._having_fold_passes(folds[slot].result(), op, constant)
+                for slot, _aggregate, _column, op, constant in having_specs
+            ):
+                having_pruned += 1
+                continue
             projected: Row = {}
             for index, (kind, payload, name) in enumerate(items):
                 if kind == "var":
@@ -2117,11 +2331,13 @@ class QueryEngine:
                 projected[name] = folds[index].result()
             out_rows.append(projected)
 
-        self.exec_stats = {
-            "operator": "fast-aggregate",
-            "input_rows": len(rows),
-            "tracked_rows": len(groups),
-        }
+        self.exec_stats.update(
+            operator="fast-aggregate",
+            input_rows=len(rows),
+            tracked_rows=len(groups),
+        )
+        if having_specs:
+            self.exec_stats["having_pruned"] = having_pruned
         return SelectResult(names, self._apply_modifiers(query, out_rows, names))
 
     def _run_select_general(self, query: SelectQuery) -> SelectResult:

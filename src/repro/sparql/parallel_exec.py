@@ -1,0 +1,195 @@
+"""Partition-parallel SPARQL operators over a :class:`ShardedTripleStore`.
+
+Two physical operators fan out across shards, both dispatched through the
+deterministic simulated worker pool (:func:`repro.core.parallel.run_parallel`)
+with one worker per shard:
+
+* :func:`parallel_scan_ids` -- a triple-pattern scan whose subject is
+  unbound (so it spans shards).  Each shard task scans its local indexes
+  and returns its matches as a run sorted by the ``(s, p, o)`` ID triple;
+  the merged stream is the lazy ordered merge of those runs.
+* :func:`parallel_probe_table` -- the build side of a BGP's hash join.
+  Each shard task folds its sorted run straight into a shard-local probe
+  table whose bucket entries carry the source triple as a merge rank;
+  buckets merge rank-ordered across shards, so the final table is
+  entry-for-entry identical to one built from the canonical merged scan.
+
+Subjects partition disjointly and the merge key is the full ID triple, so
+both operators produce **shard-count-invariant** output: any query runs
+byte-identically (including row order) at shards=1 and shards=N.  That is
+the merge determinism rule the conformance/property suites pin.
+
+Simulated cost model: each shard task charges the pool timebase (the
+store's private clock) a fixed dispatch overhead plus a per-scanned-row
+cost -- the same order of magnitude as the endpoint latency model's
+execution term.  The pool then advances that clock by the batch makespan
+only, and the makespan / sequential-sum pair is recorded both on the
+store (``shard_stats``) and in the engine's per-query ``exec_stats``
+(``shard_parallel_ms`` / ``shard_sequential_ms``), which is what the
+endpoint latency model and the scaling benchmarks read.  Wall-clock time
+on this single-CPU simulator is unchanged by design; the win is the
+simulated makespan, exactly like the fleet-level pool.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SHARD_DISPATCH_MS",
+    "SHARD_ROW_MS",
+    "parallel_scan_ids",
+    "parallel_probe_table",
+]
+
+#: fixed simulated cost of handing one shard task to a pool worker
+SHARD_DISPATCH_MS = 0.05
+#: simulated cost per row a shard task scans (matches the scale of the
+#: endpoint model's ``len(graph) * 0.0004`` execution term)
+SHARD_ROW_MS = 0.0004
+
+
+def _record(store, stats: Optional[Dict], parallel_ms: float, sequential_ms: float, rows: int) -> None:
+    """Accumulate one pool batch into the store's and the query's stats."""
+    totals = store.shard_stats
+    totals["batches"] += 1
+    totals["parallel_ms"] += parallel_ms
+    totals["sequential_ms"] += sequential_ms
+    totals["rows"] += rows
+    if stats is not None:
+        stats["shard_batches"] = stats.get("shard_batches", 0) + 1
+        stats["shard_parallel_ms"] = stats.get("shard_parallel_ms", 0.0) + parallel_ms
+        stats["shard_sequential_ms"] = (
+            stats.get("shard_sequential_ms", 0.0) + sequential_ms
+        )
+        stats["shard_rows"] = stats.get("shard_rows", 0) + rows
+
+
+def _run_shard_batch(store, tasks) -> List:
+    """Dispatch ``(index, thunk)`` tasks through the deterministic pool.
+
+    One worker per shard; shard work cannot legitimately fail, so any
+    captured exception is re-raised (a swallowed shard would silently
+    drop rows).  Returns task values in input (= shard) order plus the
+    batch makespan and sequential sum.
+    """
+    # Lazy import: repro.core pulls in the endpoint/application layers,
+    # which import this package's evaluator at module load.
+    from ..core.parallel import run_parallel
+
+    outcomes, makespan = run_parallel(store.clock, tasks, parallelism=len(tasks))
+    values = []
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+        values.append(outcome.value)
+    sequential = sum(outcome.elapsed_ms for outcome in outcomes)
+    return values, makespan, sequential
+
+
+def parallel_scan_ids(
+    store,
+    s: Optional[int],
+    p: Optional[int],
+    o: Optional[int],
+    stats: Optional[Dict] = None,
+) -> Iterator[Tuple[int, int, int]]:
+    """Scan all shards for the ID pattern; merge runs in ``(s, p, o)`` order.
+
+    Each shard materializes its (sorted) run -- the simulated analogue of
+    a partition returning a sorted result block -- and the merge itself
+    is lazy, so bounded consumers above (LIMIT, top-k, ASK) keep their
+    operator-level behaviour.
+    """
+    clock = store.clock
+    tasks = []
+    for index, shard in enumerate(store.shards):
+        def thunk(shard=shard):
+            run = sorted(shard.triples_ids(s, p, o))
+            clock.advance(SHARD_DISPATCH_MS + len(run) * SHARD_ROW_MS)
+            return run
+        tasks.append((index, thunk))
+    runs, makespan, sequential = _run_shard_batch(store, tasks)
+    _record(store, stats, makespan, sequential, sum(len(run) for run in runs))
+    if len(runs) == 1:
+        return iter(runs[0])
+    return heapq.merge(*runs)
+
+
+def parallel_probe_table(
+    store,
+    s: Optional[int],
+    p: Optional[int],
+    o: Optional[int],
+    positions: Sequence[Sequence[int]],
+    key_positions: Sequence[int],
+    new_positions: Sequence[int],
+    stats: Optional[Dict] = None,
+) -> Dict:
+    """Build a hash-join probe table shard-by-shard and merge the buckets.
+
+    ``positions`` maps each pattern variable to its triple positions
+    (repeated variables must agree, same rule as the sequential scan);
+    ``key_positions``/``new_positions`` index into the resulting scan row.
+    The table shape matches ``QueryEngine._build_probe_table``: a single
+    shared variable keys on the bare value, entries are tuples of the new
+    variables' values.  Bucket entries merge across shards on their
+    source ``(s, p, o)`` rank, reproducing canonical-scan build order at
+    any shard count.
+    """
+    clock = store.clock
+    single_key = len(key_positions) == 1
+    key_position = key_positions[0] if single_key else None
+
+    tasks = []
+    for index, shard in enumerate(store.shards):
+        def thunk(shard=shard):
+            table: Dict = {}
+            setdefault = table.setdefault
+            run = sorted(shard.triples_ids(s, p, o))
+            for triple in run:
+                srow = []
+                for var_positions in positions:
+                    value = triple[var_positions[0]]
+                    if len(var_positions) > 1 and any(
+                        triple[extra] != value for extra in var_positions[1:]
+                    ):
+                        srow = None
+                        break
+                    srow.append(value)
+                if srow is None:
+                    continue
+                key = (
+                    srow[key_position]
+                    if single_key
+                    else tuple(srow[i] for i in key_positions)
+                )
+                setdefault(key, []).append(
+                    (triple, tuple(srow[i] for i in new_positions))
+                )
+            clock.advance(SHARD_DISPATCH_MS + len(run) * SHARD_ROW_MS)
+            return table
+        tasks.append((index, thunk))
+
+    tables, makespan, sequential = _run_shard_batch(store, tasks)
+    rows = sum(len(bucket) for table in tables for bucket in table.values())
+    _record(store, stats, makespan, sequential, rows)
+
+    if len(tables) == 1:
+        return {
+            key: [entry for _rank, entry in bucket]
+            for key, bucket in tables[0].items()
+        }
+    collected: Dict = {}
+    for table in tables:
+        for key, bucket in table.items():
+            collected.setdefault(key, []).append(bucket)
+    merged: Dict = {}
+    for key, buckets in collected.items():
+        if len(buckets) == 1:
+            merged[key] = [entry for _rank, entry in buckets[0]]
+        else:
+            # Ranks are unique triples, so the merge never compares entries.
+            merged[key] = [entry for _rank, entry in heapq.merge(*buckets)]
+    return merged

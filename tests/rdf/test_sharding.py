@@ -1,0 +1,183 @@
+"""ShardedTripleStore: partition invariants, facade parity, mutation."""
+
+import random
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Shard, ShardedTripleStore, Triple
+
+EX = "http://example.org/"
+
+
+def _triple(i: int, j: int) -> Triple:
+    return Triple(IRI(f"{EX}s{i}"), IRI(f"{EX}p{j % 3}"), Literal(i * 10 + j))
+
+
+def _populate(graph, subjects=12, fanout=4):
+    graph.add_many(
+        _triple(i, j) for i in range(subjects) for j in range(fanout)
+    )
+    return graph
+
+
+class TestFacade:
+    def test_graph_shards_kwarg_builds_sharded_store(self):
+        g = Graph(shards=4)
+        assert isinstance(g, ShardedTripleStore)
+        assert isinstance(g, Graph)
+        assert g.is_sharded and g.num_shards == 4
+
+    def test_plain_graph_is_not_sharded(self):
+        g = Graph()
+        assert type(g) is Graph
+        assert not g.is_sharded
+
+    def test_identifier_positional_still_works(self):
+        assert Graph("name").identifier == "name"
+        assert Graph("name", shards=2).identifier == "name"
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            Graph(shards=0)
+
+    def test_repr_mentions_shards(self):
+        g = _populate(Graph(shards=3, identifier="r"))
+        assert "3 shards" in repr(g)
+
+
+class TestPartitioning:
+    def test_every_triple_lands_in_its_subject_shard(self):
+        g = _populate(Graph(shards=4))
+        for s, by_p in g.spo_ids().items():
+            shard = g.shard_of(s)
+            assert g.shard_index(s) == s % 4
+            for p, objects in by_p.items():
+                assert shard.spo[s][p] == objects
+
+    def test_shards_partition_the_store(self):
+        g = _populate(Graph(shards=4))
+        assert sum(g.shard_sizes()) == len(g)
+        subjects = [set(shard.spo) for shard in g.shards]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not subjects[i] & subjects[j]
+
+    def test_shard_local_indexes_are_consistent(self):
+        g = _populate(Graph(shards=4))
+        for shard in g.shards:
+            triples = sorted(shard.triples_ids())
+            assert len(triples) == shard.size
+            via_pos = sorted(
+                (s, p, o)
+                for p, by_o in shard.pos.items()
+                for o, subjects in by_o.items()
+                for s in subjects
+            )
+            via_osp = sorted(
+                (s, p, o)
+                for o, by_s in shard.osp.items()
+                for s, predicates in by_s.items()
+                for p in predicates
+            )
+            assert triples == via_pos == via_osp
+
+    def test_merged_shards_equal_global_indexes(self):
+        g = _populate(Graph(shards=8))
+        merged = sorted(
+            triple for shard in g.shards for triple in shard.triples_ids()
+        )
+        assert merged == sorted(g.triples_ids())
+
+    def test_parallel_factor(self):
+        g = Graph(shards=4)
+        assert g.parallel_factor() == 1.0  # empty store
+        _populate(g, subjects=40)
+        assert 0.25 <= g.parallel_factor() < 0.5
+        assert ShardedTripleStore(shards=1).parallel_factor() == 1.0
+
+
+class TestMutationParity:
+    """Random add/remove keeps shards and global indexes in lockstep."""
+
+    def test_random_churn_keeps_partition_consistent(self):
+        rng = random.Random(7)
+        g = Graph(shards=4)
+        pool = [_triple(i, j) for i in range(10) for j in range(4)]
+        live = set()
+        for _ in range(400):
+            t = rng.choice(pool)
+            if rng.random() < 0.6:
+                assert g.add(t) == (t not in live)
+                live.add(t)
+            else:
+                assert g.remove(t) == (t in live)
+                live.discard(t)
+            assert sum(g.shard_sizes()) == len(g) == len(live)
+        merged = sorted(x for shard in g.shards for x in shard.triples_ids())
+        assert merged == sorted(g.triples_ids())
+
+    def test_parity_with_plain_graph(self):
+        plain = _populate(Graph())
+        sharded = _populate(Graph(shards=4))
+        assert len(plain) == len(sharded)
+        assert set(plain.triples()) == set(sharded.triples())
+        assert plain.classes() == sharded.classes()
+        victim = _triple(0, 0)
+        assert plain.remove(victim) and sharded.remove(victim)
+        assert set(plain.triples()) == set(sharded.triples())
+
+    def test_add_many_terms_routes_to_shards(self):
+        g = Graph(shards=4)
+        added = g.add_many_terms(
+            (t.subject, t.predicate, t.object)
+            for t in (_triple(i, j) for i in range(6) for j in range(4))
+        )
+        assert added == 24 == len(g) == sum(g.shard_sizes())
+        # duplicates are not double-counted anywhere
+        assert g.add_many_terms([(_triple(0, 0).subject, _triple(0, 0).predicate, _triple(0, 0).object)]) == 0
+        assert len(g) == sum(g.shard_sizes()) == 24
+
+    def test_clear_resets_shards(self):
+        g = _populate(Graph(shards=4))
+        generation = g.generation
+        g.clear()
+        assert len(g) == 0 and g.shard_sizes() == (0, 0, 0, 0)
+        assert g.generation > generation
+        g.add(_triple(1, 1))
+        assert sum(g.shard_sizes()) == 1
+
+    def test_copy_is_independent_and_sharded(self):
+        g = _populate(Graph(shards=4))
+        clone = g.copy()
+        assert isinstance(clone, ShardedTripleStore)
+        assert clone.shard_sizes() == g.shard_sizes()
+        clone.add(_triple(99, 1))
+        assert len(clone) == len(g) + 1
+        assert sum(g.shard_sizes()) == len(g)
+
+    def test_from_graph_reencodes_identically_per_count(self):
+        plain = _populate(Graph())
+        stores = [ShardedTripleStore.from_graph(plain, n) for n in (1, 2, 4, 8)]
+        for store in stores:
+            assert set(store.triples()) == set(plain.triples())
+            assert sum(store.shard_sizes()) == len(plain)
+        # the shared-dictionary ID assignment is a pure function of the
+        # source iteration order, so sorted ID runs agree across counts
+        runs = [sorted(x for s in store.shards for x in s.triples_ids()) for store in stores]
+        assert runs.count(runs[0]) == len(runs)
+
+
+class TestShardObject:
+    def test_insert_discard_roundtrip(self):
+        shard = Shard()
+        shard.insert(1, 2, 3)
+        shard.insert(1, 2, 4)
+        assert len(shard) == 2
+        assert sorted(shard.triples_ids(s=1)) == [(1, 2, 3), (1, 2, 4)]
+        assert sorted(shard.triples_ids(p=2)) == [(1, 2, 3), (1, 2, 4)]
+        assert list(shard.triples_ids(o=3)) == [(1, 2, 3)]
+        shard.discard(1, 2, 3)
+        assert len(shard) == 1
+        assert not shard.pos[2].get(3)
+        shard.discard(1, 2, 4)
+        assert len(shard) == 0 and not shard.spo and not shard.pos and not shard.osp

@@ -1,0 +1,113 @@
+"""The ID-space ORDER BY path (sort raw ID rows, decode the emitted page).
+
+``_try_order_fast`` replaces the last plain-ORDER BY materializer on the
+hash engine: simple-shape queries sort ID tuples with memoized decoded
+keys and only decode rows that survive DISTINCT/OFFSET/LIMIT.  These
+tests pin (a) that the path actually runs (``operator == "order-id"``),
+and (b) that its output is row-for-row identical to the scan oracle's
+materialized sort, ties included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf import parse_turtle
+from repro.sparql import QueryEngine
+
+DATA = """
+@prefix ex: <http://example.org/> .
+
+ex:a ex:score 3 ; ex:group ex:g1 ; a ex:T .
+ex:b ex:score 1 ; ex:group ex:g2 ; a ex:T .
+ex:c ex:score 3 ; ex:group ex:g1 ; a ex:T .
+ex:d ex:score 2 ; ex:group ex:g2 ; a ex:T .
+ex:e ex:score 1 ; ex:group ex:g1 ; a ex:T .
+"""
+
+PREFIX = "PREFIX ex: <http://example.org/> "
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return parse_turtle(DATA)
+
+
+def _ordered(result):
+    return [
+        [(name, str(term)) for name, term in sorted(row.items())]
+        for row in result.rows
+    ]
+
+
+CASES = [
+    # plain full sort, no LIMIT -- the satellite's target shape
+    ("full-sort", PREFIX + "SELECT ?s ?v WHERE { ?s ex:score ?v } ORDER BY ?v ?s"),
+    # descending + secondary key, ties broken by the second condition
+    ("desc-keys", PREFIX + "SELECT ?s ?v WHERE { ?s ex:score ?v } ORDER BY DESC(?v) ?s"),
+    # LIMIT above the top-k delegation bound stays on this path
+    ("big-limit", PREFIX + "SELECT ?s WHERE { ?s ex:score ?v } ORDER BY ?v ?s LIMIT 100"),
+    # DISTINCT + ORDER BY (top-k excludes DISTINCT; this path handles it)
+    ("distinct", PREFIX + "SELECT DISTINCT ?g WHERE { ?s ex:group ?g . ?s ex:score ?v } ORDER BY ?g"),
+    # OFFSET slicing after the sort
+    ("offset", PREFIX + "SELECT ?s ?v WHERE { ?s ex:score ?v } ORDER BY ?v ?s OFFSET 2"),
+    # SELECT * header from the full solution multiset
+    ("select-star", PREFIX + "SELECT * WHERE { ?s ex:score ?v } ORDER BY DESC(?s)"),
+    # sort key on an unprojected WHERE variable
+    ("unprojected-key", PREFIX + "SELECT ?s WHERE { ?s ex:score ?v } ORDER BY DESC(?v) ?s"),
+    # term-test filter composed under the sort
+    ("filtered", PREFIX + "SELECT ?s ?v WHERE { ?s ?p ?v FILTER (isLiteral(?v)) } ORDER BY ?v ?s"),
+    # unbound sort variable: every key ties, input order is kept
+    ("unbound-key", PREFIX + "SELECT ?s WHERE { ?s a ex:T } ORDER BY ?nope ?s"),
+]
+
+
+@pytest.mark.parametrize("case_id,query", CASES, ids=[c[0] for c in CASES])
+def test_order_id_matches_materialized_sort(graph, case_id, query):
+    engine = QueryEngine(graph)
+    result = engine.run(query)
+    assert engine.exec_stats.get("operator") == "order-id", engine.exec_stats
+    oracle = QueryEngine(graph, strategy="scan").run(query)
+    assert _ordered(result) == _ordered(oracle)
+
+
+def test_decodes_only_the_emitted_page(graph):
+    engine = QueryEngine(graph)
+    # LIMIT past the top-k delegation bound: pagination stays ID-space
+    result = engine.run(
+        PREFIX + "SELECT ?s ?v WHERE { ?s ex:score ?v } ORDER BY ?v ?s OFFSET 1 LIMIT 100"
+    )
+    stats = engine.exec_stats
+    assert stats["operator"] == "order-id"
+    assert stats["input_rows"] == 5
+    assert stats["decoded_rows"] == len(result.rows) == 4
+
+
+def test_small_limit_still_delegates_to_topk(graph):
+    # the bounded heap keeps priority for LIMIT <= STREAM_DELEGATE_LIMIT
+    engine = QueryEngine(graph)
+    engine.run(PREFIX + "SELECT ?s WHERE { ?s ex:score ?v } ORDER BY ?v ?s LIMIT 2")
+    assert engine.exec_stats["operator"] == "topk-id"
+
+
+def test_non_simple_shapes_fall_back(graph):
+    # OPTIONAL in the WHERE clause: not the pure-ID shape
+    engine = QueryEngine(graph)
+    query = (
+        PREFIX
+        + "SELECT ?s ?g WHERE { ?s ex:score ?v OPTIONAL { ?s ex:group ?g } } "
+        + "ORDER BY ?v ?s"
+    )
+    result = engine.run(query)
+    assert engine.exec_stats.get("operator") != "order-id"
+    oracle = QueryEngine(graph, strategy="scan").run(query)
+    assert _ordered(result) == _ordered(oracle)
+
+
+def test_expression_sort_key_falls_back(graph):
+    engine = QueryEngine(graph)
+    query = PREFIX + "SELECT ?s WHERE { ?s ex:score ?v } ORDER BY (?v * 2) ?s"
+    result = engine.run(query)
+    assert engine.exec_stats.get("operator") != "order-id"
+    oracle = QueryEngine(graph, strategy="scan").run(query)
+    assert _ordered(result) == _ordered(oracle)
