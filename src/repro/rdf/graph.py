@@ -102,12 +102,16 @@ class Graph:
 
     @property
     def generation(self) -> int:
-        """Mutation counter: bumps on any write, even a no-op insert.
+        """Mutation counter: bumps only when the triple set actually changes.
 
         Cache keys derived from this graph's content (compiled query plans,
         cardinality estimates) embed the generation and compare it on reuse;
         a bump invalidates every derived artifact at once without the graph
-        having to know who is caching what.
+        having to know who is caching what.  No-op writes -- a duplicate
+        ``add``, removing an absent triple, an all-duplicate ``add_many`` --
+        leave the content untouched and therefore do *not* bump, so
+        duplicate-heavy loads cannot evict still-valid plans or
+        ``derived_cache`` entries.
         """
         return self._generation
 
@@ -158,7 +162,6 @@ class Graph:
 
     def add(self, triple: Triple) -> bool:
         """Insert *triple*; return True if it was not already present."""
-        self._generation += 1
         d = self._dict
         s = d.encode(triple.subject)
         p = d.encode(triple.predicate)
@@ -171,6 +174,7 @@ class Graph:
             objects = by_predicate[p] = set()
         if o in objects:
             return False
+        self._generation += 1
         objects.add(o)
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
@@ -199,16 +203,24 @@ class Graph:
         type-checked; callers own the triple validity (generators and
         parsers construct well-typed terms).
         """
-        self._generation += 1
         d = self._dict
         encode = d.encode
+        # Inline the intern-hit path: bulk loads re-see almost every term,
+        # so the common case is one dict probe, not a method call.
+        lookup = d._term_to_id.get
         refcount = d._refcount
         spo, pos, osp = self._spo, self._pos, self._osp
         added = 0
         for s_term, p_term, o_term in spo_terms:
-            s = encode(s_term)
-            p = encode(p_term)
-            o = encode(o_term)
+            s = lookup(s_term)
+            if s is None:
+                s = encode(s_term)
+            p = lookup(p_term)
+            if p is None:
+                p = encode(p_term)
+            o = lookup(o_term)
+            if o is None:
+                o = encode(o_term)
             by_predicate = spo.get(s)
             if by_predicate is None:
                 by_predicate = spo[s] = {}
@@ -237,6 +249,8 @@ class Graph:
             refcount[o] += 1
             added += 1
         self._size += added
+        if added:
+            self._generation += 1
         return added
 
     def update(self, triples: Iterable[Triple]) -> int:
@@ -245,7 +259,6 @@ class Graph:
 
     def remove(self, triple: Triple) -> bool:
         """Remove *triple*; return True if it was present."""
-        self._generation += 1
         d = self._dict
         s = d.lookup(triple.subject)
         p = d.lookup(triple.predicate)
@@ -256,6 +269,7 @@ class Graph:
         objects = by_predicate.get(p) if by_predicate else None
         if not objects or o not in objects:
             return False
+        self._generation += 1
         objects.discard(o)
         if not objects:
             del by_predicate[p]
@@ -287,7 +301,8 @@ class Graph:
         return len(victims)
 
     def clear(self) -> None:
-        self._generation += 1
+        if self._size or len(self._dict):
+            self._generation += 1
         self._dict = TermDict()
         self._spo = {}
         self._pos = {}

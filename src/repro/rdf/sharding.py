@@ -1,24 +1,37 @@
 """Subject-hash-partitioned storage: N shards under one :class:`Graph` facade.
 
 A :class:`ShardedTripleStore` is a :class:`~repro.rdf.graph.Graph` whose
-triples are additionally partitioned into ``N`` shards by **subject ID
-modulo N** over the single shared :class:`~repro.rdf.dictionary.TermDict`.
-Each shard owns its own ID-space SPO/POS/OSP permutation indexes holding
-exactly the triples whose subject hashes to it, which is the classic
+triples are partitioned into ``N`` shards by **subject ID modulo N** over
+the single shared :class:`~repro.rdf.dictionary.TermDict`.  Each shard
+owns its own ID-space SPO/POS/OSP permutation indexes holding exactly the
+triples whose subject hashes to it, which is the classic
 subject-partitioning rule: a subject's whole forward star lives in one
 shard, so subject-bound lookups never fan out while predicate/object
 scans split ``1/N`` per shard.
 
-The facade keeps the inherited *global* indexes fully populated too --
-every write lands in both -- so the entire existing read surface
-(term-level API, point lookups, property paths, per-row index joins,
-community detection) works unchanged on a sharded graph.  What the
-shards buy is the **partition-parallel scan path** in
-:mod:`repro.sparql.parallel_exec`: pattern scans that span subjects (and
-the first hash-join build of a BGP) run shard-by-shard through the
-deterministic worker pool of :mod:`repro.core.parallel`, charging only
-the *makespan* of the per-shard work to simulated time instead of the
-sequential sum.
+The shards are the **only** storage: the inherited global indexes stay
+empty (a write lands in exactly one shard), which halves insert cost and
+index memory against the PR 4 double-write layout.  The entire read
+surface is *routed* instead:
+
+* subject-bound requests (``triples_ids(s, ...)``, point lookups,
+  ``__contains__``, ``objects(subject, predicate)``, ``value``, the
+  evaluator's per-row index-nested-loop probes) go straight to the owning
+  shard -- same O(1) dict walks as before, just one hop deeper;
+* unbound-subject scans fan out across shards and come back as the
+  ordered merge of per-shard runs sorted by the ``(s, p, o)`` ID triple
+  -- the same sorted-run merge the partition-parallel operators use, so
+  the stream is **byte-identical at any shard count**;
+* whole-index views (``spo_ids``/``pos_ids``/``osp_ids``) materialize a
+  merged read-only snapshot on demand; they exist for tests and
+  debugging, the hot paths never call them on a sharded graph.
+
+What the shards buy beyond the storage saving is the
+**partition-parallel scan path** in :mod:`repro.sparql.parallel_exec`:
+pattern scans that span subjects (and the first hash-join build of a
+BGP) run shard-by-shard through the deterministic worker pool of
+:mod:`repro.core.parallel`, charging only the *makespan* of the
+per-shard work to simulated time instead of the sequential sum.
 
 **Merge determinism rule.**  Each shard task returns its matches as a
 run sorted by the ``(s, p, o)`` ID triple; the merged stream is the
@@ -26,10 +39,13 @@ ordered merge of those runs, i.e. ascending ``(s, p, o)`` order overall.
 Subjects partition disjointly, so this canonical order is *independent
 of the shard count*: ``Graph(shards=1)`` and ``Graph(shards=8)`` feed
 the SPARQL pipelines byte-identical row streams, which is what pins
-query results (including row order) across shard counts.  A plain
-``Graph()`` scans in index-dict order instead, so sharded and unsharded
-stores agree on result *multisets* but not necessarily on the order of
-unordered queries.
+query results (including row order) across shard counts.  Subject-bound
+reads inherit the same invariance for free: all writes for one subject
+land in its one shard in global write order, so the shard-local dict
+and set iteration orders are a pure function of the write sequence,
+never of ``N``.  A plain ``Graph()`` scans in index-dict order instead,
+so sharded and unsharded stores agree on result *multisets* but not
+necessarily on the order of unordered queries.
 
 The pool timebase is a private :class:`SimulationClock` per store --
 shard makespans accumulate in :attr:`ShardedTripleStore.shard_stats`
@@ -40,9 +56,11 @@ than having scans advance the shared network clock directly.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Tuple
+import heapq
+from typing import Iterable, Iterator, Optional, Set, Tuple
 
 from .graph import Graph, IdIndex
+from .namespaces import RDF, RDFS
 from .terms import IRI, Term, Triple
 
 __all__ = ["ShardedTripleStore", "Shard"]
@@ -97,9 +115,11 @@ class Shard:
         """This shard's ID triples matching the (wildcard) pattern.
 
         Same index-selection logic as :meth:`Graph.triples_ids`, over the
-        shard-local indexes only.  The partition-parallel scan path sorts
-        each shard's output into a run before merging, so iteration order
-        here is irrelevant to query semantics.
+        shard-local indexes only.  Shard-spanning consumers sort each
+        shard's output into a run before merging, so iteration order here
+        is only observable for subject-bound patterns -- where it is a
+        pure function of the write sequence (see the module's merge
+        determinism rule).
         """
         if s is not None:
             by_predicate = self.spo.get(s)
@@ -171,9 +191,9 @@ class ShardedTripleStore(Graph):
     """A :class:`Graph` partitioned into subject-hash shards.
 
     Constructed directly or through the facade ``Graph(shards=N)``.  The
-    full :class:`Graph` API behaves identically (the global indexes stay
-    authoritative); the shards feed the partition-parallel SPARQL scan
-    path and the endpoint latency model.
+    full :class:`Graph` API behaves identically; the shards are the only
+    storage (single-copy layout) and every accessor routes: subject-bound
+    reads hit the owning shard, unbound scans merge sorted per-shard runs.
     """
 
     #: duck-typing flag the SPARQL layer dispatches on (no import cycle)
@@ -189,6 +209,10 @@ class ShardedTripleStore(Graph):
             raise ValueError(f"shards must be >= 1, got {shards}")
         super().__init__(identifier)
         self._shards = tuple(Shard() for _ in range(shards))
+        #: whether the pool timebase below is store-private (constructed
+        #: here) or an external clock the caller owns; ``copy()`` keys its
+        #: carry-over behaviour on this.
+        self._private_clock = clock is None
         if clock is None:
             # Private pool timebase (lazy import: repro.endpoint imports the
             # SPARQL evaluator, which reads graphs -- keep rdf leaf-free).
@@ -256,44 +280,100 @@ class ShardedTripleStore(Graph):
             return 1.0
         return max(shard.size for shard in self._shards) / float(self._size)
 
-    # -- mutation (global indexes via the base class, plus shard routing) -----
+    # -- mutation (single-copy: the owning shard is the only index) -----------
 
     def add(self, triple: Triple) -> bool:
-        added = super().add(triple)
-        if added:
-            d = self._dict
-            s = d.lookup(triple.subject)
-            p = d.lookup(triple.predicate)
-            o = d.lookup(triple.object)
-            self._shards[s % len(self._shards)].insert(s, p, o)
-        return added
+        d = self._dict
+        s = d.encode(triple.subject)
+        p = d.encode(triple.predicate)
+        o = d.encode(triple.object)
+        shard = self._shards[s % len(self._shards)]
+        by_predicate = shard.spo.get(s)
+        if by_predicate is not None:
+            objects = by_predicate.get(p)
+            if objects is not None and o in objects:
+                return False
+        self._generation += 1
+        shard.insert(s, p, o)
+        d.incref(s)
+        d.incref(p)
+        d.incref(o)
+        self._size += 1
+        return True
 
     def add_many_terms(self, spo_terms: Iterable[Tuple[Term, IRI, Term]]) -> int:
-        """Bulk load with shard routing fused into the tight loop."""
-        self._generation += 1
+        """Bulk load writing each triple to its one owning shard only.
+
+        Bulk input is overwhelmingly ``(s, p)``-major (``Graph.triples()``
+        iterates SPO, generators emit a subject's star contiguously with
+        its predicates grouped), so the shard route, the subject's SPO
+        bucket and its refcount resolve once per subject *run*, and the
+        ``(s, p)``/POS buckets once per predicate run -- not once per
+        triple.  A non-contiguous repeat just re-resolves; correctness
+        never depends on the input order.
+        """
         d = self._dict
         encode = d.encode
+        # Inline the intern-hit path: bulk loads re-see almost every term
+        # (a dataset has far fewer distinct terms than term occurrences),
+        # so the common case is one dict probe, not a method call.
+        term_to_id = d._term_to_id
+        lookup = term_to_id.get
         refcount = d._refcount
-        spo, pos, osp = self._spo, self._pos, self._osp
         shards = self._shards
         n_shards = len(shards)
         added = 0
+        last_s: Optional[int] = None
+        last_p: Optional[int] = None
+        shard: Optional[Shard] = None
+        pos = osp = None
+        by_predicate = objects = by_object = None
+        # Per-run accumulators flushed on run change: the subject's and
+        # predicate's refcounts and the owning shard's size move once per
+        # run instead of once per triple.
+        subject_run_refs = predicate_run_refs = shard_run_size = 0
         for s_term, p_term, o_term in spo_terms:
-            s = encode(s_term)
-            p = encode(p_term)
-            o = encode(o_term)
-            by_predicate = spo.get(s)
-            if by_predicate is None:
-                by_predicate = spo[s] = {}
-            objects = by_predicate.get(p)
-            if objects is None:
-                objects = by_predicate[p] = set()
+            s = lookup(s_term)
+            if s is None:
+                s = encode(s_term)
+            p = lookup(p_term)
+            if p is None:
+                p = encode(p_term)
+            o = lookup(o_term)
+            if o is None:
+                o = encode(o_term)
+            if s != last_s:
+                if predicate_run_refs:
+                    refcount[last_p] += predicate_run_refs
+                    predicate_run_refs = 0
+                if subject_run_refs:
+                    refcount[last_s] += subject_run_refs
+                    subject_run_refs = 0
+                if shard_run_size:
+                    shard.size += shard_run_size
+                    shard_run_size = 0
+                last_s = s
+                last_p = None
+                shard = shards[s % n_shards]
+                pos, osp = shard.pos, shard.osp
+                spo = shard.spo
+                by_predicate = spo.get(s)
+                if by_predicate is None:
+                    by_predicate = spo[s] = {}
+            if p != last_p:
+                if predicate_run_refs:
+                    refcount[last_p] += predicate_run_refs
+                    predicate_run_refs = 0
+                last_p = p
+                objects = by_predicate.get(p)
+                if objects is None:
+                    objects = by_predicate[p] = set()
+                by_object = pos.get(p)
+                if by_object is None:
+                    by_object = pos[p] = {}
             if o in objects:
                 continue
             objects.add(o)
-            by_object = pos.get(p)
-            if by_object is None:
-                by_object = pos[p] = {}
             subjects = by_object.get(o)
             if subjects is None:
                 subjects = by_object[o] = set()
@@ -305,41 +385,277 @@ class ShardedTripleStore(Graph):
             if predicates is None:
                 predicates = by_subject[s] = set()
             predicates.add(p)
-            refcount[s] += 1
-            refcount[p] += 1
+            subject_run_refs += 1
+            predicate_run_refs += 1
+            shard_run_size += 1
             refcount[o] += 1
-            shards[s % n_shards].insert(s, p, o)
             added += 1
+        if predicate_run_refs:
+            refcount[last_p] += predicate_run_refs
+        if subject_run_refs:
+            refcount[last_s] += subject_run_refs
+        if shard_run_size:
+            shard.size += shard_run_size
         self._size += added
+        if added:
+            self._generation += 1
         return added
 
     def remove(self, triple: Triple) -> bool:
-        # Capture the IDs before the base removal decrefs (and possibly
-        # frees) them.
         d = self._dict
         s = d.lookup(triple.subject)
         p = d.lookup(triple.predicate)
         o = d.lookup(triple.object)
-        removed = super().remove(triple)
-        if removed:
-            self._shards[s % len(self._shards)].discard(s, p, o)
-        return removed
+        if s is None or p is None or o is None:
+            return False
+        shard = self._shards[s % len(self._shards)]
+        objects = shard.spo.get(s, {}).get(p)
+        if not objects or o not in objects:
+            return False
+        self._generation += 1
+        shard.discard(s, p, o)
+        d.decref(s)
+        d.decref(p)
+        d.decref(o)
+        self._size -= 1
+        return True
 
     def clear(self) -> None:
         super().clear()
         self._shards = tuple(Shard() for _ in range(len(self._shards)))
 
     def copy(self) -> "ShardedTripleStore":
+        """A structural clone sharing no mutable state with the original.
+
+        The pool timebase carries over: a store-private clock is cloned at
+        its current simulated time (so the copy keeps the time the pool
+        already spent, without coupling the two stores), while an external
+        clock -- one passed into the constructor, e.g. a shared network
+        clock -- is handed to the copy as the same object.
+        ``shard_stats`` deliberately starts fresh: the counters are
+        per-store *cumulative accounting*, not content, and a clone has
+        run zero batches of its own.
+        """
+        if self._private_clock:
+            from ..endpoint.clock import SimulationClock
+
+            clock = SimulationClock(self.clock.now_ms)
+        else:
+            clock = self.clock
         out = ShardedTripleStore(
-            identifier=self.identifier, shards=len(self._shards)
+            identifier=self.identifier, shards=len(self._shards), clock=clock
         )
+        out._private_clock = self._private_clock
         out._dict = self._dict.copy()
-        out._spo = {s: {p: set(o) for p, o in by_p.items()} for s, by_p in self._spo.items()}
-        out._pos = {p: {o: set(s) for o, s in by_o.items()} for p, by_o in self._pos.items()}
-        out._osp = {o: {s: set(p) for s, p in by_s.items()} for o, by_s in self._osp.items()}
         out._size = self._size
         out._shards = tuple(shard.copy() for shard in self._shards)
         return out
+
+    # -- routed read views ----------------------------------------------------
+
+    def triples_ids(
+        self,
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Routed scan primitive: owning shard, or a sorted fan-out merge.
+
+        Subject-bound patterns read the one owning shard directly (its
+        iteration order is shard-count-invariant).  Unbound-subject
+        patterns span shards, so each shard's matches are sorted into a
+        run and the runs merge in ascending ``(s, p, o)`` order -- the
+        same canonical stream :func:`repro.sparql.parallel_exec.parallel_scan_ids`
+        produces, minus the pool accounting (plain index reads charge no
+        simulated time, exactly like an unsharded graph's).
+        """
+        if s is not None:
+            yield from self._shards[s % len(self._shards)].triples_ids(s, p, o)
+            return
+        shards = self._shards
+        if len(shards) == 1:
+            yield from sorted(shards[0].triples_ids(None, p, o))
+            return
+        runs = [sorted(shard.triples_ids(None, p, o)) for shard in shards]
+        yield from heapq.merge(*runs)
+
+    def count_ids(
+        self,
+        s: Optional[int] = None,
+        p: Optional[int] = None,
+        o: Optional[int] = None,
+    ) -> int:
+        """Pattern cardinality from shard-local index sizes (no fan-out
+        materialization: counting sums per-shard dict/set lengths)."""
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None:
+            shard = self._shards[s % len(self._shards)]
+            if p is not None and o is None:
+                return len(shard.spo.get(s, {}).get(p, ()))
+            if p is None and o is None:
+                return sum(len(v) for v in shard.spo.get(s, {}).values())
+            return sum(1 for _ in shard.triples_ids(s, p, o))
+        if p is not None and o is not None:
+            return sum(
+                len(shard.pos.get(p, {}).get(o, ())) for shard in self._shards
+            )
+        if p is not None:
+            return sum(
+                sum(len(v) for v in shard.pos.get(p, {}).values())
+                for shard in self._shards
+            )
+        return sum(
+            sum(len(v) for v in shard.osp.get(o, {}).values())
+            for shard in self._shards
+        )
+
+    def __contains__(self, triple: Triple) -> bool:
+        d = self._dict
+        s = d.lookup(triple.subject)
+        p = d.lookup(triple.predicate)
+        o = d.lookup(triple.object)
+        if s is None or p is None or o is None:
+            return False
+        shard = self._shards[s % len(self._shards)]
+        return o in shard.spo.get(s, {}).get(p, ())
+
+    def node_ids(self) -> Set[int]:
+        """IDs occurring as subject or object -- the property-path universe.
+
+        Built in ascending-ID insertion order so the resulting set's
+        iteration order (which the full-closure path scan observes) is a
+        pure function of the ID set, independent of the shard count.
+        """
+        seen: Set[int] = set()
+        for shard in self._shards:
+            seen.update(shard.spo)
+            seen.update(shard.osp)
+        out: Set[int] = set()
+        for term_id in sorted(seen):
+            out.add(term_id)
+        return out
+
+    def is_node_id(self, term_id: int) -> bool:
+        if term_id in self._shards[term_id % len(self._shards)].spo:
+            return True
+        return any(term_id in shard.osp for shard in self._shards)
+
+    # -- whole-index snapshots (tests/debugging; hot paths route instead) ----
+
+    def spo_ids(self) -> IdIndex:
+        """Merged SPO view: a fresh dict mapping each subject to its owning
+        shard's (live) inner index.  Subjects partition disjointly, so the
+        merge is shallow and O(subjects).  Read-only by contract; iteration
+        order is shard-major, *not* shard-count-invariant -- canonical
+        streams come from :meth:`triples_ids`.
+        """
+        merged: IdIndex = {}
+        for shard in self._shards:
+            merged.update(shard.spo)
+        return merged
+
+    def pos_ids(self) -> IdIndex:
+        """Merged POS snapshot (deep-merged: predicates span shards).
+        O(size) to build; exists for inspection, not hot paths."""
+        return self._merged_index("pos")
+
+    def osp_ids(self) -> IdIndex:
+        """Merged OSP snapshot (deep-merged: objects span shards).
+        O(size) to build; exists for inspection, not hot paths."""
+        return self._merged_index("osp")
+
+    def _merged_index(self, name: str) -> IdIndex:
+        merged: IdIndex = {}
+        for shard in self._shards:
+            for key, by_mid in getattr(shard, name).items():
+                dst = merged.get(key)
+                if dst is None:
+                    dst = merged[key] = {}
+                for mid, leaves in by_mid.items():
+                    bucket = dst.get(mid)
+                    if bucket is None:
+                        # copy: the snapshot must never alias shard-owned
+                        # sets it might later extend with another shard's
+                        dst[mid] = set(leaves)
+                    else:
+                        bucket |= leaves
+        return merged
+
+    # -- routed convenience accessors -----------------------------------------
+
+    def subjects(self, predicate: Optional[IRI] = None, obj: Optional[Term] = None):
+        """Distinct subjects of ``(?, predicate, obj)``; the bound-bound
+        fast path fans out over shard POS indexes in ascending-ID order
+        (shard-count-invariant)."""
+        if predicate is not None and obj is not None:
+            p = self._dict.lookup(predicate)
+            o = self._dict.lookup(obj)
+            if p is None or o is None:
+                return
+            decode = self._dict.decode
+            subject_ids: list = []
+            for shard in self._shards:
+                subject_ids.extend(shard.pos.get(p, {}).get(o, ()))
+            for s in sorted(subject_ids):
+                yield decode(s)
+            return
+        yield from super().subjects(predicate, obj)
+
+    def objects(self, subject: Optional[Term] = None, predicate: Optional[IRI] = None):
+        """Distinct objects of ``(subject, predicate, ?)``; the bound-bound
+        fast path is a single owning-shard lookup."""
+        if subject is not None and predicate is not None:
+            s = self._dict.lookup(subject)
+            p = self._dict.lookup(predicate)
+            if s is None or p is None:
+                return
+            decode = self._dict.decode
+            shard = self._shards[s % len(self._shards)]
+            for o in shard.spo.get(s, {}).get(p, ()):
+                yield decode(o)
+            return
+        yield from super().objects(subject, predicate)
+
+    def classes(self) -> Set[Term]:
+        p = self._dict.lookup(RDF.type)
+        if p is None:
+            return set()
+        decode = self._dict.decode
+        return {
+            decode(o) for shard in self._shards for o in shard.pos.get(p, {})
+        }
+
+    def instances_of(self, cls: Term) -> Set[Term]:
+        p = self._dict.lookup(RDF.type)
+        o = self._dict.lookup(cls)
+        if p is None or o is None:
+            return set()
+        decode = self._dict.decode
+        return {
+            decode(s)
+            for shard in self._shards
+            for s in shard.pos.get(p, {}).get(o, ())
+        }
+
+    def class_count(self, cls: Term) -> int:
+        p = self._dict.lookup(RDF.type)
+        o = self._dict.lookup(cls)
+        if p is None or o is None:
+            return 0
+        return sum(len(shard.pos.get(p, {}).get(o, ())) for shard in self._shards)
+
+    def subclasses(self, cls: Term) -> Set[Term]:
+        p = self._dict.lookup(RDFS.subClassOf)
+        o = self._dict.lookup(cls)
+        if p is None or o is None:
+            return set()
+        decode = self._dict.decode
+        return {
+            decode(s)
+            for shard in self._shards
+            for s in shard.pos.get(p, {}).get(o, ())
+        }
 
     def __repr__(self) -> str:
         name = self.identifier or "anonymous"

@@ -30,10 +30,11 @@ Three BGP pipelines coexist behind ``QueryEngine(graph, strategy=...)``:
   exactly as much of the join as k rows require.  The two former pipeline
   breakers stream too: ``ORDER BY ... LIMIT k`` runs through a bounded
   ``heapq`` top-k (at most ``offset + k`` rows kept, stable tie-break on
-  input order so the result equals sort-then-slice), and column-shaped
-  GROUP BY/aggregation folds incrementally into per-group
-  :class:`_AggFold` accumulators (O(groups) state; COUNT DISTINCT via
-  per-group seen-sets of encoded values).
+  input order so the result equals sort-then-slice; DISTINCT rides along
+  through a per-key champion table, so the result equals sort, stable
+  dedup, slice), and column-shaped GROUP BY/aggregation folds
+  incrementally into per-group :class:`_AggFold` accumulators (O(groups)
+  state; COUNT DISTINCT via per-group seen-sets of encoded values).
 * ``"scan"`` -- the legacy substitute-and-scan nested-loop join kept as
   the conformance oracle; the suite runs every query through all three
   pipelines and asserts identical solutions.
@@ -325,6 +326,26 @@ class _TopKEntry:
         return self.seq > other.seq
 
 
+def _champion_fold(entries: Iterator[_TopKEntry], key_of) -> Dict:
+    """DISTINCT's per-key champion table, shared by every top-k variant.
+
+    For each distinct dedup key (*key_of* over the entry payload) keep
+    only the entry that sorts *earliest* in the final output order --
+    under :class:`_TopKEntry`'s inverted ``__lt__`` ("sorts later"),
+    that means replacing the champion exactly when ``champion < entry``.
+    Feeding the champions to :func:`_topk_fold` then equals sort ->
+    stable dedup -> slice, the modifier order the spec defines.  State
+    is O(distinct keys), the cost DISTINCT itself implies.
+    """
+    champions: Dict = {}
+    for entry in entries:
+        key = key_of(entry.payload)
+        champion = champions.get(key)
+        if champion is None or champion < entry:
+            champions[key] = entry
+    return champions
+
+
 def _topk_fold(entries: Iterator[_TopKEntry], keep: int) -> List[_TopKEntry]:
     """The k first-in-sort-order entries of a stream, in output order.
 
@@ -514,6 +535,10 @@ class QueryEngine:
         self._plans: _SharedPlanCache = graph.derived_cache(
             "sparql/plans", _SharedPlanCache
         )
+        #: the per-query ShardScanPool (created in run(), threaded through
+        #: every shard batch the query dispatches so batches after the
+        #: first reuse the warm workers)
+        self._scan_pool = None
         #: observability for the bounded operators: the last top-k /
         #: streaming-aggregation run records how many rows it consumed and
         #: how many it ever held (benchmarks assert the O(k) / O(groups)
@@ -537,6 +562,12 @@ class QueryEngine:
         # Reset per query: paths that don't track counters must not leave
         # a previous query's stats behind for a caller to misread.
         self.exec_stats = {}
+        if self._sharded is not None:
+            # One warm worker set per query execution: every shard batch
+            # this query dispatches shares it (pool-reuse cost model).
+            from .parallel_exec import ShardScanPool
+
+            self._scan_pool = ShardScanPool(self._sharded)
         if isinstance(query, str):
             query = parse_query(query)
         if isinstance(query, SelectQuery):
@@ -773,6 +804,7 @@ class QueryEngine:
                     key_positions,
                     new_positions,
                     stats=self.exec_stats,
+                    pool=self._scan_pool,
                 )
         table: Dict = {}
         setdefault = table.setdefault
@@ -808,11 +840,13 @@ class QueryEngine:
         if self._sharded is not None and s is None:
             # Subject unbound -> the scan spans shards: run it partition-
             # parallel and consume the canonical (shard-count-invariant)
-            # merged stream.  Subject-bound scans stay on the global
-            # indexes -- the whole forward star lives in one shard anyway.
+            # merged stream.  Subject-bound scans route straight to the
+            # owning shard -- the whole forward star lives there anyway.
             from .parallel_exec import parallel_scan_ids
 
-            triples = parallel_scan_ids(self._sharded, s, p, o, stats=self.exec_stats)
+            triples = parallel_scan_ids(
+                self._sharded, s, p, o, stats=self.exec_stats, pool=self._scan_pool
+            )
             yield from _triples_to_scan_rows(triples, positions)
             return
         yield from _triples_to_scan_rows(self.graph.triples_ids(s, p, o), positions)
@@ -904,9 +938,19 @@ class QueryEngine:
         """INLJ fast path: no repeated variables, every row binds the shared
         columns.  Bound positions are per-row constants, so matches append
         straight onto the row -- no merge bookkeeping -- and the index dicts
-        are walked directly."""
+        are walked directly.
+
+        On a sharded graph the probes route: a subject-bound row walks the
+        owning shard's local indexes (same O(1) dict hops, no fan-out), and
+        an unbound-subject row consumes the store's canonical sorted-merge
+        stream, so probe results stay shard-count-invariant.
+        """
         graph = self.graph
-        spo, pos, osp = graph.spo_ids(), graph.pos_ids(), graph.osp_ids()
+        store = self._sharded
+        if store is None:
+            spo, pos, osp = graph.spo_ids(), graph.pos_ids(), graph.osp_ids()
+        else:
+            spo = pos = osp = None  # routed per row below
 
         resolved = []
         for spec in ep.spec:
@@ -937,6 +981,30 @@ class QueryEngine:
                 or (o is not None and type(o) is not int)
             ):
                 continue  # a raw non-interned term matches no triple
+            if store is not None:
+                if s is None:
+                    if p is not None and o is not None:
+                        # The common fully-bound probe: one small subject
+                        # set per shard -- concatenate and sort once, no
+                        # per-shard run/merge machinery.  Same output as
+                        # the routed stream ((p, o) fixed, so sorting the
+                        # subjects is sorting the triples).
+                        matched = [
+                            subj
+                            for probe_shard in store.shards
+                            for subj in probe_shard.pos.get(p, {}).get(o, ())
+                        ]
+                        matched.sort()
+                        for subj in matched:
+                            append(row + make(subj, p, o))
+                        continue
+                    # Shard-spanning probe: consume the canonical routed
+                    # stream (sorted fan-out merge) instead of global dicts.
+                    for triple in store.triples_ids(None, p, o):
+                        append(row + make(*triple))
+                    continue
+                shard = store.shard_of(s)
+                spo, osp = shard.spo, shard.osp
             if s is not None:
                 by_predicate = spo.get(s)
                 if not by_predicate:
@@ -1499,17 +1567,17 @@ class QueryEngine:
         if self.strategy == "hash":
             # Small-LIMIT queries pay for every row an eager pipeline
             # materializes and then throws away; route them through the
-            # streaming operators instead.  DISTINCT stays on the eager
-            # fast path, which deduplicates in ID space before decoding.
-            # The gate must not involve OFFSET: all pages of one paginated
-            # query then land on the same pipeline, keeping row order
-            # stable across pages.
+            # streaming operators instead.  Unordered DISTINCT stays on
+            # the eager fast path, which deduplicates in ID space before
+            # decoding; DISTINCT + ORDER BY rides the top-k operator's
+            # per-key champion table.  The gate must not involve OFFSET:
+            # all pages of one paginated query then land on the same
+            # pipeline, keeping row order stable across pages.
             if (
                 query.limit is not None
                 and query.limit <= self.STREAM_DELEGATE_LIMIT
-                and not query.distinct
             ):
-                if self._streamable(query):
+                if not query.distinct and self._streamable(query):
                     return self._run_select_streaming(query)
                 if self._topk_shape(query):
                     # ORDER BY ... LIMIT k: the bounded top-k operator.
@@ -1564,15 +1632,16 @@ class QueryEngine:
     def _topk_shape(query: SelectQuery) -> bool:
         """Is this ``ORDER BY ... LIMIT k`` the bounded heap can run?
 
-        DISTINCT is excluded: dedup-then-slice under a bounded heap would
-        need a per-key champion table, and the eager paths already handle
-        it.  Aggregation routes through the streaming GROUP BY fold
-        instead (its O(groups) output is then ordered whole).
+        DISTINCT rides along through a per-key champion table: each
+        distinct projected row keeps only its earliest-in-sort-order
+        entry, and the heap then slices the champions -- equivalent to
+        sort, stable dedup, slice (the modifier order the spec defines).
+        Aggregation routes through the streaming GROUP BY fold instead
+        (its O(groups) output is then ordered whole).
         """
         return (
             bool(query.order_by)
             and query.limit is not None
-            and not query.distinct
             and query.having is None
             and not query.has_aggregates()
         )
@@ -1752,7 +1821,31 @@ class QueryEngine:
                 yield _TopKEntry(tuple(keys), flags, stats["survivors"], row)
                 stats["survivors"] += 1
 
-        kept_all = _topk_fold(entries(), keep)
+        distinct_keys = None
+        if query.distinct:
+            if query.select_all:
+                dedup_columns = [
+                    column
+                    for _name, column in sorted(
+                        (variable.name, column)
+                        for variable, column in col_of.items()
+                    )
+                ]
+            else:
+                dedup_columns = [
+                    col_of.get(p.expression.variable) for p in query.projections
+                ]
+            champions = _champion_fold(
+                entries(),
+                lambda row: tuple(
+                    row[column] if column is not None else None
+                    for column in dedup_columns
+                ),
+            )
+            distinct_keys = len(champions)
+            kept_all = _topk_fold(iter(champions.values()), keep)
+        else:
+            kept_all = _topk_fold(entries(), keep)
         kept = kept_all[query.offset or 0 :]
 
         names, columns = self._id_projection_layout(
@@ -1766,6 +1859,8 @@ class QueryEngine:
             input_rows=stats["input_rows"],
             tracked_rows=len(kept_all),
         )
+        if distinct_keys is not None:
+            self.exec_stats["distinct_keys"] = distinct_keys
         return SelectResult(names, out_rows)
 
     def _run_select_topk_general(self, query: SelectQuery) -> SelectResult:
@@ -1803,7 +1898,22 @@ class QueryEngine:
                     )
                     yield _TopKEntry(keys, flags, seq, solution)
 
-            kept = _topk_fold(entries(), keep)
+            if query.distinct:
+                # DISTINCT on SELECT *: the projected row is determined by
+                # the solution's bound items (unbound projects to None and
+                # None is never a bound value), so the item set is the
+                # dedup key.
+                champions = _champion_fold(
+                    entries(),
+                    lambda solution: frozenset(
+                        (variable.name, term)
+                        for variable, term in solution.items()
+                    ),
+                )
+                stats["distinct_keys"] = len(champions)
+                kept = _topk_fold(iter(champions.values()), keep)
+            else:
+                kept = _topk_fold(entries(), keep)
             names = sorted(seen_names)
             rows = [
                 {name: entry.payload.get(Variable(name)) for name in names}
@@ -1826,7 +1936,34 @@ class QueryEngine:
                 for condition in conditions
             )
 
-            if keys_need_row:
+            if query.distinct:
+                # DISTINCT dedups on the projected row, so every input row
+                # projects (no survivors-only shortcut) and the row is the
+                # entry payload.
+                def entries() -> Iterator[_TopKEntry]:
+                    for seq, solution in enumerate(solutions):
+                        stats["input_rows"] += 1
+                        row = self._project_row(query, names, solution)
+                        if keys_need_row:
+                            scope = dict(solution)
+                            for name, term in row.items():
+                                if term is not None:
+                                    scope[Variable(name)] = term
+                        else:
+                            scope = solution
+                        keys = tuple(
+                            self._order_key(condition, scope)
+                            for condition in conditions
+                        )
+                        yield _TopKEntry(keys, flags, seq, row)
+
+                champions = _champion_fold(
+                    entries(), lambda row: tuple(row[name] for name in names)
+                )
+                stats["distinct_keys"] = len(champions)
+                kept = _topk_fold(iter(champions.values()), keep)
+                rows = [entry.payload for entry in kept[query.offset or 0 :]]
+            elif keys_need_row:
 
                 def entries() -> Iterator[_TopKEntry]:
                     for seq, solution in enumerate(solutions):

@@ -155,6 +155,42 @@ class TestMutationParity:
         assert len(clone) == len(g) + 1
         assert sum(g.shard_sizes()) == len(g)
 
+    def test_copy_carries_the_pool_clock(self):
+        """The clone keeps the simulated time the pool already spent; a
+        store-private clock is cloned (not shared), an external clock is
+        handed over as the same object."""
+        g = _populate(Graph(shards=4))
+        g.clock.advance(123.5)
+        clone = g.copy()
+        assert clone.clock.now_ms == g.clock.now_ms == 123.5
+        assert clone.clock is not g.clock  # private timebase: cloned
+        clone.clock.advance(1.0)
+        assert g.clock.now_ms == 123.5  # no coupling
+
+        from repro.endpoint import SimulationClock
+
+        shared = SimulationClock(7.0)
+        external = ShardedTripleStore(shards=2, clock=shared)
+        assert external.copy().clock is shared  # external timebase: shared
+
+    def test_copy_resets_shard_stats(self):
+        """shard_stats are per-store cumulative accounting, not content:
+        the documented contract is that a clone starts at zero batches."""
+        g = _populate(Graph(shards=4))
+        from repro.sparql import QueryEngine
+
+        QueryEngine(g).run("SELECT * WHERE { ?s ?p ?o }")
+        assert g.shard_stats["batches"] >= 1
+        clone = g.copy()
+        assert clone.shard_stats == {
+            "batches": 0,
+            "parallel_ms": 0.0,
+            "sequential_ms": 0.0,
+            "rows": 0,
+        }
+        # and the source's accounting is untouched by the copy
+        assert g.shard_stats["batches"] >= 1
+
     def test_from_graph_reencodes_identically_per_count(self):
         plain = _populate(Graph())
         stores = [ShardedTripleStore.from_graph(plain, n) for n in (1, 2, 4, 8)]
@@ -165,6 +201,86 @@ class TestMutationParity:
         # source iteration order, so sorted ID runs agree across counts
         runs = [sorted(x for s in store.shards for x in s.triples_ids()) for store in stores]
         assert runs.count(runs[0]) == len(runs)
+
+
+class TestSingleCopyStorage:
+    """The shards are the only storage: no global double-write remains."""
+
+    def test_global_indexes_stay_empty(self):
+        g = _populate(Graph(shards=4))
+        assert g._spo == {} and g._pos == {} and g._osp == {}
+        assert sum(g.shard_sizes()) == len(g) == 48
+
+    def test_routed_point_lookups(self):
+        g = _populate(Graph(shards=4))
+        present = _triple(3, 1)
+        assert present in g
+        assert _triple(99, 1) not in g
+        assert g.count(present.subject, present.predicate, present.object) == 1
+        assert g.count(predicate=IRI(f"{EX}p0")) == sum(
+            1 for t in g.triples() if t.predicate == IRI(f"{EX}p0")
+        )
+
+    def test_routed_term_accessors_match_plain_graph(self):
+        plain = _populate(Graph())
+        sharded = _populate(Graph(shards=4))
+        subject = IRI(f"{EX}s3")
+        p = IRI(f"{EX}p0")
+        assert set(sharded.objects(subject, p)) == set(plain.objects(subject, p))
+        obj = _triple(3, 0).object
+        assert set(sharded.subjects(p, obj)) == set(plain.subjects(p, obj))
+        assert sharded.value(subject, p) is not None
+        assert set(sharded.predicates(subject)) == set(plain.predicates(subject))
+        assert sharded.count(subject) == plain.count(subject)
+
+    def test_unbound_scans_merge_sorted_and_invariant(self):
+        """triples_ids with the subject unbound is the canonical sorted
+        merge: ascending (s, p, o), identical at every shard count."""
+        stores = {
+            n: ShardedTripleStore.from_graph(_populate(Graph()), n)
+            for n in (1, 2, 4, 8)
+        }
+        baseline = list(stores[1].triples_ids())
+        assert baseline == sorted(baseline)
+        for n in (2, 4, 8):
+            assert list(stores[n].triples_ids()) == baseline
+        p_id = stores[1].lookup_id(IRI(f"{EX}p1"))
+        p_runs = {n: list(store.triples_ids(p=p_id)) for n, store in stores.items()}
+        assert all(run == p_runs[1] for run in p_runs.values())
+
+    def test_merged_index_snapshots_are_isolated(self):
+        g = _populate(Graph(shards=4))
+        pos = g.pos_ids()
+        flat = sorted(
+            (s, p, o)
+            for p, by_o in pos.items()
+            for o, subjects in by_o.items()
+            for s in subjects
+        )
+        assert flat == sorted(g.triples_ids())
+        # mutating the snapshot must not corrupt shard state
+        some_p = next(iter(pos))
+        pos[some_p].clear()
+        assert sorted(g.triples_ids()) == flat
+
+    def test_node_ids_and_is_node_id_route(self):
+        plain = _populate(Graph())
+        sharded = _populate(Graph(shards=4))
+        plain_nodes = {plain.decode_id(i) for i in plain.node_ids()}
+        sharded_nodes = {sharded.decode_id(i) for i in sharded.node_ids()}
+        assert plain_nodes == sharded_nodes
+        for term_id in sharded.node_ids():
+            assert sharded.is_node_id(term_id)
+
+    def test_schema_helpers_route(self):
+        g = Graph(shards=4)
+        person = IRI(f"{EX}Person")
+        rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        for i in range(6):
+            g.add(Triple(IRI(f"{EX}i{i}"), rdf_type, person))
+        assert g.classes() == {person}
+        assert g.class_count(person) == 6
+        assert len(g.instances_of(person)) == 6
 
 
 class TestShardObject:

@@ -356,6 +356,44 @@ CASES = [
         PREFIX + "SELECT ?c WHERE { ?s a ?c } GROUP BY ?c",
         5,
     ),
+    # -- DISTINCT + ORDER BY + LIMIT (PR 5's per-key champion table).
+    # Sort, stable dedup on the projected row, slice -- in that spec
+    # order -- so the row-for-row comparison pins the champion rule
+    # across scan|hash|stream.
+    (
+        "distinct-order-limit",
+        "SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p LIMIT 3",
+        3,
+    ),
+    (
+        "distinct-order-offset-page",
+        "SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p LIMIT 4 OFFSET 2",
+        4,
+    ),
+    (
+        "distinct-order-desc",
+        PREFIX + "SELECT DISTINCT ?o WHERE { ?s ex:knows ?o } ORDER BY DESC(?o) LIMIT 2",
+        2,
+    ),
+    (
+        "distinct-order-unprojected-key",
+        # dedup key (?p) differs from the sort key (?o ?p): the champion
+        # per distinct ?p is its earliest row in the full sort order
+        "SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?o ?p LIMIT 5",
+        5,
+    ),
+    (
+        "distinct-order-optional",
+        PREFIX
+        + "SELECT DISTINCT ?s WHERE { ?s ex:knows ?o OPTIONAL { ?o rdfs:label ?l } } "
+        + "ORDER BY ?s LIMIT 2",
+        2,
+    ),
+    (
+        "distinct-star-order",
+        PREFIX + "SELECT DISTINCT * WHERE { ?s ex:knows ?o } ORDER BY ?s ?o LIMIT 3",
+        3,
+    ),
 ]
 
 ASK_CASES = [

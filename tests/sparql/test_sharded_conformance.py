@@ -127,6 +127,41 @@ def test_subject_bound_scan_runs_no_batch(sharded_graphs):
     assert "shard_batches" not in engine.exec_stats
 
 
+def test_multi_batch_query_reuses_warm_workers(sharded_graphs):
+    """Pool reuse across one query's scan batches: only the first batch
+    pays the cold dispatch, every later one runs on warm workers."""
+    engine = QueryEngine(sharded_graphs[4])
+    engine.run("SELECT ?s ?c WHERE { ?s ?p ?o . ?s a ?c }")
+    stats = engine.exec_stats
+    assert stats["shard_batches"] >= 2
+    assert stats["shard_warm_batches"] == stats["shard_batches"] - 1
+    # a fresh query execution starts cold again (per-query worker set)
+    engine.run("SELECT * WHERE { ?s ?p ?o }")
+    assert engine.exec_stats["shard_batches"] == 1
+    assert engine.exec_stats.get("shard_warm_batches", 0) == 0
+
+
+def test_warm_batches_cost_less_than_cold(sharded_graphs):
+    """The warm dispatch constant is what the reuse buys in simulated time:
+    two batches under one pool cost less than the same two cold."""
+    from repro.sparql.parallel_exec import (
+        SHARD_DISPATCH_MS,
+        SHARD_WARM_DISPATCH_MS,
+    )
+
+    assert SHARD_WARM_DISPATCH_MS < SHARD_DISPATCH_MS
+    engine = QueryEngine(sharded_graphs[4])
+    engine.run("SELECT ?s ?c WHERE { ?s ?p ?o . ?s a ?c }")
+    stats = engine.exec_stats
+    batches = stats["shard_batches"]
+    # sequential cost had the pool been cold for every batch: each batch
+    # dispatches one task per shard
+    saved = (batches - 1) * 4 * (SHARD_DISPATCH_MS - SHARD_WARM_DISPATCH_MS)
+    assert saved > 0.0
+    cold_equivalent = stats["shard_sequential_ms"] + saved
+    assert stats["shard_sequential_ms"] < cold_equivalent
+
+
 # -- hypothesis: random data, random shard counts, fixed query shapes --------
 
 EX = "http://example.org/"

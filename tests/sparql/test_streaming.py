@@ -219,6 +219,40 @@ def test_graph_generation_counts_every_mutation():
     assert g.generation > before_clear
 
 
+def test_graph_generation_ignores_noop_mutations():
+    """The other half of the invalidation rule: writes that change nothing
+    must not bump (a bump would needlessly flush every derived cache)."""
+    g = Graph()
+    s, p, o = IRI(f"{EX}a"), IRI(f"{EX}p"), IRI(f"{EX}b")
+    g.add(Triple(s, p, o))
+    generation = g.generation
+    assert g.add(Triple(s, p, o)) is False  # duplicate add
+    assert g.remove(Triple(s, p, IRI(f"{EX}absent"))) is False  # absent remove
+    assert g.add_many_terms([(s, p, o), (s, p, o)]) == 0  # all-duplicate batch
+    assert g.generation == generation
+
+
+def test_plan_cache_survives_noop_mutations():
+    """Regression: a duplicate load between two runs of the same query must
+    not evict the compiled plan (PR 4 bumped the generation on every write,
+    so duplicate adds flushed the shared plan cache and every
+    ``derived_cache`` consumer)."""
+    graph = _chain_graph(4)
+    engine = QueryEngine(graph)
+    query = f"SELECT ?a ?b WHERE {{ ?a <{EX}p0> ?b }}"
+    engine.run(query)
+    misses = engine.plan_cache_info()["misses"]
+    hits = engine.plan_cache_info()["hits"]
+    # replay part of the load: pure no-ops
+    assert graph.add(Triple(IRI(f"{EX}n0"), IRI(f"{EX}p0"), IRI(f"{EX}n1"))) is False
+    assert graph.remove(Triple(IRI(f"{EX}n0"), IRI(f"{EX}p0"), IRI(f"{EX}gone"))) is False
+    engine.run(query)
+    info = engine.plan_cache_info()
+    assert info["misses"] == misses  # the plan survived
+    assert info["hits"] > hits
+    assert info["generation"] == graph.generation
+
+
 # ---------------------------------------------------------------------------
 # the parser AST LRU
 # ---------------------------------------------------------------------------

@@ -123,6 +123,68 @@ def test_topk_heap_never_tracks_more_than_k_rows(specs, template, limit):
     assert len(result.rows) <= limit
 
 
+# ---------------------------------------------------------------------------
+# DISTINCT + ORDER BY + LIMIT: the per-key champion table
+# ---------------------------------------------------------------------------
+
+#: DISTINCT variants; the dedup key (projected row) deliberately differs
+#: from the sort key in most templates, so the champion rule -- keep the
+#: earliest-in-sort-order entry per distinct projected row -- is what is
+#: being pinned, not plain dedup.
+DISTINCT_TOPK_TEMPLATES = [
+    "SELECT DISTINCT ?s WHERE { ?s <http://example.org/p0> ?o } ORDER BY ?o ?s {mod}",
+    "SELECT DISTINCT ?o WHERE { ?s <http://example.org/p0> ?o } ORDER BY DESC(?o) {mod}",
+    "SELECT DISTINCT * WHERE { ?s <http://example.org/p0> ?o } ORDER BY ?s ?o {mod}",
+    "SELECT DISTINCT ?s WHERE { ?s <http://example.org/p0> ?o "
+    "OPTIONAL { ?s <http://example.org/p2> ?l } } ORDER BY ?l DESC(?o) {mod}",
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    specs=_triples,
+    template=st.sampled_from(DISTINCT_TOPK_TEMPLATES),
+    limit=st.integers(min_value=0, max_value=12),
+    offset=st.integers(min_value=0, max_value=6),
+    strategy=st.sampled_from(("hash", "stream")),
+)
+def test_distinct_topk_matches_sort_dedup_slice(specs, template, limit, offset, strategy):
+    """Champion table == materialize + sort + stable dedup + slice.
+
+    The unlimited query runs the materialized modifier tail (no LIMIT means
+    no champion table), so the two implementations check each other.
+    """
+    graph = _graph(specs)
+    full = evaluate(graph, template.replace("{mod}", ""), strategy=strategy)
+    paged = evaluate(
+        graph,
+        template.replace("{mod}", f"LIMIT {limit} OFFSET {offset}"),
+        strategy=strategy,
+    )
+    assert _exact_rows(paged) == _exact_rows(full)[offset : offset + limit]
+    assert paged.variables == full.variables
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    specs=_triples,
+    template=st.sampled_from(DISTINCT_TOPK_TEMPLATES),
+    limit=st.integers(min_value=1, max_value=8),
+)
+def test_distinct_topk_routes_through_champion_table(specs, template, limit):
+    """DISTINCT + ORDER BY + LIMIT no longer bypasses the bounded operator:
+    it reports the champion-table stats, and the heap still holds at most
+    ``limit`` of the champions."""
+    graph = _graph(specs)
+    engine = QueryEngine(graph, strategy="stream")
+    result = engine.run(template.replace("{mod}", f"LIMIT {limit}"))
+    stats = engine.exec_stats
+    assert stats["operator"] in ("topk-id", "topk")
+    assert stats["distinct_keys"] >= len(result.rows)
+    assert stats["tracked_rows"] <= limit
+    assert len(result.rows) <= limit
+
+
 def _ladder_graph(n: int) -> Graph:
     """n p0-rows with distinct integer ranks + sparse p2 labels."""
     g = Graph()
