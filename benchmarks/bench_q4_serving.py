@@ -1,0 +1,187 @@
+"""Q4 (PR6): the concurrent serving tier and its result cache.
+
+Two claims, both measured on the simulated-time axis the serving layer
+itself defines (plus wall-clock tracking of the serving loop):
+
+* the scheduler's report is **deterministic**: a fixed workload seed
+  produces byte-identical result digests at any parallelism, with and
+  without the result cache -- concurrency moves *when* queries run,
+  never *what* they return;
+* the generation-keyed result cache turns a cache-friendly dashboard mix
+  into >= 2x simulated-time throughput over the identical uncached
+  server.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import government_graph
+from repro.endpoint import AlwaysAvailable, SimulationClock, SparqlEndpoint
+from repro.serving import QueryServer, cache_friendly_mix, generate_workload
+
+#: the latency-profile workload: >= 100 sessions on the default mix
+SESSIONS = 120
+WORKLOAD_SEED = 2020
+
+#: the A/B workload: a saturating dashboard mix (short gaps, short think
+#: time) -- the arrival process has to outrun the uncached service rate
+#: or the makespan is arrival-bound and no cache can move throughput
+AB_SESSIONS = 120
+AB_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return government_graph(scale=0.3, seed=5)
+
+
+def _server(graph, parallelism, cache_capacity):
+    endpoint = SparqlEndpoint(
+        "http://bench.example.org/sparql",
+        graph,
+        SimulationClock(),
+        availability=AlwaysAvailable(),
+        seed=4,
+    )
+    return QueryServer(
+        endpoint,
+        parallelism=parallelism,
+        queue_capacity=4096,
+        cache_capacity=cache_capacity,
+    )
+
+
+def _latency_workload():
+    return generate_workload(sessions=SESSIONS, seed=WORKLOAD_SEED)
+
+
+def _ab_workload():
+    return generate_workload(
+        sessions=AB_SESSIONS,
+        seed=AB_SEED,
+        mix=cache_friendly_mix(),
+        mean_session_gap_ms=50.0,
+        mean_think_ms=80.0,
+    )
+
+
+def test_q4_latency_profile_and_determinism(benchmark, graph, record_table):
+    """p50/p95/p99 + throughput under load; digests invariant across
+    parallelism (the determinism contract of the scheduler)."""
+    workload = _latency_workload()
+    benchmark.pedantic(
+        lambda: _server(graph, 4, 256).serve(workload),
+        iterations=1, rounds=1,
+    )
+
+    # uncached across thread counts: the concurrency effect on the tail
+    reports = {
+        parallelism: _server(graph, parallelism, None).serve(workload)
+        for parallelism in (1, 2, 4)
+    }
+    digests = {report.digest() for report in reports.values()}
+    digests.add(_server(graph, 4, 256).serve(workload).digest())
+    assert len(digests) == 1, (
+        "results must not depend on parallelism or the cache"
+    )
+    repeat = _server(graph, 4, None).serve(_latency_workload())
+    assert repeat.summary() == reports[4].summary(), (
+        "fixed seed must reproduce the full report"
+    )
+
+    lines = [
+        f"Q4 (PR6): {len(workload)} requests / {SESSIONS} sessions, "
+        f"default mix, seed={WORKLOAD_SEED} (simulated time)",
+        "",
+        f"{'threads':>7} {'p50':>9} {'p95':>9} {'p99':>9} "
+        f"{'mean':>9} {'qps':>8} {'served':>7}",
+    ]
+    for parallelism, report in sorted(reports.items()):
+        pct = report.latency_percentiles()
+        lines.append(
+            f"{parallelism:>7} {pct['p50']:>8.0f}ms {pct['p95']:>8.0f}ms "
+            f"{pct['p99']:>8.0f}ms {report.mean_latency_ms():>8.0f}ms "
+            f"{report.throughput_qps():>8.2f} "
+            f"{len(report.served):>3}/{len(report.records)}"
+        )
+    lines.append("")
+    lines.append(f"digest (all thread counts): {digests.pop()[:16]}…")
+    record_table("q4_serving_latency", "\n".join(lines))
+
+    served = reports[4]
+    assert len(served.served) == len(served.records)
+    assert served.latency_percentiles()["p99"] >= served.latency_percentiles()["p50"]
+
+
+def test_q4_result_cache_throughput_ab(benchmark, graph, record_table):
+    """The A/B the PR exists for: identical saturating workload, cache on
+    vs off, >= 2x simulated-time throughput and byte-identical results."""
+    workload = _ab_workload()
+    benchmark.pedantic(
+        lambda: _server(graph, 4, 256).serve(workload),
+        iterations=1, rounds=1,
+    )
+
+    uncached = _server(graph, 4, None).serve(workload)
+    cached = _server(graph, 4, 256).serve(workload)
+    assert cached.digest() == uncached.digest(), (
+        "the cache must not change any result"
+    )
+    speedup = cached.throughput_qps() / uncached.throughput_qps()
+
+    def row(label, report):
+        pct = report.latency_percentiles()
+        return (
+            f"{label:<10} {pct['p50']:>9.0f}ms {pct['p95']:>9.0f}ms "
+            f"{report.throughput_qps():>8.2f} "
+            f"{report.makespan_ms() / 1000.0:>8.1f}s"
+        )
+
+    info = cached.cache_info
+    record_table(
+        "q4_result_cache_ab",
+        "\n".join(
+            [
+                f"Q4 (PR6): result cache A/B, {len(workload)} requests / "
+                f"{AB_SESSIONS} sessions, dashboard mix, 4 threads "
+                "(simulated time)",
+                "",
+                f"{'server':<10} {'p50':>11} {'p95':>11} {'qps':>8} "
+                f"{'makespan':>9}",
+                row("uncached", uncached),
+                row("cached", cached),
+                "",
+                f"throughput speedup: {speedup:.2f}x   cache: "
+                f"{info['hits']} hits / {info['misses']} misses / "
+                f"{info['invalidations']} invalidations",
+            ]
+        ),
+    )
+    assert speedup >= 2.0
+
+
+def test_q4_bench_serve_uncached(benchmark, graph):
+    """Wall-clock cost of the serving loop itself, no cache (tracked)."""
+    workload = _latency_workload()
+    report = benchmark.pedantic(
+        lambda: _server(graph, 4, None).serve(workload),
+        iterations=1, rounds=3,
+    )
+    assert len(report.served) == len(report.records)
+
+
+def test_q4_bench_serve_cached(benchmark, graph):
+    """Wall-clock cost with the result cache on (tracked)."""
+    workload = _latency_workload()
+    report = benchmark.pedantic(
+        lambda: _server(graph, 4, 256).serve(workload),
+        iterations=1, rounds=3,
+    )
+    assert len(report.served) == len(report.records)
+
+
+def test_q4_bench_generate_workload(benchmark):
+    """Wall-clock cost of drawing a 120-session workload (tracked)."""
+    workload = benchmark(_latency_workload)
+    assert len(workload) >= 100

@@ -19,9 +19,9 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
 # the perf-trajectory modules (PR1 trio + PR2 streaming/parallel + PR3
-# top-k + PR4/5 sharding).  bench_q3 runs first: its write-path A/B
-# times allocation-heavy bulk loads, which want the fresh interpreter
-# heap, not one bloated by the census-world session fixtures.
+# top-k + PR4/5 sharding + PR6 serving).  bench_q3 runs first: its
+# write-path A/B times allocation-heavy bulk loads, which want the fresh
+# interpreter heap, not one bloated by the census-world session fixtures.
 TRACKED=(
     benchmarks/bench_q3_sharded.py
     benchmarks/bench_e1_cluster_precompute.py
@@ -30,6 +30,7 @@ TRACKED=(
     benchmarks/bench_e2_portal_crawl.py
     benchmarks/bench_q1_streaming.py
     benchmarks/bench_q2_topk.py
+    benchmarks/bench_q4_serving.py
 )
 
 run_once() {
@@ -40,7 +41,7 @@ run_once() {
 
 mkdir -p benchmarks/results
 
-if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ] || [ "${1:-}" == "--emit-pr5" ]; then
+if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ] || [ "${1:-}" == "--emit-pr5" ] || [ "${1:-}" == "--emit-pr6" ]; then
     # Three full runs of the tracked modules, reduced to best-of-3 means in
     # the committed snapshot schema.  The "before" side (the previous PR's
     # tree via git worktree) is attached separately with
@@ -59,6 +60,8 @@ if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" ==
         TITLE="Bounded top-k ORDER BY + streaming aggregation + shared per-graph plan cache"
     elif [ "$PR" == "5" ]; then
         TITLE="Single-copy sharded storage with routed read views + no-op cache-invalidation fixes"
+    elif [ "$PR" == "6" ]; then
+        TITLE="Concurrent query serving tier with generation-keyed result cache + endpoint accounting fixes"
     else
         TITLE="Sharded triple store + partition-parallel SPARQL execution"
     fi

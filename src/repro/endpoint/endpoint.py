@@ -93,18 +93,23 @@ class SparqlEndpoint:
         features, :class:`EndpointTimeout` when execution cost exceeds the
         profile's timeout.  SELECT results may come back *truncated* (with
         ``result.truncated`` set) when the profile caps result rows.
+
+        Every path through here -- success or failure -- charges its clock
+        advance through :meth:`_charge`, so ``stats.total_latency_ms``
+        always equals the simulated time this endpoint consumed.  The
+        serving tier's percentiles are derived from exactly that invariant.
         """
         self.stats.queries += 1
         if not self.availability.is_available(self.clock.today):
             # A dead endpoint still costs a connect attempt before failing.
-            self.clock.advance(self._jitter(self.profile.connect_ms * 2.0))
+            self._charge(self._jitter(self.profile.connect_ms * 2.0))
             self.stats.failures += 1
             raise EndpointUnavailable(f"endpoint {self.url} is unavailable", url=self.url)
 
         parsed = parse_query(text)
 
         if not self.profile.supports_property_paths and _contains_path(parsed):
-            self.clock.advance(self._jitter(self.profile.connect_ms))
+            self._charge(self._jitter(self.profile.connect_ms))
             self.stats.rejected += 1
             raise QueryRejected(
                 f"endpoint {self.url} ({self.profile.name}) rejects property paths",
@@ -113,14 +118,14 @@ class SparqlEndpoint:
 
         if isinstance(parsed, SelectQuery):
             if parsed.has_aggregates() and not self.profile.supports_aggregates:
-                self.clock.advance(self._jitter(self.profile.connect_ms))
+                self._charge(self._jitter(self.profile.connect_ms))
                 self.stats.rejected += 1
                 raise QueryRejected(
                     f"endpoint {self.url} ({self.profile.name}) rejects aggregates",
                     url=self.url,
                 )
             if parsed.order_by and not self.profile.supports_order_by:
-                self.clock.advance(self._jitter(self.profile.connect_ms))
+                self._charge(self._jitter(self.profile.connect_ms))
                 self.stats.rejected += 1
                 raise QueryRejected(
                     f"endpoint {self.url} ({self.profile.name}) rejects ORDER BY",
@@ -128,17 +133,25 @@ class SparqlEndpoint:
                 )
 
         result = self._engine.run(parsed)
+        # Snapshot the engine's per-query stats right here: exec_stats is
+        # reset by run(), but _estimate_latency must never read it off the
+        # shared engine later (a caller that skips execution -- e.g. the
+        # serving tier's result cache -- would see the previous query's
+        # shard timing ratio).
+        exec_stats = self._engine.exec_stats
 
-        latency = self._estimate_latency(parsed, result)
+        latency = self._estimate_latency(parsed, result, exec_stats)
         if latency > self.profile.timeout_ms:
-            self.clock.advance(self.profile.timeout_ms)
+            # The server kills the query at its timeout; the wire still
+            # sees the same dispersion as any other response, so the
+            # deadline is jittered like every other charge.
+            self._charge(self._jitter(self.profile.timeout_ms))
             self.stats.timeouts += 1
             raise EndpointTimeout(
                 f"endpoint {self.url} timed out after {self.profile.timeout_ms:.0f} ms",
                 url=self.url,
             )
-        self.clock.advance(latency)
-        self.stats.total_latency_ms += latency
+        self._charge(latency)
 
         if isinstance(result, SelectResult):
             cap = self.profile.max_result_rows
@@ -147,7 +160,16 @@ class SparqlEndpoint:
                 self.stats.truncated += 1
         return result
 
-    def _estimate_latency(self, parsed, result) -> float:
+    def _charge(self, latency_ms: float) -> None:
+        """Advance the clock *and* account the time -- never one without
+        the other.  ``stats.total_latency_ms == clock delta`` is the
+        invariant the serving tier's latency percentiles rest on; failure
+        paths (unavailable, rejected, timed out) consume simulated time
+        like any other response and must show up in the mean."""
+        self.clock.advance(latency_ms)
+        self.stats.total_latency_ms += latency_ms
+
+    def _estimate_latency(self, parsed, result, exec_stats) -> float:
         profile = self.profile
         latency = profile.connect_ms + profile.parse_ms
         pattern_count = _count_patterns(parsed)
@@ -159,11 +181,13 @@ class SparqlEndpoint:
             # Partition-parallel execution: scale the dataset-size term by
             # what this query actually measured on the shard pool (makespan
             # over sequential sum); a query that ran no spanning scan pays
-            # the static max-shard-share bound instead.
-            stats = self._engine.exec_stats
-            sequential = stats.get("shard_sequential_ms", 0.0)
+            # the static max-shard-share bound instead.  *exec_stats* is
+            # the snapshot taken immediately after this query's run() --
+            # passed explicitly so a stale engine read can never leak one
+            # query's shard ratio into another's estimate.
+            sequential = exec_stats.get("shard_sequential_ms", 0.0)
             if sequential > 0.0:
-                execution *= stats.get("shard_parallel_ms", sequential) / sequential
+                execution *= exec_stats.get("shard_parallel_ms", sequential) / sequential
             else:
                 execution *= self.graph.parallel_factor()
         latency += execution
@@ -186,9 +210,39 @@ class SparqlEndpoint:
         return len(self.graph)
 
 
+def _exists_groups(expression):
+    """Yield the group of every ``EXISTS``/``NOT EXISTS`` inside *expression*.
+
+    ``FILTER EXISTS { ... }`` embeds a full graph pattern in expression
+    position; anything that walks a query's patterns (feature detection,
+    pattern counting) must descend through here or a profile check can be
+    smuggled past inside a filter.  Walks every Expression slot, including
+    lists (function arguments, IN choices) and nested EXISTS.
+    """
+    from ..sparql.nodes import Expression, ExistsExpression
+
+    if isinstance(expression, ExistsExpression):
+        yield expression.group
+        return
+    for slot in expression.__slots__:
+        value = getattr(expression, slot)
+        if isinstance(value, Expression):
+            yield from _exists_groups(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Expression):
+                    yield from _exists_groups(item)
+
+
 def _contains_path(parsed) -> bool:
-    """Does the query use a SPARQL 1.1 property path in any pattern?"""
+    """Does the query use a SPARQL 1.1 property path in any pattern?
+
+    Descends into FILTER ``EXISTS``/``NOT EXISTS`` groups too: a path
+    hidden inside an EXISTS still executes on the endpoint, so a profile
+    that rejects paths must reject it.
+    """
     from ..sparql.nodes import (
+        FilterPattern,
         GroupPattern,
         OptionalPattern,
         TriplePattern,
@@ -208,6 +262,10 @@ def _contains_path(parsed) -> bool:
                 return True
             if isinstance(element, GroupPattern) and walk(element):
                 return True
+            if isinstance(element, FilterPattern) and any(
+                walk(group) for group in _exists_groups(element.expression)
+            ):
+                return True
         return False
 
     if isinstance(parsed, (SelectQuery, AskQuery)):
@@ -216,7 +274,10 @@ def _contains_path(parsed) -> bool:
 
 
 def _count_patterns(parsed) -> int:
-    """Rough BGP size: triple patterns in the WHERE clause (any nesting)."""
+    """Rough BGP size: triple patterns in the WHERE clause (any nesting,
+    including the groups of FILTER ``EXISTS``/``NOT EXISTS`` -- those
+    patterns execute per candidate solution, so the latency model must
+    see them)."""
     from ..sparql.nodes import (
         FilterPattern,
         GroupPattern,
@@ -237,7 +298,12 @@ def _count_patterns(parsed) -> int:
                 total += sum(count_group(alt) for alt in element.alternatives)
             elif isinstance(element, GroupPattern):
                 total += count_group(element)
-            elif isinstance(element, (FilterPattern, ValuesPattern)):
+            elif isinstance(element, FilterPattern):
+                total += sum(
+                    count_group(exists_group)
+                    for exists_group in _exists_groups(element.expression)
+                )
+            elif isinstance(element, ValuesPattern):
                 total += 0
         return total
 

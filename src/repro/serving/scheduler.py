@@ -1,0 +1,240 @@
+"""The concurrent-query scheduler: a discrete-event loop over sim time.
+
+DESP-C++-style discrete event simulation (Darmont, PAPERS.md): the state
+is ``parallelism`` server worker threads (a
+:class:`~repro.core.parallel.SimWorkerPool`), a bounded fair admission
+queue, and two event sources -- request **arrivals** (known up front from
+the workload) and request **completions** (computed as each request
+starts).  The loop walks the merged event stream in time order:
+
+* an arrival starts immediately when a worker is idle and nobody waits,
+  queues when the server is busy, and is rejected when the queue is full;
+* a completion frees a worker, which immediately picks up the next
+  queued request under the per-tenant fairness rotation (dropping
+  requests whose queue wait exceeded the admission deadline).
+
+Service costs are *measured*, not assumed: starting a request advances
+the shared :class:`~repro.endpoint.clock.SimulationClock` to the start
+instant and runs the executor under
+:func:`~repro.core.parallel.measure_task`, so whatever the endpoint
+charges (profile latency, shard-pool makespans, failure-path connect
+costs) becomes that request's service time, and the clock itself only
+ever advances along the event timeline.  Requests execute one at a time
+under the hood in event order -- the same determinism construction as
+the batch pool -- so per-request results are independent of how many
+workers the schedule overlaps them on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Sequence
+
+from ..core.parallel import SimWorkerPool, measure_task
+from ..endpoint.clock import SimulationClock
+from ..endpoint.errors import EndpointTimeout, QueryRejected
+from .admission import FairAdmissionQueue
+from .workload import Request
+
+__all__ = ["RequestRecord", "Scheduler"]
+
+
+class RequestRecord:
+    """What happened to one request: timing plus outcome.
+
+    ``status`` is one of ``"ok"`` (executed), ``"cache-hit"`` (served
+    from the result cache), ``"rejected"`` (admission queue full),
+    ``"queue-timeout"`` (waited past the admission deadline), or the
+    endpoint failure statuses ``"unavailable"`` / ``"feature-rejected"``
+    / ``"endpoint-timeout"``.  ``error`` holds the endpoint-error
+    instance for every non-served outcome -- admission control reuses
+    the endpoint's own error types.
+    """
+
+    __slots__ = (
+        "request",
+        "status",
+        "error",
+        "start_ms",
+        "completion_ms",
+        "service_ms",
+        "result",
+    )
+
+    def __init__(self, request: Request, status: str, error=None,
+                 start_ms: float = 0.0, completion_ms: float = 0.0,
+                 service_ms: float = 0.0, result=None):
+        self.request = request
+        self.status = status
+        self.error = error
+        self.start_ms = start_ms
+        self.completion_ms = completion_ms
+        self.service_ms = service_ms
+        self.result = result
+
+    @property
+    def served(self) -> bool:
+        return self.status in ("ok", "cache-hit")
+
+    @property
+    def wait_ms(self) -> float:
+        """Queue wait: arrival to service start."""
+        return self.start_ms - self.request.arrival_ms
+
+    @property
+    def latency_ms(self) -> float:
+        """What the client saw: arrival to completion."""
+        return self.completion_ms - self.request.arrival_ms
+
+    def __repr__(self) -> str:
+        return (
+            f"<RequestRecord {self.request.key} {self.status} "
+            f"latency={self.latency_ms:.1f}ms>"
+        )
+
+
+class Scheduler:
+    """Interleaves concurrent in-flight queries over the shared sim clock.
+
+    *execute* is the server's executor: called with a request while the
+    clock sits at the request's start instant; whatever simulated time it
+    consumes is the request's service time.  It returns a
+    ``(status, result)`` pair or raises an endpoint error (measured and
+    captured, never propagated).
+    """
+
+    def __init__(
+        self,
+        clock: SimulationClock,
+        execute: Callable[[Request], object],
+        parallelism: int = 1,
+        queue_capacity: int = 64,
+        queue_timeout_ms: Optional[float] = None,
+    ):
+        self.clock = clock
+        self.execute = execute
+        self.parallelism = parallelism
+        self.queue_capacity = queue_capacity
+        self.queue_timeout_ms = queue_timeout_ms
+
+    def run(self, requests: Sequence[Request]) -> List[RequestRecord]:
+        """Serve *requests* (sorted by arrival); return one record each,
+        in arrival order.  The clock ends at the last completion."""
+        clock = self.clock
+        pool = SimWorkerPool(clock, self.parallelism)
+        queue = FairAdmissionQueue(self.queue_capacity)
+        ordered = sorted(
+            requests, key=lambda r: (r.arrival_ms, r.session_id, r.seq)
+        )
+        records: List[RequestRecord] = []
+        #: (completion_ms, start order) heap; the payload is the record
+        in_flight: List = []
+        start_counter = 0
+
+        def advance_to(instant_ms: float) -> None:
+            if instant_ms > clock.now_ms:
+                clock.advance(instant_ms - clock.now_ms)
+
+        def start(request: Request, now_ms: float) -> None:
+            nonlocal start_counter
+            advance_to(now_ms)
+            outcome = measure_task(clock, request.key, lambda: self.execute(request))
+            if outcome.error is not None:
+                status, result = _failure_status(outcome.error), None
+            else:
+                status, result = outcome.value
+            completion = pool.start(now_ms, outcome.elapsed_ms)
+            record = RequestRecord(
+                request,
+                status,
+                error=outcome.error,
+                start_ms=now_ms,
+                completion_ms=completion,
+                service_ms=outcome.elapsed_ms,
+                result=result,
+            )
+            records.append(record)
+            heapq.heappush(in_flight, (completion, start_counter, record))
+            start_counter += 1
+
+        def drain(now_ms: float) -> None:
+            """Hand queued requests to idle workers, skipping the stale."""
+            while pool.idle_workers(now_ms) > 0:
+                request = queue.take()
+                if request is None:
+                    return
+                waited = now_ms - request.arrival_ms
+                if (
+                    self.queue_timeout_ms is not None
+                    and waited > self.queue_timeout_ms
+                ):
+                    records.append(
+                        RequestRecord(
+                            request,
+                            "queue-timeout",
+                            error=EndpointTimeout(
+                                f"queued {waited:.0f} ms, admission deadline "
+                                f"{self.queue_timeout_ms:.0f} ms"
+                            ),
+                            start_ms=now_ms,
+                            completion_ms=now_ms,
+                        )
+                    )
+                    continue
+                start(request, now_ms)
+
+        index = 0
+        while index < len(ordered) or in_flight:
+            next_arrival = (
+                ordered[index].arrival_ms if index < len(ordered) else float("inf")
+            )
+            next_completion = in_flight[0][0] if in_flight else float("inf")
+            if next_completion <= next_arrival:
+                # completion first: the freed worker is visible to an
+                # arrival at the same instant
+                now, _, _ = heapq.heappop(in_flight)
+                advance_to(now)
+                drain(now)
+            else:
+                request = ordered[index]
+                index += 1
+                # an arrival earlier than the clock (e.g. a second serve()
+                # on the same server) is admitted at the current instant
+                now = max(request.arrival_ms, clock.now_ms)
+                advance_to(now)
+                if pool.idle_workers(now) > 0 and len(queue) == 0:
+                    start(request, now)
+                elif not queue.offer(request):
+                    records.append(
+                        RequestRecord(
+                            request,
+                            "rejected",
+                            error=QueryRejected(
+                                f"admission queue full "
+                                f"({queue.capacity} waiting)"
+                            ),
+                            start_ms=now,
+                            completion_ms=now,
+                        )
+                    )
+        # arrival order is the report's canonical order
+        records.sort(
+            key=lambda r: (r.request.arrival_ms, r.request.session_id, r.request.seq)
+        )
+        return records
+
+
+def _failure_status(error: BaseException) -> str:
+    from ..endpoint.errors import (
+        EndpointTimeout,
+        EndpointUnavailable,
+        QueryRejected,
+    )
+
+    if isinstance(error, EndpointUnavailable):
+        return "unavailable"
+    if isinstance(error, QueryRejected):
+        return "feature-rejected"
+    if isinstance(error, EndpointTimeout):
+        return "endpoint-timeout"
+    raise error

@@ -1,0 +1,275 @@
+"""The query server: thin front door -> orchestrator -> status/results.
+
+Follows the route-handler + orchestrator + status pattern of the API
+layers in SNIPPETS.md: :class:`QueryServer` owns the moving parts (the
+wrapped endpoint, the admission queue configuration, the result cache),
+``serve`` is the one orchestration entry point, and ``status()`` /
+:class:`ServingReport` are the status- and results-shaped read surfaces.
+Route handlers stay thin -- the executor below is the only code that
+touches the endpoint, and the scheduler owns all timing.
+
+The result cache sits *in front of* the endpoint: a hit serves the
+stored result for a flat ``cache_hit_ms`` charge without consuming an
+endpoint worker's full execution cost, and -- because the endpoint never
+runs -- without reading any engine state (the exec-stats leakage class
+of bug the endpoint layer guards against since PR 6 cannot reach here).
+Entries are keyed on ``(query text, Graph.generation)``, so any actual
+mutation of the served graph invalidates the whole cache for free while
+no-op writes keep it warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..endpoint.endpoint import SparqlEndpoint
+from ..sparql.results import AskResult, SelectResult
+from .cache import ResultCache
+from .scheduler import RequestRecord, Scheduler
+from .workload import Request, Workload
+
+__all__ = ["QueryServer", "ServingReport"]
+
+#: default flat charge for serving a cached result: the connect handshake
+#: is still paid, execution is not (a small constant, deliberately far
+#: below any profile's execution floor)
+CACHE_HIT_MS = 2.0
+
+
+class ServingReport:
+    """The results surface of one ``serve`` run.
+
+    Latency percentiles are nearest-rank over served requests (what the
+    clients saw: arrival to completion, queue wait included); throughput
+    is served requests over the simulated busy period.  ``digest()``
+    canonicalizes every served result, so two runs serving identical rows
+    -- whatever the parallelism -- produce byte-identical digests.
+    """
+
+    __slots__ = ("records", "parallelism", "start_ms", "end_ms", "cache_info")
+
+    def __init__(
+        self,
+        records: List[RequestRecord],
+        parallelism: int,
+        start_ms: float,
+        end_ms: float,
+        cache_info: Optional[Dict[str, int]],
+    ):
+        self.records = records
+        self.parallelism = parallelism
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self.cache_info = cache_info
+
+    # -- outcomes ----------------------------------------------------------
+
+    @property
+    def served(self) -> List[RequestRecord]:
+        return [record for record in self.records if record.served]
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    # -- latency / throughput ---------------------------------------------
+
+    def latency_percentiles(
+        self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> Dict[str, float]:
+        """Nearest-rank percentiles of served-request latency, in ms."""
+        latencies = sorted(record.latency_ms for record in self.served)
+        out: Dict[str, float] = {}
+        for percentile in percentiles:
+            label = f"p{percentile:g}"
+            if not latencies:
+                out[label] = float("nan")
+                continue
+            rank = math.ceil(len(latencies) * percentile / 100.0)
+            rank = min(max(rank, 1), len(latencies))
+            out[label] = latencies[rank - 1]
+        return out
+
+    def mean_latency_ms(self) -> float:
+        served = self.served
+        if not served:
+            return float("nan")
+        return sum(record.latency_ms for record in served) / len(served)
+
+    def makespan_ms(self) -> float:
+        """The simulated busy period: first arrival to last completion."""
+        return self.end_ms - self.start_ms
+
+    def throughput_qps(self) -> float:
+        """Served queries per simulated second."""
+        span = self.makespan_ms()
+        if span <= 0.0:
+            return float("nan")
+        return len(self.served) / (span / 1000.0)
+
+    # -- determinism -------------------------------------------------------
+
+    def digest(self) -> str:
+        """SHA-256 over every served request's canonical result rows.
+
+        Covers request identity + rows, not timing or cache provenance: a
+        cache hit serving the same rows as a cold execution digests
+        identically, and scheduling changes *when* things run, never
+        *what* they return -- so the digest is the byte-identical
+        contract across parallelism settings and cache on/off.  Unserved
+        requests contribute identity + failure status (a rejection is an
+        outcome too).
+        """
+        payload = []
+        for record in self.records:
+            if not record.served:
+                payload.append([list(record.request.key), record.status])
+                continue
+            payload.append([list(record.request.key), _canonical(record.result)])
+        blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def summary(self) -> Dict[str, object]:
+        """The /results-shaped payload benchmarks and tests read."""
+        summary: Dict[str, object] = {
+            "requests": len(self.records),
+            "served": len(self.served),
+            "parallelism": self.parallelism,
+            "statuses": self.status_counts(),
+            "latency_ms": self.latency_percentiles(),
+            "mean_latency_ms": self.mean_latency_ms(),
+            "makespan_ms": self.makespan_ms(),
+            "throughput_qps": self.throughput_qps(),
+            "digest": self.digest(),
+        }
+        if self.cache_info is not None:
+            summary["cache"] = dict(self.cache_info)
+        return summary
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServingReport {len(self.served)}/{len(self.records)} served "
+            f"p={self.parallelism} makespan={self.makespan_ms():.0f}ms>"
+        )
+
+
+def _canonical(result: Union[SelectResult, AskResult, None]):
+    """JSON-stable form of a query result (rows in engine order)."""
+    if isinstance(result, AskResult):
+        return bool(result)
+    if isinstance(result, SelectResult):
+        return [
+            [
+                [name, row[name].n3() if row[name] is not None else None]
+                for name in sorted(row)
+            ]
+            for row in result.rows
+        ]
+    return None
+
+
+class QueryServer:
+    """Concurrent serving tier over one :class:`SparqlEndpoint`.
+
+    ``parallelism`` models the endpoint's server threads; the bounded
+    admission queue and optional queue deadline model its load shedding;
+    the generation-keyed result cache is shared across ``serve`` calls
+    (a long-running server keeps its cache warm between workloads).
+    """
+
+    def __init__(
+        self,
+        endpoint: SparqlEndpoint,
+        parallelism: int = 1,
+        queue_capacity: int = 64,
+        queue_timeout_ms: Optional[float] = None,
+        cache_capacity: Optional[int] = 256,
+        cache_hit_ms: float = CACHE_HIT_MS,
+    ):
+        self.endpoint = endpoint
+        self.parallelism = parallelism
+        self.queue_capacity = queue_capacity
+        self.queue_timeout_ms = queue_timeout_ms
+        self.cache = ResultCache(cache_capacity) if cache_capacity else None
+        self.cache_hit_ms = cache_hit_ms
+        self._runs = 0
+
+    # -- the one orchestration entry point ---------------------------------
+
+    def serve(self, workload: Union[Workload, Sequence[Request]]) -> ServingReport:
+        """Schedule and execute *workload*; return the full report."""
+        requests = list(workload)
+        scheduler = Scheduler(
+            self.endpoint.clock,
+            self._execute,
+            parallelism=self.parallelism,
+            queue_capacity=self.queue_capacity,
+            queue_timeout_ms=self.queue_timeout_ms,
+        )
+        records = scheduler.run(requests)
+        self._runs += 1
+        start_ms = min((r.request.arrival_ms for r in records), default=0.0)
+        end_ms = max((r.completion_ms for r in records), default=start_ms)
+        return ServingReport(
+            records,
+            parallelism=self.parallelism,
+            start_ms=start_ms,
+            end_ms=end_ms,
+            cache_info=self.cache.info() if self.cache is not None else None,
+        )
+
+    # -- executor (the only code path that touches the endpoint) -----------
+
+    def _execute(self, request: Request):
+        """Serve one request at the clock's current instant.
+
+        Cache hits charge the flat hit cost and return the stored result
+        *without* executing the endpoint; misses run the real query and
+        store the result at the generation it was computed for.  Endpoint
+        errors propagate to the scheduler, which measures and records
+        them (their connect/timeout charges are real service time).
+        """
+        generation = self.endpoint.graph.generation
+        if self.cache is not None:
+            cached = self.cache.get(request.query, generation)
+            if cached is not None:
+                self.endpoint.clock.advance(self.cache_hit_ms)
+                return ("cache-hit", cached)
+        result = self.endpoint.query(request.query)
+        if self.cache is not None:
+            self.cache.put(request.query, generation, result)
+        return ("ok", result)
+
+    # -- status surface ----------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """Counter snapshot: what a /status route would publish."""
+        stats = self.endpoint.stats
+        status: Dict[str, object] = {
+            "endpoint": self.endpoint.url,
+            "parallelism": self.parallelism,
+            "queue_capacity": self.queue_capacity,
+            "queue_timeout_ms": self.queue_timeout_ms,
+            "runs": self._runs,
+            "endpoint_stats": {
+                "queries": stats.queries,
+                "failures": stats.failures,
+                "timeouts": stats.timeouts,
+                "rejected": stats.rejected,
+                "truncated": stats.truncated,
+                "total_latency_ms": stats.total_latency_ms,
+            },
+        }
+        status["cache"] = self.cache.info() if self.cache is not None else None
+        return status
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryServer {self.endpoint.url!r} parallelism={self.parallelism} "
+            f"queue={self.queue_capacity}>"
+        )

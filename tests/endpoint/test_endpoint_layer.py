@@ -174,6 +174,39 @@ class TestEndpointQueries:
             endpoint.query("SELECT ?s WHERE { ?s ?p ?o }")
         assert endpoint.stats.timeouts == 1
 
+    def test_path_inside_filter_exists_rejected(self):
+        # legacy-sesame rejects property paths; hiding the path inside a
+        # FILTER EXISTS group must not smuggle it past the profile check
+        _, endpoint = build(profile="legacy-sesame")
+        with pytest.raises(QueryRejected):
+            endpoint.query(
+                "SELECT ?s WHERE { ?s a <http://example.org/T> "
+                "FILTER EXISTS { ?s <http://example.org/p>+ ?o } }"
+            )
+        assert endpoint.stats.rejected == 1
+
+    def test_path_inside_not_exists_rejected(self):
+        _, endpoint = build(profile="legacy-sesame")
+        with pytest.raises(QueryRejected):
+            endpoint.query(
+                "ASK { ?s a <http://example.org/T> "
+                "FILTER NOT EXISTS { ?s (<http://example.org/p>|a) ?o } }"
+            )
+
+    def test_exists_patterns_count_toward_latency(self):
+        # the EXISTS group's patterns execute per candidate solution, so
+        # the latency model must charge them like inline patterns
+        profile = EndpointProfile("flat", jitter=0.0)
+        _, plain = build(profile=profile)
+        plain.query("ASK { ?s a <http://example.org/T> }")
+        _, with_exists = build(profile=profile)
+        with_exists.query(
+            "ASK { ?s a <http://example.org/T> "
+            "FILTER EXISTS { ?s <http://example.org/p> ?o . ?o a ?t } }"
+        )
+        extra = with_exists.stats.total_latency_ms - plain.stats.total_latency_ms
+        assert extra == pytest.approx(2 * profile.per_pattern_ms)
+
     def test_latency_grows_with_result_size(self):
         profile = EndpointProfile("flat", jitter=0.0)
         clock = SimulationClock()

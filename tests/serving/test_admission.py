@@ -1,0 +1,76 @@
+"""Admission control: capacity bound and per-tenant fairness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import FairAdmissionQueue, Request
+
+
+def _request(tenant, seq):
+    return Request(0, tenant, seq, 0.0, "q", "ASK { ?s ?p ?o }")
+
+
+def test_capacity_bound_rejects():
+    queue = FairAdmissionQueue(capacity=2)
+    assert queue.offer(_request("a", 0))
+    assert queue.offer(_request("a", 1))
+    assert not queue.offer(_request("a", 2))
+    assert queue.rejected == 1
+    assert queue.offered == 3
+    assert len(queue) == 2
+
+
+def test_round_robin_interleaves_tenants():
+    queue = FairAdmissionQueue(capacity=16)
+    # chatty tenant floods first, quiet tenant queues two
+    for seq in range(6):
+        queue.offer(_request("chatty", seq))
+    queue.offer(_request("quiet", 0))
+    queue.offer(_request("quiet", 1))
+
+    order = []
+    while True:
+        request = queue.take()
+        if request is None:
+            break
+        order.append((request.tenant, request.seq))
+
+    # the quiet tenant's requests are served 1:1 with the chatty one's,
+    # not after all six of them
+    assert order[:4] == [
+        ("chatty", 0), ("quiet", 0), ("chatty", 1), ("quiet", 1)
+    ]
+    # per-tenant FIFO holds throughout
+    chatty = [seq for tenant, seq in order if tenant == "chatty"]
+    assert chatty == list(range(6))
+
+
+def test_rotation_cursor_persists_across_takes():
+    queue = FairAdmissionQueue(capacity=16)
+    queue.offer(_request("a", 0))
+    queue.offer(_request("b", 0))
+    assert queue.take().tenant == "a"
+    # "b" is next even though "a" refills before the take
+    queue.offer(_request("a", 1))
+    assert queue.take().tenant == "b"
+    assert queue.take().tenant == "a"
+    assert queue.take() is None
+
+
+def test_depth_and_info():
+    queue = FairAdmissionQueue(capacity=8)
+    queue.offer(_request("a", 0))
+    queue.offer(_request("a", 1))
+    queue.offer(_request("b", 0))
+    assert queue.depth("a") == 2
+    assert queue.depth("b") == 1
+    assert queue.depth("ghost") == 0
+    assert queue.info() == {
+        "depth": 3, "capacity": 8, "offered": 3, "rejected": 0
+    }
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        FairAdmissionQueue(capacity=0)

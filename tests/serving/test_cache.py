@@ -1,0 +1,149 @@
+"""The generation-keyed result cache: correctness and invalidation.
+
+The satellite contract pinned here: a hit returns rows identical to a
+cold run under every engine strategy, any actual Graph mutation
+invalidates via the generation counter, and no-op mutations (the PR 5
+generation contract) do NOT evict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.endpoint import AlwaysAvailable, SimulationClock, SparqlEndpoint
+from repro.rdf import IRI, Triple, parse_turtle
+from repro.serving import QueryServer, Request, ResultCache
+
+TTL = """
+@prefix ex: <http://example.org/> .
+ex:a a ex:T ; ex:p ex:b .
+ex:b a ex:T ; ex:p ex:c .
+ex:c a ex:U .
+"""
+
+QUERY = "SELECT ?s ?o WHERE { ?s <http://example.org/p> ?o }"
+
+
+def _request(text, seq=0, arrival=0.0, tenant="t0"):
+    return Request(0, tenant, seq, arrival, "q", text)
+
+
+def _server(graph, strategy="hash", **options):
+    clock = SimulationClock()
+    endpoint = SparqlEndpoint(
+        "http://cache.example.org/sparql",
+        graph,
+        clock,
+        availability=AlwaysAvailable(),
+        strategy=strategy,
+        seed=1,
+    )
+    options.setdefault("queue_capacity", 64)
+    return QueryServer(endpoint, **options)
+
+
+def _rows(record):
+    return [
+        {name: term.n3() if term else None for name, term in row.items()}
+        for row in record.result.rows
+    ]
+
+
+@pytest.mark.parametrize("strategy", ["scan", "hash", "stream"])
+def test_hit_returns_identical_rows_to_cold_run(strategy):
+    server = _server(parse_turtle(TTL), strategy=strategy)
+    cold = server.serve([_request(QUERY, seq=0)]).records[0]
+    warm = server.serve([_request(QUERY, seq=1)]).records[0]
+    assert cold.status == "ok"
+    assert warm.status == "cache-hit"
+    assert _rows(warm) == _rows(cold)
+    assert server.cache.hits == 1 and server.cache.misses == 1
+
+
+@pytest.mark.parametrize("strategy", ["scan", "hash", "stream"])
+def test_mutation_invalidates_and_recomputes(strategy):
+    graph = parse_turtle(TTL)
+    server = _server(graph, strategy=strategy)
+    cold = server.serve([_request(QUERY, seq=0)]).records[0]
+    graph.add(
+        Triple(IRI("http://example.org/z"), IRI("http://example.org/p"),
+               IRI("http://example.org/a"))
+    )
+    fresh = server.serve([_request(QUERY, seq=1)]).records[0]
+    assert fresh.status == "ok"  # generation bumped: miss, re-executed
+    assert len(_rows(fresh)) == len(_rows(cold)) + 1
+    assert server.cache.invalidations == 1
+    # and the recomputed entry serves hits again
+    warm = server.serve([_request(QUERY, seq=2)]).records[0]
+    assert warm.status == "cache-hit"
+    assert _rows(warm) == _rows(fresh)
+
+
+def test_noop_mutations_do_not_evict():
+    """The PR 5 contract: duplicate adds / absent removes leave the
+    generation untouched, so the cache stays warm."""
+    graph = parse_turtle(TTL)
+    server = _server(graph)
+    server.serve([_request(QUERY, seq=0)])
+    generation = graph.generation
+
+    existing = next(iter(graph.triples()))
+    graph.add(existing)  # duplicate add: no-op
+    graph.remove(
+        Triple(IRI("http://example.org/ghost"), IRI("http://example.org/p"),
+               IRI("http://example.org/ghost"))
+    )  # absent remove: no-op
+    assert graph.generation == generation
+
+    warm = server.serve([_request(QUERY, seq=1)]).records[0]
+    assert warm.status == "cache-hit"
+    assert server.cache.invalidations == 0
+
+
+def test_ask_results_cache_too():
+    server = _server(parse_turtle(TTL))
+    ask = "ASK { ?s a <http://example.org/U> }"
+    cold = server.serve([_request(ask, seq=0)]).records[0]
+    warm = server.serve([_request(ask, seq=1)]).records[0]
+    assert cold.status == "ok" and warm.status == "cache-hit"
+    assert bool(warm.result) == bool(cold.result) is True
+
+
+def test_failed_queries_are_not_cached():
+    server = _server(parse_turtle(TTL))
+    server.endpoint.profile = type(server.endpoint.profile)(
+        "strict", supports_aggregates=False
+    )
+    aggregate = "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }"
+    first = server.serve([_request(aggregate, seq=0)]).records[0]
+    second = server.serve([_request(aggregate, seq=1)]).records[0]
+    assert first.status == second.status == "feature-rejected"
+    assert len(server.cache) == 0
+
+
+# -- the data structure itself ---------------------------------------------
+
+
+def test_lru_eviction_counts():
+    cache = ResultCache(capacity=2)
+    cache.put("a", 0, "ra")
+    cache.put("b", 0, "rb")
+    assert cache.get("a", 0) == "ra"  # a is now most-recent
+    cache.put("c", 0, "rc")  # evicts b
+    assert cache.evictions == 1
+    assert cache.get("b", 0) is None
+    assert cache.get("a", 0) == "ra"
+    assert cache.get("c", 0) == "rc"
+
+
+def test_stale_generation_dropped_on_sight():
+    cache = ResultCache(capacity=4)
+    cache.put("q", 3, "old")
+    assert cache.get("q", 4) is None
+    assert cache.invalidations == 1
+    assert len(cache) == 0  # the stale entry no longer occupies a slot
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)

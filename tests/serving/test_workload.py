@@ -1,0 +1,87 @@
+"""Seeded workload generation: determinism and structural properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import (
+    QueryTemplate,
+    cache_friendly_mix,
+    default_query_mix,
+    generate_workload,
+)
+
+
+def _as_tuples(workload):
+    return [
+        (r.session_id, r.tenant, r.seq, r.arrival_ms, r.template, r.query)
+        for r in workload
+    ]
+
+
+def test_same_seed_same_workload():
+    a = generate_workload(sessions=50, seed=11)
+    b = generate_workload(sessions=50, seed=11)
+    assert _as_tuples(a) == _as_tuples(b)
+
+
+def test_different_seeds_differ():
+    a = generate_workload(sessions=50, seed=11)
+    b = generate_workload(sessions=50, seed=12)
+    assert _as_tuples(a) != _as_tuples(b)
+
+
+def test_arrivals_sorted_and_positive():
+    workload = generate_workload(sessions=40, seed=3, start_ms=1000.0)
+    arrivals = [r.arrival_ms for r in workload]
+    assert arrivals == sorted(arrivals)
+    assert arrivals[0] >= 1000.0
+
+
+def test_session_structure():
+    workload = generate_workload(
+        sessions=30, seed=7, queries_per_session=(2, 6)
+    )
+    by_session = {}
+    for request in workload:
+        by_session.setdefault(request.session_id, []).append(request)
+    assert len(by_session) == 30
+    for session_id, requests in by_session.items():
+        assert 2 <= len(requests) <= 6
+        # one tenant per session, sequential seq, monotone arrivals
+        assert len({r.tenant for r in requests}) == 1
+        ordered = sorted(requests, key=lambda r: r.seq)
+        assert [r.seq for r in ordered] == list(range(len(requests)))
+        arrivals = [r.arrival_ms for r in ordered]
+        assert arrivals == sorted(arrivals)
+
+
+def test_tenants_drawn_from_given_pool():
+    workload = generate_workload(sessions=25, seed=1, tenants=("x", "y"))
+    assert set(workload.tenants()) <= {"x", "y"}
+
+
+def test_queries_drawn_from_mix():
+    mix = cache_friendly_mix()
+    workload = generate_workload(sessions=20, seed=5, mix=mix)
+    allowed = {template.text for template in mix}
+    assert {request.query for request in workload} <= allowed
+    assert len(allowed) == 3
+
+
+def test_default_mix_weights_positive_and_named():
+    mix = default_query_mix()
+    assert len(mix) == 7
+    assert all(t.weight > 0 for t in mix)
+    assert len({t.name for t in mix}) == len(mix)
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ValueError):
+        generate_workload(sessions=0)
+    with pytest.raises(ValueError):
+        generate_workload(sessions=1, queries_per_session=(0, 3))
+    with pytest.raises(ValueError):
+        generate_workload(sessions=1, mix=[])
+    with pytest.raises(ValueError):
+        QueryTemplate("zero", "ASK { ?s ?p ?o }", weight=0.0)

@@ -169,6 +169,30 @@ CASES = [
         + "SELECT ?s WHERE { ?s a ex:Person FILTER NOT EXISTS { ?s ex:knows ?x } }",
         1,
     ),
+    # property paths and multi-pattern joins *inside* EXISTS groups: the
+    # endpoint layer's feature/pattern walkers descend into these (PR 6),
+    # so every engine must agree on their semantics too
+    (
+        "filter-exists-path",
+        PREFIX
+        + "SELECT ?s WHERE { ?s ex:worksFor ?e "
+        + "FILTER EXISTS { ?e a/rdfs:subClassOf* ex:Org } }",
+        2,
+    ),
+    (
+        "filter-not-exists-join",
+        PREFIX
+        + "SELECT ?s WHERE { ?s a ex:Person "
+        + "FILTER NOT EXISTS { ?s ex:knows ?o . ?o a ex:Robot } }",
+        1,
+    ),
+    (
+        "filter-exists-path-conjunct",
+        PREFIX
+        + "SELECT ?s ?n WHERE { ?s ex:age ?n "
+        + "FILTER (?n > 20 && EXISTS { ?s ex:knows+ ex:carol }) }",
+        2,
+    ),
     # -- aggregates -----------------------------------------------------------
     (
         "count-star",
