@@ -1,0 +1,172 @@
+"""Q5 (PR7): resilience policies under a seeded chaos timeline.
+
+The A/B the PR exists for: a 120-session, ~30-day workload pushed
+through a ~30%-outage chaos profile (Markov outage windows + transient
+error bursts + backend slowdowns + timeout spikes), served twice --
+
+* **naive**: the PR 6 executor meeting the weather with nothing (one
+  attempt, no breaker, fail like the endpoint failed);
+* **resilient**: retries with jittered exponential backoff, a circuit
+  breaker, and graceful degradation to the local replica.
+
+The resilient arm must recover **>= 2x the served-ratio** of the naive
+arm, and both arms must be digest-stable across parallelism -- chaos is
+replayable weather, not noise.  The endpoint profile is jitter-free so
+every fault fate is a pure function of the arrival-anchored timeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import government_graph
+from repro.endpoint import (
+    AlwaysAvailable,
+    EndpointProfile,
+    SimulationClock,
+    SparqlEndpoint,
+)
+from repro.serving import (
+    QueryServer,
+    ResiliencePolicy,
+    chaos_profile,
+    generate_workload,
+)
+
+SESSIONS = 120
+WORKLOAD_SEED = 11
+PLAN_SEED = 7
+
+#: ~33% of the horizon inside Markov outage windows, half of it under
+#: p=0.95 transient-error bursts, plus slowdowns and timeout spikes
+CHAOS = dict(
+    seed=PLAN_SEED, horizon_days=30,
+    p_fail=0.35, p_recover=0.5, burst_coverage=0.5, burst_p=0.95,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return government_graph(scale=0.3, seed=5)
+
+
+def _flat_profile():
+    return EndpointProfile(
+        "flat", connect_ms=10.0, parse_ms=5.0, per_pattern_ms=10.0,
+        per_solution_ms=0.0, aggregate_overhead_ms=0.0, jitter=0.0,
+        timeout_ms=60_000.0,
+    )
+
+
+def _server(graph, parallelism, resilient):
+    endpoint = SparqlEndpoint(
+        "http://chaos.example.org/sparql", graph, SimulationClock(),
+        profile=_flat_profile(), availability=AlwaysAvailable(), seed=4,
+    )
+    return QueryServer(
+        endpoint,
+        parallelism=parallelism,
+        queue_capacity=4096,
+        # cache off on BOTH arms: the comparison isolates what the
+        # resilience policies themselves recover
+        cache_capacity=None,
+        faults=chaos_profile(**CHAOS),
+        resilience=ResiliencePolicy(seed=5) if resilient else None,
+    )
+
+
+def _chaos_workload():
+    # ~30 simulated days of sessions, so the workload actually crosses
+    # the plan's multi-day outage windows
+    return generate_workload(
+        sessions=SESSIONS, seed=WORKLOAD_SEED,
+        mean_session_gap_ms=21_600_000.0, mean_think_ms=600_000.0,
+    )
+
+
+def test_q5_chaos_recovery_ab(benchmark, graph, record_table):
+    """Naive vs resilient under identical weather: >= 2x served-ratio
+    recovery, digest-stable on both arms."""
+    workload = _chaos_workload()
+    benchmark.pedantic(
+        lambda: _server(graph, 4, True).serve(workload),
+        iterations=1, rounds=1,
+    )
+
+    naive = _server(graph, 4, False).serve(workload)
+    resilient = _server(graph, 4, True).serve(workload)
+
+    # chaos is replayable weather: digests invariant across parallelism
+    assert naive.digest() == _server(graph, 1, False).serve(workload).digest()
+    assert resilient.digest() == _server(graph, 1, True).serve(workload).digest()
+
+    recovery = resilient.served_ratio() / naive.served_ratio()
+    info = resilient.resilience_info
+    plan = chaos_profile(**CHAOS)
+
+    def row(label, report):
+        pct = report.latency_percentiles()
+        return (
+            f"{label:<10} {len(report.served):>4}/{len(report.records):<4} "
+            f"{report.served_ratio():>7.1%} {pct['p50']:>9.0f}ms "
+            f"{pct['p95']:>9.0f}ms"
+        )
+
+    record_table(
+        "q5_chaos_recovery_ab",
+        "\n".join(
+            [
+                f"Q5 (PR7): chaos A/B, {len(workload)} requests / "
+                f"{SESSIONS} sessions over ~30 days, "
+                f"{plan.outage_ratio():.0%} outage + bursts/slowdowns/"
+                "spikes, 4 threads (simulated time)",
+                "",
+                f"{'server':<10} {'served':>9} {'ratio':>7} {'p50':>11} "
+                f"{'p95':>11}",
+                row("naive", naive),
+                row("resilient", resilient),
+                "",
+                f"served-ratio recovery: {recovery:.2f}x   "
+                f"retries: {info['retries']} "
+                f"(recovered {info['recovered_by_retry']})   "
+                f"breaker fast-fails: {info['breaker_fast_fails']}   "
+                f"degraded: {info['degraded_stale_cache']} stale-cache / "
+                f"{info['degraded_replica']} replica",
+            ]
+        ),
+    )
+    assert resilient.served_ratio() == 1.0, (
+        "retry + degradation must serve every request under this weather"
+    )
+    assert recovery >= 2.0, (
+        f"resilience must recover >= 2x the naive served-ratio, "
+        f"got {recovery:.2f}x"
+    )
+
+
+def test_q5_bench_serve_naive_chaos(benchmark, graph):
+    """Wall-clock cost of the naive arm under chaos (tracked)."""
+    workload = _chaos_workload()
+    report = benchmark.pedantic(
+        lambda: _server(graph, 4, False).serve(workload),
+        iterations=1, rounds=3,
+    )
+    assert 0.0 < report.served_ratio() < 1.0
+
+
+def test_q5_bench_serve_resilient_chaos(benchmark, graph):
+    """Wall-clock cost of the full resilience stack under chaos
+    (tracked): the overhead of retries, breaker checks, fault-timeline
+    lookups and replica degradation on top of the naive loop."""
+    workload = _chaos_workload()
+    report = benchmark.pedantic(
+        lambda: _server(graph, 4, True).serve(workload),
+        iterations=1, rounds=3,
+    )
+    assert report.served_ratio() == 1.0
+
+
+def test_q5_bench_chaos_profile(benchmark):
+    """Wall-clock cost of drawing the 30-day chaos plan (tracked)."""
+    plan = benchmark(lambda: chaos_profile(**CHAOS))
+    assert 0.2 < plan.outage_ratio() < 0.5

@@ -4,7 +4,7 @@
 #
 #   benchmarks/run_bench.sh                 # the perf-trajectory modules
 #   benchmarks/run_bench.sh benchmarks/     # everything
-#   benchmarks/run_bench.sh --emit-pr5      # 3 runs -> BENCH_PR5.json
+#   benchmarks/run_bench.sh --emit-pr7      # 3 runs -> BENCH_PR7.json
 #   benchmarks/run_bench.sh --gate          # pre-merge gate: one run,
 #                                           # fail on >10% regression vs
 #                                           # the latest BENCH_PR<N>.json
@@ -19,9 +19,10 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
 # the perf-trajectory modules (PR1 trio + PR2 streaming/parallel + PR3
-# top-k + PR4/5 sharding + PR6 serving).  bench_q3 runs first: its
-# write-path A/B times allocation-heavy bulk loads, which want the fresh
-# interpreter heap, not one bloated by the census-world session fixtures.
+# top-k + PR4/5 sharding + PR6 serving + PR7 resilience).  bench_q3 runs
+# first: its write-path A/B times allocation-heavy bulk loads, which want
+# the fresh interpreter heap, not one bloated by the census-world session
+# fixtures.
 TRACKED=(
     benchmarks/bench_q3_sharded.py
     benchmarks/bench_e1_cluster_precompute.py
@@ -31,6 +32,7 @@ TRACKED=(
     benchmarks/bench_q1_streaming.py
     benchmarks/bench_q2_topk.py
     benchmarks/bench_q4_serving.py
+    benchmarks/bench_q5_resilience.py
 )
 
 run_once() {
@@ -41,7 +43,7 @@ run_once() {
 
 mkdir -p benchmarks/results
 
-if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ] || [ "${1:-}" == "--emit-pr5" ] || [ "${1:-}" == "--emit-pr6" ]; then
+if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ] || [ "${1:-}" == "--emit-pr5" ] || [ "${1:-}" == "--emit-pr6" ] || [ "${1:-}" == "--emit-pr7" ]; then
     # Three full runs of the tracked modules, reduced to best-of-3 means in
     # the committed snapshot schema.  The "before" side (the previous PR's
     # tree via git worktree) is attached separately with
@@ -62,6 +64,8 @@ if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" ==
         TITLE="Single-copy sharded storage with routed read views + no-op cache-invalidation fixes"
     elif [ "$PR" == "6" ]; then
         TITLE="Concurrent query serving tier with generation-keyed result cache + endpoint accounting fixes"
+    elif [ "$PR" == "7" ]; then
+        TITLE="Deterministic fault injection + resilience policies (retry/backoff, circuit breakers, hedging, degradation) for the serving tier"
     else
         TITLE="Sharded triple store + partition-parallel SPARQL execution"
     fi

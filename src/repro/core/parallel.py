@@ -35,6 +35,7 @@ from ..endpoint.clock import SimulationClock
 __all__ = [
     "TaskOutcome",
     "measure_task",
+    "race_hedged",
     "run_parallel",
     "makespan_ms",
     "SimWorkerPool",
@@ -84,6 +85,47 @@ def measure_task(
     elapsed = clock.now_ms - start_ms
     clock.restore(start_ms)
     return TaskOutcome(key, value, error, elapsed)
+
+
+def race_hedged(
+    clock: SimulationClock,
+    key: Hashable,
+    primary: Callable[[], object],
+    hedge: Callable[[], object],
+    hedge_delay_ms: float,
+) -> Tuple[TaskOutcome, bool, bool]:
+    """Race *primary* against a *hedge* attempt fired ``hedge_delay_ms`` in.
+
+    The simulated form of a hedged request: both thunks are measured with
+    :func:`measure_task` (clock rewound after each), then the clock
+    advances **once** by the winner's completion offset -- the first
+    completion wins and the loser is cancelled, i.e. its remaining
+    simulated time is simply never charged to the clock.  Side effects of
+    both attempts still happen (exactly like a real hedged call that is
+    cancelled after the backend already did the work), so hedging is only
+    sound for idempotent reads whose two attempts return interchangeable
+    results.
+
+    The hedge fires only if the primary is still in flight at
+    ``hedge_delay_ms``.  A failed primary loses to a successful hedge even
+    when it failed earlier -- an error is not a completion a client
+    accepts while a better attempt is still running.
+
+    Returns ``(winning outcome, hedge_fired, hedge_won)``.
+    """
+    if hedge_delay_ms < 0:
+        raise ValueError(f"hedge delay must be >= 0, got {hedge_delay_ms}")
+    first = measure_task(clock, key, primary)
+    if first.elapsed_ms <= hedge_delay_ms:
+        clock.advance(first.elapsed_ms)
+        return first, False, False
+    second = measure_task(clock, key, hedge)
+    hedge_completion = hedge_delay_ms + second.elapsed_ms
+    if second.ok and (hedge_completion < first.elapsed_ms or not first.ok):
+        clock.advance(hedge_completion)
+        return second, True, True
+    clock.advance(first.elapsed_ms)
+    return first, True, False
 
 
 def makespan_ms(durations: Sequence[float], parallelism: int) -> float:

@@ -16,6 +16,7 @@ from .availability import (
 from .clock import MS_PER_DAY, SimulationClock
 from .endpoint import SparqlEndpoint
 from .errors import (
+    CircuitOpen,
     EndpointError,
     EndpointTimeout,
     EndpointUnavailable,
@@ -31,6 +32,7 @@ __all__ = [
     "AlwaysAvailable",
     "AvailabilityMonitor",
     "AvailabilityModel",
+    "CircuitOpen",
     "ProbeRecord",
     "EndpointError",
     "EndpointNetwork",

@@ -85,7 +85,13 @@ class SparqlEndpoint:
 
     # -- querying -------------------------------------------------------------
 
-    def query(self, text: str) -> Union[SelectResult, AskResult]:
+    def query(
+        self,
+        text: str,
+        *,
+        latency_scale: float = 1.0,
+        timeout_scale: float = 1.0,
+    ) -> Union[SelectResult, AskResult]:
         """Execute *text*, charging simulated latency to the clock.
 
         Raises :class:`EndpointUnavailable` when the availability model says
@@ -93,6 +99,16 @@ class SparqlEndpoint:
         features, :class:`EndpointTimeout` when execution cost exceeds the
         profile's timeout.  SELECT results may come back *truncated* (with
         ``result.truncated`` set) when the profile caps result rows.
+
+        *latency_scale* multiplies the execution-cost term of the latency
+        model (>= 1 models a degraded backend: an overloaded shard, a cold
+        cache, a noisy neighbour) and *timeout_scale* scales the profile's
+        server-side deadline (< 1 models a timeout-rate spike).  Both are
+        fault-injection hooks -- the serving tier's
+        :class:`~repro.serving.faults.FaultInjector` drives them from its
+        seeded timeline; direct callers leave them at 1.0.  A slowdown can
+        push a query over the (possibly shrunk) deadline, so injected
+        latency naturally turns into real timeouts.
 
         Every path through here -- success or failure -- charges its clock
         advance through :meth:`_charge`, so ``stats.total_latency_ms``
@@ -140,15 +156,16 @@ class SparqlEndpoint:
         # shard timing ratio).
         exec_stats = self._engine.exec_stats
 
-        latency = self._estimate_latency(parsed, result, exec_stats)
-        if latency > self.profile.timeout_ms:
+        latency = self._estimate_latency(parsed, result, exec_stats, latency_scale)
+        deadline_ms = self.profile.timeout_ms * timeout_scale
+        if latency > deadline_ms:
             # The server kills the query at its timeout; the wire still
             # sees the same dispersion as any other response, so the
             # deadline is jittered like every other charge.
-            self._charge(self._jitter(self.profile.timeout_ms))
+            self._charge(self._jitter(deadline_ms))
             self.stats.timeouts += 1
             raise EndpointTimeout(
-                f"endpoint {self.url} timed out after {self.profile.timeout_ms:.0f} ms",
+                f"endpoint {self.url} timed out after {deadline_ms:.0f} ms",
                 url=self.url,
             )
         self._charge(latency)
@@ -169,14 +186,17 @@ class SparqlEndpoint:
         self.clock.advance(latency_ms)
         self.stats.total_latency_ms += latency_ms
 
-    def _estimate_latency(self, parsed, result, exec_stats) -> float:
+    def _estimate_latency(self, parsed, result, exec_stats, latency_scale: float = 1.0) -> float:
         profile = self.profile
         latency = profile.connect_ms + profile.parse_ms
         pattern_count = _count_patterns(parsed)
         latency += pattern_count * profile.per_pattern_ms
         # Execution cost grows with dataset size (index lookups aren't free)
-        # and with the result cardinality.
-        execution = len(self.graph) * 0.0004
+        # and with the result cardinality.  latency_scale is the injected
+        # backend-slowdown multiplier; it applies to execution only (the
+        # connect handshake and response marshalling are unaffected by a
+        # struggling shard).
+        execution = len(self.graph) * 0.0004 * latency_scale
         if getattr(self.graph, "is_sharded", False):
             # Partition-parallel execution: scale the dataset-size term by
             # what this query actually measured on the shard pool (makespan

@@ -61,6 +61,14 @@ class SparqlClient:
     Retries only *transient* failures (unavailability); feature rejections
     and timeouts surface immediately so the pattern-strategy layer can
     switch approach instead of hammering the endpoint.
+
+    Backoff is seeded exponential with full jitter (the serving tier's
+    shared helper), not the old linear ramp: two clients with different
+    seeds draw different delays for the same retry, so a fleet of
+    crawlers recovering from the same outage spreads its retry storm
+    instead of re-synchronizing on the endpoint -- and the total time a
+    single call may spend backing off is capped by
+    ``max_backoff_total_ms``.
     """
 
     def __init__(
@@ -68,22 +76,43 @@ class SparqlClient:
         network: EndpointNetwork,
         max_retries: int = 2,
         retry_backoff_ms: float = 500.0,
+        backoff_cap_ms: float = 8_000.0,
+        max_backoff_total_ms: float = 20_000.0,
+        seed: int = 0,
     ):
         self.network = network
         self.max_retries = max_retries
+        #: base of the exponential ramp (attempt k draws from
+        #: ``U(0, min(cap, base * 2^k))``)
         self.retry_backoff_ms = retry_backoff_ms
+        self.backoff_cap_ms = backoff_cap_ms
+        self.max_backoff_total_ms = max_backoff_total_ms
+        self.seed = seed
 
     def query(self, url: str, text: str) -> Union[SelectResult, AskResult]:
+        # shared with the serving tier's resilience layer; imported lazily
+        # so the endpoint package stays importable on its own
+        from ..serving.resilience import full_jitter_backoff_ms
+
         endpoint = self.network.get(url)
         attempts = self.max_retries + 1
         last_error: Optional[EndpointError] = None
+        backed_off_ms = 0.0
         for attempt in range(attempts):
             try:
                 return endpoint.query(text)
             except EndpointUnavailable as exc:
                 last_error = exc
-                if attempt + 1 < attempts:
-                    self.network.clock.advance(self.retry_backoff_ms * (attempt + 1))
+                if attempt + 1 >= attempts:
+                    break
+                delay_ms = full_jitter_backoff_ms(
+                    self.seed, (url, text), attempt,
+                    self.retry_backoff_ms, self.backoff_cap_ms,
+                )
+                if backed_off_ms + delay_ms > self.max_backoff_total_ms:
+                    break  # retry budget spent; surface the failure
+                self.network.clock.advance(delay_ms)
+                backed_off_ms += delay_ms
         assert last_error is not None
         raise last_error
 

@@ -86,6 +86,18 @@ class FairAdmissionQueue:
                 return queue.popleft()
         return None  # unreachable while _size is kept consistent
 
+    def pressure_ms(self, mean_service_ms: float) -> float:
+        """The queue-depth backpressure signal: expected wait in line.
+
+        ``depth x mean service time`` is Little's-law arithmetic for how
+        long a request admitted *now* will sit before a worker picks it
+        up.  The scheduler compares this against the request's deadline
+        budget at admission time and sheds requests that would time out
+        in the queue anyway -- rejecting early is strictly kinder than
+        accepting work we already know we cannot finish in time.
+        """
+        return self._size * mean_service_ms
+
     def info(self) -> Dict[str, int]:
         return {
             "depth": self._size,

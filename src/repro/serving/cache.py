@@ -34,18 +34,31 @@ class ResultCache:
     reports a miss.
     """
 
-    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions", "invalidations")
+    __slots__ = ("capacity", "min_service_ms", "keep_stale", "_entries",
+                 "hits", "misses", "evictions", "invalidations", "skipped_cheap")
 
-    def __init__(self, capacity: int = 256):
+    def __init__(
+        self,
+        capacity: int = 256,
+        min_service_ms: float = 0.0,
+        keep_stale: bool = False,
+    ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        #: admission floor: results cheaper than this are not worth a slot
+        #: (a hit would cost about as much as recomputing them)
+        self.min_service_ms = min_service_ms
+        #: retain generation-stale entries for :meth:`get_stale` instead of
+        #: dropping them on sight -- the degradation ladder's food supply
+        self.keep_stale = keep_stale
         #: query text -> (generation, result), in LRU order (oldest first)
         self._entries: "OrderedDict[str, Tuple[int, object]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.skipped_cheap = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -53,9 +66,11 @@ class ResultCache:
     def get(self, text: str, generation: int) -> Optional[object]:
         """The cached result for *text* at *generation*, or None.
 
-        A stale entry (older generation) is dropped on sight: it can
-        never become valid again, so keeping it would only displace live
-        entries from the LRU window.
+        A stale entry (older generation) is normally dropped on sight: it
+        can never become *fresh* again, so keeping it would only displace
+        live entries from the LRU window.  With ``keep_stale`` it stays
+        put (still a miss here) so :meth:`get_stale` can serve it as
+        degraded data when the endpoint is unreachable.
         """
         entry = self._entries.get(text)
         if entry is None:
@@ -63,16 +78,47 @@ class ResultCache:
             return None
         cached_generation, result = entry
         if cached_generation != generation:
-            del self._entries[text]
-            self.invalidations += 1
+            if not self.keep_stale:
+                del self._entries[text]
+                self.invalidations += 1
             self.misses += 1
             return None
         self._entries.move_to_end(text)
         self.hits += 1
         return result
 
-    def put(self, text: str, generation: int, result: object) -> None:
-        """Store *result* for *text* computed at *generation*."""
+    def get_stale(self, text: str) -> Optional[object]:
+        """The stored result for *text* at *any* generation, or None.
+
+        The degradation read: freshness is already lost (the endpoint is
+        down and retries are exhausted), so the last result this cache
+        ever saw for the query is strictly better than an error page.
+        Does not touch the hit/miss counters -- callers account the serve
+        as a *degraded* outcome, not a cache hit.
+        """
+        entry = self._entries.get(text)
+        if entry is None:
+            return None
+        self._entries.move_to_end(text)
+        return entry[1]
+
+    def put(
+        self,
+        text: str,
+        generation: int,
+        result: object,
+        service_ms: Optional[float] = None,
+    ) -> None:
+        """Store *result* for *text* computed at *generation*.
+
+        When the caller passes the measured *service_ms*, results cheaper
+        than ``min_service_ms`` are skipped (counted in ``skipped_cheap``):
+        caching them cannot beat recomputation, and admitting them would
+        evict entries whose recomputation is actually expensive.
+        """
+        if service_ms is not None and service_ms < self.min_service_ms:
+            self.skipped_cheap += 1
+            return
         if text in self._entries:
             del self._entries[text]
         elif len(self._entries) >= self.capacity:
@@ -92,6 +138,7 @@ class ResultCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "skipped_cheap": self.skipped_cheap,
         }
 
     def __repr__(self) -> str:

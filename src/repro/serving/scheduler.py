@@ -8,7 +8,9 @@ the workload) and request **completions** (computed as each request
 starts).  The loop walks the merged event stream in time order:
 
 * an arrival starts immediately when a worker is idle and nobody waits,
-  queues when the server is busy, and is rejected when the queue is full;
+  queues when the server is busy, and is rejected when the queue is full
+  or -- with backpressure enabled -- **shed** when the queue's expected
+  wait already exceeds the request's deadline budget;
 * a completion frees a worker, which immediately picks up the next
   queued request under the per-tenant fairness rotation (dropping
   requests whose queue wait exceeded the admission deadline).
@@ -17,38 +19,47 @@ Service costs are *measured*, not assumed: starting a request advances
 the shared :class:`~repro.endpoint.clock.SimulationClock` to the start
 instant and runs the executor under
 :func:`~repro.core.parallel.measure_task`, so whatever the endpoint
-charges (profile latency, shard-pool makespans, failure-path connect
-costs) becomes that request's service time, and the clock itself only
-ever advances along the event timeline.  Requests execute one at a time
-under the hood in event order -- the same determinism construction as
-the batch pool -- so per-request results are independent of how many
-workers the schedule overlaps them on.
+charges (profile latency, backoff waits, failure-path connect costs)
+becomes that request's service time, and the clock itself only ever
+advances along the event timeline.  Requests execute one at a time under
+the hood in event order -- the same determinism construction as the
+batch pool -- so per-request results are independent of how many workers
+the schedule overlaps them on.
+
+When a :class:`~repro.serving.faults.FaultInjector` is attached, the
+scheduler stamps each record with the fault kinds active at its dispatch
+instant -- pure observability (the injector is stateless), so operators
+can correlate latency spikes and degraded serves with the injected
+weather.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.parallel import SimWorkerPool, measure_task
 from ..endpoint.clock import SimulationClock
 from ..endpoint.errors import EndpointTimeout, QueryRejected
 from .admission import FairAdmissionQueue
+from .faults import FaultInjector
 from .workload import Request
 
 __all__ = ["RequestRecord", "Scheduler"]
 
 
 class RequestRecord:
-    """What happened to one request: timing plus outcome.
+    """What happened to one request: timing, outcome, resilience trail.
 
     ``status`` is one of ``"ok"`` (executed), ``"cache-hit"`` (served
-    from the result cache), ``"rejected"`` (admission queue full),
+    from the result cache), ``"stale"`` (served degraded data after the
+    fresh path failed), ``"rejected"`` (admission queue full), ``"shed"``
+    (backpressure: the queue's expected wait already blew the deadline),
     ``"queue-timeout"`` (waited past the admission deadline), or the
     endpoint failure statuses ``"unavailable"`` / ``"feature-rejected"``
-    / ``"endpoint-timeout"``.  ``error`` holds the endpoint-error
-    instance for every non-served outcome -- admission control reuses
-    the endpoint's own error types.
+    / ``"endpoint-timeout"`` / ``"circuit-open"``.  ``error`` holds the
+    error instance for every non-served outcome -- admission control
+    reuses the endpoint's own error types.
     """
 
     __slots__ = (
@@ -59,11 +70,17 @@ class RequestRecord:
         "completion_ms",
         "service_ms",
         "result",
+        "attempts",
+        "hedged",
+        "degraded",
+        "faults_at_dispatch",
     )
 
     def __init__(self, request: Request, status: str, error=None,
                  start_ms: float = 0.0, completion_ms: float = 0.0,
-                 service_ms: float = 0.0, result=None):
+                 service_ms: float = 0.0, result=None, attempts: int = 0,
+                 hedged: bool = False, degraded: Optional[str] = None,
+                 faults_at_dispatch: Tuple[str, ...] = ()):
         self.request = request
         self.status = status
         self.error = error
@@ -71,10 +88,21 @@ class RequestRecord:
         self.completion_ms = completion_ms
         self.service_ms = service_ms
         self.result = result
+        #: endpoint dispatches this request consumed (0 for cache hits
+        #: and requests that never reached the executor)
+        self.attempts = attempts
+        self.hedged = hedged
+        #: which rung of the degradation ladder served it, when status is
+        #: "stale": "stale-cache" or "replica"
+        self.degraded = degraded
+        #: fault kinds active at the dispatch instant (observability)
+        self.faults_at_dispatch = faults_at_dispatch
 
     @property
     def served(self) -> bool:
-        return self.status in ("ok", "cache-hit")
+        """Did the client get rows?  Degraded serves count: stale data
+        with a staleness tag is a response, not an error."""
+        return self.status in ("ok", "cache-hit", "stale")
 
     @property
     def wait_ms(self) -> float:
@@ -98,9 +126,18 @@ class Scheduler:
 
     *execute* is the server's executor: called with a request while the
     clock sits at the request's start instant; whatever simulated time it
-    consumes is the request's service time.  It returns a
-    ``(status, result)`` pair or raises an endpoint error (measured and
-    captured, never propagated).
+    consumes is the request's service time.  It returns a ``(status,
+    result)`` pair -- or, from the resilience layer, a ``(status, result,
+    meta)`` triple whose meta dict carries the attempt count, hedging
+    flag, degradation rung and folded error -- or raises an endpoint
+    error (measured and captured, never propagated).
+
+    With *backpressure_deadline_ms* set, an arrival that would queue
+    behind ``depth x mean-service`` milliseconds of expected wait larger
+    than that deadline is shed at admission instead of queued.  The mean
+    is the running mean of completed service times, so shedding -- like
+    queue-full rejection -- is a property of realized load: it varies
+    with ``parallelism`` by design (more workers, less queue).
     """
 
     def __init__(
@@ -110,12 +147,17 @@ class Scheduler:
         parallelism: int = 1,
         queue_capacity: int = 64,
         queue_timeout_ms: Optional[float] = None,
+        faults: Optional[FaultInjector] = None,
+        backpressure_deadline_ms: Optional[float] = None,
     ):
         self.clock = clock
         self.execute = execute
         self.parallelism = parallelism
         self.queue_capacity = queue_capacity
         self.queue_timeout_ms = queue_timeout_ms
+        self.faults = faults
+        self.backpressure_deadline_ms = backpressure_deadline_ms
+        self.shed = 0
 
     def run(self, requests: Sequence[Request]) -> List[RequestRecord]:
         """Serve *requests* (sorted by arrival); return one record each,
@@ -130,32 +172,50 @@ class Scheduler:
         #: (completion_ms, start order) heap; the payload is the record
         in_flight: List = []
         start_counter = 0
+        completed_service_ms = 0.0
+        completed_count = 0
 
         def advance_to(instant_ms: float) -> None:
             if instant_ms > clock.now_ms:
                 clock.advance(instant_ms - clock.now_ms)
 
+        def weather(now_ms: float) -> Tuple[str, ...]:
+            return self.faults.active_kinds(now_ms) if self.faults else ()
+
         def start(request: Request, now_ms: float) -> None:
-            nonlocal start_counter
+            nonlocal start_counter, completed_service_ms, completed_count
             advance_to(now_ms)
             outcome = measure_task(clock, request.key, lambda: self.execute(request))
+            meta = {}
             if outcome.error is not None:
                 status, result = _failure_status(outcome.error), None
+                error = outcome.error
             else:
-                status, result = outcome.value
+                value = outcome.value
+                if len(value) == 3:
+                    status, result, meta = value
+                else:
+                    status, result = value
+                error = meta.get("error")
             completion = pool.start(now_ms, outcome.elapsed_ms)
             record = RequestRecord(
                 request,
                 status,
-                error=outcome.error,
+                error=error,
                 start_ms=now_ms,
                 completion_ms=completion,
                 service_ms=outcome.elapsed_ms,
                 result=result,
+                attempts=meta.get("attempts", 0 if status == "cache-hit" else 1),
+                hedged=bool(meta.get("hedged", False)),
+                degraded=meta.get("degraded"),
+                faults_at_dispatch=weather(now_ms),
             )
             records.append(record)
             heapq.heappush(in_flight, (completion, start_counter, record))
             start_counter += 1
+            completed_service_ms += outcome.elapsed_ms
+            completed_count += 1
 
         def drain(now_ms: float) -> None:
             """Hand queued requests to idle workers, skipping the stale."""
@@ -178,6 +238,7 @@ class Scheduler:
                             ),
                             start_ms=now_ms,
                             completion_ms=now_ms,
+                            faults_at_dispatch=weather(now_ms),
                         )
                     )
                     continue
@@ -204,6 +265,27 @@ class Scheduler:
                 advance_to(now)
                 if pool.idle_workers(now) > 0 and len(queue) == 0:
                     start(request, now)
+                    continue
+                if (
+                    self.backpressure_deadline_ms is not None
+                    and completed_count > 0
+                    and queue.pressure_ms(completed_service_ms / completed_count)
+                    > self.backpressure_deadline_ms
+                ):
+                    self.shed += 1
+                    records.append(
+                        RequestRecord(
+                            request,
+                            "shed",
+                            error=QueryRejected(
+                                f"backpressure: expected queue wait exceeds "
+                                f"{self.backpressure_deadline_ms:.0f} ms deadline"
+                            ),
+                            start_ms=now,
+                            completion_ms=now,
+                            faults_at_dispatch=weather(now),
+                        )
+                    )
                 elif not queue.offer(request):
                     records.append(
                         RequestRecord(
@@ -215,6 +297,7 @@ class Scheduler:
                             ),
                             start_ms=now,
                             completion_ms=now,
+                            faults_at_dispatch=weather(now),
                         )
                     )
         # arrival order is the report's canonical order
@@ -226,11 +309,14 @@ class Scheduler:
 
 def _failure_status(error: BaseException) -> str:
     from ..endpoint.errors import (
+        CircuitOpen,
         EndpointTimeout,
         EndpointUnavailable,
         QueryRejected,
     )
 
+    if isinstance(error, CircuitOpen):
+        return "circuit-open"
     if isinstance(error, EndpointUnavailable):
         return "unavailable"
     if isinstance(error, QueryRejected):

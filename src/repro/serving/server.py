@@ -2,11 +2,12 @@
 
 Follows the route-handler + orchestrator + status pattern of the API
 layers in SNIPPETS.md: :class:`QueryServer` owns the moving parts (the
-wrapped endpoint, the admission queue configuration, the result cache),
-``serve`` is the one orchestration entry point, and ``status()`` /
-:class:`ServingReport` are the status- and results-shaped read surfaces.
-Route handlers stay thin -- the executor below is the only code that
-touches the endpoint, and the scheduler owns all timing.
+wrapped endpoint, the admission queue configuration, the result cache,
+the resilience policy), ``serve`` is the one orchestration entry point,
+and ``status()`` / :class:`ServingReport` are the status- and
+results-shaped read surfaces.  Route handlers stay thin -- the executor
+is the only code that touches the endpoint, and the scheduler owns all
+timing.
 
 The result cache sits *in front of* the endpoint: a hit serves the
 stored result for a flat ``cache_hit_ms`` charge without consuming an
@@ -15,7 +16,17 @@ runs -- without reading any engine state (the exec-stats leakage class
 of bug the endpoint layer guards against since PR 6 cannot reach here).
 Entries are keyed on ``(query text, Graph.generation)``, so any actual
 mutation of the served graph invalidates the whole cache for free while
-no-op writes keep it warm.
+no-op writes keep it warm.  Results cheaper than the cache-hit charge
+itself are not admitted (``skipped_cheap``): a hit on them saves nothing
+and the slot displaces something expensive.
+
+Fault injection and resilience plug in here: handing ``serve`` a
+:class:`~repro.serving.faults.FaultInjector` subjects the run to its
+seeded weather, and a :class:`~repro.serving.resilience.ResiliencePolicy`
+(default: on, whenever faults are present) wraps the executor in
+retry/backoff, circuit breaking, optional hedging and graceful
+degradation.  Faults *without* a policy run the naive PR 6 executor
+against the weather -- the baseline arm of the chaos benchmark.
 """
 
 from __future__ import annotations
@@ -26,8 +37,11 @@ import math
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..endpoint.endpoint import SparqlEndpoint
+from ..sparql.parser import parse_query
 from ..sparql.results import AskResult, SelectResult
 from .cache import ResultCache
+from .faults import FaultInjector, FaultPlan
+from .resilience import ResiliencePolicy, ResilientExecutor
 from .scheduler import RequestRecord, Scheduler
 from .workload import Request, Workload
 
@@ -49,7 +63,8 @@ class ServingReport:
     -- whatever the parallelism -- produce byte-identical digests.
     """
 
-    __slots__ = ("records", "parallelism", "start_ms", "end_ms", "cache_info")
+    __slots__ = ("records", "parallelism", "start_ms", "end_ms", "cache_info",
+                 "resilience_info", "fault_info")
 
     def __init__(
         self,
@@ -58,12 +73,19 @@ class ServingReport:
         start_ms: float,
         end_ms: float,
         cache_info: Optional[Dict[str, int]],
+        resilience_info: Optional[Dict[str, object]] = None,
+        fault_info: Optional[Dict[str, object]] = None,
     ):
         self.records = records
         self.parallelism = parallelism
         self.start_ms = start_ms
         self.end_ms = end_ms
         self.cache_info = cache_info
+        #: per-run resilience counters + breaker transition trace, when a
+        #: policy ran this workload
+        self.resilience_info = resilience_info
+        #: the fault plan's describe() payload, when weather was injected
+        self.fault_info = fault_info
 
     # -- outcomes ----------------------------------------------------------
 
@@ -71,10 +93,29 @@ class ServingReport:
     def served(self) -> List[RequestRecord]:
         return [record for record in self.records if record.served]
 
+    @property
+    def degraded(self) -> List[RequestRecord]:
+        """Served, but off the degradation ladder (status ``"stale"``)."""
+        return [record for record in self.records if record.status == "stale"]
+
+    def served_ratio(self) -> float:
+        """Fraction of requests that got rows -- the resilience headline."""
+        if not self.records:
+            return float("nan")
+        return len(self.served) / len(self.records)
+
     def status_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for record in self.records:
             counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def degraded_counts(self) -> Dict[str, int]:
+        """Which rung of the ladder served the degraded requests."""
+        counts: Dict[str, int] = {}
+        for record in self.degraded:
+            rung = record.degraded or "unknown"
+            counts[rung] = counts.get(rung, 0) + 1
         return counts
 
     # -- latency / throughput ---------------------------------------------
@@ -117,13 +158,13 @@ class ServingReport:
     def digest(self) -> str:
         """SHA-256 over every served request's canonical result rows.
 
-        Covers request identity + rows, not timing or cache provenance: a
-        cache hit serving the same rows as a cold execution digests
-        identically, and scheduling changes *when* things run, never
-        *what* they return -- so the digest is the byte-identical
-        contract across parallelism settings and cache on/off.  Unserved
-        requests contribute identity + failure status (a rejection is an
-        outcome too).
+        Covers request identity + rows, not timing or provenance: a cache
+        hit, a hedged execution or a degraded replica read serving the
+        same rows as a cold execution digests identically, and scheduling
+        changes *when* things run, never *what* they return -- so the
+        digest is the byte-identical contract across parallelism settings,
+        cache on/off, and hedging on/off.  Unserved requests contribute
+        identity + failure status (a rejection is an outcome too).
         """
         payload = []
         for record in self.records:
@@ -139,6 +180,7 @@ class ServingReport:
         summary: Dict[str, object] = {
             "requests": len(self.records),
             "served": len(self.served),
+            "served_ratio": self.served_ratio(),
             "parallelism": self.parallelism,
             "statuses": self.status_counts(),
             "latency_ms": self.latency_percentiles(),
@@ -147,8 +189,14 @@ class ServingReport:
             "throughput_qps": self.throughput_qps(),
             "digest": self.digest(),
         }
+        if self.degraded:
+            summary["degraded"] = self.degraded_counts()
         if self.cache_info is not None:
             summary["cache"] = dict(self.cache_info)
+        if self.resilience_info is not None:
+            summary["resilience"] = dict(self.resilience_info)
+        if self.fault_info is not None:
+            summary["faults"] = dict(self.fault_info)
         return summary
 
     def __repr__(self) -> str:
@@ -177,9 +225,17 @@ class QueryServer:
     """Concurrent serving tier over one :class:`SparqlEndpoint`.
 
     ``parallelism`` models the endpoint's server threads; the bounded
-    admission queue and optional queue deadline model its load shedding;
-    the generation-keyed result cache is shared across ``serve`` calls
-    (a long-running server keeps its cache warm between workloads).
+    admission queue, optional queue deadline and optional backpressure
+    deadline model its load shedding; the generation-keyed result cache
+    is shared across ``serve`` calls (a long-running server keeps its
+    cache warm between workloads).
+
+    *faults* subjects every run to a seeded chaos timeline (a
+    :class:`FaultPlan` or its injector); *resilience* is the client-side
+    policy answering it.  Passing faults without a policy runs the naive
+    executor against the weather -- that asymmetry is the chaos
+    benchmark's A/B.  The resilient executor (breaker state, hedge p95
+    tracker) persists across ``serve`` calls like the cache does.
     """
 
     def __init__(
@@ -190,13 +246,39 @@ class QueryServer:
         queue_timeout_ms: Optional[float] = None,
         cache_capacity: Optional[int] = 256,
         cache_hit_ms: float = CACHE_HIT_MS,
+        resilience: Optional[ResiliencePolicy] = None,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        backpressure_deadline_ms: Optional[float] = None,
     ):
         self.endpoint = endpoint
         self.parallelism = parallelism
         self.queue_capacity = queue_capacity
         self.queue_timeout_ms = queue_timeout_ms
-        self.cache = ResultCache(cache_capacity) if cache_capacity else None
         self.cache_hit_ms = cache_hit_ms
+        self.backpressure_deadline_ms = backpressure_deadline_ms
+        if isinstance(faults, FaultPlan):
+            faults = faults.injector()
+        self.faults = faults
+        if resilience is None and faults is not None:
+            # chaos without a policy: the naive executor must still meet
+            # the weather, it just has no answer to it
+            resilience = ResiliencePolicy.naive()
+        self.resilience = resilience
+        keep_stale = resilience is not None and resilience.degrade_stale
+        self.cache = (
+            ResultCache(
+                cache_capacity,
+                min_service_ms=cache_hit_ms,
+                keep_stale=keep_stale,
+            )
+            if cache_capacity
+            else None
+        )
+        self._executor = (
+            ResilientExecutor(self, resilience, faults)
+            if resilience is not None
+            else None
+        )
         self._runs = 0
 
     # -- the one orchestration entry point ---------------------------------
@@ -204,35 +286,52 @@ class QueryServer:
     def serve(self, workload: Union[Workload, Sequence[Request]]) -> ServingReport:
         """Schedule and execute *workload*; return the full report."""
         requests = list(workload)
+        execute = self._executor if self._executor is not None else self._execute
+        if self._executor is not None:
+            self._executor.begin_run()
         scheduler = Scheduler(
             self.endpoint.clock,
-            self._execute,
+            execute,
             parallelism=self.parallelism,
             queue_capacity=self.queue_capacity,
             queue_timeout_ms=self.queue_timeout_ms,
+            faults=self.faults,
+            backpressure_deadline_ms=self.backpressure_deadline_ms,
         )
         records = scheduler.run(requests)
         self._runs += 1
         start_ms = min((r.request.arrival_ms for r in records), default=0.0)
         end_ms = max((r.completion_ms for r in records), default=start_ms)
+        resilience_info: Optional[Dict[str, object]] = None
+        if self._executor is not None:
+            resilience_info = dict(self._executor.counters)
+            resilience_info["breaker_transitions"] = [
+                [instant, before, after]
+                for instant, before, after in self._executor.breaker_transitions()
+            ]
+            resilience_info["shed"] = scheduler.shed
         return ServingReport(
             records,
             parallelism=self.parallelism,
             start_ms=start_ms,
             end_ms=end_ms,
             cache_info=self.cache.info() if self.cache is not None else None,
+            resilience_info=resilience_info,
+            fault_info=self.faults.plan.describe() if self.faults else None,
         )
 
-    # -- executor (the only code path that touches the endpoint) -----------
+    # -- executors (the only code paths that touch the endpoint) -----------
 
     def _execute(self, request: Request):
-        """Serve one request at the clock's current instant.
+        """The plain (pre-resilience) executor: cache, then endpoint.
 
         Cache hits charge the flat hit cost and return the stored result
         *without* executing the endpoint; misses run the real query and
-        store the result at the generation it was computed for.  Endpoint
-        errors propagate to the scheduler, which measures and records
-        them (their connect/timeout charges are real service time).
+        store the result -- with its measured service time, so the cache
+        can refuse results cheaper than a hit -- at the generation it was
+        computed for.  Endpoint errors propagate to the scheduler, which
+        measures and records them (their connect/timeout charges are real
+        service time).
         """
         generation = self.endpoint.graph.generation
         if self.cache is not None:
@@ -240,10 +339,35 @@ class QueryServer:
             if cached is not None:
                 self.endpoint.clock.advance(self.cache_hit_ms)
                 return ("cache-hit", cached)
+        start_ms = self.endpoint.clock.now_ms
         result = self.endpoint.query(request.query)
         if self.cache is not None:
-            self.cache.put(request.query, generation, result)
+            self.cache.put(
+                request.query,
+                generation,
+                result,
+                service_ms=self.endpoint.clock.now_ms - start_ms,
+            )
         return ("ok", result)
+
+    def replica_read(self, text: str) -> Union[SelectResult, AskResult]:
+        """Degraded read off the local materialized replica.
+
+        The last rung of the degradation ladder before giving up: run the
+        query against the server's own copy of the graph, bypassing the
+        (unreachable) endpoint entirely.  Applies the endpoint profile's
+        row cap so replica rows are byte-identical to what a fresh serve
+        would have returned -- the digest-invariance contract.  Charges
+        nothing itself; the caller accounts the degraded-serve cost.
+        """
+        result = self.endpoint._engine.run(parse_query(text))
+        if isinstance(result, SelectResult):
+            cap = self.endpoint.profile.max_result_rows
+            if cap is not None and len(result.rows) > cap:
+                result = SelectResult(
+                    result.variables, result.rows[:cap], truncated=True
+                )
+        return result
 
     # -- status surface ----------------------------------------------------
 
@@ -266,6 +390,11 @@ class QueryServer:
             },
         }
         status["cache"] = self.cache.info() if self.cache is not None else None
+        if self._executor is not None:
+            status["breakers"] = {
+                url: breaker.state
+                for url, breaker in sorted(self._executor.breakers.items())
+            }
         return status
 
     def __repr__(self) -> str:

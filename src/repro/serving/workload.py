@@ -116,7 +116,8 @@ def cache_friendly_mix() -> List[QueryTemplate]:
 class Request:
     """One query issued by one session at one simulated instant."""
 
-    __slots__ = ("session_id", "tenant", "seq", "arrival_ms", "template", "query")
+    __slots__ = ("session_id", "tenant", "seq", "arrival_ms", "template",
+                 "query", "deadline_ms")
 
     def __init__(
         self,
@@ -126,6 +127,7 @@ class Request:
         arrival_ms: float,
         template: str,
         query: str,
+        deadline_ms: Optional[float] = None,
     ):
         self.session_id = session_id
         self.tenant = tenant
@@ -133,6 +135,9 @@ class Request:
         self.arrival_ms = arrival_ms
         self.template = template
         self.query = query
+        #: per-request latency budget (retries must fit inside it); None
+        #: defers to the serving policy's default deadline
+        self.deadline_ms = deadline_ms
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -189,6 +194,7 @@ def generate_workload(
     mean_think_ms: float = 400.0,
     queries_per_session: Tuple[int, int] = (2, 6),
     start_ms: float = 0.0,
+    deadline_ms: Optional[float] = None,
 ) -> Workload:
     """Draw a complete workload from one seeded RNG.
 
@@ -221,6 +227,9 @@ def generate_workload(
                 arrival += rng.expovariate(1.0 / mean_think_ms)
             template = rng.choices(templates, weights=weights, k=1)[0]
             requests.append(
-                Request(session_id, tenant, seq, arrival, template.name, template.text)
+                Request(
+                    session_id, tenant, seq, arrival,
+                    template.name, template.text, deadline_ms=deadline_ms,
+                )
             )
     return Workload(requests, sessions=sessions, seed=seed)

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serving import FairAdmissionQueue, Request
 
@@ -74,3 +76,104 @@ def test_depth_and_info():
 def test_capacity_validation():
     with pytest.raises(ValueError):
         FairAdmissionQueue(capacity=0)
+
+
+def test_cursor_survives_tenant_drain_and_reenqueue():
+    # a tenant that empties keeps its rotation slot; when it refills, it
+    # is neither skipped nor served twice in one sweep
+    queue = FairAdmissionQueue(capacity=16)
+    queue.offer(_request("a", 0))
+    queue.offer(_request("b", 0))
+    queue.offer(_request("c", 0))
+    assert queue.take().tenant == "a"
+    assert queue.take().tenant == "b"
+    # "a" and "b" are drained; "a" re-enqueues before the next take
+    queue.offer(_request("a", 1))
+    # rotation resumes at "c" (the cursor's position), then wraps to "a"
+    assert queue.take().tenant == "c"
+    assert queue.take().tenant == "a"
+    assert queue.take() is None
+    assert len(queue) == 0
+
+
+def test_drained_then_refilled_queue_serves_every_request_once():
+    queue = FairAdmissionQueue(capacity=64)
+    for round_number in range(3):
+        for tenant in ("a", "b", "c"):
+            for seq in range(2):
+                queue.offer(_request(tenant, round_number * 10 + seq))
+        seen = []
+        while True:
+            request = queue.take()
+            if request is None:
+                break
+            seen.append((request.tenant, request.seq))
+        # exactly one serve per offer, no skips, no doubles
+        assert sorted(seen) == sorted(
+            (tenant, round_number * 10 + seq)
+            for tenant in ("a", "b", "c") for seq in range(2)
+        )
+
+
+def test_pressure_signal_is_depth_times_mean_service():
+    queue = FairAdmissionQueue(capacity=16)
+    assert queue.pressure_ms(100.0) == 0.0
+    queue.offer(_request("a", 0))
+    queue.offer(_request("b", 0))
+    queue.offer(_request("b", 1))
+    assert queue.pressure_ms(40.0) == pytest.approx(120.0)
+    queue.take()
+    assert queue.pressure_ms(40.0) == pytest.approx(80.0)
+
+
+# -- property: overflow under bursty multi-tenant load ------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=12),
+    offers=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c", "d"]), st.booleans()),
+        max_size=80,
+    ),
+)
+def test_overflow_under_burst_conserves_every_request(capacity, offers):
+    """Any interleaving of offers and takes keeps the books exact.
+
+    Invariants under arbitrary bursty traffic: depth never exceeds
+    capacity, an offer fails iff the queue is full, every admitted
+    request is served exactly once, per-tenant FIFO order holds, and the
+    offered/rejected counters reconcile with what actually happened.
+    """
+    queue = FairAdmissionQueue(capacity=capacity)
+    admitted = []
+    served = []
+    sequence = 0
+    for tenant, also_take in offers:
+        request = _request(tenant, sequence)
+        sequence += 1
+        was_full = len(queue) >= capacity
+        accepted = queue.offer(request)
+        assert accepted == (not was_full)
+        if accepted:
+            admitted.append(request)
+        assert len(queue) <= capacity
+        if also_take:
+            taken = queue.take()
+            if taken is not None:
+                served.append(taken)
+    while True:
+        taken = queue.take()
+        if taken is None:
+            break
+        served.append(taken)
+    assert len(queue) == 0
+    # conservation: exactly the admitted requests come out, once each
+    assert sorted(r.seq for r in served) == sorted(r.seq for r in admitted)
+    # per-tenant FIFO: each tenant's serves preserve its admission order
+    for tenant in ("a", "b", "c", "d"):
+        admitted_seqs = [r.seq for r in admitted if r.tenant == tenant]
+        served_seqs = [r.seq for r in served if r.tenant == tenant]
+        assert served_seqs == admitted_seqs
+    assert queue.offered == len(offers)
+    assert queue.rejected == len(offers) - len(admitted)

@@ -147,3 +147,41 @@ def test_stale_generation_dropped_on_sight():
 def test_capacity_validation():
     with pytest.raises(ValueError):
         ResultCache(capacity=0)
+
+
+def test_cheap_results_are_not_admitted():
+    cache = ResultCache(capacity=4, min_service_ms=5.0)
+    cache.put("cheap", 0, "r", service_ms=1.0)
+    assert cache.skipped_cheap == 1
+    assert len(cache) == 0
+    assert cache.get("cheap", 0) is None
+    # at or above the floor the result is admitted
+    cache.put("worth-it", 0, "r", service_ms=5.0)
+    assert cache.get("worth-it", 0) == "r"
+    # puts without a measured service time bypass the floor entirely
+    cache.put("unmeasured", 0, "r")
+    assert cache.get("unmeasured", 0) == "r"
+    assert cache.skipped_cheap == 1
+    assert cache.info()["skipped_cheap"] == 1
+
+
+def test_keep_stale_retains_entries_for_degraded_reads():
+    cache = ResultCache(capacity=4, keep_stale=True)
+    cache.put("q", 3, "old")
+    # a newer-generation lookup misses but does NOT drop the entry
+    assert cache.get("q", 4) is None
+    assert cache.invalidations == 0
+    assert len(cache) == 1
+    assert cache.get_stale("q") == "old"
+    # get_stale leaves the hit/miss counters alone (it is a degraded
+    # serve, not a cache hit)
+    assert cache.hits == 0
+    assert cache.get_stale("never-seen") is None
+
+
+def test_get_stale_without_keep_stale_sees_what_survives():
+    cache = ResultCache(capacity=4)
+    cache.put("q", 3, "old")
+    assert cache.get_stale("q") == "old"  # entry still present
+    assert cache.get("q", 4) is None  # drop-on-sight fires
+    assert cache.get_stale("q") is None

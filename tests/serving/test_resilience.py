@@ -1,0 +1,428 @@
+"""The resilience stack: backoff, breaker, retries, hedging, degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import government_graph
+from repro.endpoint import (
+    AlwaysAvailable,
+    EndpointNetwork,
+    EndpointProfile,
+    EndpointUnavailable,
+    MarkovAvailability,
+    SimulationClock,
+    SparqlClient,
+    SparqlEndpoint,
+)
+from repro.serving import (
+    CircuitBreaker,
+    FaultPlan,
+    QueryServer,
+    Request,
+    ResiliencePolicy,
+    full_jitter_backoff_ms,
+    generate_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return government_graph(scale=0.2, seed=5)
+
+
+def _flat_profile(**overrides):
+    defaults = dict(
+        connect_ms=10.0, parse_ms=5.0, per_pattern_ms=10.0,
+        per_solution_ms=0.0, aggregate_overhead_ms=0.0, jitter=0.0,
+        timeout_ms=60_000.0,
+    )
+    defaults.update(overrides)
+    return EndpointProfile("flat", **defaults)
+
+
+def _endpoint(graph, clock=None, **options):
+    options.setdefault("availability", AlwaysAvailable())
+    options.setdefault("profile", _flat_profile())
+    options.setdefault("seed", 4)
+    return SparqlEndpoint(
+        "http://resil.example.org/sparql", graph, clock or SimulationClock(),
+        **options
+    )
+
+
+def _request(seq=0, arrival_ms=0.0, text="ASK { ?s ?p ?o }"):
+    return Request(0, "t", seq, arrival_ms, "probe", text)
+
+
+# -- backoff helper -----------------------------------------------------------
+
+
+def test_backoff_is_deterministic_and_bounded():
+    delays = [
+        full_jitter_backoff_ms(7, (1, 2), attempt, 100.0, 2_000.0)
+        for attempt in range(8)
+    ]
+    assert delays == [
+        full_jitter_backoff_ms(7, (1, 2), attempt, 100.0, 2_000.0)
+        for attempt in range(8)
+    ]
+    for attempt, delay in enumerate(delays):
+        assert 0.0 <= delay <= min(2_000.0, 100.0 * 2**attempt)
+
+
+def test_backoff_decorrelates_seeds_and_attempts():
+    a = [full_jitter_backoff_ms(1, "k", n, 100.0, 1e9) for n in range(6)]
+    b = [full_jitter_backoff_ms(2, "k", n, 100.0, 1e9) for n in range(6)]
+    assert a != b
+    assert len(set(a)) == len(a)
+    with pytest.raises(ValueError):
+        full_jitter_backoff_ms(0, "k", -1, 100.0, 1000.0)
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+def test_breaker_state_machine():
+    breaker = CircuitBreaker(threshold=3, cooldown_ms=1000.0, probe_p=1.0)
+    assert breaker.state == "closed"
+    for now in (0.0, 1.0):
+        breaker.record_failure(now)
+        assert breaker.state == "closed"
+    breaker.record_failure(2.0)
+    assert breaker.state == "open"
+    # open: refuse until the cooldown elapses
+    assert not breaker.allow(500.0, key=(0, 0))
+    assert breaker.fast_fails == 1
+    # cooldown over: half-open, probe admitted (probe_p=1)
+    assert breaker.allow(1500.0, key=(0, 1))
+    assert breaker.state == "half-open"
+    # failed probe re-opens
+    breaker.record_failure(1500.0)
+    assert breaker.state == "open"
+    # successful probe after the next cooldown closes
+    assert breaker.allow(2600.0, key=(0, 2))
+    breaker.record_success(2600.0)
+    assert breaker.state == "closed"
+    states = [(before, after) for _, before, after in breaker.transitions]
+    assert states == [
+        ("closed", "open"),
+        ("open", "half-open"),
+        ("half-open", "open"),
+        ("open", "half-open"),
+        ("half-open", "closed"),
+    ]
+
+
+def test_breaker_success_resets_failure_streak():
+    breaker = CircuitBreaker(threshold=3)
+    breaker.record_failure(0.0)
+    breaker.record_failure(1.0)
+    breaker.record_success(2.0)
+    breaker.record_failure(3.0)
+    breaker.record_failure(4.0)
+    assert breaker.state == "closed"  # never 3 *consecutive* failures
+
+
+def test_breaker_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_ms=0.0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(probe_p=0.0)
+
+
+# -- retry + recovery ---------------------------------------------------------
+
+
+def test_retry_recovers_through_transient_burst(graph):
+    # every request's first attempt dies in the burst; the seeded
+    # per-attempt draws let retries through (p=0.6 leaves attempt 2+ a
+    # fair chance, and max_retries=4 makes recovery near-certain)
+    plan = FaultPlan(seed=1, horizon_ms=1e9, bursts=[(0.0, 1e9, 0.6)])
+    server = QueryServer(
+        _endpoint(graph),
+        cache_capacity=None,
+        faults=plan,
+        resilience=ResiliencePolicy(
+            max_retries=4, breaker_threshold=None,
+            degrade_stale=False, degrade_replica=False,
+        ),
+    )
+    report = server.serve(generate_workload(sessions=20, seed=3))
+    info = report.resilience_info
+    assert info["injected_transient_failures"] > 0
+    assert info["recovered_by_retry"] > 0
+    # p(all 5 attempts die) = 0.6^5 ~ 8%, so the vast majority land
+    assert report.served_ratio() > 0.85
+    # the naive arm drowns in the same weather
+    naive = QueryServer(
+        _endpoint(graph), cache_capacity=None, faults=plan,
+    )
+    naive_report = naive.serve(generate_workload(sessions=20, seed=3))
+    assert naive_report.served_ratio() < report.served_ratio()
+    assert naive_report.resilience_info["retries"] == 0
+
+
+def test_backoff_respects_deadline_budget(graph):
+    # permanent outage + huge backoff base: one retry would blow the
+    # 1-second deadline, so the executor gives up without burning time
+    plan = FaultPlan(seed=1, horizon_ms=1e9, outages=[(0.0, 1e9)])
+    server = QueryServer(
+        _endpoint(graph),
+        cache_capacity=None,
+        faults=plan,
+        resilience=ResiliencePolicy(
+            max_retries=5, backoff_base_ms=5_000.0, backoff_cap_ms=5_000.0,
+            deadline_ms=1_000.0, breaker_threshold=None,
+            degrade_stale=False, degrade_replica=False,
+        ),
+    )
+    report = server.serve([_request()])
+    record = report.records[0]
+    assert record.status == "unavailable"
+    assert record.attempts == 1
+    assert report.resilience_info["deadline_exhausted"] == 1
+
+
+def test_per_request_deadline_overrides_policy(graph):
+    plan = FaultPlan(seed=1, horizon_ms=1e9, outages=[(0.0, 1e9)])
+    server = QueryServer(
+        _endpoint(graph),
+        cache_capacity=None,
+        faults=plan,
+        resilience=ResiliencePolicy(
+            max_retries=5, backoff_base_ms=5_000.0, backoff_cap_ms=5_000.0,
+            deadline_ms=1e9, breaker_threshold=None,
+            degrade_stale=False, degrade_replica=False,
+        ),
+    )
+    tight = Request(0, "t", 0, 0.0, "probe", "ASK { ?s ?p ?o }",
+                    deadline_ms=1_000.0)
+    report = server.serve([tight])
+    assert report.records[0].attempts == 1
+
+
+# -- circuit breaker through the server ---------------------------------------
+
+
+def test_breaker_opens_under_outage_and_fast_fails(graph):
+    plan = FaultPlan(seed=1, horizon_ms=1e9, outages=[(0.0, 1e9)])
+    server = QueryServer(
+        _endpoint(graph),
+        cache_capacity=None,
+        faults=plan,
+        resilience=ResiliencePolicy(
+            max_retries=0, breaker_threshold=3,
+            degrade_stale=False, degrade_replica=False,
+        ),
+    )
+    report = server.serve(generate_workload(sessions=20, seed=3))
+    info = report.resilience_info
+    assert info["breaker_fast_fails"] > 0
+    transitions = info["breaker_transitions"]
+    assert any(after == "open" for _, _, after in transitions)
+    statuses = report.status_counts()
+    assert statuses.get("circuit-open", 0) == info["breaker_fast_fails"]
+    # fast-fails consume (nearly) no simulated time, unlike real connects
+    fast = [r for r in report.records if r.status == "circuit-open"]
+    assert fast and all(r.service_ms < 1.0 for r in fast)
+
+
+# -- graceful degradation -----------------------------------------------------
+
+
+def test_degrades_to_stale_cache_entry(graph):
+    plan = FaultPlan(seed=1, horizon_ms=1e9, outages=[(50_000.0, 1e9)])
+    server = QueryServer(
+        _endpoint(graph),
+        faults=plan,
+        resilience=ResiliencePolicy(max_retries=0, breaker_threshold=None),
+    )
+    text = "SELECT DISTINCT ?c WHERE { ?s a ?c } LIMIT 30"
+    warm = server.serve([_request(seq=0, arrival_ms=0.0, text=text)])
+    assert warm.records[0].status == "ok"
+    fresh_rows = warm.records[0].result.rows
+    # mutate the graph: the cached entry goes generation-stale
+    subject = next(iter(graph)).subject
+    from repro.rdf.terms import IRI
+    graph.add_triple(subject, IRI("http://x/p"), IRI("http://x/o"))
+    try:
+        # the endpoint is now down; the stale entry is served, tagged
+        report = server.serve([_request(seq=1, arrival_ms=60_000.0, text=text)])
+        record = report.records[0]
+        assert record.status == "stale"
+        assert record.degraded == "stale-cache"
+        assert record.result.rows == fresh_rows
+        assert report.resilience_info["degraded_stale_cache"] == 1
+        assert report.degraded_counts() == {"stale-cache": 1}
+    finally:
+        graph.remove_pattern(subject=subject, predicate=IRI("http://x/p"))
+
+
+def test_degrades_to_replica_when_cache_cold(graph):
+    plan = FaultPlan(seed=1, horizon_ms=1e9, outages=[(0.0, 1e9)])
+    server = QueryServer(
+        _endpoint(graph),
+        cache_capacity=None,
+        faults=plan,
+        resilience=ResiliencePolicy(max_retries=0, breaker_threshold=None),
+    )
+    text = "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 50"
+    report = server.serve([_request(text=text)])
+    record = report.records[0]
+    assert record.status == "stale"
+    assert record.degraded == "replica"
+    assert record.served
+    # replica rows equal what a healthy endpoint would have served
+    healthy = _endpoint(graph).query(text)
+    assert record.result.rows == healthy.rows
+
+
+def test_replica_read_applies_row_cap(graph):
+    server = QueryServer(
+        _endpoint(graph, profile=_flat_profile(max_result_rows=5)),
+    )
+    result = server.replica_read("SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+    assert len(result.rows) == 5
+    assert result.truncated
+
+
+# -- hedging ------------------------------------------------------------------
+
+
+def test_hedging_caps_slow_executions(graph):
+    # fixed fast service for the sampled window, then a 100x slowdown:
+    # the hedge fires at the tracked p95 and the timing-only contract
+    # keeps the digest identical to the unhedged run
+    slow_start = 1_000_000.0
+    plan = FaultPlan(
+        seed=1, horizon_ms=1e9, slowdowns=[(slow_start, 1e9, 100.0)],
+    )
+
+    def build(hedging):
+        return QueryServer(
+            _endpoint(graph),
+            cache_capacity=None,
+            faults=plan,
+            resilience=ResiliencePolicy(
+                hedging=hedging, hedge_min_samples=8,
+                breaker_threshold=None,
+            ),
+        )
+
+    warm = [_request(seq=n, arrival_ms=n * 1_000.0) for n in range(10)]
+    slow = [
+        _request(seq=10 + n, arrival_ms=slow_start + n * 1_000.0,
+                 text="SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 50")
+        for n in range(4)
+    ]
+    hedged_server = build(True)
+    hedged = [hedged_server.serve(warm), hedged_server.serve(slow)]
+    plain_server = build(False)
+    plain = [plain_server.serve(warm), plain_server.serve(slow)]
+
+    assert hedged[1].resilience_info["hedges_fired"] > 0
+    assert any(record.hedged for record in hedged[1].records)
+    assert hedged[1].digest() == plain[1].digest()
+
+
+# -- cache admission (skip-cheap) ---------------------------------------------
+
+
+def test_cache_skips_results_cheaper_than_a_hit(graph):
+    # cache_hit_ms far above the flat profile's ASK cost: caching such a
+    # result could never pay for itself, so it is not admitted
+    server = QueryServer(_endpoint(graph), cache_hit_ms=500.0)
+    report = server.serve([
+        _request(seq=0, arrival_ms=0.0),
+        _request(seq=1, arrival_ms=10_000.0),
+    ])
+    assert [r.status for r in report.records] == ["ok", "ok"]  # no hit
+    assert server.cache.skipped_cheap == 2
+    assert report.cache_info["skipped_cheap"] == 2
+    assert len(server.cache) == 0
+
+
+def test_cache_admits_results_worth_caching(graph):
+    server = QueryServer(_endpoint(graph))  # default cache_hit_ms = 2.0
+    report = server.serve([
+        _request(seq=0, arrival_ms=0.0),
+        _request(seq=1, arrival_ms=10_000.0),
+    ])
+    assert [r.status for r in report.records] == ["ok", "cache-hit"]
+    assert server.cache.skipped_cheap == 0
+
+
+# -- the SparqlClient satellite -----------------------------------------------
+
+
+def _flaky_network(seed):
+    clock = SimulationClock()
+    network = EndpointNetwork(clock)
+    graph = government_graph(scale=0.05, seed=2)
+    network.register(SparqlEndpoint(
+        "http://flaky.example.org/sparql", graph, clock,
+        profile=_flat_profile(),
+        availability=MarkovAvailability(
+            "http://flaky.example.org/sparql", p_fail=1.0, p_recover=1.0,
+            seed=seed, start_up=False,
+        ),
+    ))
+    return network
+
+
+def test_client_backoff_is_exponential_jittered_not_linear():
+    network = _flaky_network(seed=0)
+    client = SparqlClient(network, max_retries=3, retry_backoff_ms=500.0)
+    before = network.clock.now_ms
+    with pytest.raises(EndpointUnavailable):
+        client.query("http://flaky.example.org/sparql", "ASK { ?s ?p ?o }")
+    waited = network.clock.now_ms - before
+    # three backoffs drawn from U(0, 500), U(0, 1000), U(0, 2000) -- the
+    # old linear ramp always waited exactly 500 + 1000 + 1500 = 3000
+    assert 0.0 < waited < 500.0 + 1000.0 + 2000.0
+    assert waited != pytest.approx(3000.0)
+
+
+def test_clients_with_different_seeds_desynchronize_retry_storms():
+    # two clients hammering identical flaky endpoints with the same
+    # query: their backoff schedules must not coincide, or a fleet-wide
+    # retry storm re-synchronizes on the recovering endpoint
+    def retry_instants(seed):
+        network = _flaky_network(seed=0)
+        client = SparqlClient(network, max_retries=4, seed=seed)
+        instants = []
+        original = network.clock.advance
+
+        def tracking_advance(delta_ms):
+            original(delta_ms)
+            instants.append(network.clock.now_ms)
+
+        network.clock.advance = tracking_advance
+        with pytest.raises(EndpointUnavailable):
+            client.query("http://flaky.example.org/sparql", "ASK { ?s ?p ?o }")
+        return instants
+
+    assert retry_instants(seed=1) != retry_instants(seed=2)
+    # same seed replays the identical schedule
+    assert retry_instants(seed=1) == retry_instants(seed=1)
+
+
+def test_client_total_backoff_time_is_capped():
+    network = _flaky_network(seed=0)
+    client = SparqlClient(
+        network, max_retries=50, retry_backoff_ms=1_000.0,
+        backoff_cap_ms=10_000.0, max_backoff_total_ms=5_000.0,
+    )
+    before = network.clock.now_ms
+    with pytest.raises(EndpointUnavailable):
+        client.query("http://flaky.example.org/sparql", "ASK { ?s ?p ?o }")
+    # the endpoint charges its own connect cost per attempt; only the
+    # *backoff* waits are capped
+    backoff_budget = 5_000.0
+    attempts_cost = network.get(
+        "http://flaky.example.org/sparql"
+    ).stats.total_latency_ms
+    assert network.clock.now_ms - before <= backoff_budget + attempts_cost

@@ -254,7 +254,8 @@ def test_server_status_shape(graph):
     assert status["endpoint_stats"]["queries"] >= 1
     cache = status["cache"]
     assert set(cache) == {
-        "size", "capacity", "hits", "misses", "evictions", "invalidations"
+        "size", "capacity", "hits", "misses", "evictions", "invalidations",
+        "skipped_cheap",
     }
     assert cache["hits"] + cache["misses"] >= 1
 
@@ -262,3 +263,31 @@ def test_server_status_shape(graph):
 def test_cacheless_server_status(graph):
     server = QueryServer(_endpoint(graph), cache_capacity=None)
     assert server.status()["cache"] is None
+
+
+def test_backpressure_sheds_when_queue_wait_exceeds_deadline(graph):
+    # single worker, a burst far faster than service: once the queue's
+    # expected wait (depth x mean service) passes the deadline, arrivals
+    # are shed at the front door instead of queueing to time out
+    endpoint = _endpoint(graph, profile=_flat_profile())
+    server = QueryServer(
+        endpoint,
+        parallelism=1,
+        queue_capacity=4096,
+        cache_capacity=None,
+        backpressure_deadline_ms=200.0,
+    )
+    report = server.serve(_burst(200, spacing_ms=1.0))
+    statuses = report.status_counts()
+    assert statuses.get("shed", 0) > 0
+    # shed happens at admission: shed records consume no service time
+    shed = [r for r in report.records if r.status == "shed"]
+    assert all(r.service_ms == 0.0 and r.completion_ms == r.start_ms for r in shed)
+    # nothing shed while the expected wait still fit the deadline
+    without = QueryServer(
+        _endpoint(graph, profile=_flat_profile()),
+        parallelism=1,
+        queue_capacity=4096,
+        cache_capacity=None,
+    )
+    assert without.serve(_burst(200, spacing_ms=1.0)).status_counts().get("shed", 0) == 0
