@@ -25,6 +25,7 @@ cd "$ROOT"
 # fixtures.
 TRACKED=(
     benchmarks/bench_q3_sharded.py
+    benchmarks/bench_q6_durability.py
     benchmarks/bench_e1_cluster_precompute.py
     benchmarks/bench_e4_index_extraction.py
     benchmarks/bench_f2_exploration.py
@@ -43,7 +44,7 @@ run_once() {
 
 mkdir -p benchmarks/results
 
-if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ] || [ "${1:-}" == "--emit-pr5" ] || [ "${1:-}" == "--emit-pr6" ] || [ "${1:-}" == "--emit-pr7" ]; then
+if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ] || [ "${1:-}" == "--emit-pr5" ] || [ "${1:-}" == "--emit-pr6" ] || [ "${1:-}" == "--emit-pr7" ] || [ "${1:-}" == "--emit-pr8" ]; then
     # Three full runs of the tracked modules, reduced to best-of-3 means in
     # the committed snapshot schema.  The "before" side (the previous PR's
     # tree via git worktree) is attached separately with
@@ -66,6 +67,8 @@ if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" ==
         TITLE="Concurrent query serving tier with generation-keyed result cache + endpoint accounting fixes"
     elif [ "$PR" == "7" ]; then
         TITLE="Deterministic fault injection + resilience policies (retry/backoff, circuit breakers, hedging, degradation) for the serving tier"
+    elif [ "$PR" == "8" ]; then
+        TITLE="Durable shard storage: manifest + snapshot/WAL with deterministic crash-recovery"
     else
         TITLE="Sharded triple store + partition-parallel SPARQL execution"
     fi

@@ -28,7 +28,14 @@ class PersistenceError(RuntimeError):
 
 
 def save_database(root: str, databases: List["Database"]) -> None:
-    """Write every collection of every database under *root*."""
+    """Write every collection of every database under *root*.
+
+    After the writes succeed, ``.jsonl`` files for collections (and whole
+    directories for databases) that no longer exist are pruned -- otherwise
+    a dropped collection would resurrect on the next ``load_database``.
+    Pruning runs strictly after the new state is on disk, so a crash
+    anywhere in the save leaves at worst stale extras, never lost data.
+    """
     os.makedirs(root, exist_ok=True)
     for database in databases:
         db_dir = os.path.join(root, database.name)
@@ -49,6 +56,22 @@ def save_database(root: str, databases: List["Database"]) -> None:
                 if os.path.exists(temp_path):
                     os.unlink(temp_path)
                 raise
+        keep = {f"{name}.jsonl" for name in database.collection_names()}
+        for filename in os.listdir(db_dir):
+            if filename.endswith(".jsonl") and filename not in keep:
+                os.unlink(os.path.join(db_dir, filename))
+    alive = {database.name for database in databases}
+    for db_name in os.listdir(root):
+        db_dir = os.path.join(root, db_name)
+        if db_name in alive or not os.path.isdir(db_dir):
+            continue
+        for filename in os.listdir(db_dir):
+            if filename.endswith(".jsonl") or filename.endswith(".tmp"):
+                os.unlink(os.path.join(db_dir, filename))
+        try:
+            os.rmdir(db_dir)  # leave non-empty dirs (foreign files) alone
+        except OSError:  # pragma: no cover - defensive
+            pass
 
 
 def load_database(root: str) -> List["Database"]:

@@ -7,6 +7,17 @@ the two serializations the pipeline uses (N-Triples and a Turtle subset).
 """
 
 from .dictionary import TermDict
+from .durability import (
+    CrashInjector,
+    CrashPoint,
+    DurabilityError,
+    Journal,
+    LazyShard,
+    attach_journal,
+    content_digest,
+    load_graph,
+    save_graph,
+)
 from .graph import Graph
 from .namespaces import (
     DCAT,
@@ -31,11 +42,16 @@ from .turtle import TurtleError, parse_turtle, serialize_turtle
 
 __all__ = [
     "BNode",
+    "CrashInjector",
+    "CrashPoint",
     "DCAT",
     "DCTERMS",
+    "DurabilityError",
     "FOAF",
     "Graph",
     "IRI",
+    "Journal",
+    "LazyShard",
     "Literal",
     "Namespace",
     "NTriplesError",
@@ -54,8 +70,12 @@ __all__ = [
     "VOID",
     "Variable",
     "XSD",
+    "attach_journal",
+    "content_digest",
     "curie",
     "expand_curie",
+    "load_graph",
+    "save_graph",
     "graph_from_ntriples",
     "parse_ntriples",
     "parse_turtle",

@@ -28,7 +28,8 @@ __all__ = ["TermDict"]
 class TermDict:
     """A reference-counted, bidirectional ``Term <-> int`` intern table."""
 
-    __slots__ = ("_term_to_id", "_id_to_term", "_refcount", "_next_id", "_free")
+    __slots__ = ("_term_to_id", "_id_to_term", "_refcount", "_next_id", "_free",
+                 "epoch")
 
     def __init__(self):
         self._term_to_id: Dict[Term, int] = {}
@@ -36,6 +37,10 @@ class TermDict:
         self._refcount: Dict[int, int] = {}
         self._next_id = 0
         self._free: List[int] = []
+        # Durability epoch: bumped by repro.rdf.durability each time the
+        # dictionary is snapshotted, and recorded in every snapshot file so
+        # recovery can refuse to pair shard columns with the wrong table.
+        self.epoch = 0
 
     # -- encoding -----------------------------------------------------------
 
@@ -103,6 +108,42 @@ class TermDict:
         out._refcount = dict(self._refcount)
         out._next_id = self._next_id
         out._free = list(self._free)
+        out.epoch = self.epoch
+        return out
+
+    # -- durability ----------------------------------------------------------
+
+    def snapshot_items(self) -> Iterator[Tuple[int, int, Term]]:
+        """``(term_id, refcount, term)`` rows in ascending-ID order.
+
+        The ID order makes snapshot bytes deterministic for a given table
+        state regardless of insertion history.
+        """
+        for term_id in sorted(self._id_to_term):
+            yield term_id, self._refcount[term_id], self._id_to_term[term_id]
+
+    @classmethod
+    def restore(
+        cls,
+        items: Iterator[Tuple[int, int, Term]],
+        next_id: int,
+        free: List[int],
+        epoch: int,
+    ) -> "TermDict":
+        """Rebuild a table from :meth:`snapshot_items` output.
+
+        ``next_id`` and ``free`` must round-trip too: ID assignment after
+        recovery has to match the live process, or WAL replay and future
+        interning would diverge from the pre-crash store.
+        """
+        out = cls()
+        for term_id, refcount, term in items:
+            out._term_to_id[term] = term_id
+            out._id_to_term[term_id] = term
+            out._refcount[term_id] = refcount
+        out._next_id = next_id
+        out._free = list(free)
+        out.epoch = epoch
         return out
 
     def __repr__(self) -> str:

@@ -1,0 +1,124 @@
+"""On-disk record framing and term codecs for the durability layer.
+
+Everything the WAL and the term-dictionary snapshot write goes through one
+record shape::
+
+    u32 payload-length | u32 crc32(payload) | payload bytes
+
+Length-prefixed + checksummed records give the reader exactly the two
+failure signals crash recovery needs: a record whose prefix ran off the end
+of the file is a **torn tail** (the process died mid-append -- truncate and
+carry on), while a record whose checksum mismatches *inside* the valid
+region is **corruption** (refuse to load).  The distinction matters: a torn
+tail is an expected artifact of a crash, silent corruption is not.
+
+Terms serialize as small JSON arrays -- ``["I", value]`` for IRIs,
+``["B", label]`` for blank nodes, ``["L", lexical, language, datatype]``
+for literals -- so payloads stay self-describing and diffable with any
+JSON tool.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, List, Optional, Tuple
+
+from ..terms import BNode, IRI, Literal, Term
+
+__all__ = [
+    "FormatError",
+    "HEADER",
+    "decode_term",
+    "encode_term",
+    "pack_record",
+    "scan_records",
+]
+
+#: record header: little-endian (payload length, crc32 of payload)
+HEADER = struct.Struct("<II")
+
+
+class FormatError(ValueError):
+    """A snapshot/WAL byte stream violates the record format."""
+
+
+# -- record framing ----------------------------------------------------------
+
+
+def pack_record(payload: bytes) -> bytes:
+    """Frame *payload* as one length-prefixed, checksummed record."""
+    return HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_records(
+    data: bytes, offset: int = 0
+) -> Tuple[List[bytes], int, Optional[str]]:
+    """Walk records in *data* starting at *offset*.
+
+    Returns ``(payloads, valid_end, reason)`` where ``valid_end`` is the
+    byte offset just past the last intact record and ``reason`` is ``None``
+    for a clean stream, ``"torn-header"`` / ``"torn-payload"`` when the
+    final record is incomplete (the crash-tail case -- callers truncate to
+    ``valid_end``), or ``"bad-checksum"`` when a fully-present record fails
+    its CRC (corruption -- callers must refuse the stream).
+    """
+    payloads: List[bytes] = []
+    end = len(data)
+    pos = offset
+    while pos < end:
+        if pos + HEADER.size > end:
+            return payloads, pos, "torn-header"
+        length, crc = HEADER.unpack_from(data, pos)
+        body_start = pos + HEADER.size
+        if body_start + length > end:
+            return payloads, pos, "torn-payload"
+        payload = bytes(data[body_start : body_start + length])
+        if zlib.crc32(payload) != crc:
+            return payloads, pos, "bad-checksum"
+        payloads.append(payload)
+        pos = body_start + length
+    return payloads, pos, None
+
+
+# -- term codecs -------------------------------------------------------------
+
+
+def encode_term(term: Term) -> List[Any]:
+    if isinstance(term, IRI):
+        return ["I", term.value]
+    if isinstance(term, BNode):
+        return ["B", term.label]
+    if isinstance(term, Literal):
+        return ["L", term.lexical, term.language, term.datatype]
+    raise FormatError(f"cannot serialize term {term!r}")
+
+
+def decode_term(obj: Any) -> Term:
+    # _restore skips constructor validation: every term in a snapshot/WAL
+    # was validated when it was first interned, and re-running the IRI /
+    # language-tag regexes dominates recovery time on large term tables
+    try:
+        kind = obj[0]
+        if kind == "I":
+            return IRI._restore(obj[1])
+        if kind == "B":
+            return BNode._restore(obj[1])
+        if kind == "L":
+            return Literal._restore(obj[1], obj[2], obj[3])
+    except (TypeError, IndexError) as exc:
+        raise FormatError(f"malformed term payload {obj!r}") from exc
+    raise FormatError(f"unknown term tag in {obj!r}")
+
+
+def dumps(obj: Any) -> bytes:
+    """Compact deterministic JSON bytes (the payload codec)."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def loads(payload: bytes) -> Any:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FormatError(f"undecodable record payload: {exc}") from exc

@@ -1,0 +1,96 @@
+"""The catalog manifest: the durable store's single commit pointer.
+
+A manifest is a small JSON document binding together everything one
+recovery needs::
+
+    {
+      "version": 1,
+      "identifier": "...",          # graph identifier (or null)
+      "sharded": true, "shards": 4,
+      "epoch": 3,                   # save generation; names the files
+      "generation": 117,            # Graph.generation at snapshot time
+      "size": 20412,                # triple count at snapshot time
+      "digest": "sha256:...",       # canonical (s,p,o) digest at snapshot
+      "termdict": {"file": ..., "terms": N, "next_id": ..., "checksum": ...},
+      "shard_files": [{"file": ..., "triples": n, "checksum": ...}, ...],
+      "wal": {"file": ..., "offset": 0}
+    }
+
+The swap rule (the ``docstore/persistence.py`` contract): write the new
+manifest to a temp file in the same directory, flush + fsync, then
+``os.replace`` onto ``manifest.json``.  ``os.replace`` is atomic on POSIX,
+so a reader observes either the old manifest or the new one -- never a
+mix, never a partial file.  Everything else in the directory is garbage
+until a manifest points at it, which is what makes crash recovery a pure
+function of (manifest, WAL prefix).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from .crash import CrashInjector, CrashPoint, boundary
+from .paths import manifest_path
+
+__all__ = ["MANIFEST_VERSION", "ManifestError", "read_manifest", "write_manifest"]
+
+MANIFEST_VERSION = 1
+
+_REQUIRED = ("version", "sharded", "epoch", "generation", "size", "digest",
+             "termdict", "shard_files", "wal")
+
+
+class ManifestError(RuntimeError):
+    """Missing, unreadable, or structurally invalid manifest."""
+
+
+def write_manifest(
+    root: str, doc: Dict, injector: Optional[CrashInjector] = None
+) -> None:
+    """Atomically install *doc* as the store's manifest (temp + replace)."""
+    payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    boundary(injector, "manifest-swap:before")
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=".manifest.", suffix=".tmp", dir=root, text=False
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        boundary(injector, "manifest-swap:staged")
+        os.replace(tmp_path, manifest_path(root))
+    except Exception as exc:
+        # A real I/O failure cleans up its temp file; an injected crash
+        # (the process "died") must leave it behind, exactly as a kill
+        # would -- recovery has to tolerate stray temp files.
+        if not isinstance(exc, CrashPoint) and os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    boundary(injector, "manifest-swap:after")
+
+
+def read_manifest(root: str) -> Dict:
+    """Load and structurally validate the manifest under *root*."""
+    path = manifest_path(root)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except FileNotFoundError:
+        raise ManifestError(f"no manifest at {path}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ManifestError(f"unreadable manifest at {path}: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ManifestError(f"manifest at {path} is not an object")
+    missing = [key for key in _REQUIRED if key not in doc]
+    if missing:
+        raise ManifestError(f"manifest at {path} missing keys: {missing}")
+    if doc["version"] != MANIFEST_VERSION:
+        raise ManifestError(
+            f"manifest version {doc['version']} unsupported "
+            f"(expected {MANIFEST_VERSION})"
+        )
+    return doc

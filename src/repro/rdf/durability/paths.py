@@ -1,0 +1,80 @@
+"""Centralized file layout for a durable store directory.
+
+Every filename the durability layer reads or writes is minted here (the
+ExportBlock_3 ``store/paths.py`` idiom): one module owns the layout, so
+pruning, recovery and tests never re-derive name patterns ad hoc.
+
+A store directory looks like::
+
+    <root>/
+        manifest.json              # the single commit pointer
+        termdict-000003.snap       # TermDict snapshot for epoch 3
+        shard-000-000003.snap      # shard 0 columns for epoch 3
+        shard-001-000003.snap
+        wal-000003.log             # mutations since the epoch-3 snapshot
+
+Epochs are monotonically increasing save generations.  Files from older
+epochs may coexist briefly (a crash between manifest swap and prune); they
+are garbage by definition -- the manifest is the only commit pointer -- and
+:func:`orphan_files` identifies them for cleanup.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List
+
+__all__ = [
+    "MANIFEST",
+    "manifest_path",
+    "orphan_files",
+    "shard_file",
+    "store_files",
+    "termdict_file",
+    "wal_file",
+]
+
+MANIFEST = "manifest.json"
+
+_STORE_FILE = re.compile(
+    r"^(?:termdict-\d{6}\.snap|shard-\d{3}-\d{6}\.snap|wal-\d{6}\.log)$"
+)
+
+
+def manifest_path(root: str) -> str:
+    return os.path.join(root, MANIFEST)
+
+
+def termdict_file(epoch: int) -> str:
+    return f"termdict-{epoch:06d}.snap"
+
+
+def shard_file(index: int, epoch: int) -> str:
+    return f"shard-{index:03d}-{epoch:06d}.snap"
+
+
+def wal_file(epoch: int) -> str:
+    return f"wal-{epoch:06d}.log"
+
+
+def store_files(root: str) -> List[str]:
+    """All durability-layer filenames present under *root*, sorted."""
+    try:
+        names = os.listdir(root)
+    except FileNotFoundError:
+        return []
+    return sorted(name for name in names if _STORE_FILE.match(name))
+
+
+def referenced_files(manifest: Dict) -> List[str]:
+    """The filenames the manifest pins as live."""
+    names = [manifest["termdict"]["file"], manifest["wal"]["file"]]
+    names.extend(entry["file"] for entry in manifest["shard_files"])
+    return names
+
+
+def orphan_files(root: str, manifest: Dict) -> List[str]:
+    """Store files under *root* the manifest does not reference."""
+    live = set(referenced_files(manifest))
+    return [name for name in store_files(root) if name not in live]

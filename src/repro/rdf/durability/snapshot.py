@@ -1,0 +1,269 @@
+"""Columnar shard snapshots and term-dictionary snapshots.
+
+Shard snapshot layout (all little-endian)::
+
+    magic "RSHD" | u16 version | u32 termdict-epoch | u64 rows
+    | 3 x (u64 column-bytes, u32 column-crc32)      # s, p, o columns
+    | s column | p column | o column
+
+Each column is the raw bytes of an ``array('q')`` holding one component of
+the shard's (s, p, o) rows, sorted ascending -- the same canonical order
+:meth:`Shard.triples_ids` yields, so snapshot bytes are a pure function of
+shard content.  Columns (not row tuples) keep the hot load path a single
+``array.frombytes`` per component and let a reader verify checksums
+without materializing any Python tuples.
+
+The term-dictionary snapshot is a record stream (`format.py` framing):
+record 0 is a JSON header ``{"epoch", "next_id", "free", "terms"}``,
+followed by one record per ~4096 terms carrying ``[[id, refcount,
+term], ...]`` batches.  Batching keeps record count (and per-record
+checksum overhead) low without building one giant JSON document.
+
+Writers stage to a temp file and ``os.replace`` onto the final name --
+snapshot files therefore never exist in a half-written state under their
+real names; a crash mid-write leaves only a stray temp file, which the
+manifest never references.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import zlib
+from array import array
+from typing import Iterable, List, Optional, Tuple
+
+from ..dictionary import TermDict
+from .crash import CrashInjector, CrashPoint, boundary
+from .format import FormatError, decode_term, dumps, encode_term, loads, pack_record, scan_records
+
+__all__ = [
+    "SnapshotError",
+    "read_shard_columns",
+    "read_termdict_snapshot",
+    "write_shard_snapshot",
+    "write_termdict_snapshot",
+]
+
+SHARD_MAGIC = b"RSHD"
+SHARD_VERSION = 1
+_SHARD_HEADER = struct.Struct("<4sHIQ")  # magic, version, epoch, rows
+_COLUMN_META = struct.Struct("<QI")  # byte length, crc32
+TERM_BATCH = 4096
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file is missing, corrupt, or from the wrong epoch."""
+
+
+def _atomic_write(
+    path: str,
+    chunks: Iterable[bytes],
+    injector: Optional[CrashInjector],
+    op: str,
+) -> None:
+    """Write *chunks* to *path* via temp + fsync + ``os.replace``.
+
+    Crash boundaries: ``{op}:before`` (nothing written), ``{op}:partial``
+    (temp holds a strict prefix), ``{op}:staged`` (temp complete, not yet
+    renamed), ``{op}:after`` (file installed).
+    """
+    directory = os.path.dirname(path) or "."
+    boundary(injector, f"{op}:before")
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            first = True
+            for chunk in chunks:
+                if first:
+                    # model a torn write: crash here leaves a partial temp
+                    half = len(chunk) // 2
+                    handle.write(chunk[:half])
+                    handle.flush()
+                    boundary(injector, f"{op}:partial")
+                    handle.write(chunk[half:])
+                    first = False
+                else:
+                    handle.write(chunk)
+            handle.flush()
+            os.fsync(handle.fileno())
+        boundary(injector, f"{op}:staged")
+        os.replace(tmp_path, path)
+    except Exception as exc:
+        if not isinstance(exc, CrashPoint) and os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    boundary(injector, f"{op}:after")
+
+
+# -- shard snapshots ---------------------------------------------------------
+
+
+def write_shard_snapshot(
+    path: str,
+    rows: Iterable[Tuple[int, int, int]],
+    epoch: int,
+    injector: Optional[CrashInjector] = None,
+) -> Tuple[int, int]:
+    """Write sorted (s, p, o) ID *rows* as columns; return (rows, checksum).
+
+    The returned checksum (crc32 over the three column byte runs) is what
+    the manifest records for the file.
+    """
+    s_col, p_col, o_col = array("q"), array("q"), array("q")
+    for s, p, o in sorted(rows):
+        s_col.append(s)
+        p_col.append(p)
+        o_col.append(o)
+    columns = [col.tobytes() for col in (s_col, p_col, o_col)]
+    header = _SHARD_HEADER.pack(SHARD_MAGIC, SHARD_VERSION, epoch, len(s_col))
+    meta = b"".join(
+        _COLUMN_META.pack(len(blob), zlib.crc32(blob)) for blob in columns
+    )
+    checksum = 0
+    for blob in columns:
+        checksum = zlib.crc32(blob, checksum)
+    _atomic_write(path, [header + meta] + columns, injector, "snapshot-write")
+    return len(s_col), checksum
+
+
+def read_shard_columns(
+    path: str,
+    expected_epoch: Optional[int] = None,
+    expected_checksum: Optional[int] = None,
+    use_mmap: bool = True,
+) -> Tuple[array, array, array]:
+    """Read and checksum-verify a shard snapshot's (s, p, o) columns.
+
+    With ``use_mmap`` (the default) the file is memory-mapped and columns
+    are sliced out of the map -- the checksum pass touches each page once
+    and ``array.frombytes`` is the only copy.  Falls back to a plain read
+    for empty files (mmap rejects length 0) or if mapping fails.
+    """
+    try:
+        with open(path, "rb") as handle:
+            if use_mmap:
+                import mmap as _mmap
+
+                try:
+                    # closed by refcounting once the last column view dies
+                    data = memoryview(
+                        _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+                    )
+                except (ValueError, OSError):
+                    data = handle.read()
+            else:
+                data = handle.read()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read shard snapshot {path}: {exc}") from exc
+    if len(data) < _SHARD_HEADER.size + 3 * _COLUMN_META.size:
+        raise SnapshotError(f"shard snapshot {path} truncated header")
+    magic, version, epoch, rows = _SHARD_HEADER.unpack_from(data, 0)
+    if magic != SHARD_MAGIC:
+        raise SnapshotError(f"shard snapshot {path} bad magic {magic!r}")
+    if version != SHARD_VERSION:
+        raise SnapshotError(f"shard snapshot {path} version {version} unsupported")
+    if expected_epoch is not None and epoch != expected_epoch:
+        raise SnapshotError(
+            f"shard snapshot {path} is epoch {epoch}, expected {expected_epoch}"
+        )
+    metas = []
+    pos = _SHARD_HEADER.size
+    for _ in range(3):
+        metas.append(_COLUMN_META.unpack_from(data, pos))
+        pos += _COLUMN_META.size
+    columns: List[array] = []
+    combined = 0
+    for length, crc in metas:
+        blob = data[pos : pos + length]
+        if len(blob) != length:
+            raise SnapshotError(f"shard snapshot {path} truncated column")
+        if zlib.crc32(blob) != crc:
+            raise SnapshotError(f"shard snapshot {path} column checksum mismatch")
+        combined = zlib.crc32(blob, combined)
+        col = array("q")
+        col.frombytes(blob)
+        columns.append(col)
+        pos += length
+    if any(len(col) != rows for col in columns):
+        raise SnapshotError(f"shard snapshot {path} row-count mismatch")
+    if expected_checksum is not None and combined != expected_checksum:
+        raise SnapshotError(
+            f"shard snapshot {path} does not match its manifest checksum"
+        )
+    return columns[0], columns[1], columns[2]
+
+
+# -- term-dictionary snapshots ----------------------------------------------
+
+
+def write_termdict_snapshot(
+    path: str, term_dict: TermDict, injector: Optional[CrashInjector] = None
+) -> Tuple[int, int]:
+    """Snapshot *term_dict* to *path*; return (terms, checksum)."""
+    header = dumps(
+        {
+            "epoch": term_dict.epoch,
+            "next_id": term_dict._next_id,
+            "free": sorted(term_dict._free),
+            "terms": len(term_dict),
+        }
+    )
+    chunks = [pack_record(header)]
+    batch: List[list] = []
+    for term_id, refcount, term in term_dict.snapshot_items():
+        batch.append([term_id, refcount, encode_term(term)])
+        if len(batch) >= TERM_BATCH:
+            chunks.append(pack_record(dumps(batch)))
+            batch = []
+    if batch:
+        chunks.append(pack_record(dumps(batch)))
+    checksum = 0
+    for chunk in chunks:
+        checksum = zlib.crc32(chunk, checksum)
+    _atomic_write(path, chunks, injector, "termdict-write")
+    return len(term_dict), checksum
+
+
+def read_termdict_snapshot(
+    path: str,
+    expected_epoch: Optional[int] = None,
+    expected_checksum: Optional[int] = None,
+) -> TermDict:
+    """Rebuild a :class:`TermDict` from a snapshot file."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read termdict snapshot {path}: {exc}") from exc
+    if expected_checksum is not None and zlib.crc32(data) != expected_checksum:
+        raise SnapshotError(
+            f"termdict snapshot {path} does not match its manifest checksum"
+        )
+    payloads, _, reason = scan_records(data)
+    if reason is not None or not payloads:
+        raise SnapshotError(
+            f"termdict snapshot {path} corrupt ({reason or 'empty'})"
+        )
+    try:
+        header = loads(payloads[0])
+        items = []
+        for payload in payloads[1:]:
+            for term_id, refcount, encoded in loads(payload):
+                items.append((term_id, refcount, decode_term(encoded)))
+    except FormatError as exc:
+        raise SnapshotError(f"termdict snapshot {path}: {exc}") from exc
+    if len(items) != header.get("terms"):
+        raise SnapshotError(
+            f"termdict snapshot {path} holds {len(items)} terms, "
+            f"header says {header.get('terms')}"
+        )
+    epoch = header.get("epoch", 0)
+    if expected_epoch is not None and epoch != expected_epoch:
+        raise SnapshotError(
+            f"termdict snapshot {path} is epoch {epoch}, expected {expected_epoch}"
+        )
+    return TermDict.restore(iter(items), header["next_id"], header["free"], epoch)

@@ -77,6 +77,10 @@ class Graph:
         self._size = 0
         self._generation = 0
         self._derived: Dict[str, object] = {}
+        #: attached durability journal (:class:`repro.rdf.durability.Journal`)
+        #: or None; when set, content-changing mutations write-ahead-log a
+        #: record before applying.  Never carried by ``copy()``.
+        self._wal = None
 
     def derived_cache(self, name: str, factory):
         """Home for caches *derived* from this graph's content.
@@ -174,6 +178,8 @@ class Graph:
             objects = by_predicate[p] = set()
         if o in objects:
             return False
+        if self._wal is not None:
+            self._wal.log_add(triple.subject, triple.predicate, triple.object)
         self._generation += 1
         objects.add(o)
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
@@ -210,6 +216,7 @@ class Graph:
         lookup = d._term_to_id.get
         refcount = d._refcount
         spo, pos, osp = self._spo, self._pos, self._osp
+        wal = self._wal
         added = 0
         for s_term, p_term, o_term in spo_terms:
             s = lookup(s_term)
@@ -229,6 +236,8 @@ class Graph:
                 objects = by_predicate[p] = set()
             if o in objects:
                 continue
+            if wal is not None:
+                wal.log_add(s_term, p_term, o_term)
             objects.add(o)
             by_object = pos.get(p)
             if by_object is None:
@@ -269,6 +278,8 @@ class Graph:
         objects = by_predicate.get(p) if by_predicate else None
         if not objects or o not in objects:
             return False
+        if self._wal is not None:
+            self._wal.log_remove(triple.subject, triple.predicate, triple.object)
         self._generation += 1
         objects.discard(o)
         if not objects:
@@ -302,6 +313,8 @@ class Graph:
 
     def clear(self) -> None:
         if self._size or len(self._dict):
+            if self._wal is not None:
+                self._wal.log_clear()
             self._generation += 1
         self._dict = TermDict()
         self._spo = {}
@@ -556,6 +569,39 @@ class Graph:
         if isinstance(value, Literal):
             return value.lexical
         return None
+
+    # -- durability facade -----------------------------------------------
+
+    def save(self, root: str, injector=None) -> dict:
+        """Write a full durable snapshot of this graph under *root*.
+
+        Columnar per-shard snapshot files + term-dictionary snapshot +
+        a fresh write-ahead-log segment, committed by an atomic manifest
+        swap.  Returns the manifest.  See :mod:`repro.rdf.durability`.
+        """
+        from .durability import save_graph
+
+        return save_graph(self, root, injector=injector)
+
+    @classmethod
+    def load(
+        cls,
+        root: str,
+        lazy: Optional[bool] = None,
+        verify: Optional[bool] = None,
+        clock=None,
+    ) -> "Graph":
+        """Recover a graph from the durable store at *root*.
+
+        Returns a :class:`Graph` or
+        :class:`~repro.rdf.sharding.ShardedTripleStore` per the manifest.
+        ``lazy`` defers per-shard index builds to first touch (default for
+        sharded stores); ``verify`` checks the snapshot's content digest
+        against the manifest before WAL replay (default for eager loads).
+        """
+        from .durability import load_graph
+
+        return load_graph(root, lazy=lazy, verify=verify, clock=clock)
 
     # -- set-algebra -----------------------------------------------------
 

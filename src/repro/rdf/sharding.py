@@ -71,6 +71,11 @@ class Shard:
 
     __slots__ = ("spo", "pos", "osp", "size")
 
+    #: overridden by :class:`repro.rdf.durability.LazyShard`, whose indexes
+    #: build from a snapshot file on first touch; memory accounting checks
+    #: this to avoid forcing cold shards resident
+    hydrated = True
+
     def __init__(self):
         self.spo: IdIndex = {}
         self.pos: IdIndex = {}
@@ -293,6 +298,8 @@ class ShardedTripleStore(Graph):
             objects = by_predicate.get(p)
             if objects is not None and o in objects:
                 return False
+        if self._wal is not None:
+            self._wal.log_add(triple.subject, triple.predicate, triple.object)
         self._generation += 1
         shard.insert(s, p, o)
         d.incref(s)
@@ -322,6 +329,7 @@ class ShardedTripleStore(Graph):
         refcount = d._refcount
         shards = self._shards
         n_shards = len(shards)
+        wal = self._wal
         added = 0
         last_s: Optional[int] = None
         last_p: Optional[int] = None
@@ -373,6 +381,8 @@ class ShardedTripleStore(Graph):
                     by_object = pos[p] = {}
             if o in objects:
                 continue
+            if wal is not None:
+                wal.log_add(s_term, p_term, o_term)
             objects.add(o)
             subjects = by_object.get(o)
             if subjects is None:
@@ -412,6 +422,8 @@ class ShardedTripleStore(Graph):
         objects = shard.spo.get(s, {}).get(p)
         if not objects or o not in objects:
             return False
+        if self._wal is not None:
+            self._wal.log_remove(triple.subject, triple.predicate, triple.object)
         self._generation += 1
         shard.discard(s, p, o)
         d.decref(s)

@@ -108,6 +108,16 @@ class IRI(Term):
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("IRI is immutable")
 
+    @classmethod
+    def _restore(cls, value: str) -> "IRI":
+        """Rebuild without validation: for deserializing terms that were
+        validated when first interned (the durability snapshot/WAL path,
+        where per-term regex checks dominate recovery time)."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash((IRI, value)))
+        return self
+
     def __eq__(self, other) -> bool:
         return isinstance(other, IRI) and other.value == self.value
 
@@ -164,6 +174,14 @@ class BNode(Term):
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("BNode is immutable")
+
+    @classmethod
+    def _restore(cls, label: str) -> "BNode":
+        """Rebuild without validation (see :meth:`IRI._restore`)."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash((BNode, label)))
+        return self
 
     def __eq__(self, other) -> bool:
         return isinstance(other, BNode) and other.label == self.label
@@ -237,6 +255,20 @@ class Literal(Term):
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Literal is immutable")
+
+    @classmethod
+    def _restore(
+        cls, lexical: str, language: Optional[str], datatype: Optional[str]
+    ) -> "Literal":
+        """Rebuild from already-normalized fields (see :meth:`IRI._restore`):
+        *language* is stored lowercased and plain/xsd:string literals carry
+        ``datatype=None``, so the constructor's mapping must not re-run."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "lexical", lexical)
+        object.__setattr__(self, "language", language)
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "_hash", hash((Literal, lexical, language, datatype)))
+        return self
 
     def __eq__(self, other) -> bool:
         return (

@@ -332,7 +332,9 @@ class ResilientExecutor:
         # memory and survives endpoint weather.
         generation = server.endpoint.graph.generation
         if server.cache is not None:
-            cached = server.cache.get(request.query, generation)
+            cached = server.cache.get(
+                request.query, generation, tenant=request.tenant
+            )
             if cached is not None:
                 clock.advance(server.cache_hit_ms)
                 return ("cache-hit", cached, meta)
@@ -451,6 +453,7 @@ class ResilientExecutor:
                 server.endpoint.graph.generation,
                 result,
                 service_ms=service_ms,
+                tenant=request.tenant,
             )
         return ("ok", result)
 

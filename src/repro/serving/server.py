@@ -118,6 +118,12 @@ class ServingReport:
             counts[rung] = counts.get(rung, 0) + 1
         return counts
 
+    def tenant_cache_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant cache hit/evict counters ({} when untracked)."""
+        if not self.cache_info:
+            return {}
+        return dict(self.cache_info.get("tenants", {}))
+
     # -- latency / throughput ---------------------------------------------
 
     def latency_percentiles(
@@ -246,6 +252,7 @@ class QueryServer:
         queue_timeout_ms: Optional[float] = None,
         cache_capacity: Optional[int] = 256,
         cache_hit_ms: float = CACHE_HIT_MS,
+        cache_tenant_share: float = 1.0,
         resilience: Optional[ResiliencePolicy] = None,
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
         backpressure_deadline_ms: Optional[float] = None,
@@ -270,6 +277,7 @@ class QueryServer:
                 cache_capacity,
                 min_service_ms=cache_hit_ms,
                 keep_stale=keep_stale,
+                tenant_share=cache_tenant_share,
             )
             if cache_capacity
             else None
@@ -335,7 +343,9 @@ class QueryServer:
         """
         generation = self.endpoint.graph.generation
         if self.cache is not None:
-            cached = self.cache.get(request.query, generation)
+            cached = self.cache.get(
+                request.query, generation, tenant=request.tenant
+            )
             if cached is not None:
                 self.endpoint.clock.advance(self.cache_hit_ms)
                 return ("cache-hit", cached)
@@ -347,6 +357,7 @@ class QueryServer:
                 generation,
                 result,
                 service_ms=self.endpoint.clock.now_ms - start_ms,
+                tenant=request.tenant,
             )
         return ("ok", result)
 

@@ -1608,6 +1608,15 @@ class QueryEngine:
                 return self._run_select_streaming(query)
             if self._topk_shape(query):
                 return self._run_select_topk(query)
+            if query.order_by and not query.has_aggregates():
+                # un-LIMITed ORDER BY: no heap bound to exploit, but the
+                # ID-space sorter still sorts undecoded rows and decodes
+                # only the emitted page -- same delegation the hash
+                # engine makes, so stream never falls back to the general
+                # path for a shape its sibling handles in ID space.
+                ordered = self._try_order_fast(query)
+                if ordered is not None:
+                    return ordered
             if self._stream_aggregate_shape(query):
                 return self._run_select_aggregate_stream(query)
         return self._run_select_general(query)

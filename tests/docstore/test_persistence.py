@@ -128,3 +128,46 @@ class TestDiskPersistence:
         store.flush()
         files = os.listdir(os.path.join(root, "db"))
         assert files == ["c.jsonl"]
+
+    def test_truncated_tail_line_raises_with_location(self, tmp_path):
+        # a crash mid-append leaves a half-written final line
+        root = tmp_path / "data" / "db"
+        root.mkdir(parents=True)
+        (root / "c.jsonl").write_text('{"ok": 1}\n{"cut": tr', encoding="utf-8")
+        with pytest.raises(PersistenceError, match="c.jsonl:2"):
+            DocumentStore(persist_dir=str(tmp_path / "data"))
+
+    def test_dropped_collection_does_not_resurrect(self, tmp_path):
+        root = str(tmp_path / "data")
+        store = DocumentStore(persist_dir=root)
+        store["db"]["keep"].insert_one({"k": 1})
+        store["db"]["gone"].insert_one({"k": 2})
+        store.flush()
+        assert store["db"].drop_collection("gone")
+        store.flush()
+        assert os.listdir(os.path.join(root, "db")) == ["keep.jsonl"]
+        reloaded = DocumentStore(persist_dir=root)
+        assert reloaded["db"].collection_names() == ["keep"]
+
+    def test_dropped_database_does_not_resurrect(self, tmp_path):
+        root = str(tmp_path / "data")
+        store = DocumentStore(persist_dir=root)
+        store["alive"]["c"].insert_one({"k": 1})
+        store["dead"]["c"].insert_one({"k": 2})
+        store.flush()
+        assert store.drop_database("dead")
+        store.flush()
+        assert not os.path.exists(os.path.join(root, "dead"))
+        reloaded = DocumentStore(persist_dir=root)
+        assert reloaded.database_names() == ["alive"]
+
+    def test_prune_leaves_foreign_files_alone(self, tmp_path):
+        root = str(tmp_path / "data")
+        store = DocumentStore(persist_dir=root)
+        store["db"]["c"].insert_one({"k": 1})
+        store.flush()
+        notes = os.path.join(root, "db", "NOTES.txt")
+        with open(notes, "w", encoding="utf-8") as handle:
+            handle.write("not ours\n")
+        store.flush()
+        assert os.path.exists(notes)

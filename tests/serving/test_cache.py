@@ -185,3 +185,74 @@ def test_get_stale_without_keep_stale_sees_what_survives():
     assert cache.get_stale("q") == "old"  # entry still present
     assert cache.get("q", 4) is None  # drop-on-sight fires
     assert cache.get_stale("q") is None
+
+
+# -- per-tenant quotas -------------------------------------------------------
+
+
+def test_tenant_quota_evicts_within_tenant_lru_first():
+    cache = ResultCache(capacity=4, tenant_share=0.5)  # 2 slots per tenant
+    cache.put("a1", 0, "r", tenant="alpha")
+    cache.put("a2", 0, "r", tenant="alpha")
+    cache.put("b1", 0, "r", tenant="beta")
+    assert cache.get("a1", 0, tenant="alpha") == "r"  # a1 now alpha's MRU
+    # alpha is at quota: its own LRU (a2) goes, beta is untouched
+    cache.put("a3", 0, "r", tenant="alpha")
+    assert cache.get("a2", 0, tenant="alpha") is None
+    assert cache.get("a1", 0, tenant="alpha") == "r"
+    assert cache.get("b1", 0, tenant="beta") == "r"
+    assert cache.quota_evictions == 1
+    assert cache.evictions == 0  # never reached global capacity
+
+
+def test_tenant_burst_cannot_evict_other_tenants():
+    cache = ResultCache(capacity=4, tenant_share=0.5)
+    cache.put("b1", 0, "r", tenant="beta")
+    cache.put("b2", 0, "r", tenant="beta")
+    for i in range(10):  # a 10-entry burst against a 2-slot quota
+        cache.put(f"a{i}", 0, "r", tenant="alpha")
+    assert cache.get("b1", 0, tenant="beta") == "r"
+    assert cache.get("b2", 0, tenant="beta") == "r"
+    assert len(cache) == 4
+
+
+def test_tenant_counters_track_hits_and_evictions():
+    cache = ResultCache(capacity=4, tenant_share=0.25)  # 1 slot per tenant
+    cache.put("a1", 0, "r", tenant="alpha")
+    cache.get("a1", 0, tenant="alpha")
+    cache.get("a1", 0, tenant="beta")  # beta hits alpha's entry
+    cache.put("a2", 0, "r", tenant="alpha")  # alpha over quota: a1 evicted
+    info = cache.info()
+    assert info["quota_evictions"] == 1
+    assert info["tenants"]["alpha"] == {"hits": 1, "evictions": 1, "size": 1}
+    assert info["tenants"]["beta"] == {"hits": 1, "evictions": 0, "size": 0}
+
+
+def test_tenant_share_validation():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=4, tenant_share=0.0)
+    with pytest.raises(ValueError):
+        ResultCache(capacity=4, tenant_share=1.5)
+
+
+def test_untenanted_info_shape_is_unchanged():
+    cache = ResultCache(capacity=4)
+    cache.put("q", 0, "r")
+    cache.get("q", 0)
+    assert "tenants" not in cache.info()
+
+
+def test_served_workload_reports_tenant_counters():
+    server = _server(parse_turtle(TTL), cache_tenant_share=0.5)
+    report = server.serve(
+        [
+            _request(QUERY, seq=0, tenant="alpha"),
+            _request(QUERY, seq=1, arrival=10.0, tenant="beta"),
+            _request(QUERY, seq=2, arrival=20.0, tenant="alpha"),
+        ]
+    )
+    tenants = report.tenant_cache_counts()
+    # alpha executed cold and owns the entry; both later requests hit it
+    assert tenants["alpha"]["hits"] == 1 and tenants["alpha"]["size"] == 1
+    assert tenants["beta"]["hits"] == 1 and tenants["beta"]["size"] == 0
+    assert report.summary()["cache"]["tenants"] == tenants

@@ -255,9 +255,11 @@ def test_server_status_shape(graph):
     cache = status["cache"]
     assert set(cache) == {
         "size", "capacity", "hits", "misses", "evictions", "invalidations",
-        "skipped_cheap",
+        "skipped_cheap", "quota_evictions", "tenants",
     }
     assert cache["hits"] + cache["misses"] >= 1
+    for counters in cache["tenants"].values():
+        assert set(counters) == {"hits", "evictions", "size"}
 
 
 def test_cacheless_server_status(graph):

@@ -418,6 +418,30 @@ CASES = [
         PREFIX + "SELECT DISTINCT * WHERE { ?s ex:knows ?o } ORDER BY ?s ?o LIMIT 3",
         3,
     ),
+    # -- un-LIMITed ORDER BY (PR 8: the stream engine's ID-space sorter).
+    # No heap bound applies, so these pin the full-sort delegation --
+    # sort raw ID rows, decode only emitted rows -- across
+    # scan|hash|stream.
+    (
+        "order-desc-unlimited",
+        PREFIX + "SELECT ?s ?n WHERE { ?s ex:age ?n } ORDER BY DESC(?n)",
+        5,
+    ),
+    (
+        "distinct-order-unlimited",
+        "SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p",
+        7,
+    ),
+    (
+        "order-offset-no-limit",
+        PREFIX + "SELECT ?s ?n WHERE { ?s ex:age ?n } ORDER BY ?n OFFSET 2",
+        3,
+    ),
+    (
+        "order-two-keys-unlimited",
+        PREFIX + "SELECT ?s ?o WHERE { ?s ex:knows ?o } ORDER BY ?s DESC(?o)",
+        4,
+    ),
 ]
 
 ASK_CASES = [

@@ -90,6 +90,33 @@ def test_small_limit_still_delegates_to_topk(graph):
     assert engine.exec_stats["operator"] == "topk-id"
 
 
+# -- the stream engine's delegation (PR 8: the carried tech debt) -----------
+
+
+# the stream engine has no top-k delegation bound: *any* ORDER BY+LIMIT
+# rides the bounded heap there, so "big-limit" is topk-id, not order-id
+STREAM_CASES = [case for case in CASES if case[0] != "big-limit"]
+
+
+@pytest.mark.parametrize(
+    "case_id,query", STREAM_CASES, ids=[c[0] for c in STREAM_CASES]
+)
+def test_stream_strategy_uses_id_sorter_for_unlimited_order(graph, case_id, query):
+    """Un-LIMITed ORDER BY on the stream engine delegates to the same
+    ID-space sorter instead of the materializing general path."""
+    engine = QueryEngine(graph, strategy="stream")
+    result = engine.run(query)
+    assert engine.exec_stats.get("operator") == "order-id", engine.exec_stats
+    oracle = QueryEngine(graph, strategy="scan").run(query)
+    assert _ordered(result) == _ordered(oracle)
+
+
+def test_stream_small_limit_keeps_topk_priority(graph):
+    engine = QueryEngine(graph, strategy="stream")
+    engine.run(PREFIX + "SELECT ?s WHERE { ?s ex:score ?v } ORDER BY ?v ?s LIMIT 2")
+    assert engine.exec_stats["operator"] == "topk-id"
+
+
 def test_non_simple_shapes_fall_back(graph):
     # OPTIONAL in the WHERE clause: not the pure-ID shape
     engine = QueryEngine(graph)
