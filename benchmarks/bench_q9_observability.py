@@ -1,0 +1,199 @@
+"""Q9 (PR9): the observability layer's enabled-mode overhead budget.
+
+The tracing + metrics layer is contractually zero-cost when disabled
+(tier-1 pins zero ``Span`` allocations on the disabled path); this bench
+gates the *enabled* mode: serving the PR 6 q4 workloads with a full
+``Observatory`` attached must cost < 5% wall-clock over the identical
+unobserved server.
+
+Methodology: the two arms are interleaved ``perf_counter`` pairs inside
+one process, alternating which arm goes first each round so slow drift
+(CPU frequency, thermal ramp) cancels to first order; ``gc.collect()``
+runs before every sample so collection debt from one arm never lands in
+the other's timing.  The gated statistic is the *median over rounds* of
+the per-round aggregate enabled/disabled ratio -- empirically stable to
+well under 1% on a box whose single-serve times swing +/-10%, where
+best-of-N ratios still wobble.  The aggregate spans every q4 serving
+configuration (latency and dashboard workloads, cache on and off);
+per-arm ratios are reported but not gated because the cache-hit arms
+finish in ~20ms total, so any fixed per-request cost is a large
+*relative* number against a tiny baseline (the absolute overhead per
+request is ~1-2us either way).
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+import pytest
+
+from repro.datagen import government_graph
+from repro.endpoint import AlwaysAvailable, SimulationClock, SparqlEndpoint
+from repro.obs import Observatory
+from repro.serving import QueryServer, cache_friendly_mix, generate_workload
+
+#: mirror bench_q4_serving exactly -- the gate is defined on its workloads
+SESSIONS = 120
+WORKLOAD_SEED = 2020
+AB_SESSIONS = 120
+AB_SEED = 7
+
+#: interleaved A/B rounds; the median of 10 per-round ratios is stable
+#: to <1% even when individual serves swing +/-10%
+ROUNDS = 10
+
+#: the acceptance gate: enabled-mode aggregate overhead < 5%
+MAX_OVERHEAD_RATIO = 1.05
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return government_graph(scale=0.3, seed=5)
+
+
+def _latency_workload():
+    return generate_workload(sessions=SESSIONS, seed=WORKLOAD_SEED)
+
+
+def _dashboard_workload():
+    return generate_workload(
+        sessions=AB_SESSIONS,
+        seed=AB_SEED,
+        mix=cache_friendly_mix(),
+        mean_session_gap_ms=50.0,
+        mean_think_ms=80.0,
+    )
+
+
+def _serve(graph, workload, cache_capacity, observed):
+    """One serve; returns (wall seconds, report, observatory-or-None)."""
+    clock = SimulationClock()
+    endpoint = SparqlEndpoint(
+        "http://bench.example.org/sparql",
+        graph,
+        clock,
+        availability=AlwaysAvailable(),
+        seed=4,
+    )
+    obs = Observatory(clock=clock, seed=0) if observed else None
+    server = QueryServer(
+        endpoint,
+        parallelism=4,
+        queue_capacity=4096,
+        cache_capacity=cache_capacity,
+        obs=obs,
+    )
+    started = time.perf_counter()
+    report = server.serve(workload)
+    return time.perf_counter() - started, report, obs
+
+
+def test_q9_bench_serve_observed_uncached(benchmark, graph):
+    """Wall-clock cost of the observed serving loop, no cache (tracked --
+    the delta against bench_q4's untraced twin is the overhead trend)."""
+    workload = _latency_workload()
+    report = benchmark.pedantic(
+        lambda: _serve(graph, workload, None, observed=True)[1],
+        iterations=1, rounds=3,
+    )
+    assert len(report.served) == len(report.records)
+
+
+def test_q9_bench_serve_observed_cached(benchmark, graph):
+    """Wall-clock cost of the observed serving loop with the result
+    cache on (tracked)."""
+    workload = _latency_workload()
+    report = benchmark.pedantic(
+        lambda: _serve(graph, workload, 256, observed=True)[1],
+        iterations=1, rounds=3,
+    )
+    assert len(report.served) == len(report.records)
+
+
+def test_q9_overhead_gate(benchmark, graph, record_table):
+    """The acceptance A/B: the median per-round aggregate wall-clock
+    ratio (enabled / disabled) over every q4 serving configuration must
+    stay under 1.05, and attaching the Observatory must not change a
+    single result digest."""
+    arms = [
+        ("latency/uncached", _latency_workload(), None),
+        ("latency/cached", _latency_workload(), 256),
+        ("dashboard/uncached", _dashboard_workload(), None),
+        ("dashboard/cached", _dashboard_workload(), 256),
+    ]
+
+    # warm both code paths once (imports, caches, allocator arenas)
+    for _, workload, cache_capacity in arms:
+        _serve(graph, workload, cache_capacity, observed=False)
+        _serve(graph, workload, cache_capacity, observed=True)
+
+    best = {(label, observed): float("inf")
+            for label, _, _ in arms for observed in (False, True)}
+    round_ratios = []
+    digests = {}
+    requests = {}
+    for round_index in range(ROUNDS):
+        # alternate which arm goes first so drift cancels, not compounds
+        order = (False, True) if round_index % 2 == 0 else (True, False)
+        timings = {}
+        for label, workload, cache_capacity in arms:
+            for observed in order:
+                gc.collect()
+                elapsed, report, _ = _serve(graph, workload, cache_capacity, observed)
+                timings[(label, observed)] = elapsed
+                best[(label, observed)] = min(best[(label, observed)], elapsed)
+                digests.setdefault((label, observed), report.digest())
+                requests[label] = len(report.records)
+        round_ratios.append(
+            sum(timings[(label, True)] for label, _, _ in arms)
+            / sum(timings[(label, False)] for label, _, _ in arms)
+        )
+
+    for label, _, _ in arms:
+        assert digests[(label, True)] == digests[(label, False)], (
+            f"observation changed the {label} results"
+        )
+
+    ratio = statistics.median(round_ratios)
+
+    lines = [
+        f"Q9 (PR9): tracing+metrics enabled-mode overhead, "
+        f"median of {ROUNDS} interleaved A/B rounds (wall clock)",
+        "",
+        f"{'arm':<20} {'disabled':>10} {'enabled':>10} {'ratio':>7} "
+        f"{'per-request':>12}",
+    ]
+    for label, _, _ in arms:
+        off = best[(label, False)]
+        on = best[(label, True)]
+        per_request_us = (on - off) / requests[label] * 1e6
+        lines.append(
+            f"{label:<20} {off * 1000:>8.1f}ms {on * 1000:>8.1f}ms "
+            f"{on / off:>7.3f} {per_request_us:>10.2f}us"
+        )
+    lines.append("")
+    lines.append(
+        f"aggregate median ratio {ratio:.4f} (gate < {MAX_OVERHEAD_RATIO})"
+        f"   digests: observed == unobserved"
+    )
+    record_table("q9_observability_overhead", "\n".join(lines))
+
+    benchmark.pedantic(
+        lambda: _serve(graph, _latency_workload(), None, observed=True)[1],
+        iterations=1, rounds=1,
+    )
+    assert ratio < MAX_OVERHEAD_RATIO, (
+        f"enabled-mode overhead {ratio:.4f} breaches the "
+        f"{MAX_OVERHEAD_RATIO} gate"
+    )
+
+
+def test_q9_bench_export_jsonl(benchmark, graph):
+    """Wall-clock cost of materializing the full span/metric export for
+    an observed run (the deferred digests + lazy span ids land here)."""
+    workload = _latency_workload()
+    _, _, obs = _serve(graph, workload, 256, observed=True)
+    export = benchmark(obs.export_jsonl)
+    assert export.count("\n") > len(workload)

@@ -14,6 +14,12 @@ Usage::
     python benchmarks/compare.py BENCH_PR1.json BENCH_PR2.json
     python benchmarks/compare.py old-run.json new-run.json --threshold 1.10
     python benchmarks/compare.py BENCH_PR2.json new-run.json --gate
+    python benchmarks/compare.py --trend
+
+``--trend`` ignores the pairwise machinery and prints every test's mean
+across *all* committed ``BENCH_PR<N>.json`` snapshots in the repo root
+(or the files passed explicitly), sorted by PR number, with the percent
+change against each test's previous appearance.
 
 The first file is the baseline: speedup = baseline_mean / new_mean, so
 numbers > 1 mean the second file is faster.  With ``--threshold`` the
@@ -28,9 +34,12 @@ wires this against the latest committed snapshot.
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
+import re
 import sys
-from typing import Dict
+from typing import Dict, List
 
 
 def load_means(path: str, side: str = "after") -> Dict[str, float]:
@@ -56,10 +65,42 @@ def load_means(path: str, side: str = "after") -> Dict[str, float]:
     return means
 
 
+def _pr_number(path: str) -> int:
+    match = re.search(r"BENCH_PR(\d+)", os.path.basename(path))
+    return int(match.group(1)) if match else -1
+
+
+def trend(paths: List[str]) -> int:
+    """Print each test's mean across the snapshot series in *paths*."""
+    paths = sorted(paths, key=_pr_number)
+    series = [(f"PR{_pr_number(p)}", load_means(p)) for p in paths]
+    if not series:
+        print("no BENCH_PR*.json snapshots found", file=sys.stderr)
+        return 2
+    names = sorted({name for _, means in series for name in means})
+    width = max(len(name) for name in names)
+    header = " ".join(f"{label:>16}" for label, _ in series)
+    print(f"{'test':<{width}} {header}")
+    for name in names:
+        cells, previous = [], None
+        for _, means in series:
+            mean = means.get(name)
+            if mean is None:
+                cells.append(f"{'-':>16}")
+                continue
+            cell = f"{mean * 1000:.3f}ms"
+            if previous:
+                cell += f" {(mean / previous - 1) * 100:+.0f}%"
+            cells.append(f"{cell:>16}")
+            previous = mean
+        print(f"{name:<{width}} {' '.join(cells)}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline benchmark JSON")
-    parser.add_argument("new", help="new benchmark JSON")
+    parser.add_argument("baseline", nargs="?", help="baseline benchmark JSON")
+    parser.add_argument("new", nargs="?", help="new benchmark JSON")
     parser.add_argument(
         "--side",
         choices=("before", "after"),
@@ -88,7 +129,20 @@ def main(argv=None) -> int:
         "reported but never gated (timer jitter at microsecond scale "
         "exceeds any sane threshold).  --gate defaults it to 50e-6.",
     )
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="print every test's trajectory across all committed "
+        "BENCH_PR*.json snapshots (or the files given) instead of a "
+        "pairwise diff",
+    )
     args = parser.parse_args(argv)
+    if args.trend:
+        explicit = [path for path in (args.baseline, args.new) if path]
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        return trend(explicit or glob.glob(os.path.join(repo_root, "BENCH_PR*.json")))
+    if args.baseline is None or args.new is None:
+        parser.error("baseline and new are required unless --trend is given")
     if args.gate and args.threshold is None:
         args.threshold = 1.10
     if args.gate and args.min_time is None:

@@ -19,7 +19,8 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
 # the perf-trajectory modules (PR1 trio + PR2 streaming/parallel + PR3
-# top-k + PR4/5 sharding + PR6 serving + PR7 resilience).  bench_q3 runs
+# top-k + PR4/5 sharding + PR6 serving + PR7 resilience + PR9
+# observability).  bench_q3 runs
 # first: its write-path A/B times allocation-heavy bulk loads, which want
 # the fresh interpreter heap, not one bloated by the census-world session
 # fixtures.
@@ -34,6 +35,7 @@ TRACKED=(
     benchmarks/bench_q2_topk.py
     benchmarks/bench_q4_serving.py
     benchmarks/bench_q5_resilience.py
+    benchmarks/bench_q9_observability.py
 )
 
 run_once() {
@@ -44,7 +46,7 @@ run_once() {
 
 mkdir -p benchmarks/results
 
-if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ] || [ "${1:-}" == "--emit-pr5" ] || [ "${1:-}" == "--emit-pr6" ] || [ "${1:-}" == "--emit-pr7" ] || [ "${1:-}" == "--emit-pr8" ]; then
+if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" == "--emit-pr4" ] || [ "${1:-}" == "--emit-pr5" ] || [ "${1:-}" == "--emit-pr6" ] || [ "${1:-}" == "--emit-pr7" ] || [ "${1:-}" == "--emit-pr8" ] || [ "${1:-}" == "--emit-pr9" ]; then
     # Three full runs of the tracked modules, reduced to best-of-3 means in
     # the committed snapshot schema.  The "before" side (the previous PR's
     # tree via git worktree) is attached separately with
@@ -69,6 +71,8 @@ if [ "${1:-}" == "--emit-pr2" ] || [ "${1:-}" == "--emit-pr3" ] || [ "${1:-}" ==
         TITLE="Deterministic fault injection + resilience policies (retry/backoff, circuit breakers, hedging, degradation) for the serving tier"
     elif [ "$PR" == "8" ]; then
         TITLE="Durable shard storage: manifest + snapshot/WAL with deterministic crash-recovery"
+    elif [ "$PR" == "9" ]; then
+        TITLE="Deterministic end-to-end tracing + unified metrics registry with per-query EXPLAIN ANALYZE"
     else
         TITLE="Sharded triple store + partition-parallel SPARQL execution"
     fi

@@ -76,6 +76,13 @@ def build_cli_parser() -> argparse.ArgumentParser:
     render.add_argument("--focus", default=None, help="focus class label (bundling)")
     render.add_argument("--out", required=True, help="output SVG path")
 
+    explain = sub.add_parser(
+        "explain", help="EXPLAIN ANALYZE one query against a simulated endpoint"
+    )
+    explain.add_argument("--url", required=True)
+    explain.add_argument("--query", required=True,
+                         help="SPARQL text ('-' = read from stdin)")
+
     explore = sub.add_parser("explore", help="textual Figure 2 walk")
     explore.add_argument("--url", required=True)
     explore.add_argument("--start", default=None, help="class label to select first")
@@ -170,6 +177,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 doc = app.render_cluster_schema(args.url)
             doc.save(args.out)
             print(f"wrote {args.out}")
+
+        elif args.command == "explain":
+            text = sys.stdin.read() if args.query == "-" else args.query
+            endpoint = world.network.get(args.url)
+            print(endpoint.explain(text).render())
 
         elif args.command == "explore":
             summary = app.summary(args.url)

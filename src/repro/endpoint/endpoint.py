@@ -13,6 +13,7 @@ import hashlib
 import random
 from typing import Optional, Union
 
+from ..obs.trace import NULL_TRACER
 from ..rdf.graph import Graph
 from ..sparql.evaluator import QueryEngine
 from ..sparql.nodes import AskQuery, SelectQuery
@@ -79,6 +80,24 @@ class SparqlEndpoint:
         digest = hashlib.sha256(f"{seed}:{url}:latency".encode("utf-8")).digest()
         self._rng = random.Random(int.from_bytes(digest[:8], "big"))
         self.stats = EndpointStats()
+        #: span recorder (``repro.obs``); attach a real tracer with
+        #: :meth:`attach_obs` to trace queries end-to-end.
+        self.obs = NULL_TRACER
+
+    def attach_obs(self, tracer) -> None:
+        """Attach a span recorder to this endpoint *and* its engine, so
+        ``endpoint.query`` spans nest the engine's operator spans."""
+        self.obs = tracer
+        self._engine.obs = tracer
+
+    def explain(self, text: str):
+        """EXPLAIN ANALYZE *text* against the backing engine.
+
+        Runs under a private tracer, charges no simulated latency and
+        records nothing in ``stats`` -- a diagnostic read, not a query.
+        Returns a :class:`~repro.obs.explain.ExplainReport`.
+        """
+        return self._engine.explain(text)
 
     def __repr__(self) -> str:
         return f"<SparqlEndpoint {self.url!r} profile={self.profile.name} triples={len(self.graph)}>"
@@ -115,6 +134,18 @@ class SparqlEndpoint:
         always equals the simulated time this endpoint consumed.  The
         serving tier's percentiles are derived from exactly that invariant.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._query(text, latency_scale, timeout_scale)
+        with obs.span("endpoint.query", url=self.url, profile=self.profile.name):
+            return self._query(text, latency_scale, timeout_scale)
+
+    def _query(
+        self,
+        text: str,
+        latency_scale: float,
+        timeout_scale: float,
+    ) -> Union[SelectResult, AskResult]:
         self.stats.queries += 1
         if not self.availability.is_available(self.clock.today):
             # A dead endpoint still costs a connect attempt before failing.
@@ -154,7 +185,7 @@ class SparqlEndpoint:
         # shared engine later (a caller that skips execution -- e.g. the
         # serving tier's result cache -- would see the previous query's
         # shard timing ratio).
-        exec_stats = self._engine.exec_stats
+        exec_stats = self._engine.exec_stats_snapshot()
 
         latency = self._estimate_latency(parsed, result, exec_stats, latency_scale)
         deadline_ms = self.profile.timeout_ms * timeout_scale
@@ -164,11 +195,15 @@ class SparqlEndpoint:
             # deadline is jittered like every other charge.
             self._charge(self._jitter(deadline_ms))
             self.stats.timeouts += 1
+            if self.obs.enabled:
+                self.obs.note(outcome="timeout", deadline_ms=round(deadline_ms, 6))
             raise EndpointTimeout(
                 f"endpoint {self.url} timed out after {deadline_ms:.0f} ms",
                 url=self.url,
             )
         self._charge(latency)
+        if self.obs.enabled:
+            self.obs.note(outcome="ok", latency_ms=round(latency, 6))
 
         if isinstance(result, SelectResult):
             cap = self.profile.max_result_rows

@@ -49,10 +49,26 @@ class ProbeRecord:
 class AvailabilityMonitor:
     """Probes endpoints daily and aggregates availability statistics."""
 
-    def __init__(self, network: EndpointNetwork, client: Optional[SparqlClient] = None):
+    def __init__(self, network: EndpointNetwork, client: Optional[SparqlClient] = None,
+                 metrics=None):
         self.network = network
         self.client = client or SparqlClient(network, max_retries=0)
         self._history: Dict[str, List[ProbeRecord]] = {}
+        #: optional ``repro.obs.MetricsRegistry``: probes then count into
+        #: ``monitor.probes`` / ``monitor.probe_failures`` and feed the
+        #: ``monitor.probe_latency_ms`` histogram next to the serving
+        #: metrics (registration only -- probe behavior is unchanged).
+        self.metrics = metrics
+        if metrics is not None:
+            self._probes = metrics.counter(
+                "monitor.probes", help="availability probes issued"
+            )
+            self._probe_failures = metrics.counter(
+                "monitor.probe_failures", help="probes that found the endpoint down"
+            )
+            self._probe_latency = metrics.histogram(
+                "monitor.probe_latency_ms", help="per-probe simulated latency"
+            )
 
     # -- probing ------------------------------------------------------------
 
@@ -66,6 +82,11 @@ class AvailabilityMonitor:
             alive = False
         record = ProbeRecord(clock.today, start, alive, clock.now_ms - start)
         self._history.setdefault(url, []).append(record)
+        if self.metrics is not None:
+            self._probes.inc()
+            if not alive:
+                self._probe_failures.inc()
+            self._probe_latency.observe(record.latency_ms)
         return record
 
     def probe_all(self, urls: Optional[List[str]] = None) -> Dict[str, ProbeRecord]:

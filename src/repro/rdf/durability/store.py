@@ -95,7 +95,7 @@ def _shard_rows(graph: Graph) -> List:
 
 
 def save_graph(
-    graph: Graph, root: str, injector: Optional[CrashInjector] = None
+    graph: Graph, root: str, injector: Optional[CrashInjector] = None, obs=None
 ) -> Dict:
     """Write a full snapshot of *graph* under *root* and commit it.
 
@@ -104,7 +104,26 @@ def save_graph(
     (3) the manifest swap (the commit point), (4) prune of older-epoch
     files.  A crash anywhere before (3) leaves the previous commit fully
     intact; a crash after (3) leaves the new one plus harmless orphans.
+
+    *obs* is an optional ``repro.obs`` tracer: the checkpoint records a
+    ``durability.checkpoint`` span (epoch, shard count, triples) -- an
+    injected crash surfaces as the span's error annotation.
     """
+    if obs is not None and obs.enabled:
+        with obs.span("durability.checkpoint", root=root):
+            manifest = _save_graph(graph, root, injector)
+            obs.note(
+                epoch=manifest["epoch"],
+                shards=len(manifest["shard_files"]),
+                triples=manifest["size"],
+            )
+            return manifest
+    return _save_graph(graph, root, injector)
+
+
+def _save_graph(
+    graph: Graph, root: str, injector: Optional[CrashInjector] = None
+) -> Dict:
     os.makedirs(root, exist_ok=True)
     try:
         previous = read_manifest(root)
@@ -180,15 +199,17 @@ class Journal:
     ``Graph.add/remove/clear/add_many_terms`` and their sharded overrides.
     """
 
-    __slots__ = ("graph", "root", "injector", "wal")
+    __slots__ = ("graph", "root", "injector", "wal", "obs")
 
     def __init__(
-        self, graph: Graph, root: str, injector: Optional[CrashInjector] = None
+        self, graph: Graph, root: str, injector: Optional[CrashInjector] = None,
+        obs=None,
     ):
         manifest = read_manifest(root)
         self.graph = graph
         self.root = root
         self.injector = injector
+        self.obs = obs
         self.wal = WriteAheadLog(
             os.path.join(root, manifest["wal"]["file"]), injector=injector
         )
@@ -209,7 +230,9 @@ class Journal:
 
     def checkpoint(self) -> Dict:
         """Fold the WAL into a fresh full snapshot and rotate the segment."""
-        manifest = save_graph(self.graph, self.root, injector=self.injector)
+        manifest = save_graph(
+            self.graph, self.root, injector=self.injector, obs=self.obs
+        )
         self.wal.close()
         self.wal = WriteAheadLog(
             os.path.join(self.root, manifest["wal"]["file"]),
@@ -224,7 +247,7 @@ class Journal:
 
 
 def attach_journal(
-    graph: Graph, root: str, injector: Optional[CrashInjector] = None
+    graph: Graph, root: str, injector: Optional[CrashInjector] = None, obs=None
 ) -> Journal:
     """Attach a WAL session for *graph* to the store at *root*.
 
@@ -239,7 +262,7 @@ def attach_journal(
     """
     if graph._wal is not None:
         raise DurabilityError("graph already has an attached journal")
-    return Journal(graph, root, injector)
+    return Journal(graph, root, injector, obs=obs)
 
 
 # -- lazy shards -------------------------------------------------------------
@@ -388,6 +411,7 @@ def load_graph(
     lazy: Optional[bool] = None,
     verify: Optional[bool] = None,
     clock=None,
+    obs=None,
 ) -> Graph:
     """Recover a graph from the durable store at *root*.
 
@@ -399,7 +423,17 @@ def load_graph(
       forcing full hydration, so lazy loads default it off.
     * A torn WAL tail is truncated on disk so a later
       :func:`attach_journal` appends from the last durable record.
+    * ``obs`` is an optional ``repro.obs`` tracer: recovery records a
+      ``durability.recover`` span with a nested ``durability.wal_replay``
+      event (records applied, torn-tail reason).
     """
+    if obs is not None and obs.enabled:
+        with obs.span("durability.recover", root=root):
+            return _load_graph(root, lazy, verify, clock, obs)
+    return _load_graph(root, lazy, verify, clock, None)
+
+
+def _load_graph(root, lazy, verify, clock, obs) -> Graph:
     manifest = read_manifest(root)
     epoch = manifest["epoch"]
     if lazy is None:
@@ -472,10 +506,19 @@ def load_graph(
                 f"digest {manifest['digest']} (store {root})"
             )
 
-    _, reason = replay_wal(graph, root, manifest)
+    applied, reason = replay_wal(graph, root, manifest)
     if reason is not None:
         # torn tail: drop the partial record so future appends are clean
         _truncate_torn_tail(root, manifest)
+    if obs is not None:
+        obs.event("durability.wal_replay", applied=applied, reason=reason)
+        obs.note(
+            epoch=epoch,
+            shards=len(manifest["shard_files"]),
+            triples=manifest["size"],
+            lazy=bool(lazy),
+            verified=bool(verify),
+        )
     return graph
 
 

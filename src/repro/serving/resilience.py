@@ -325,6 +325,8 @@ class ResilientExecutor:
         server = self.server
         policy = self.policy
         clock = server.endpoint.clock
+        tracer = server._tracer
+        tracing = tracer.enabled
         meta: Dict[str, object] = {"attempts": 0, "hedged": False}
 
         # Fresh path: the result cache sits in front of everything,
@@ -336,8 +338,12 @@ class ResilientExecutor:
                 request.query, generation, tenant=request.tenant
             )
             if cached is not None:
+                if tracing:
+                    tracer.event("cache.lookup", outcome="hit")
                 clock.advance(server.cache_hit_ms)
                 return ("cache-hit", cached, meta)
+            if tracing:
+                tracer.event("cache.lookup", outcome="miss")
 
         deadline_ms = (
             request.deadline_ms
@@ -355,6 +361,8 @@ class ResilientExecutor:
             ):
                 clock.advance(policy.fail_fast_ms)
                 self.counters["breaker_fast_fails"] += 1
+                if tracing:
+                    tracer.event("breaker.fast_fail", attempt=attempt + 1)
                 last_error = CircuitOpen(
                     f"breaker open for {server.endpoint.url}",
                     url=server.endpoint.url,
@@ -365,9 +373,15 @@ class ResilientExecutor:
             if attempt > 0:
                 self.counters["retries"] += 1
             probe_ms = request.arrival_ms + ledger_ms
+            if tracing:
+                tracer.begin(
+                    "attempt", number=attempt + 1, probe_ms=round(probe_ms, 6)
+                )
             try:
                 status, result = self._attempt(request, attempt, probe_ms, meta)
             except EndpointError as error:
+                if tracing:
+                    tracer.end(error=type(error).__name__)
                 if isinstance(error, QueryRejected):
                     # a capability rejection is permanent: retrying or
                     # serving stale data would mask a client error
@@ -386,9 +400,13 @@ class ResilientExecutor:
                     self.counters["deadline_exhausted"] += 1
                     meta["deadline_exhausted"] = True
                     break
+                if tracing:
+                    tracer.event("backoff", delay_ms=round(delay_ms, 6))
                 clock.advance(delay_ms)
                 ledger_ms += nominal_penalty + delay_ms
                 continue
+            if tracing:
+                tracer.end(outcome=status)
             if breaker is not None:
                 breaker.record_success(clock.now_ms)
             if attempt > 0:
@@ -464,6 +482,7 @@ class ResilientExecutor:
         server = self.server
         policy = self.policy
         clock = server.endpoint.clock
+        tracer = server._tracer
         meta["error"] = last_error
         if policy.degrade_stale and server.cache is not None:
             stale = server.cache.get_stale(request.query)
@@ -471,8 +490,12 @@ class ResilientExecutor:
                 clock.advance(server.cache_hit_ms)
                 self.counters["degraded_stale_cache"] += 1
                 meta["degraded"] = "stale-cache"
+                if tracer.enabled:
+                    tracer.event("degrade", rung="stale-cache")
                 return ("stale", stale, meta)
         if policy.degrade_replica:
+            if tracer.enabled:
+                tracer.event("degrade", rung="replica")
             result = server.replica_read(request.query)
             clock.advance(server.cache_hit_ms)
             self.counters["degraded_replica"] += 1

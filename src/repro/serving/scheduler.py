@@ -41,6 +41,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..core.parallel import SimWorkerPool, measure_task
 from ..endpoint.clock import SimulationClock
 from ..endpoint.errors import EndpointTimeout, QueryRejected
+from ..obs.trace import NULL_TRACER, defer, result_digest
 from .admission import FairAdmissionQueue
 from .faults import FaultInjector
 from .workload import Request
@@ -149,6 +150,7 @@ class Scheduler:
         queue_timeout_ms: Optional[float] = None,
         faults: Optional[FaultInjector] = None,
         backpressure_deadline_ms: Optional[float] = None,
+        obs=None,
     ):
         self.clock = clock
         self.execute = execute
@@ -158,6 +160,12 @@ class Scheduler:
         self.faults = faults
         self.backpressure_deadline_ms = backpressure_deadline_ms
         self.shed = 0
+        #: span recorder (a ``repro.obs`` tracer).  Every request gets a
+        #: root ``request`` span keyed on ``request.key``, so executor/
+        #: endpoint/engine spans nest under it.
+        self.obs = obs if obs is not None else NULL_TRACER
+        #: admission-queue counters of the last run() (metrics bridge)
+        self.last_queue_info: dict = {}
 
     def run(self, requests: Sequence[Request]) -> List[RequestRecord]:
         """Serve *requests* (sorted by arrival); return one record each,
@@ -182,9 +190,41 @@ class Scheduler:
         def weather(now_ms: float) -> Tuple[str, ...]:
             return self.faults.active_kinds(now_ms) if self.faults else ()
 
+        tracer = self.obs
+        tracing = tracer.enabled
+
+        def identity_canon(request: Request) -> dict:
+            # The canonical tier only carries arrival-anchored facts --
+            # request identity and arrival-time weather are invariant
+            # across parallelism/cache config, dispatch-time facts are
+            # not (same contract as ServingReport.digest()).
+            return {
+                "key": list(request.key),
+                "tenant": request.tenant,
+                "template": request.template,
+                "arrival_ms": request.arrival_ms,
+                "arrival_faults": list(weather(request.arrival_ms)),
+            }
+
+        def closed_root(request: Request, status: str, now_ms: float) -> None:
+            """Root span for a request that never reached a worker."""
+            canon = identity_canon(request)
+            canon["outcome"] = status
+            tracer.open_trace(request.key, "request", canon=canon, status=status)
+            tracer.end(end_ms=now_ms)
+
         def start(request: Request, now_ms: float) -> None:
             nonlocal start_counter, completed_service_ms, completed_count
             advance_to(now_ms)
+            if tracing:
+                tracer.open_trace(request.key, "request", canon=identity_canon(request))
+                if now_ms > request.arrival_ms:
+                    tracer.event(
+                        "queue.wait",
+                        start_ms=request.arrival_ms,
+                        end_ms=now_ms,
+                        wait_ms=round(now_ms - request.arrival_ms, 6),
+                    )
             outcome = measure_task(clock, request.key, lambda: self.execute(request))
             meta = {}
             if outcome.error is not None:
@@ -211,6 +251,25 @@ class Scheduler:
                 degraded=meta.get("degraded"),
                 faults_at_dispatch=weather(now_ms),
             )
+            if tracing:
+                # Served requests pin the canonical result rows, unserved
+                # ones pin the outcome -- mirroring ServingReport.digest().
+                if record.served:
+                    # Deferred: serialized at export/digest time, not here.
+                    result = record.result
+                    canon = {"result": defer(lambda result=result: result_digest(result))}
+                else:
+                    canon = {"outcome": status}
+                tracer.end(
+                    end_ms=completion,
+                    canon=canon,
+                    status=status,
+                    service_ms=round(outcome.elapsed_ms, 6),
+                    attempts=record.attempts,
+                    hedged=record.hedged,
+                    degraded=record.degraded,
+                    faults_at_dispatch=list(record.faults_at_dispatch),
+                )
             records.append(record)
             heapq.heappush(in_flight, (completion, start_counter, record))
             start_counter += 1
@@ -228,6 +287,8 @@ class Scheduler:
                     self.queue_timeout_ms is not None
                     and waited > self.queue_timeout_ms
                 ):
+                    if tracing:
+                        closed_root(request, "queue-timeout", now_ms)
                     records.append(
                         RequestRecord(
                             request,
@@ -273,6 +334,8 @@ class Scheduler:
                     > self.backpressure_deadline_ms
                 ):
                     self.shed += 1
+                    if tracing:
+                        closed_root(request, "shed", now)
                     records.append(
                         RequestRecord(
                             request,
@@ -287,6 +350,8 @@ class Scheduler:
                         )
                     )
                 elif not queue.offer(request):
+                    if tracing:
+                        closed_root(request, "rejected", now)
                     records.append(
                         RequestRecord(
                             request,
@@ -300,6 +365,7 @@ class Scheduler:
                             faults_at_dispatch=weather(now),
                         )
                     )
+        self.last_queue_info = queue.info()
         # arrival order is the report's canonical order
         records.sort(
             key=lambda r: (r.request.arrival_ms, r.request.session_id, r.request.seq)

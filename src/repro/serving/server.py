@@ -37,6 +37,8 @@ import math
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..endpoint.endpoint import SparqlEndpoint
+from ..obs import Observatory
+from ..obs.trace import NULL_TRACER
 from ..sparql.parser import parse_query
 from ..sparql.results import AskResult, SelectResult
 from .cache import ResultCache
@@ -64,7 +66,7 @@ class ServingReport:
     """
 
     __slots__ = ("records", "parallelism", "start_ms", "end_ms", "cache_info",
-                 "resilience_info", "fault_info")
+                 "resilience_info", "fault_info", "obs")
 
     def __init__(
         self,
@@ -75,6 +77,7 @@ class ServingReport:
         cache_info: Optional[Dict[str, int]],
         resilience_info: Optional[Dict[str, object]] = None,
         fault_info: Optional[Dict[str, object]] = None,
+        obs: Optional[Observatory] = None,
     ):
         self.records = records
         self.parallelism = parallelism
@@ -86,6 +89,9 @@ class ServingReport:
         self.resilience_info = resilience_info
         #: the fault plan's describe() payload, when weather was injected
         self.fault_info = fault_info
+        #: the server's Observatory, when serve() ran instrumented --
+        #: the report's trace/export surfaces read it
+        self.obs = obs
 
     # -- outcomes ----------------------------------------------------------
 
@@ -181,6 +187,33 @@ class ServingReport:
         blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    # -- observability ------------------------------------------------------
+
+    def trace(self, request_id) -> str:
+        """Rendered span tree for one request (``(session_id, seq)``).
+
+        Answers "where did request X spend its time": queue wait,
+        resilience attempts/backoffs, endpoint execution, engine
+        operators, shard fan-out -- each with sim-clock timestamps.
+        """
+        if self.obs is None:
+            raise ValueError(
+                "serve() ran without an Observatory; pass QueryServer(obs=...)"
+            )
+        tracer = self.obs.tracer
+        trace_id = tracer.find_trace(tuple(request_id))
+        if trace_id is None:
+            return f"(no trace recorded for request {tuple(request_id)!r})"
+        return tracer.render(trace_id)
+
+    def export_jsonl(self) -> str:
+        """JSON-lines span + metric export (profile tier)."""
+        if self.obs is None:
+            raise ValueError(
+                "serve() ran without an Observatory; pass QueryServer(obs=...)"
+            )
+        return self.obs.export_jsonl()
+
     def summary(self) -> Dict[str, object]:
         """The /results-shaped payload benchmarks and tests read."""
         summary: Dict[str, object] = {
@@ -256,6 +289,7 @@ class QueryServer:
         resilience: Optional[ResiliencePolicy] = None,
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
         backpressure_deadline_ms: Optional[float] = None,
+        obs: Optional[Observatory] = None,
     ):
         self.endpoint = endpoint
         self.parallelism = parallelism
@@ -288,6 +322,79 @@ class QueryServer:
             else None
         )
         self._runs = 0
+        #: observability: with an Observatory attached, the endpoint and
+        #: its engine trace into it and every stat surface of this server
+        #: registers in the unified metrics registry.
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        if obs is not None:
+            endpoint.attach_obs(obs.tracer)
+            self._register_metrics(obs.metrics)
+
+    def _register_metrics(self, registry) -> None:
+        """Bind every stat surface into the unified metrics registry.
+
+        Pull gauges read the live counters at dump time — registration
+        changes no behavior.  Names follow the ARCHITECTURE.md metric
+        vocabulary (enforced by ``tests/test_repo_hygiene.py``).  Only
+        ``faults.*`` values are flagged canonical: they derive from the
+        seeded plan alone, so they are parallelism-invariant; every
+        execution-order-dependent surface stays profile-tier.
+        """
+        stats = self.endpoint.stats
+        for name in ("queries", "failures", "timeouts", "rejected", "truncated",
+                     "total_latency_ms"):
+            registry.bind(
+                f"endpoint.{name}",
+                lambda n=name: getattr(stats, n),
+                help=f"EndpointStats.{name} of the served endpoint",
+            )
+        if self.cache is not None:
+            cache = self.cache
+            for key in ("size", "hits", "misses", "evictions", "invalidations",
+                        "skipped_cheap", "quota_evictions"):
+                registry.bind(
+                    f"cache.{key}",
+                    lambda k=key: cache.info().get(k, 0),
+                    help=f"ResultCache.info()[{key!r}]",
+                )
+        if self._executor is not None:
+            executor = self._executor
+            for key in ("attempts", "retries", "recovered_by_retry",
+                        "injected_outage_failures", "injected_transient_failures",
+                        "breaker_fast_fails", "deadline_exhausted",
+                        "degraded_stale_cache", "degraded_replica",
+                        "hedges_fired", "hedges_won"):
+                registry.bind(
+                    f"resilience.{key}",
+                    lambda k=key: executor.counters.get(k, 0),
+                    help=f"ResilientExecutor per-run counter {key!r}",
+                )
+            registry.bind(
+                "resilience.breaker_transitions",
+                lambda: len(executor.breaker_transitions()),
+                help="circuit-breaker state transitions across all breakers",
+            )
+        if self.faults is not None:
+            # FaultPlan windows/transitions: derived from the seeded plan
+            # alone, never from execution order — the canonical tier.
+            describe = self.faults.plan.describe()
+            for key in ("outage_windows", "burst_windows", "slowdown_windows",
+                        "timeout_spike_windows", "outage_ratio"):
+                gauge = registry.gauge(
+                    f"faults.{key}",
+                    help=f"FaultPlan.describe()[{key!r}]",
+                    canonical=True,
+                )
+                gauge.set(describe[key])
+        graph = self.endpoint.graph
+        if getattr(graph, "is_sharded", False):
+            for key in ("batches", "parallel_ms", "sequential_ms", "rows"):
+                registry.bind(
+                    f"sparql.shard_{key}",
+                    lambda k=key: graph.shard_stats[k],
+                    help=f"ShardedTripleStore.shard_stats[{key!r}]",
+                )
 
     # -- the one orchestration entry point ---------------------------------
 
@@ -305,9 +412,12 @@ class QueryServer:
             queue_timeout_ms=self.queue_timeout_ms,
             faults=self.faults,
             backpressure_deadline_ms=self.backpressure_deadline_ms,
+            obs=self._tracer,
         )
         records = scheduler.run(requests)
         self._runs += 1
+        if self.obs is not None:
+            self._push_run_metrics(requests, records, scheduler)
         start_ms = min((r.request.arrival_ms for r in records), default=0.0)
         end_ms = max((r.completion_ms for r in records), default=start_ms)
         resilience_info: Optional[Dict[str, object]] = None
@@ -326,7 +436,47 @@ class QueryServer:
             cache_info=self.cache.info() if self.cache is not None else None,
             resilience_info=resilience_info,
             fault_info=self.faults.plan.describe() if self.faults else None,
+            obs=self.obs,
         )
+
+    def _push_run_metrics(
+        self,
+        requests: Sequence[Request],
+        records: List[RequestRecord],
+        scheduler: Scheduler,
+    ) -> None:
+        """Per-run serving metrics.  ``serving.requests_total`` is
+        canonical (workload-derived); everything else depends on realized
+        scheduling (cache hits, shed, latency) and is profile-tier."""
+        metrics = self.obs.metrics
+        metrics.counter(
+            "serving.requests_total",
+            help="requests offered to serve()",
+            canonical=True,
+        ).inc(len(requests))
+        served = 0
+        latency = metrics.histogram(
+            "serving.latency_ms", help="served-request latency (arrival→completion)"
+        )
+        wait = metrics.histogram(
+            "serving.queue_wait_ms", help="served-request admission-queue wait"
+        )
+        for record in records:
+            if record.served:
+                served += 1
+                latency.observe(record.latency_ms)
+                wait.observe(record.wait_ms)
+        metrics.counter("serving.served_total", help="requests that got rows").inc(served)
+        metrics.counter(
+            "serving.shed_total", help="requests shed by backpressure"
+        ).inc(scheduler.shed)
+        queue_info = scheduler.last_queue_info
+        metrics.counter(
+            "admission.offered", help="requests offered to the fair admission queue"
+        ).inc(queue_info.get("offered", 0))
+        metrics.counter(
+            "admission.rejected", help="requests bounced by a full admission queue"
+        ).inc(queue_info.get("rejected", 0))
 
     # -- executors (the only code paths that touch the endpoint) -----------
 
@@ -342,13 +492,18 @@ class QueryServer:
         service time).
         """
         generation = self.endpoint.graph.generation
+        tracer = self._tracer
         if self.cache is not None:
             cached = self.cache.get(
                 request.query, generation, tenant=request.tenant
             )
             if cached is not None:
+                if tracer.enabled:
+                    tracer.event("cache.lookup", outcome="hit")
                 self.endpoint.clock.advance(self.cache_hit_ms)
                 return ("cache-hit", cached)
+            if tracer.enabled:
+                tracer.event("cache.lookup", outcome="miss")
         start_ms = self.endpoint.clock.now_ms
         result = self.endpoint.query(request.query)
         if self.cache is not None:

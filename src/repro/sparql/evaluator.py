@@ -54,6 +54,7 @@ from collections import OrderedDict
 from itertools import chain as _chain
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..obs.trace import NULL_TRACER
 from ..rdf.graph import Graph
 from ..rdf.terms import BNode, IRI, Literal, Term, Variable
 from .errors import SparqlEvaluationError
@@ -508,6 +509,30 @@ class _SharedPlanCache:
         return encoded
 
 
+#: The documented ``exec_stats`` vocabulary.  Every engine/parallel-exec
+#: write site uses exactly these snake_case keys (pinned by
+#: ``tests/sparql/test_evaluator.py``); the serving metrics bridge and
+#: ``SparqlEndpoint._estimate_latency`` read them through
+#: :meth:`QueryEngine.exec_stats_snapshot`.
+EXEC_STAT_KEYS = frozenset(
+    {
+        # bounded-operator counters (top-k heap, _AggFold, ID-space sort)
+        "operator",         # which bounded operator ran last
+        "input_rows",       # rows consumed by that operator
+        "tracked_rows",     # max rows/groups it ever held (memory contract)
+        "distinct_keys",    # champion-table size for DISTINCT top-k
+        "having_pruned",    # groups dropped by HAVING pushdown
+        "decoded_rows",     # ID rows decoded at the result boundary
+        # shard fan-out counters (sparql/parallel_exec.py)
+        "shard_batches",        # partition-parallel batches dispatched
+        "shard_parallel_ms",    # simulated cost booked for the batches
+        "shard_sequential_ms",  # what the same scans would cost serially
+        "shard_rows",           # rows merged out of the sorted runs
+        "shard_warm_batches",   # batches that reused the warm worker set
+    }
+)
+
+
 class QueryEngine:
     """Evaluates parsed queries against one graph.
 
@@ -542,8 +567,13 @@ class QueryEngine:
         #: observability for the bounded operators: the last top-k /
         #: streaming-aggregation run records how many rows it consumed and
         #: how many it ever held (benchmarks assert the O(k) / O(groups)
-        #: memory contract through this).
+        #: memory contract through this).  Keys come from the documented
+        #: ``EXEC_STAT_KEYS`` vocabulary; read via ``exec_stats_snapshot``.
         self.exec_stats: Dict[str, int] = {}
+        #: span recorder (``repro.obs``).  Defaults to the shared no-op
+        #: tracer; hot paths guard on ``self.obs.enabled`` so the
+        #: disabled cost is one attribute read.
+        self.obs = NULL_TRACER
 
     # -- compiled-plan cache ---------------------------------------------------
 
@@ -570,11 +600,74 @@ class QueryEngine:
             self._scan_pool = ShardScanPool(self._sharded)
         if isinstance(query, str):
             query = parse_query(query)
+        obs = self.obs
+        if not obs.enabled:
+            return self._dispatch(query)
+        obs.begin("sparql.run", strategy=self.strategy)
+        try:
+            return self._dispatch(query)
+        finally:
+            # exec_stats is fully populated by now; the run span carries
+            # the snapshot so a trace is self-contained.
+            obs.end(exec_stats=dict(self.exec_stats))
+
+    def _dispatch(self, query: Query) -> Union[SelectResult, AskResult]:
         if isinstance(query, SelectQuery):
             return self._run_select(query)
         if isinstance(query, AskQuery):
             return AskResult(self._any_solution(query.where))
         raise SparqlEvaluationError(f"cannot evaluate {type(query).__name__}")
+
+    def exec_stats_snapshot(self) -> Dict[str, int]:
+        """A copy of the last run's ``exec_stats``.
+
+        The engine reuses/replaces the live dict between runs, so
+        callers that read counters *after* the query returns (endpoint
+        latency model, serving metrics bridge) must snapshot here
+        rather than alias ``self.exec_stats``.
+        """
+        return dict(self.exec_stats)
+
+    def explain(self, query: Union[str, Query]) -> "ExplainReport":
+        """EXPLAIN ANALYZE: execute *query* under a private tracer and
+        return the annotated operator span tree (rows in/out, tracked
+        state, shard fan-out).  The engine's attached ``obs`` recorder
+        is restored afterwards, so explaining never pollutes a serving
+        trace."""
+        from ..obs.explain import ExplainReport
+        from ..obs.trace import Tracer
+
+        text = query if isinstance(query, str) else "<parsed query>"
+        # No clock (the engine charges no latency — rows matter, not
+        # time); detail on (operator spans are the whole point here).
+        tracer = Tracer(seed=0, detail=True)
+        previous = self.obs
+        self.obs = tracer
+        try:
+            result = self.run(query)
+        finally:
+            self.obs = previous
+        rows = len(result.rows) if hasattr(result, "rows") else None
+        return ExplainReport(
+            query=text,
+            strategy=self.strategy,
+            rows=rows,
+            exec_stats=self.exec_stats_snapshot(),
+            tracer=tracer,
+            trace_id=tracer.trace_ids()[0],
+        )
+
+    def _operator_event(self) -> None:
+        """Record the bounded operator that just finished as a closed
+        span (call sites guard on ``self.obs.detail`` — operator events
+        are the EXPLAIN-tier of the trace vocabulary)."""
+        stats = {
+            key: value
+            for key, value in self.exec_stats.items()
+            if not key.startswith("shard_")
+        }
+        name = stats.pop("operator", "operator")
+        self.obs.event(f"sparql.{name}", **stats)
 
     # -- pattern evaluation -----------------------------------------------------
 
@@ -787,6 +880,23 @@ class QueryEngine:
         partition-parallel: per-shard tables merge rank-ordered into the
         same table this sequential fold would produce.
         """
+        table = self._probe_table(ep, shared, new_vars)
+        if self.obs.detail:
+            self.obs.event(
+                "sparql.probe_build",
+                pattern=ep.index,
+                estimate=ep.est,
+                buckets=len(table),
+                rows_out=sum(len(bucket) for bucket in table.values()),
+            )
+        return table
+
+    def _probe_table(
+        self,
+        ep: _EncodedPattern,
+        shared: Sequence[Variable],
+        new_vars: Sequence[Variable],
+    ) -> Dict:
         var_index = {v: i for i, v in enumerate(ep.variables)}
         key_positions = [var_index[v] for v in shared]
         new_positions = [var_index[v] for v in new_vars]
@@ -805,6 +915,7 @@ class QueryEngine:
                     new_positions,
                     stats=self.exec_stats,
                     pool=self._scan_pool,
+                    obs=self.obs,
                 )
         table: Dict = {}
         setdefault = table.setdefault
@@ -831,6 +942,37 @@ class QueryEngine:
 
         Yields one ID tuple per match, ordered like ``ep.variables``.
         """
+        if self.obs.detail:
+            return self._traced_scan(ep)
+        return self._scan_rows(ep)
+
+    def _traced_scan(self, ep: _EncodedPattern) -> Iterator[Tuple]:
+        """Counting wrapper around :meth:`_scan_rows`.
+
+        Emits a closed ``sparql.scan`` span when the scan finishes —
+        recorded as an *event* (never an open/close pair) because lazy
+        volcano scans interleave and close out of order, which would
+        corrupt a bracketed span stack.  An abandoned scan (LIMIT
+        satisfied upstream) reports ``exhausted=False`` from its
+        ``finally`` when the generator is closed.
+        """
+        rows = 0
+        exhausted = False
+        try:
+            for row in self._scan_rows(ep):
+                rows += 1
+                yield row
+            exhausted = True
+        finally:
+            self.obs.event(
+                "sparql.scan",
+                pattern=ep.index,
+                estimate=ep.est,
+                rows_out=rows,
+                exhausted=exhausted,
+            )
+
+    def _scan_rows(self, ep: _EncodedPattern) -> Iterator[Tuple]:
         if ep.path is not None:
             yield from self._scan_path(ep, ep.spec[0], ep.spec[2])
             return
@@ -845,7 +987,13 @@ class QueryEngine:
             from .parallel_exec import parallel_scan_ids
 
             triples = parallel_scan_ids(
-                self._sharded, s, p, o, stats=self.exec_stats, pool=self._scan_pool
+                self._sharded,
+                s,
+                p,
+                o,
+                stats=self.exec_stats,
+                pool=self._scan_pool,
+                obs=self.obs,
             )
             yield from _triples_to_scan_rows(triples, positions)
             return
@@ -1752,6 +1900,8 @@ class QueryEngine:
                 self.exec_stats.update(
                     operator="topk-id", input_rows=0, tracked_rows=0
                 )
+                if self.obs.detail:
+                    self._operator_event()
                 return SelectResult(names, [])
 
         decode = self.graph.decode_id
@@ -1870,6 +2020,8 @@ class QueryEngine:
         )
         if distinct_keys is not None:
             self.exec_stats["distinct_keys"] = distinct_keys
+        if self.obs.detail:
+            self._operator_event()
         return SelectResult(names, out_rows)
 
     def _run_select_topk_general(self, query: SelectQuery) -> SelectResult:
@@ -2014,6 +2166,8 @@ class QueryEngine:
 
         stats["tracked_rows"] = len(kept)
         self.exec_stats.update(stats)
+        if self.obs.detail:
+            self._operator_event()
         return SelectResult(names, rows)
 
     # -- streaming (incremental) aggregation ------------------------------------
@@ -2126,6 +2280,8 @@ class QueryEngine:
         )
         if having_specs:
             self.exec_stats["having_pruned"] = having_pruned
+        if self.obs.detail:
+            self._operator_event()
         return SelectResult(names, self._apply_modifiers(query, rows, names))
 
     # -- the ID-space SELECT fast path ----------------------------------------
@@ -2336,6 +2492,8 @@ class QueryEngine:
         self.exec_stats.update(
             operator="order-id", input_rows=input_rows, decoded_rows=len(rows)
         )
+        if self.obs.detail:
+            self._operator_event()
         return SelectResult(names, self._decode_id_rows(rows, names, columns))
 
     def _id_projection_layout(
@@ -2484,6 +2642,8 @@ class QueryEngine:
         )
         if having_specs:
             self.exec_stats["having_pruned"] = having_pruned
+        if self.obs.detail:
+            self._operator_event()
         return SelectResult(names, self._apply_modifiers(query, out_rows, names))
 
     def _run_select_general(self, query: SelectQuery) -> SelectResult:

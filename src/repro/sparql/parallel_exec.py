@@ -101,6 +101,7 @@ def _record(
     sequential_ms: float,
     rows: int,
     pool: Optional[ShardScanPool] = None,
+    obs=None,
 ) -> None:
     """Accumulate one pool batch into the store's and the query's stats."""
     totals = store.shard_stats
@@ -119,6 +120,15 @@ def _record(
         stats["shard_rows"] = stats.get("shard_rows", 0) + rows
         if pool is not None:
             stats["shard_warm_batches"] = pool.warm_batches
+    if obs is not None and obs.detail:
+        obs.event(
+            "shard.fanout",
+            shards=len(store.shards),
+            parallel_ms=round(parallel_ms, 6),
+            sequential_ms=round(sequential_ms, 6),
+            rows_out=rows,
+            warm=pool is not None and pool.warm_batches > 0,
+        )
 
 
 def _run_shard_batch(store, tasks) -> List:
@@ -150,6 +160,7 @@ def parallel_scan_ids(
     o: Optional[int],
     stats: Optional[Dict] = None,
     pool: Optional[ShardScanPool] = None,
+    obs=None,
 ) -> Iterator[Tuple[int, int, int]]:
     """Scan all shards for the ID pattern; merge runs in ``(s, p, o)`` order.
 
@@ -170,7 +181,9 @@ def parallel_scan_ids(
             return run
         tasks.append((index, thunk))
     runs, makespan, sequential = _run_shard_batch(store, tasks)
-    _record(store, stats, makespan, sequential, sum(len(run) for run in runs), pool)
+    _record(
+        store, stats, makespan, sequential, sum(len(run) for run in runs), pool, obs
+    )
     if len(runs) == 1:
         return iter(runs[0])
     return heapq.merge(*runs)
@@ -186,6 +199,7 @@ def parallel_probe_table(
     new_positions: Sequence[int],
     stats: Optional[Dict] = None,
     pool: Optional[ShardScanPool] = None,
+    obs=None,
 ) -> Dict:
     """Build a hash-join probe table shard-by-shard and merge the buckets.
 
@@ -235,7 +249,7 @@ def parallel_probe_table(
 
     tables, makespan, sequential = _run_shard_batch(store, tasks)
     rows = sum(len(bucket) for table in tables for bucket in table.values())
-    _record(store, stats, makespan, sequential, rows, pool)
+    _record(store, stats, makespan, sequential, rows, pool, obs)
 
     if len(tables) == 1:
         return {

@@ -1,0 +1,67 @@
+"""Durability checkpoint/recovery record into the tracing layer."""
+
+from __future__ import annotations
+
+from repro.obs.trace import Tracer
+from repro.rdf.durability import attach_journal, load_graph, save_graph
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Triple
+
+
+def _graph(n=15):
+    graph = Graph()
+    for index in range(n):
+        graph.add(Triple(IRI(f"urn:s{index}"), IRI("urn:p"), IRI(f"urn:o{index}")))
+    return graph
+
+
+def test_checkpoint_and_recover_spans(tmp_path):
+    root = str(tmp_path / "store")
+    graph = _graph()
+    tracer = Tracer(seed=0)
+
+    save_graph(graph, root, obs=tracer)
+    journal = attach_journal(graph, root, obs=tracer)
+    graph.add(Triple(IRI("urn:x"), IRI("urn:p"), IRI("urn:y")))
+    journal.checkpoint()
+    journal.close()
+    recovered = load_graph(root, obs=tracer)
+
+    assert len(recovered) == len(graph)
+    names = [span.name for span in tracer.spans]
+    assert names.count("durability.checkpoint") == 2
+    assert names.count("durability.recover") == 1
+    assert names.count("durability.wal_replay") == 1
+
+    checkpoint = next(s for s in tracer.spans if s.name == "durability.checkpoint")
+    assert checkpoint.attrs["epoch"] == 1
+    assert checkpoint.attrs["triples"] == 15
+    recover = next(s for s in tracer.spans if s.name == "durability.recover")
+    assert recover.attrs["epoch"] == 2
+    assert recover.attrs["triples"] == 16
+    replay = next(s for s in tracer.spans if s.name == "durability.wal_replay")
+    assert replay.attrs == {"applied": 0, "reason": None}
+    assert replay.parent_id == recover.span_id
+
+
+def test_wal_tail_replay_is_counted(tmp_path):
+    root = str(tmp_path / "store")
+    graph = _graph()
+    save_graph(graph, root)
+    journal = attach_journal(graph, root)
+    graph.add(Triple(IRI("urn:x1"), IRI("urn:p"), IRI("urn:y")))
+    graph.add(Triple(IRI("urn:x2"), IRI("urn:p"), IRI("urn:y")))
+    journal.close()  # no checkpoint: the two adds live only in the WAL
+
+    tracer = Tracer(seed=0)
+    recovered = load_graph(root, obs=tracer)
+    assert len(recovered) == 17
+    replay = next(s for s in tracer.spans if s.name == "durability.wal_replay")
+    assert replay.attrs["applied"] == 2
+
+
+def test_durability_without_tracer_records_nothing(tmp_path):
+    root = str(tmp_path / "store")
+    graph = _graph()
+    save_graph(graph, root)
+    assert len(load_graph(root)) == 15

@@ -1,0 +1,89 @@
+"""EXPLAIN ANALYZE: annotated operator span trees per query."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.sparql import QueryEngine
+from repro.sparql.evaluator import EXEC_STAT_KEYS
+
+QUERY = """
+PREFIX ex: <http://example.org/>
+SELECT ?person ?age WHERE { ?person a ex:Person ; ex:age ?age }
+ORDER BY ?age
+"""
+
+AGGREGATE = """
+PREFIX ex: <http://example.org/>
+SELECT ?type (COUNT(?s) AS ?n) WHERE { ?s a ?type } GROUP BY ?type
+"""
+
+
+@pytest.mark.parametrize("strategy", ["hash", "stream", "scan"])
+def test_explain_renders_operator_tree(small_graph, strategy):
+    engine = QueryEngine(small_graph, strategy=strategy)
+    report = engine.explain(QUERY)
+    text = report.render()
+    assert text.startswith(f"EXPLAIN ANALYZE  strategy={strategy}")
+    assert "SELECT ?person ?age" in text  # the query is quoted back
+    assert "sparql.run" in text
+    assert "result: 2 rows" in text
+    assert str(report) == text
+
+
+def test_explain_shows_rows_in_out(small_graph):
+    report = QueryEngine(small_graph, strategy="hash").explain(AGGREGATE)
+    text = report.render()
+    # operator spans carry row accounting from exec_stats
+    assert "rows_out=" in text or "input_rows=" in text
+    assert report.exec_stats["operator"] in {
+        "aggregate", "stream-aggregate", "fast-aggregate", "group-aggregate",
+    } or "operator" not in report.exec_stats
+
+
+def test_explain_restores_the_attached_recorder(small_graph):
+    engine = QueryEngine(small_graph)
+    attached = Tracer(seed=7)
+    engine.obs = attached
+    report = engine.explain(QUERY)
+    assert engine.obs is attached
+    # the explain run recorded nothing in the serving tracer ...
+    assert attached.spans == []
+    # ... and everything in its private one
+    assert report.tracer is not attached
+    assert report.tracer.spans
+
+
+def test_explain_works_with_recorder_disabled(small_graph):
+    engine = QueryEngine(small_graph)
+    assert engine.obs is NULL_TRACER
+    report = engine.explain(QUERY)
+    assert engine.obs is NULL_TRACER
+    assert "sparql.run" in report.render()
+
+
+def test_explain_is_deterministic(small_graph):
+    engine = QueryEngine(small_graph)
+    first = engine.explain(QUERY).render()
+    second = engine.explain(QUERY).render()
+    assert first == second
+
+
+@pytest.mark.parametrize("strategy", ["hash", "stream", "scan"])
+def test_exec_stats_stay_in_vocabulary(small_graph, strategy):
+    """Engines only ever write the EXEC_STAT_KEYS vocabulary — the
+    EXPLAIN renderer, the latency model and the metrics bridge all key
+    off these names."""
+    engine = QueryEngine(small_graph, strategy=strategy)
+    for query in (QUERY, AGGREGATE, "ASK { ?s ?p ?o }"):
+        engine.run(query)
+        assert set(engine.exec_stats_snapshot()) <= EXEC_STAT_KEYS
+
+
+def test_exec_stats_snapshot_is_a_copy(small_graph):
+    engine = QueryEngine(small_graph)
+    engine.run(QUERY)
+    snapshot = engine.exec_stats_snapshot()
+    snapshot["operator"] = "tampered"
+    assert engine.exec_stats_snapshot() != snapshot or "operator" not in snapshot

@@ -1,0 +1,138 @@
+"""Unit tests for the unified metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# -- counters / gauges --------------------------------------------------------
+
+
+def test_counter_is_monotonic():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.snapshot() == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_push_gauge_last_write_wins():
+    gauge = Gauge("g")
+    gauge.set(3)
+    gauge.set(7)
+    assert gauge.snapshot() == 7
+
+
+def test_pull_gauge_reads_source_at_snapshot_time():
+    box = {"value": 1}
+    gauge = Gauge("g", source=lambda: box["value"])
+    assert gauge.snapshot() == 1
+    box["value"] = 9
+    assert gauge.snapshot() == 9
+    with pytest.raises(ValueError):
+        gauge.set(0)  # bound gauges reject pushes
+
+
+# -- histogram ----------------------------------------------------------------
+
+
+def test_histogram_nearest_rank_percentiles():
+    histogram = Histogram("h", bounds=(10.0, 20.0, 50.0))
+    for value in (1, 2, 3, 4, 5, 6, 7, 8, 9):  # all land in the ≤10 bucket
+        histogram.observe(value)
+    histogram.observe(45.0)  # the single ≤50 outlier
+    assert histogram.percentile(50) == 10.0
+    assert histogram.percentile(95) == 50.0
+    assert histogram.count == 10
+    assert histogram.total == 90.0
+
+
+def test_histogram_overflow_reports_inf():
+    histogram = Histogram("h", bounds=(10.0,))
+    histogram.observe(999.0)
+    assert histogram.percentile(50) == float("inf")
+    snapshot = histogram.snapshot()
+    assert snapshot == {"count": 1, "total": 999.0,
+                        "p50": "inf", "p95": "inf", "p99": "inf"}
+    # the "inf" string keeps the export strict JSON
+    json.dumps(snapshot)
+
+
+def test_histogram_empty_and_bad_bounds():
+    assert Histogram("h").percentile(99) == 0.0
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(5.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=())
+
+
+def test_default_bounds_are_sorted():
+    assert list(DEFAULT_LATENCY_BOUNDS_MS) == sorted(DEFAULT_LATENCY_BOUNDS_MS)
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_registry_get_or_create_returns_same_object():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.histogram("h") is registry.histogram("h")
+    assert len(registry) == 2
+    assert "x" in registry and registry.get("x").kind == "counter"
+
+
+def test_registry_rejects_kind_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.bind("x", lambda: 0)
+
+
+def test_bind_repoints_existing_gauge():
+    registry = MetricsRegistry()
+    registry.bind("cache.hits", lambda: 1)
+    assert registry.dump()["cache.hits"] == 1
+    # a rebuilt server takes over the gauge without re-registering
+    registry.bind("cache.hits", lambda: 42)
+    assert registry.dump()["cache.hits"] == 42
+    assert len(registry) == 1
+
+
+def test_dump_and_digest_canonical_tier():
+    registry = MetricsRegistry()
+    registry.counter("profile.only").inc(5)
+    registry.counter("faults.windows", canonical=True).inc(2)
+    full = registry.dump()
+    assert full == {"faults.windows": 2, "profile.only": 5}
+    assert registry.dump(canonical_only=True) == {"faults.windows": 2}
+
+    # the canonical digest moves only with canonical values
+    before = registry.digest(canonical_only=True)
+    registry.counter("profile.only").inc()
+    assert registry.digest(canonical_only=True) == before
+    registry.counter("faults.windows").inc()
+    assert registry.digest(canonical_only=True) != before
+
+
+def test_export_jsonl_shape():
+    registry = MetricsRegistry()
+    registry.counter("a.count").inc(3)
+    registry.histogram("b.latency").observe(4.0)
+    rows = [json.loads(line) for line in registry.export_jsonl().splitlines()]
+    assert [row["name"] for row in rows] == ["a.count", "b.latency"]
+    assert rows[0] == {"kind": "counter", "name": "a.count",
+                       "canonical": False, "value": 3}
+    assert rows[1]["value"]["count"] == 1

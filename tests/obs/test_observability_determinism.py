@@ -1,0 +1,170 @@
+"""Tier-1 guard: the observability exports are themselves deterministic.
+
+Two invariants, mirroring the PR 7 digest contract:
+
+* **Canonical tier is parallelism-invariant.**  The canonical trace
+  digest (request identity + arrival weather + result digests) and the
+  canonical metric digest (workload / fault-plan derived values) are
+  byte-identical across scheduler parallelism and cache configuration,
+  under chaos.
+* **Profile tier is replayable.**  At a *fixed* config the full JSONL
+  export (every span, every metric, timestamps included) is
+  byte-identical run over run.
+
+Plus the zero-cost contract: a server without an Observatory must not
+allocate a single Span.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import government_graph
+from repro.endpoint import (
+    AlwaysAvailable,
+    EndpointProfile,
+    SimulationClock,
+    SparqlEndpoint,
+)
+from repro.obs import Observatory
+from repro.obs.trace import NULL_TRACER, Span
+from repro.serving import (
+    QueryServer,
+    ResiliencePolicy,
+    chaos_profile,
+    generate_workload,
+)
+
+PLAN_SEED = 9
+WORKLOAD_SEED = 13
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return government_graph(scale=0.2, seed=5)
+
+
+def _flat_profile():
+    return EndpointProfile(
+        "flat", connect_ms=10.0, parse_ms=5.0, per_pattern_ms=10.0,
+        per_solution_ms=0.0, aggregate_overhead_ms=0.0, jitter=0.0,
+        timeout_ms=60_000.0,
+    )
+
+
+def _serve(graph, parallelism, cache, observed=True):
+    plan = chaos_profile(
+        seed=PLAN_SEED, horizon_days=30,
+        p_fail=0.35, p_recover=0.5, burst_coverage=0.5, burst_p=0.95,
+    )
+    clock = SimulationClock()
+    endpoint = SparqlEndpoint(
+        "http://chaos.example.org/sparql", graph, clock,
+        profile=_flat_profile(), availability=AlwaysAvailable(), seed=1,
+    )
+    obs = Observatory(clock=clock, seed=PLAN_SEED) if observed else None
+    server = QueryServer(
+        endpoint,
+        parallelism=parallelism,
+        queue_capacity=4096,
+        cache_capacity=256 if cache else None,
+        faults=plan,
+        resilience=ResiliencePolicy(seed=5),
+        obs=obs,
+    )
+    workload = generate_workload(
+        sessions=40, seed=WORKLOAD_SEED,
+        mean_session_gap_ms=21_600_000.0, mean_think_ms=600_000.0,
+    )
+    return server.serve(workload), obs
+
+
+def test_canonical_tier_invariant_across_parallelism_and_cache(graph):
+    """The headline guarantee: same canonical observability digest at
+    parallelism 1 vs 4, cache on vs off, under chaos — exactly when the
+    report digests agree."""
+    configs = [(1, True), (4, True), (1, False), (4, False)]
+    results = [_serve(graph, parallelism, cache) for parallelism, cache in configs]
+    report_digests = {report.digest() for report, _ in results}
+    trace_digests = {obs.tracer.canonical_digest() for _, obs in results}
+    metric_digests = {obs.metrics.digest(canonical_only=True) for _, obs in results}
+    combined = {obs.canonical_digest() for _, obs in results}
+    assert len(report_digests) == 1
+    assert len(trace_digests) == 1
+    assert len(metric_digests) == 1
+    assert len(combined) == 1
+    # the weather actually happened: traces exist, and the cache-off arm
+    # (every request meets the endpoint) absorbed injected failures
+    assert all(obs.tracer.spans for _, obs in results)
+    info = results[2][0].resilience_info
+    assert info["injected_outage_failures"] + info["injected_transient_failures"] > 0
+
+
+def test_profile_tier_replays_byte_identically(graph):
+    first_report, first_obs = _serve(graph, 2, cache=True)
+    second_report, second_obs = _serve(graph, 2, cache=True)
+    assert first_obs.export_jsonl() == second_obs.export_jsonl()
+    assert first_report.export_jsonl() == second_report.export_jsonl()
+    assert first_obs.export_jsonl()  # non-empty: spans + metrics present
+
+
+def test_report_trace_renders_request_tree(graph):
+    report, obs = _serve(graph, 2, cache=True)
+    record = next(r for r in report.records if r.served)
+    text = report.trace(record.request.key)
+    assert text.splitlines()[0].startswith("request")
+    assert "attempt" in text or "cache.lookup" in text
+    missing = report.trace(("no-such-session", 999))
+    assert "no trace" in missing
+
+
+def test_report_trace_without_observatory_raises(graph):
+    report, _ = _serve(graph, 1, cache=True, observed=False)
+    with pytest.raises(ValueError):
+        report.trace(("s1", 0))
+
+
+def test_registered_metric_surfaces_are_complete(graph):
+    report, obs = _serve(graph, 2, cache=True)
+    names = set(obs.metrics.names())
+    for expected in (
+        "serving.requests_total", "serving.served_total", "serving.latency_ms",
+        "serving.queue_wait_ms", "serving.shed_total",
+        "admission.offered", "admission.rejected",
+        "endpoint.queries", "endpoint.total_latency_ms",
+        "cache.hits", "cache.misses",
+        "resilience.attempts", "resilience.retries",
+        "resilience.breaker_transitions",
+        "faults.outage_windows", "faults.outage_ratio",
+    ):
+        assert expected in names, expected
+    # the bridged values line up with the legacy stat surfaces
+    dump = obs.metrics.dump()
+    assert dump["serving.requests_total"] == len(report.records)
+    assert dump["serving.served_total"] == len(report.served)
+    assert dump["cache.hits"] == report.cache_info["hits"]
+    assert dump["resilience.attempts"] == report.resilience_info["attempts"]
+    assert dump["serving.latency_ms"]["count"] == len(report.served)
+
+
+def test_disabled_mode_allocates_no_spans(graph, monkeypatch):
+    allocations = []
+    original = Span.__init__
+
+    def counting(self, *args, **kwargs):
+        allocations.append(1)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Span, "__init__", counting)
+    report, obs = _serve(graph, 2, cache=True, observed=False)
+    assert obs is None
+    assert report.served_ratio() > 0
+    assert allocations == []
+    assert NULL_TRACER.spans == ()
+
+
+def test_observed_run_matches_unobserved_digest(graph):
+    """Attaching an Observatory must not change what is served."""
+    observed, _ = _serve(graph, 2, cache=True, observed=True)
+    plain, _ = _serve(graph, 2, cache=True, observed=False)
+    assert observed.digest() == plain.digest()

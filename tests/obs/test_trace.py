@@ -1,0 +1,243 @@
+"""Unit tests for the deterministic tracer (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, result_digest
+
+
+class FakeClock:
+    def __init__(self, now_ms=0.0):
+        self.now_ms = now_ms
+
+
+# -- stateless IDs ------------------------------------------------------------
+
+
+def test_trace_and_span_ids_are_stateless_hashes():
+    """Two independent tracers produce identical IDs for the same
+    (seed, key, path) — no global counters, no ordering dependence."""
+    a, b = Tracer(seed=3), Tracer(seed=3)
+    # b records an unrelated trace first: must not shift the IDs
+    b.open_trace(("other", 0), "request")
+    b.end()
+
+    sa = a.open_trace(("s1", 2), "request")
+    ca = a.begin("attempt")
+    a.end()
+    a.end()
+
+    sb = b.open_trace(("s1", 2), "request")
+    cb = b.begin("attempt")
+    b.end()
+    b.end()
+
+    assert sa.trace_id == sb.trace_id
+    assert sa.span_id == sb.span_id
+    assert ca.span_id == cb.span_id
+    assert ca.parent_id == sa.span_id
+
+
+def test_seed_perturbs_every_id():
+    one = Tracer(seed=1).open_trace(("k",), "request")
+    two = Tracer(seed=2).open_trace(("k",), "request")
+    assert one.trace_id != two.trace_id
+    assert one.span_id != two.span_id
+
+
+def test_same_name_siblings_get_ordinal_paths():
+    tracer = Tracer()
+    tracer.open_trace(("k",), "request")
+    first = tracer.begin("attempt")
+    tracer.end()
+    second = tracer.begin("attempt")
+    tracer.end()
+    tracer.end()
+    assert first.path == "request/attempt"
+    assert second.path == "request/attempt#1"
+    assert first.span_id != second.span_id
+
+
+def test_open_trace_with_active_span_raises():
+    tracer = Tracer()
+    tracer.open_trace(("k",), "request")
+    with pytest.raises(RuntimeError):
+        tracer.open_trace(("k2",), "request")
+
+
+def test_begin_on_empty_stack_autoroots():
+    tracer = Tracer()
+    span = tracer.begin("sparql.run")
+    tracer.end()
+    assert span.parent_id is None
+    assert tracer.find_trace(("auto", 1)) == span.trace_id
+
+
+# -- recording behavior -------------------------------------------------------
+
+
+def test_span_context_annotates_errors():
+    tracer = Tracer(clock=FakeClock(5.0))
+    tracer.open_trace(("k",), "request")
+    with pytest.raises(ValueError):
+        with tracer.span("attempt"):
+            raise ValueError("boom")
+    attempt = tracer.spans[-1]
+    assert attempt.attrs["error"] == "ValueError"
+    assert attempt.end_ms == 5.0
+    # the stack unwound: the root can still close
+    tracer.end()
+
+
+def test_event_records_closed_span_without_stack():
+    tracer = Tracer()
+    tracer.open_trace(("k",), "request")
+    event = tracer.event("queue.wait", start_ms=10.0, end_ms=30.0, wait_ms=20.0)
+    assert event.start_ms == 10.0 and event.end_ms == 30.0
+    assert event.duration_ms == 20.0
+    # stack untouched: next begin is a sibling, not a child, of the event
+    child = tracer.begin("attempt")
+    assert child.parent_id == event.parent_id
+    tracer.end()
+    tracer.end()
+
+
+def test_note_attaches_to_current_span():
+    tracer = Tracer()
+    tracer.open_trace(("k",), "request")
+    span = tracer.begin("endpoint.query")
+    tracer.note(outcome="ok", latency_ms=12.5)
+    tracer.end()
+    tracer.end()
+    assert span.attrs == {"outcome": "ok", "latency_ms": 12.5}
+
+
+def test_end_ms_override_beats_clock():
+    clock = FakeClock(0.0)
+    tracer = Tracer(clock=clock)
+    tracer.open_trace(("k",), "request")
+    clock.now_ms = 100.0  # clock rewound by measure_task in real code
+    span = tracer.end(end_ms=250.0)
+    assert span.end_ms == 250.0
+
+
+# -- export / canonical tier --------------------------------------------------
+
+
+def _run_once(clock, extra_latency):
+    tracer = Tracer(seed=1, clock=clock)
+    tracer.open_trace(("s1", 0), "request",
+                      canon={"key": ["s1", 0], "arrival_ms": 10.0})
+    clock.now_ms += extra_latency
+    tracer.begin("attempt", probe_ms=extra_latency)
+    tracer.end()
+    tracer.end(canon={"result": "abc123"})
+    return tracer
+
+
+def test_canonical_digest_ignores_timing_and_profile_attrs():
+    fast = _run_once(FakeClock(10.0), extra_latency=1.0)
+    slow = _run_once(FakeClock(10.0), extra_latency=500.0)
+    assert fast.canonical_digest() == slow.canonical_digest()
+    # the profile tier *does* see the difference
+    assert fast.export_jsonl() != slow.export_jsonl()
+
+
+def test_canonical_digest_sees_canonical_attrs():
+    a = Tracer(seed=1)
+    a.open_trace(("k",), "request", canon={"result": "x"})
+    a.end()
+    b = Tracer(seed=1)
+    b.open_trace(("k",), "request", canon={"result": "y"})
+    b.end()
+    assert a.canonical_digest() != b.canonical_digest()
+
+
+def test_export_jsonl_is_sorted_valid_json():
+    tracer = _run_once(FakeClock(0.0), extra_latency=2.0)
+    lines = tracer.export_jsonl().splitlines()
+    rows = [json.loads(line) for line in lines]
+    assert all(row["kind"] == "span" for row in rows)
+    keys = [(row["start_ms"], row["trace_id"], row["path"]) for row in rows]
+    assert keys == sorted(keys)
+
+
+def test_render_draws_the_tree():
+    tracer = Tracer(clock=FakeClock(10.0))
+    tracer.open_trace(("s1", 0), "request")
+    tracer.begin("attempt")
+    tracer.event("backoff", delay_ms=40.0)
+    tracer.end()
+    tracer.end(status="ok")
+    text = tracer.render(tracer.trace_ids()[0])
+    assert text.splitlines()[0].startswith("request")
+    assert "└── attempt" in text
+    assert "backoff" in text and "delay_ms=40.0" in text
+    assert "status='ok'" in text
+
+
+def test_render_unknown_trace():
+    assert "no spans" in Tracer().render("deadbeef")
+
+
+# -- the disabled recorder ----------------------------------------------------
+
+
+def test_null_tracer_is_disabled_and_inert():
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.spans == ()
+    assert NULL_TRACER.open_trace(("k",), "request") is None
+    assert NULL_TRACER.begin("x") is None
+    assert NULL_TRACER.end() is None
+    assert NULL_TRACER.event("x") is None
+    assert NULL_TRACER.note(anything=1) is None
+    assert NULL_TRACER.export_jsonl() == ""
+    assert NULL_TRACER.render("x") == ""
+    assert NULL_TRACER.find_trace(("k",)) is None
+    with NULL_TRACER.span("x") as span:
+        assert span is None
+    assert isinstance(NULL_TRACER, NullTracer)
+
+
+def test_null_tracer_allocates_no_spans(monkeypatch):
+    allocations = []
+    original = Span.__init__
+
+    def counting(self, *args, **kwargs):
+        allocations.append(1)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Span, "__init__", counting)
+    NULL_TRACER.open_trace(("k",), "request")
+    with NULL_TRACER.span("child"):
+        NULL_TRACER.event("event", x=1)
+        NULL_TRACER.note(y=2)
+    NULL_TRACER.end()
+    assert allocations == []
+
+
+# -- result digests -----------------------------------------------------------
+
+
+def test_result_digest_duck_types():
+    class Term:
+        def __init__(self, text):
+            self.text = text
+
+        def n3(self):
+            return self.text
+
+    class Select:
+        def __init__(self, rows):
+            self.rows = rows
+
+    select = Select([{"s": Term("<urn:a>"), "o": None}])
+    same = Select([{"o": None, "s": Term("<urn:a>")}])
+    other = Select([{"s": Term("<urn:b>"), "o": None}])
+    assert result_digest(select) == result_digest(same)
+    assert result_digest(select) != result_digest(other)
+    assert result_digest(True) != result_digest(False)
+    assert result_digest(None) is None

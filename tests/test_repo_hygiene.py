@@ -37,6 +37,57 @@ class TestBenchmarkCollection:
                 assert "benchmark" in params, f"{name}::{test_name} lacks benchmark fixture"
 
 
+class TestObservabilityVocabulary:
+    def test_every_registered_metric_is_documented(self):
+        """Build a fully instrumented server + monitor, collect every
+        metric name the stack registers, and require each to appear in
+        ARCHITECTURE.md's metric vocabulary table -- an undocumented
+        metric is a vocabulary drift."""
+        from repro.datagen import government_graph
+        from repro.endpoint import (
+            AvailabilityMonitor,
+            EndpointNetwork,
+            SimulationClock,
+            SparqlEndpoint,
+        )
+        from repro.obs import Observatory
+        from repro.serving import (
+            QueryServer,
+            ResiliencePolicy,
+            chaos_profile,
+            generate_workload,
+        )
+
+        clock = SimulationClock()
+        endpoint = SparqlEndpoint(
+            "http://vocab.example.org/sparql",
+            government_graph(scale=0.05, seed=1),
+            clock,
+            shards=2,  # sharded so sparql.shard_* registers too
+        )
+        obs = Observatory(clock=clock, seed=0)
+        server = QueryServer(
+            endpoint,
+            faults=chaos_profile(seed=1, horizon_days=2),
+            resilience=ResiliencePolicy(seed=1),
+            obs=obs,
+        )
+        server.serve(generate_workload(sessions=2, seed=1))
+        network = EndpointNetwork(clock)
+        network.register(endpoint)
+        AvailabilityMonitor(network, metrics=obs.metrics)
+
+        names = obs.metrics.names()
+        assert len(names) >= 35, "instrumentation shrank; vocabulary test is stale"
+        with open(os.path.join(ROOT, "ARCHITECTURE.md")) as handle:
+            architecture = handle.read()
+        undocumented = [name for name in names if f"`{name}`" not in architecture]
+        assert not undocumented, (
+            "metrics missing from the ARCHITECTURE.md vocabulary table: "
+            f"{undocumented}"
+        )
+
+
 class TestDocumentation:
     def test_deliverable_documents_exist(self):
         for filename in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
