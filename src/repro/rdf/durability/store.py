@@ -275,6 +275,13 @@ class LazyShard(Shard):
     hydrate before first access, so every existing read/write path works
     unchanged; ``size`` stays a plain slot (set from the manifest), so
     counting and shard-balance accounting never force a load.
+
+    Snapshot columns are already the ``(s, p, o)``-sorted run the batch
+    scan pipeline consumes, so :meth:`columns` on a cold shard reads them
+    straight off disk into the shard's run cache **without** building the
+    dict indexes -- snapshot load -> columnar scan copies nothing beyond
+    the file read itself.  Hydration (first index touch) then fills the
+    indexes from the cached columns instead of re-reading the file.
     """
 
     __slots__ = ("_loader",)
@@ -289,21 +296,33 @@ class LazyShard(Shard):
     def hydrated(self) -> bool:
         return self._loader is None
 
+    def _load_columns(self) -> Tuple:
+        """The snapshot's sorted columns, cached on the shard."""
+        cols = self._columns
+        if cols is None:
+            cols = self._loader()
+            if len(cols[0]) != self.size:
+                raise DurabilityError(
+                    f"shard snapshot holds {len(cols[0])} rows, "
+                    f"manifest says {self.size}"
+                )
+            self._columns = cols
+        return cols
+
+    def columns(self) -> Tuple:
+        if self._loader is not None:
+            return self._load_columns()
+        return super().columns()
+
     def _hydrate(self) -> None:
-        loader, self._loader = self._loader, None
-        s_col, p_col, o_col = loader()
-        if len(s_col) != self.size:
-            self._loader = loader
-            raise DurabilityError(
-                f"shard snapshot holds {len(s_col)} rows, manifest says {self.size}"
-            )
-        spo = Shard.spo.__get__(self)
-        pos = Shard.pos.__get__(self)
-        osp = Shard.osp.__get__(self)
-        for s, p, o in zip(s_col, p_col, o_col):
-            spo.setdefault(s, {}).setdefault(p, set()).add(o)
-            pos.setdefault(p, {}).setdefault(o, set()).add(s)
-            osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        columns = self._load_columns()
+        self._loader = None
+        _fill_indexes(
+            Shard.spo.__get__(self),
+            Shard.pos.__get__(self),
+            Shard.osp.__get__(self),
+            columns,
+        )
 
     # slot shadows: hydrate-on-read, plain writes (Shard.__init__ and
     # hydration itself store through the base descriptors)
@@ -470,15 +489,14 @@ def _load_graph(root, lazy, verify, clock, obs) -> Graph:
                 # eager loads get a plain Shard: no property indirection on
                 # the hot index paths afterwards
                 shard = Shard()
-                _fill_indexes(
-                    shard.spo,
-                    shard.pos,
-                    shard.osp,
-                    read_shard_columns(
-                        path, expected_epoch=epoch, expected_checksum=entry["checksum"]
-                    ),
+                columns = read_shard_columns(
+                    path, expected_epoch=epoch, expected_checksum=entry["checksum"]
                 )
+                _fill_indexes(shard.spo, shard.pos, shard.osp, columns)
                 shard.size = entry["triples"]
+                # the snapshot columns ARE the sorted run: seed the shard's
+                # columnar cache so the first batch scan copies nothing
+                shard._columns = columns
             shards.append(shard)
         graph._shards = tuple(shards)
     else:

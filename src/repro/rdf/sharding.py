@@ -57,6 +57,7 @@ than having scans advance the shared network clock directly.
 from __future__ import annotations
 
 import heapq
+from array import array
 from typing import Iterable, Iterator, Optional, Set, Tuple
 
 from .graph import Graph, IdIndex
@@ -69,7 +70,7 @@ __all__ = ["ShardedTripleStore", "Shard"]
 class Shard:
     """One partition: its own SPO/POS/OSP indexes over shared term IDs."""
 
-    __slots__ = ("spo", "pos", "osp", "size")
+    __slots__ = ("spo", "pos", "osp", "size", "_columns")
 
     #: overridden by :class:`repro.rdf.durability.LazyShard`, whose indexes
     #: build from a snapshot file on first touch; memory accounting checks
@@ -81,6 +82,31 @@ class Shard:
         self.pos: IdIndex = {}
         self.osp: IdIndex = {}
         self.size = 0
+        #: the shard's full sorted run as three ``array('q')`` columns
+        #: ((s, p, o)-sorted, same layout the durability snapshots use).
+        #: Built on demand by :meth:`columns`, dropped on any mutation;
+        #: snapshot loads seed it directly so load -> scan copies nothing.
+        self._columns: Optional[Tuple] = None
+
+    def columns(self) -> Tuple:
+        """The shard's (s, p, o)-sorted run as ``(s_col, p_col, o_col)``.
+
+        The columnar unit of execution for batch scans: identical content
+        to ``sorted(self.triples_ids())``, held as three parallel
+        ``array('q')`` columns.  Cached until the shard mutates; treat the
+        arrays as immutable (every invalidation replaces, never edits).
+        """
+        cols = self._columns
+        if cols is None:
+            rows = sorted(self.triples_ids())
+            if rows:
+                s_col, p_col, o_col = zip(*rows)
+            else:
+                s_col = p_col = o_col = ()
+            cols = self._columns = (
+                array("q", s_col), array("q", p_col), array("q", o_col)
+            )
+        return cols
 
     def insert(self, s: int, p: int, o: int) -> None:
         """Insert an ID triple the owning store already deduplicated."""
@@ -88,9 +114,11 @@ class Shard:
         self.pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self.osp.setdefault(o, {}).setdefault(s, set()).add(p)
         self.size += 1
+        self._columns = None
 
     def discard(self, s: int, p: int, o: int) -> None:
         """Remove an ID triple the owning store verified was present."""
+        self._columns = None
         by_predicate = self.spo[s]
         by_predicate[p].discard(o)
         if not by_predicate[p]:
@@ -183,6 +211,9 @@ class Shard:
         out.pos = {p: {o: set(s) for o, s in by_o.items()} for p, by_o in self.pos.items()}
         out.osp = {o: {s: set(p) for s, p in by_s.items()} for o, by_s in self.osp.items()}
         out.size = self.size
+        # the cached run is immutable-by-contract, so sharing it is safe:
+        # either shard's next mutation replaces its own reference
+        out._columns = self._columns
         return out
 
     def __len__(self) -> int:
@@ -363,6 +394,10 @@ class ShardedTripleStore(Graph):
                 last_s = s
                 last_p = None
                 shard = shards[s % n_shards]
+                # bulk writes bypass Shard.insert, so the columnar-run
+                # cache invalidates here (once per subject run, not per
+                # triple)
+                shard._columns = None
                 pos, osp = shard.pos, shard.osp
                 spo = shard.spo
                 by_predicate = spo.get(s)

@@ -18,7 +18,7 @@ is small enough that the classic textbook pipeline would only add plumbing):
 5. solution modifiers (ORDER/DISTINCT/OFFSET/LIMIT) apply last, in the order
    the SPARQL spec defines.
 
-Three BGP pipelines coexist behind ``QueryEngine(graph, strategy=...)``:
+Four BGP pipelines coexist behind ``QueryEngine(graph, strategy=...)``:
 
 * ``"hash"`` (default) -- the eager dictionary-encoded hash-join pipeline
   above, plus an ID-space SELECT fast path.  LIMIT-bounded general queries
@@ -35,8 +35,18 @@ Three BGP pipelines coexist behind ``QueryEngine(graph, strategy=...)``:
   dedup, slice), and column-shaped GROUP BY/aggregation folds
   incrementally into per-group :class:`_AggFold` accumulators (O(groups)
   state; COUNT DISTINCT via per-group seen-sets of encoded values).
+* ``"batch"`` -- vectorized columnar execution: the hash engine plus a
+  batch fast path for the simple shape (plain BGP + term-test filters).
+  Operators pass batches of ID *columns* (``batch_size`` rows at a time,
+  volcano control flow between batches) instead of per-row tuples:
+  batched index scans off the sorted shard runs, a vectorized
+  hash-probe (build once, probe a column at a time), columnar FILTER
+  via selection vectors, batched projection/DISTINCT, batched top-k
+  and per-batch aggregate folds (:meth:`_AggFold.fold_batch`).  Shapes
+  the batch path cannot take fall through to the hash delegation
+  ladder, exactly like hash delegates to the streaming operators.
 * ``"scan"`` -- the legacy substitute-and-scan nested-loop join kept as
-  the conformance oracle; the suite runs every query through all three
+  the conformance oracle; the suite runs every query through all four
   pipelines and asserts identical solutions.
 
 Compiled plans (encoded patterns + cardinality estimates) live in a
@@ -50,8 +60,10 @@ parsing, pattern encoding and estimation entirely -- on any engine.
 from __future__ import annotations
 
 import heapq
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from itertools import chain as _chain
+from itertools import islice as _islice
+from itertools import repeat as _repeat
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..obs.trace import NULL_TRACER
@@ -142,6 +154,32 @@ def _triples_to_scan_rows(triples, positions):
             srow.append(value)
         if srow is not None:
             yield tuple(srow)
+
+
+def _project_triple_columns(tcols, positions, simple):
+    """(s, p, o) ID columns -> per-variable columns, or None when empty.
+
+    The columnar counterpart of :func:`_triples_to_scan_rows`: ``simple``
+    (no variable occurs at two positions) just selects columns; repeated
+    variables keep only the rows where all their positions agree.
+    """
+    if simple:
+        return [tcols[position[0]] for position in positions]
+    n = len(tcols[0])
+    selection = range(n)
+    for position in positions:
+        if len(position) > 1:
+            first = position[0]
+            selection = [
+                i
+                for i in selection
+                if all(tcols[extra][i] == tcols[first][i] for extra in position[1:])
+            ]
+    if not selection:
+        return None
+    if len(selection) == n:
+        return [tcols[position[0]] for position in positions]
+    return [[tcols[position[0]][i] for i in selection] for position in positions]
 
 
 #: Extractors for the INLJ fast path: new-variable positions (ascending) ->
@@ -236,6 +274,44 @@ class _AggFold:
                 return
             self.seen.add(row_key)
         self.count += 1
+
+    def add_star_batch(self, n: int, rows=None) -> None:
+        """Fold *n* group members into COUNT(*) at once.
+
+        The vectorized counterpart of :meth:`add_star`: the plain fold
+        is a single integer add.  ``rows`` supplies the member rows'
+        dedup identities and is only consumed for COUNT(DISTINCT *).
+        """
+        if self.seen is None:
+            self.count += n
+            return
+        seen = self.seen
+        before = len(seen)
+        seen.update(rows)
+        self.count += len(seen) - before
+
+    def fold_batch(self, values, decode=None) -> None:
+        """Fold a column of bound values in one call.
+
+        COUNT (plain and DISTINCT) vectorizes outright -- a length add,
+        or a set-union delta, with no per-value Python dispatch.  The
+        order-sensitive folds (MIN/MAX last-wins-among-equals, first
+        SAMPLE, GROUP_CONCAT order, SUM's left fold) loop :meth:`add`
+        over the column so batch results stay bit-identical to the
+        row-at-a-time fold at any batch size.
+        """
+        if self.function == "COUNT":
+            if self.seen is None:
+                self.count += len(values)
+                return
+            seen = self.seen
+            before = len(seen)
+            seen.update(values)
+            self.count += len(seen) - before
+            return
+        add = self.add
+        for value in values:
+            add(value, decode)
 
     def add(self, value, decode=None) -> None:
         """Fold one bound value (an ID when *decode* is given, else a term)."""
@@ -523,6 +599,7 @@ EXEC_STAT_KEYS = frozenset(
         "distinct_keys",    # champion-table size for DISTINCT top-k
         "having_pruned",    # groups dropped by HAVING pushdown
         "decoded_rows",     # ID rows decoded at the result boundary
+        "batches",          # column batches the batch-pipeline sink consumed
         # shard fan-out counters (sparql/parallel_exec.py)
         "shard_batches",        # partition-parallel batches dispatched
         "shard_parallel_ms",    # simulated cost booked for the batches
@@ -539,7 +616,9 @@ class QueryEngine:
     Instances are cheap; hold one per graph or just use :func:`evaluate`.
     ``strategy`` selects the BGP pipeline: ``"hash"`` (default) is the
     eager dictionary-encoded hash-join pipeline, ``"stream"`` the lazy
-    volcano-style generator pipeline with OFFSET/LIMIT pushdown, and
+    volcano-style generator pipeline with OFFSET/LIMIT pushdown,
+    ``"batch"`` the vectorized columnar pipeline (hash plus the
+    batch fast path, ``batch_size`` ID rows per column batch), and
     ``"scan"`` the legacy substitute-and-scan nested-loop join kept for
     conformance A/B runs.
 
@@ -549,20 +628,30 @@ class QueryEngine:
     moves, so even transient engines start warm.
     """
 
-    def __init__(self, graph: Graph, strategy: str = "hash"):
-        if strategy not in ("hash", "stream", "scan"):
+    #: default rows per column batch on the ``"batch"`` strategy --
+    #: large enough to amortize per-batch dispatch, small enough that a
+    #: batch's columns stay cache-resident
+    BATCH_SIZE = 1024
+
+    def __init__(self, graph: Graph, strategy: str = "hash", batch_size: int = None):
+        if strategy not in ("hash", "stream", "scan", "batch"):
             raise ValueError(f"unknown BGP strategy {strategy!r}")
         self.graph = graph
         self.strategy = strategy
+        self.batch_size = int(batch_size) if batch_size else self.BATCH_SIZE
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
         #: the partition-parallel scan target when the graph is a
         #: ShardedTripleStore (duck-typed: rdf must not import sparql)
         self._sharded = graph if getattr(graph, "is_sharded", False) else None
         self._plans: _SharedPlanCache = graph.derived_cache(
             "sparql/plans", _SharedPlanCache
         )
-        #: the per-query ShardScanPool (created in run(), threaded through
-        #: every shard batch the query dispatches so batches after the
-        #: first reuse the warm workers)
+        #: the engine's ShardScanPool (created lazily in run(), keyed on
+        #: the store's shard layout and threaded through every shard
+        #: batch the engine dispatches) -- back-to-back queries on one
+        #: engine reuse the warm workers; only the first batch after a
+        #: layout change pays the cold spin-up
         self._scan_pool = None
         #: observability for the bounded operators: the last top-k /
         #: streaming-aggregation run records how many rows it consumed and
@@ -593,11 +682,18 @@ class QueryEngine:
         # a previous query's stats behind for a caller to misread.
         self.exec_stats = {}
         if self._sharded is not None:
-            # One warm worker set per query execution: every shard batch
-            # this query dispatches shares it (pool-reuse cost model).
-            from .parallel_exec import ShardScanPool
+            # One warm worker set per engine, keyed on the shard layout:
+            # every shard batch any query on this engine dispatches
+            # shares it, so back-to-back queries skip the cold spin-up.
+            # ``clear()`` / re-partitioning replace the shards tuple,
+            # which retires the pool (identity key holds the tuple, so
+            # a recycled id can never alias a dead layout).
+            layout = self._sharded.shards
+            pool = self._scan_pool
+            if pool is None or pool.layout_key is not layout:
+                from .parallel_exec import ShardScanPool
 
-            self._scan_pool = ShardScanPool(self._sharded)
+                self._scan_pool = ShardScanPool(self._sharded, layout_key=layout)
         if isinstance(query, str):
             query = parse_query(query)
         obs = self.obs
@@ -728,7 +824,7 @@ class QueryEngine:
     def _evaluate_bgp(
         self, patterns: List[TriplePattern], solutions: List[Solution]
     ) -> List[Solution]:
-        if self.strategy == "hash":
+        if self.strategy in ("hash", "batch"):
             return self._evaluate_bgp_hash(patterns, solutions)
         return self._evaluate_bgp_scan(patterns, solutions)
 
@@ -1681,7 +1777,7 @@ class QueryEngine:
         # Fast path for the ubiquitous liveness probe ``ASK { ?s ?p ?o }``
         # (and any single plain pattern): probe the ID indexes directly
         # instead of materializing the full scan.
-        if self.strategy in ("hash", "stream") and len(group.elements) == 1:
+        if self.strategy in ("hash", "stream", "batch") and len(group.elements) == 1:
             element = group.elements[0]
             from .paths import is_path
 
@@ -1712,7 +1808,17 @@ class QueryEngine:
     STREAM_DELEGATE_LIMIT = 64
 
     def _run_select(self, query: SelectQuery) -> SelectResult:
-        if self.strategy == "hash":
+        if self.strategy == "batch":
+            # The columnar fast path owns every simple-shape SELECT
+            # (plain BGP + term-test filters): batched scan -> vectorized
+            # probe -> columnar filter -> batched sink.  ``None`` means
+            # the shape needs row-at-a-time machinery; fall through to
+            # the hash delegation ladder below, exactly like hash falls
+            # through to the streaming operators.
+            batched = self._run_select_batch(query)
+            if batched is not None:
+                return batched
+        if self.strategy in ("hash", "batch"):
             # Small-LIMIT queries pay for every row an eager pipeline
             # materializes and then throws away; route them through the
             # streaming operators instead.  Unordered DISTINCT stays on
@@ -1907,7 +2013,7 @@ class QueryEngine:
         decode = self.graph.decode_id
         col_of: Dict[Variable, int] = {}
         rows_iter: Iterator[Tuple] = iter(())
-        if self.strategy == "hash":
+        if self.strategy in ("hash", "batch"):
             # The heap has to consume the whole join either way, so the
             # delegating eager engine feeds it from its batch ID-join --
             # same row production (and tie order) as its materialized
@@ -2552,34 +2658,9 @@ class QueryEngine:
         group_vars, items = plan
         decode = self.graph.decode_id
 
-        group_columns = [col_of.get(variable) for variable in group_vars]
-        agg_specs = []  # (item index, aggregate, value column or None)
-        for index, (kind, payload, _name) in enumerate(items):
-            if kind == "agg":
-                column = (
-                    col_of.get(payload.expression.variable)
-                    if payload.expression is not None
-                    else None
-                )
-                agg_specs.append((index, payload, column))
-        # Pushed-down HAVING conjuncts: extra folds on negative slots,
-        # gating groups at result time instead of falling back to the
-        # materialized member-list path.
-        having = (
-            query.having_aggregate_conjuncts() if query.having is not None else None
+        group_columns, fold_specs, having_specs = self._aggregate_fold_specs(
+            query, plan, col_of
         )
-        having_specs = []  # (slot, aggregate, value column, op, constant)
-        for position, (aggregate, op, constant) in enumerate(having or ()):
-            column = (
-                col_of.get(aggregate.expression.variable)
-                if aggregate.expression is not None
-                else None
-            )
-            having_specs.append((-(position + 1), aggregate, column, op, constant))
-        fold_specs = agg_specs + [
-            (slot, aggregate, column)
-            for slot, aggregate, column, _op, _constant in having_specs
-        ]
 
         # key -> (first member row, {item index: fold})
         groups: Dict[Tuple, Tuple[Optional[Tuple], Dict[int, _AggFold]]] = {}
@@ -2609,6 +2690,62 @@ class QueryEngine:
             # produce one row (COUNT(*) = 0) per the spec.
             groups[()] = (None, {index: _AggFold(agg) for index, agg, _ in fold_specs})
 
+        names, out_rows, having_pruned = self._aggregate_groups_rows(
+            items, groups, col_of, having_specs
+        )
+
+        self.exec_stats.update(
+            operator="fast-aggregate",
+            input_rows=len(rows),
+            tracked_rows=len(groups),
+        )
+        if having_specs:
+            self.exec_stats["having_pruned"] = having_pruned
+        if self.obs.detail:
+            self._operator_event()
+        return SelectResult(names, self._apply_modifiers(query, out_rows, names))
+
+    def _aggregate_fold_specs(self, query: SelectQuery, plan, col_of):
+        """``(group columns, fold specs, having specs)`` for an ID-space
+        aggregation -- the spec layout both the row-at-a-time fold and
+        the batched fold consume, so their group/fold/HAVING semantics
+        cannot diverge."""
+        group_vars, items = plan
+        group_columns = [col_of.get(variable) for variable in group_vars]
+        agg_specs = []  # (item index, aggregate, value column or None)
+        for index, (kind, payload, _name) in enumerate(items):
+            if kind == "agg":
+                column = (
+                    col_of.get(payload.expression.variable)
+                    if payload.expression is not None
+                    else None
+                )
+                agg_specs.append((index, payload, column))
+        # Pushed-down HAVING conjuncts: extra folds on negative slots,
+        # gating groups at result time instead of falling back to the
+        # materialized member-list path.
+        having = (
+            query.having_aggregate_conjuncts() if query.having is not None else None
+        )
+        having_specs = []  # (slot, aggregate, value column, op, constant)
+        for position, (aggregate, op, constant) in enumerate(having or ()):
+            column = (
+                col_of.get(aggregate.expression.variable)
+                if aggregate.expression is not None
+                else None
+            )
+            having_specs.append((-(position + 1), aggregate, column, op, constant))
+        fold_specs = agg_specs + [
+            (slot, aggregate, column)
+            for slot, aggregate, column, _op, _constant in having_specs
+        ]
+        return group_columns, fold_specs, having_specs
+
+    def _aggregate_groups_rows(self, items, groups, col_of, having_specs):
+        """Project folded groups into result rows (shared assembly tail):
+        HAVING gates on the negative-slot folds, ``var`` items decode the
+        group's first member row, ``agg`` items read their fold."""
+        decode = self.graph.decode_id
         names = [name for _, _, name in items]
         out_rows: List[Row] = []
         having_pruned = 0
@@ -2634,14 +2771,643 @@ class QueryEngine:
                     continue
                 projected[name] = folds[index].result()
             out_rows.append(projected)
+        return names, out_rows, having_pruned
 
+    # -- the columnar batch pipeline (strategy="batch") ------------------------
+
+    def _run_select_batch(self, query: SelectQuery) -> Optional[SelectResult]:
+        """Vectorized SELECT over column batches; None when unsupported.
+
+        Covers the simple shape (plain triple patterns + one-variable
+        term-test filters, bare-variable projections, bare GROUP BY /
+        aggregates with pushable HAVING, DISTINCT, OFFSET/LIMIT and
+        ``ORDER BY ... LIMIT k``) -- the shape whose rows are guaranteed
+        pure ID tuples, so operators can pass ``batch_size``-row column
+        vectors instead of per-row tuples: batched index scans, a
+        vectorized hash-probe, columnar FILTER via selection vectors,
+        then a batched select / top-k / aggregate sink.  Control flow
+        stays volcano *between* batches, so LIMIT-bounded sinks stop
+        pulling early.  Returns None for every other shape; the caller
+        falls through to the hash delegation ladder.
+        """
+        if query.having is not None and (
+            not query.has_aggregates()
+            or query.having_aggregate_conjuncts() is None
+        ):
+            return None
+        shape = self._simple_where_shape(query)
+        if shape is None:
+            return None
+        patterns, simple_filters = shape
+
+        plan = None
+        if query.has_aggregates():
+            plan = query.aggregate_plan()
+            if plan is None:
+                return None
+        elif not query.select_all:
+            for projection in query.projections:
+                if projection.alias is not None or not isinstance(
+                    projection.expression, VariableExpression
+                ):
+                    return None
+
+        order_vars = None
+        if query.order_by and plan is None:
+            order_vars = query.order_variables()
+            if order_vars is None:
+                return None
+            if query.limit is None:
+                # No heap bound to exploit: the ID-space sorter
+                # (_try_order_fast, via the delegation ladder) owns
+                # un-LIMITed ORDER BY.
+                return None
+
+        compiled = self._compile_patterns(patterns)
+        if any(not ep.variables for ep in compiled):
+            # A fully-ground pattern is an existence gate, not a column
+            # source; the row pipelines handle it.
+            return None
+
+        if any(ep.impossible for ep in compiled):
+            batches: Iterator[List] = iter(())
+            col_of: Dict[Variable, int] = {}
+        else:
+            limit_hint = self._batch_limit_hint(query, compiled, simple_filters, plan)
+            batches, col_of = self._batch_join(compiled, limit_hint)
+            filter_specs = []
+            for test, variable in simple_filters:
+                column = col_of.get(variable)
+                if column is None:
+                    # Filter over an unbound variable drops every row
+                    # (the general pipeline raises-and-rejects per row).
+                    batches = iter(())
+                    filter_specs = []
+                    break
+                filter_specs.append((test, column, {}))
+            if filter_specs:
+                batches = self._filter_batches(batches, filter_specs)
+
+        if plan is not None:
+            return self._batch_aggregate(query, plan, batches, col_of)
+        if order_vars is not None:
+            return self._batch_topk(query, order_vars, batches, col_of)
+        return self._batch_select(query, batches, col_of)
+
+    @staticmethod
+    def _batch_limit_hint(query, compiled, simple_filters, plan) -> Optional[int]:
+        """Per-shard row bound for the bounded lazy fan-out.
+
+        Only a LIMIT-bounded single-pattern scan with nothing between
+        the scan and the slice (no filter, DISTINCT, ORDER BY or
+        aggregation, and no repeated-variable row drops) can truncate
+        each shard's run to its first ``offset+limit`` rows: any global
+        top-``k`` of the sorted-run merge lies within the first ``k``
+        of every per-shard run, so results are unchanged -- only the
+        rows shipped (and charged) shrink.
+        """
+        if (
+            plan is not None
+            or query.limit is None
+            or query.order_by
+            or query.distinct
+            or simple_filters
+            or len(compiled) != 1
+        ):
+            return None
+        ep = compiled[0]
+        if any(len(ep.var_positions[v]) > 1 for v in ep.variables):
+            return None
+        hint = (query.offset or 0) + query.limit
+        if query.select_all:
+            # SELECT * derives its header from solution existence: keep
+            # at least one witness row even for LIMIT 0.
+            hint = max(hint, 1)
+        return hint
+
+    def _batch_join(
+        self, encoded: List[_EncodedPattern], limit_hint: Optional[int] = None
+    ) -> Tuple[Iterator[List], Dict[Variable, int]]:
+        """``(column-batch iterator, col_of)``: the vectorized BGP join.
+
+        Join order replays ``_bgp_id_rows``' greedy selectivity rule
+        exactly (the bound-variable discount never depends on the
+        intermediate cardinality), so the batch pipeline scans and
+        probes the same patterns in the same order as the eager hash
+        join.  The first pattern streams as column batches; every later
+        pattern is a vectorized hash-probe (shared variables; probe
+        table built once) or a cartesian block product (none shared).
+        """
+        col_of: Dict[Variable, int] = {}
+        stages = []
+        remaining = list(encoded)
+        while remaining:
+            chosen = min(
+                remaining,
+                key=lambda ep: (
+                    ep.est / (16.0 ** sum(1 for v in ep.variables if v in col_of)),
+                    ep.index,
+                ),
+            )
+            remaining.remove(chosen)
+            shared = [v for v in chosen.variables if v in col_of]
+            new_vars = [v for v in chosen.variables if v not in col_of]
+            stages.append((chosen, shared, new_vars))
+            for variable in new_vars:
+                col_of[variable] = len(col_of)
+        batches = self._scan_batches(stages[0][0], limit_hint)
+        for ep, shared, new_vars in stages[1:]:
+            if shared:
+                batches = self._probe_batches(batches, ep, shared, new_vars, col_of)
+            else:
+                batches = self._cartesian_batches(batches, ep)
+        return batches, col_of
+
+    def _scan_batches(
+        self, ep: _EncodedPattern, limit_hint: Optional[int] = None
+    ) -> Iterator[List]:
+        """Stream *ep*'s matches as per-variable ID column batches.
+
+        On a sharded graph a subject-unbound scan consumes the merged
+        column batches straight off the per-shard sorted runs (zero-copy
+        on one shard: the batches are slices of the shard's cached run);
+        everything else chunks the routed row iterator and transposes.
+        """
+        s, p, o = (v if type(v) is int else None for v in ep.spec)
+        positions = [ep.var_positions[v] for v in ep.variables]
+        simple = all(len(position) == 1 for position in positions)
+        batch_size = self.batch_size
+        if self._sharded is not None and s is None:
+            from .parallel_exec import parallel_scan_batches
+
+            triple_cols = parallel_scan_batches(
+                self._sharded,
+                p,
+                o,
+                batch_size,
+                stats=self.exec_stats,
+                pool=self._scan_pool,
+                obs=self.obs,
+                limit_hint=limit_hint if simple else None,
+            )
+            for tcols in triple_cols:
+                cols = _project_triple_columns(tcols, positions, simple)
+                if cols is not None:
+                    yield cols
+            return
+        triples = iter(self.graph.triples_ids(s, p, o))
+        if limit_hint is not None and simple:
+            triples = _islice(triples, limit_hint)
+        while True:
+            block = list(_islice(triples, batch_size))
+            if not block:
+                return
+            cols = _project_triple_columns(tuple(zip(*block)), positions, simple)
+            if cols is not None:
+                yield cols
+
+    def _probe_batches(
+        self,
+        batches: Iterator[List],
+        ep: _EncodedPattern,
+        shared: List[Variable],
+        new_vars: List[Variable],
+        col_of: Dict[Variable, int],
+    ) -> Iterator[List]:
+        """Vectorized hash-probe: build the table once, probe a column at
+        a time.
+
+        Match order is row-major exactly like the eager hash join (each
+        input row in batch order, its bucket's entries in build order),
+        so batch row production order equals the eager pipeline's.  A
+        batch that matches nothing yields nothing -- downstream
+        operators never see empty batches.
+        """
+        shared_columns = [col_of[v] for v in shared]
+        width_new = len(new_vars)
+
+        def stage():
+            table = self._build_probe_table(ep, shared, new_vars)
+            # Columnar bucket table: key -> (match count, per-new-variable
+            # value columns), transposed once per key rather than once
+            # per probe.  The count rides along explicitly because a
+            # zero-new-variable bucket transposes to an empty tuple.
+            if new_vars:
+                columnar = {
+                    key: (len(bucket), tuple(zip(*bucket)))
+                    for key, bucket in table.items()
+                }
+            else:
+                columnar = {key: (len(bucket), ()) for key, bucket in table.items()}
+            get = columnar.get
+            for cols in batches:
+                n = len(cols[0])
+                if len(shared_columns) == 1:
+                    keys = cols[shared_columns[0]]
+                else:
+                    keys = zip(*(cols[c] for c in shared_columns))
+                buckets = list(map(get, keys))
+                selection = []
+                counts = []
+                keep = selection.append
+                count = counts.append
+                for i, bucket in enumerate(buckets):
+                    if bucket is not None:
+                        keep(i)
+                        count(bucket[0])
+                if not selection:
+                    continue
+                if len(selection) == n and sum(counts) == n:
+                    # 1:1 join: every row matched exactly once; the
+                    # existing columns pass through untouched.
+                    out = list(cols)
+                else:
+                    picked = (
+                        cols
+                        if len(selection) == n
+                        else [[column[i] for i in selection] for column in cols]
+                    )
+                    out = [
+                        list(_chain.from_iterable(map(_repeat, column, counts)))
+                        for column in picked
+                    ]
+                for j in range(width_new):
+                    out.append(
+                        list(
+                            _chain.from_iterable(
+                                buckets[i][1][j] for i in selection
+                            )
+                        )
+                    )
+                yield out
+
+        return stage()
+
+    def _cartesian_batches(
+        self, batches: Iterator[List], ep: _EncodedPattern
+    ) -> Iterator[List]:
+        """Block cartesian product with a no-shared-variable pattern:
+        scan once, then per batch repeat each input row over the scan
+        tile (row-major, matching the eager pipeline's order)."""
+
+        def stage():
+            scan = list(self._scan_pattern(ep))
+            if not scan:
+                return
+            k = len(scan)
+            tile = [list(column) for column in zip(*scan)]
+            for cols in batches:
+                n = len(cols[0])
+                out = [
+                    list(_chain.from_iterable(map(_repeat, column, _repeat(k, n))))
+                    for column in cols
+                ]
+                for column in tile:
+                    out.append(column * n)
+                yield out
+
+        return stage()
+
+    def _filter_batches(self, batches: Iterator[List], filter_specs) -> Iterator[List]:
+        """Columnar FILTER: memoized term-kind tests build a selection
+        vector per batch; the survivors compact into fresh columns.  A
+        batch that loses every row yields nothing."""
+        decode = self.graph.decode_id
+
+        def stage():
+            for cols in batches:
+                n = len(cols[0])
+                selection = None  # None = every row survives so far
+                for test, column, memo in filter_specs:
+                    values = cols[column]
+                    lookup = memo.get
+                    kept = []
+                    keep = kept.append
+                    for i in range(n) if selection is None else selection:
+                        value = values[i]
+                        verdict = lookup(value)
+                        if verdict is None:
+                            verdict = memo[value] = test(decode(value))
+                        if verdict:
+                            keep(i)
+                    selection = kept
+                    if not selection:
+                        break
+                if selection is None or len(selection) == n:
+                    yield cols
+                elif selection:
+                    yield [[column[i] for i in selection] for column in cols]
+
+        return stage()
+
+    def _batch_select(
+        self, query: SelectQuery, batches: Iterator[List], col_of: Dict[Variable, int]
+    ) -> SelectResult:
+        """Batched projection / DISTINCT / OFFSET-LIMIT sink.
+
+        LIMIT pushdown across batches: stop pulling once ``offset +
+        limit`` surviving (post-DISTINCT) rows are buffered.  ``SELECT
+        *`` still needs one witness row for its header rule, so the cap
+        never stops the pull before the first non-empty batch.
+        """
+        offset = query.offset or 0
+        cap = None if query.limit is None else offset + query.limit
+        distinct = query.distinct
+        if distinct:
+            if query.select_all:
+                dedup_columns = [
+                    column
+                    for _name, column in sorted(
+                        (variable.name, column) for variable, column in col_of.items()
+                    )
+                ]
+            else:
+                dedup_columns = [
+                    col_of.get(p.expression.variable) for p in query.projections
+                ]
+            seen = set()
+        if cap == 0 and not query.select_all:
+            batches = iter(())  # the header is known without a witness
+        kept: List[Tuple] = []
+        input_rows = 0
+        n_batches = 0
+        for cols in batches:
+            n_batches += 1
+            n = len(cols[0])
+            input_rows += n
+            if distinct:
+                add = seen.add
+                for row in zip(*cols):
+                    key = tuple(
+                        row[column] if column is not None else None
+                        for column in dedup_columns
+                    )
+                    if key not in seen:
+                        add(key)
+                        kept.append(row)
+            else:
+                kept.extend(zip(*cols))
+            if cap is not None and len(kept) >= cap:
+                break
+        page = kept[offset:] if cap is None else kept[offset:cap]
+        names, columns = self._id_projection_layout(query, col_of, input_rows > 0)
         self.exec_stats.update(
-            operator="fast-aggregate",
-            input_rows=len(rows),
+            operator="batch-select",
+            input_rows=input_rows,
+            batches=n_batches,
+            decoded_rows=len(page),
+        )
+        if distinct:
+            self.exec_stats["distinct_keys"] = len(seen)
+        if self.obs.detail:
+            self._operator_event()
+        return SelectResult(names, self._decode_id_rows(page, names, columns))
+
+    def _batch_topk(
+        self,
+        query: SelectQuery,
+        order_vars: List[Variable],
+        batches: Iterator[List],
+        col_of: Dict[Variable, int],
+    ) -> SelectResult:
+        """Batched ``ORDER BY ... LIMIT k``: per-batch sort-key columns
+        (per-ID memo) feed the bounded heap; ties break on the global
+        row sequence, so batch-edge ties keep exactly the rows the
+        row-at-a-time heap keeps."""
+        decode = self.graph.decode_id
+        key_columns = [col_of.get(variable) for variable in order_vars]
+        flags = tuple(condition.descending for condition in query.order_by)
+        keep = (query.offset or 0) + query.limit
+        unbound_key = (0, ())
+        key_memo: Dict[int, Tuple] = {}
+        stats = {"input_rows": 0, "batches": 0, "seq": 0}
+
+        def entries() -> Iterator[_TopKEntry]:
+            for cols in batches:
+                stats["batches"] += 1
+                n = len(cols[0])
+                stats["input_rows"] += n
+                lookup = key_memo.get
+                batch_keys = []
+                for column in key_columns:
+                    if column is None:
+                        batch_keys.append(None)
+                        continue
+                    keys = []
+                    append = keys.append
+                    for value in cols[column]:
+                        key = lookup(value)
+                        if key is None:
+                            key = key_memo[value] = (1, decode(value).sort_key())
+                        append(key)
+                    batch_keys.append(keys)
+                seq = stats["seq"]
+                for i, row in enumerate(zip(*cols)):
+                    yield _TopKEntry(
+                        tuple(
+                            unbound_key if keys is None else keys[i]
+                            for keys in batch_keys
+                        ),
+                        flags,
+                        seq + i,
+                        row,
+                    )
+                stats["seq"] = seq + n
+
+        distinct_keys = None
+        if query.distinct:
+            if query.select_all:
+                dedup_columns = [
+                    column
+                    for _name, column in sorted(
+                        (variable.name, column) for variable, column in col_of.items()
+                    )
+                ]
+            else:
+                dedup_columns = [
+                    col_of.get(p.expression.variable) for p in query.projections
+                ]
+            champions = _champion_fold(
+                entries(),
+                lambda row: tuple(
+                    row[column] if column is not None else None
+                    for column in dedup_columns
+                ),
+            )
+            distinct_keys = len(champions)
+            kept_all = _topk_fold(iter(champions.values()), keep)
+        else:
+            kept_all = _topk_fold(entries(), keep)
+        kept = kept_all[query.offset or 0 :]
+
+        names, columns = self._id_projection_layout(
+            query, col_of, stats["input_rows"] > 0
+        )
+        out_rows = self._decode_id_rows(
+            (entry.payload for entry in kept), names, columns
+        )
+        self.exec_stats.update(
+            operator="batch-topk",
+            input_rows=stats["input_rows"],
+            tracked_rows=len(kept_all),
+            batches=stats["batches"],
+        )
+        if distinct_keys is not None:
+            self.exec_stats["distinct_keys"] = distinct_keys
+        if self.obs.detail:
+            self._operator_event()
+        return SelectResult(names, out_rows)
+
+    def _batch_aggregate(
+        self, query: SelectQuery, plan, batches: Iterator[List], col_of: Dict[Variable, int]
+    ) -> SelectResult:
+        """GROUP BY / aggregation over column batches, O(groups) state.
+
+        Pure-COUNT grouping vectorizes through :class:`Counter` (one
+        C-speed update per batch; Counter preserves first-seen insertion
+        order, matching the dict-based fold's group order).  Everything
+        else slices each batch's value columns per group and folds them
+        through :meth:`_AggFold.fold_batch`, so results are identical to
+        the row-at-a-time fold at any batch size.
+        """
+        group_vars, items = plan
+        group_columns, fold_specs, having_specs = self._aggregate_fold_specs(
+            query, plan, col_of
+        )
+
+        if (
+            not having_specs
+            and len(group_columns) == 1
+            and group_columns[0] is not None
+            and all(
+                (kind == "var" and payload == group_vars[0])
+                or (
+                    kind == "agg"
+                    and payload.function == "COUNT"
+                    and not payload.distinct
+                    and (
+                        payload.expression is None
+                        or col_of.get(payload.expression.variable) is not None
+                    )
+                )
+                for kind, payload, _name in items
+            )
+        ):
+            # COUNT over a column that is bound in every row equals the
+            # group size (this shape never produces unbound values), so
+            # the whole aggregation is one Counter over the key column.
+            return self._batch_count_groups(query, items, group_columns[0], batches)
+
+        decode = self.graph.decode_id
+        groups: Dict = {}
+        input_rows = 0
+        n_batches = 0
+        single_group = not group_vars
+        for cols in batches:
+            n_batches += 1
+            n = len(cols[0])
+            input_rows += n
+            if single_group:
+                buckets = {(): None}  # None selection = the whole batch
+            else:
+                if len(group_columns) == 1:
+                    column = group_columns[0]
+                    keys = cols[column] if column is not None else _repeat(None, n)
+                else:
+                    keys = zip(
+                        *(
+                            cols[column] if column is not None else _repeat(None, n)
+                            for column in group_columns
+                        )
+                    )
+                buckets = {}
+                for i, key in enumerate(keys):
+                    indices = buckets.get(key)
+                    if indices is None:
+                        buckets[key] = indices = []
+                    indices.append(i)
+            for key, indices in buckets.items():
+                state = groups.get(key)
+                if state is None:
+                    first_index = 0 if indices is None else indices[0]
+                    state = groups[key] = (
+                        tuple(column[first_index] for column in cols),
+                        {index: _AggFold(agg) for index, agg, _ in fold_specs},
+                    )
+                folds = state[1]
+                whole = indices is None or len(indices) == n
+                for index, aggregate, column in fold_specs:
+                    fold = folds[index]
+                    if aggregate.expression is None:  # COUNT(*)
+                        if not aggregate.distinct:
+                            fold.add_star_batch(n if whole else len(indices))
+                        elif whole:
+                            fold.add_star_batch(n, zip(*cols))
+                        else:
+                            fold.add_star_batch(
+                                len(indices),
+                                (
+                                    tuple(column[i] for column in cols)
+                                    for i in indices
+                                ),
+                            )
+                        continue
+                    if column is None:
+                        continue
+                    values = (
+                        cols[column]
+                        if whole
+                        else [cols[column][i] for i in indices]
+                    )
+                    fold.fold_batch(values, decode)
+
+        if single_group and not groups:
+            # Implicit single group over an empty input still produces
+            # one row (COUNT(*) = 0) per the spec.
+            groups[()] = (None, {index: _AggFold(agg) for index, agg, _ in fold_specs})
+
+        names, out_rows, having_pruned = self._aggregate_groups_rows(
+            items, groups, col_of, having_specs
+        )
+        self.exec_stats.update(
+            operator="batch-aggregate",
+            input_rows=input_rows,
             tracked_rows=len(groups),
+            batches=n_batches,
         )
         if having_specs:
             self.exec_stats["having_pruned"] = having_pruned
+        if self.obs.detail:
+            self._operator_event()
+        return SelectResult(names, self._apply_modifiers(query, out_rows, names))
+
+    def _batch_count_groups(
+        self, query: SelectQuery, items, group_column: int, batches: Iterator[List]
+    ) -> SelectResult:
+        """The fully-vectorized aggregation: single-key pure-COUNT GROUP
+        BY as one :class:`Counter` update per batch."""
+        decode = self.graph.decode_id
+        counter: Counter = Counter()
+        input_rows = 0
+        n_batches = 0
+        for cols in batches:
+            n_batches += 1
+            n = len(cols[0])
+            input_rows += n
+            counter.update(cols[group_column])
+        names = [name for _, _, name in items]
+        out_rows: List[Row] = []
+        for key, count in counter.items():
+            projected: Row = {}
+            for kind, _payload, name in items:
+                projected[name] = decode(key) if kind == "var" else Literal(count)
+            out_rows.append(projected)
+        self.exec_stats.update(
+            operator="batch-aggregate",
+            input_rows=input_rows,
+            tracked_rows=len(counter),
+            batches=n_batches,
+        )
         if self.obs.detail:
             self._operator_event()
         return SelectResult(names, self._apply_modifiers(query, out_rows, names))
@@ -2952,6 +3718,7 @@ def evaluate(
     """Evaluate *query* (text or AST) against *graph*.
 
     ``strategy`` is ``"hash"`` (eager, default), ``"stream"`` (lazy
-    volcano pipeline) or ``"scan"`` (legacy oracle).
+    volcano pipeline), ``"batch"`` (vectorized columnar pipeline) or
+    ``"scan"`` (legacy oracle).
     """
     return QueryEngine(graph, strategy=strategy).run(query)

@@ -20,7 +20,7 @@ SELECT ?type (COUNT(?s) AS ?n) WHERE { ?s a ?type } GROUP BY ?type
 """
 
 
-@pytest.mark.parametrize("strategy", ["hash", "stream", "scan"])
+@pytest.mark.parametrize("strategy", ["hash", "stream", "scan", "batch"])
 def test_explain_renders_operator_tree(small_graph, strategy):
     engine = QueryEngine(small_graph, strategy=strategy)
     report = engine.explain(QUERY)
@@ -40,6 +40,18 @@ def test_explain_shows_rows_in_out(small_graph):
     assert report.exec_stats["operator"] in {
         "aggregate", "stream-aggregate", "fast-aggregate", "group-aggregate",
     } or "operator" not in report.exec_stats
+
+
+def test_explain_reports_rows_per_batch(small_graph):
+    """The batch pipeline's sink records batches alongside input_rows,
+    so EXPLAIN ANALYZE can report rows-per-batch without per-row cost."""
+    engine = QueryEngine(small_graph, strategy="batch", batch_size=2)
+    report = engine.explain(AGGREGATE)
+    stats = report.exec_stats
+    assert stats["operator"] == "batch-aggregate"
+    assert stats["batches"] >= 1
+    assert stats["input_rows"] >= stats["batches"]  # >= 1 row per batch
+    assert "sparql.batch-aggregate" in report.render()
 
 
 def test_explain_restores_the_attached_recorder(small_graph):
@@ -70,7 +82,7 @@ def test_explain_is_deterministic(small_graph):
     assert first == second
 
 
-@pytest.mark.parametrize("strategy", ["hash", "stream", "scan"])
+@pytest.mark.parametrize("strategy", ["hash", "stream", "scan", "batch"])
 def test_exec_stats_stay_in_vocabulary(small_graph, strategy):
     """Engines only ever write the EXEC_STAT_KEYS vocabulary — the
     EXPLAIN renderer, the latency model and the metrics bridge all key

@@ -463,7 +463,7 @@ def _canonical_rows(result: SelectResult):
 
 
 #: the modern pipelines checked against the scan oracle
-STRATEGIES = ("hash", "stream")
+STRATEGIES = ("hash", "stream", "batch")
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)

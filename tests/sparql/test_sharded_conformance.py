@@ -135,10 +135,42 @@ def test_multi_batch_query_reuses_warm_workers(sharded_graphs):
     stats = engine.exec_stats
     assert stats["shard_batches"] >= 2
     assert stats["shard_warm_batches"] == stats["shard_batches"] - 1
-    # a fresh query execution starts cold again (per-query worker set)
+
+
+def test_pool_stays_warm_across_queries_on_one_engine(sharded_graphs):
+    """The worker set is per *engine*, keyed on the shard layout:
+    back-to-back queries skip the cold spin-up entirely, so the second
+    query's every batch is warm -- while a fresh engine (fresh pool)
+    starts cold again.  exec_stats stays per-query: the warm count
+    resets with each run instead of leaking the pool's lifetime total."""
+    engine = QueryEngine(sharded_graphs[4])
+    engine.run("SELECT * WHERE { ?s ?p ?o }")
+    first = engine.exec_stats_snapshot()
+    assert first["shard_batches"] == 1
+    assert first["shard_warm_batches"] == 0  # engine's first batch: cold
+    engine.run("SELECT * WHERE { ?s ?p ?o }")
+    second = engine.exec_stats_snapshot()
+    assert second["shard_batches"] == 1
+    assert second["shard_warm_batches"] == 1  # reused the warm workers
+    fresh = QueryEngine(sharded_graphs[4])
+    fresh.run("SELECT * WHERE { ?s ?p ?o }")
+    assert fresh.exec_stats["shard_warm_batches"] == 0
+
+
+def test_pool_retires_when_the_shard_layout_changes(sharded_graphs):
+    """clear() replaces the shards tuple, so the engine's warm worker
+    set is keyed off the dead layout and the next query starts cold."""
+    store = sharded_graphs[4].copy()
+    engine = QueryEngine(store)
+    engine.run("SELECT * WHERE { ?s ?p ?o }")
+    engine.run("SELECT * WHERE { ?s ?p ?o }")
+    assert engine.exec_stats["shard_warm_batches"] == 1
+    store.clear()
+    for triple in sharded_graphs[1]:
+        store.add(triple)
     engine.run("SELECT * WHERE { ?s ?p ?o }")
     assert engine.exec_stats["shard_batches"] == 1
-    assert engine.exec_stats.get("shard_warm_batches", 0) == 0
+    assert engine.exec_stats["shard_warm_batches"] == 0
 
 
 def test_warm_batches_cost_less_than_cold(sharded_graphs):
